@@ -1,0 +1,199 @@
+//! Criterion micro-benchmarks for the CBB hot paths:
+//!
+//! * `intersection_test` — plain MBB test vs the Algorithm 2 CBB test
+//!   (the paper's claim: the clip test is "even cheaper than the preceding
+//!   intersection test with the MBB" per point);
+//! * `skyline` / `stairline` — candidate generation vs node fanout;
+//! * `clip_build` — Algorithm 1 per node (CSKY vs CSTA);
+//! * `hilbert` — curve key encoding;
+//! * `union_volume` — exact grid vs Monte-Carlo dead-space measurement;
+//! * `range_query` — end-to-end clipped vs unclipped queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cbb_core::{
+    clip_node, oriented_skyline, query_intersects_cbb, stairline, ClipConfig, ClipMethod,
+};
+use cbb_geom::{union_volume_exact, union_volume_mc, CornerMask, Point, Rect, SplitMix64};
+use cbb_rtree::{hilbert::hilbert_index, ClippedRTree, DataId, RTree, TreeConfig, Variant};
+
+fn random_boxes(n: usize, seed: u64) -> Vec<Rect<2>> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let x = rng.gen_range(0.0, 950.0);
+            let y = rng.gen_range(0.0, 950.0);
+            let w = rng.gen_range(0.5, 25.0);
+            let h = rng.gen_range(0.5, 25.0);
+            Rect::new(Point([x, y]), Point([x + w, y + h]))
+        })
+        .collect()
+}
+
+fn bench_intersection_test(c: &mut Criterion) {
+    let boxes = random_boxes(64, 1);
+    let mbb = Rect::mbb_of(&boxes).unwrap();
+    let clips = clip_node(
+        &mbb,
+        &boxes,
+        &ClipConfig::paper_default::<2>(ClipMethod::Stairline),
+    );
+    let queries = random_boxes(256, 2);
+
+    let mut g = c.benchmark_group("intersection_test");
+    g.bench_function("mbb_only", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for q in &queries {
+                if black_box(&mbb).intersects(black_box(q)) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    g.bench_function("cbb_algorithm2", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for q in &queries {
+                if query_intersects_cbb(black_box(&mbb), black_box(&clips), black_box(q)) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+fn bench_skyline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("skyline");
+    for fanout in [16usize, 64, 113] {
+        let boxes = random_boxes(fanout, 3);
+        let corners: Vec<Point<2>> = boxes
+            .iter()
+            .map(|b| b.corner(CornerMask::new(0b00)))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("skyline", fanout), &corners, |b, pts| {
+            b.iter(|| oriented_skyline(black_box(pts), CornerMask::new(0b00)))
+        });
+        let sky = oriented_skyline(&corners, CornerMask::new(0b00));
+        g.bench_with_input(BenchmarkId::new("stairline", fanout), &sky, |b, sky| {
+            b.iter(|| stairline(black_box(sky), CornerMask::new(0b00)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_clip_build(c: &mut Criterion) {
+    let boxes = random_boxes(113, 4);
+    let mbb = Rect::mbb_of(&boxes).unwrap();
+    let mut g = c.benchmark_group("clip_build");
+    for method in [ClipMethod::Skyline, ClipMethod::Stairline] {
+        g.bench_function(method.label(), |b| {
+            let cfg = ClipConfig::paper_default::<2>(method);
+            b.iter(|| clip_node(black_box(&mbb), black_box(&boxes), &cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_hilbert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hilbert");
+    g.bench_function("encode_2d_order16", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(12345);
+            hilbert_index([black_box(i & 0xFFFF), black_box((i >> 7) & 0xFFFF)], 16)
+        })
+    });
+    g.bench_function("encode_3d_order16", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(12345);
+            hilbert_index(
+                [
+                    black_box(i & 0xFFFF),
+                    black_box((i >> 5) & 0xFFFF),
+                    black_box((i >> 9) & 0xFFFF),
+                ],
+                16,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_union_volume(c: &mut Criterion) {
+    let frame = Rect::new(Point([0.0, 0.0]), Point([1000.0, 1000.0]));
+    let mut g = c.benchmark_group("union_volume");
+    for n in [16usize, 64] {
+        let boxes = random_boxes(n, 5);
+        g.bench_with_input(BenchmarkId::new("exact_grid", n), &boxes, |b, boxes| {
+            b.iter(|| union_volume_exact(black_box(&frame), black_box(boxes)))
+        });
+        g.bench_with_input(BenchmarkId::new("mc_8192", n), &boxes, |b, boxes| {
+            b.iter(|| union_volume_mc(black_box(&frame), black_box(boxes), 8192, 7))
+        });
+    }
+    g.finish();
+}
+
+fn bench_range_query(c: &mut Criterion) {
+    let boxes = random_boxes(20_000, 6);
+    let items: Vec<(Rect<2>, DataId)> = boxes
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (*b, DataId(i as u32)))
+        .collect();
+    let tree = RTree::bulk_load(
+        TreeConfig::paper_default(Variant::RStar)
+            .with_world(Rect::new(Point([0.0, 0.0]), Point([1000.0, 1000.0]))),
+        &items,
+    );
+    let clipped = ClippedRTree::from_tree(
+        tree,
+        ClipConfig::paper_default::<2>(ClipMethod::Stairline),
+    );
+    let mut rng = SplitMix64::new(8);
+    let queries: Vec<Rect<2>> = (0..128)
+        .map(|_| {
+            let x = rng.gen_range(0.0, 990.0);
+            let y = rng.gen_range(0.0, 990.0);
+            Rect::new(Point([x, y]), Point([x + 5.0, y + 5.0]))
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("range_query_20k");
+    g.bench_function("unclipped", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for q in &queries {
+                total += clipped.tree.range_query(black_box(q)).len();
+            }
+            total
+        })
+    });
+    g.bench_function("clipped_csta", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for q in &queries {
+                total += clipped.range_query(black_box(q)).len();
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_intersection_test,
+    bench_skyline,
+    bench_clip_build,
+    bench_hilbert,
+    bench_union_volume,
+    bench_range_query
+);
+criterion_main!(benches);

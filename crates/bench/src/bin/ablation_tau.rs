@@ -1,0 +1,51 @@
+//! Ablation — the τ threshold (Algorithm 1, line 10).
+//!
+//! The paper fixes τ = 2.5 % and notes "we observe minimal effect from
+//! varying k and τ; … we lack space to also vary τ". This ablation fills
+//! that gap: sweep τ and report stored clip points, storage overhead, and
+//! QR0 leaf-access reduction on a clipped RR*-tree.
+
+use cbb_bench::{base_leaf_accesses, clipped_leaf_accesses, header, paper_build, parse_args, row, workload};
+use cbb_core::{ClipConfig, ClipMethod};
+use cbb_datasets::{dataset2, dataset3, Dataset, QueryProfile};
+use cbb_rtree::{ClippedRTree, Variant};
+use cbb_storage::storage_breakdown;
+
+const TAUS: [f64; 5] = [0.0, 0.0125, 0.025, 0.05, 0.10];
+
+fn run<const D: usize>(data: &Dataset<D>, args: &cbb_bench::Args) {
+    header(
+        &format!("τ ablation — CSTA-RR*-tree on {} (paper default τ = 2.5%)", data.name),
+        "tau",
+        &["clips/node", "clip-storage", "QR0 I/O", "saved"],
+    );
+    let tree = paper_build(Variant::RRStar, data);
+    let queries = workload(data, &tree, QueryProfile::QR0, args);
+    let base = base_leaf_accesses(&tree, &queries).max(1);
+    for tau in TAUS {
+        let cfg = ClipConfig::paper_default::<D>(ClipMethod::Stairline).with_tau(tau);
+        let clipped = ClippedRTree::from_tree(tree.clone(), cfg);
+        let b = storage_breakdown(&clipped);
+        let with = clipped_leaf_accesses(&clipped, &queries);
+        println!(
+            "{}",
+            row(
+                &format!("{:.2}%", tau * 100.0),
+                &[
+                    format!("{:.2}", b.avg_clip_points()),
+                    format!("{:.2}%", b.percentages().2),
+                    format!("{:.1}%", 100.0 * with as f64 / base as f64),
+                    format!("{:.1}%", 100.0 * (1.0 - with as f64 / base as f64)),
+                ]
+            )
+        );
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    run(&dataset2("rea02", args.scale), &args);
+    run(&dataset3("axo03", args.scale), &args);
+    println!("\n(expected: τ→0 stores more points for little extra I/O benefit;");
+    println!(" large τ sheds useful clip points — 2.5% sits on the knee)");
+}

@@ -1,0 +1,98 @@
+//! Figure 1 — the motivation measurements on rea02 (2-d) and axo03 (3-d):
+//! (a) average per-node overlap, (b) average per-node dead space, (c) the
+//! fraction of RR*-tree leaf accesses that contribute results, per query
+//! profile.
+//!
+//! Paper reference values: (a) 8–30 % overlap across variants; (b) ≈74 %
+//! (rea02) and ≈94 % (axo03) dead space; (c) useful-leaf-access fractions
+//! of ≈79 % / 36 % for high-selectivity queries (21 % / 64 % wasted).
+
+use cbb_bench::{header, paper_build, parse_args, pct, row, workload, VARIANTS};
+use cbb_datasets::{dataset2, dataset3, QueryProfile};
+use cbb_rtree::metrics::{avg_dead_space, avg_overlap, NodeScope};
+use cbb_rtree::AccessStats;
+
+fn main() {
+    let args = parse_args();
+    let rea02 = dataset2("rea02", args.scale);
+    let axo03 = dataset3("axo03", args.scale);
+    println!(
+        "datasets: rea02 n={}  axo03 n={}",
+        rea02.len(),
+        axo03.len()
+    );
+
+    // --- Figure 1a/1b ---
+    header(
+        "Figure 1a — avg overlap within a node (paper: 8-30%)",
+        "variant",
+        &["rea02", "axo03"],
+    );
+    let mut trees2 = Vec::new();
+    let mut trees3 = Vec::new();
+    for v in VARIANTS {
+        trees2.push((v, paper_build(v, &rea02)));
+        trees3.push((v, paper_build(v, &axo03)));
+    }
+    for ((v, t2), (_, t3)) in trees2.iter().zip(&trees3) {
+        println!(
+            "{}",
+            row(
+                v.label(),
+                &[
+                    pct(avg_overlap(t2, NodeScope::Internal).unwrap_or(0.0)),
+                    pct(avg_overlap(t3, NodeScope::Internal).unwrap_or(0.0)),
+                ]
+            )
+        );
+    }
+
+    header(
+        "Figure 1b — avg dead space per node (paper: ~74% rea02, ~94% axo03)",
+        "variant",
+        &["rea02", "axo03"],
+    );
+    for ((v, t2), (_, t3)) in trees2.iter().zip(&trees3) {
+        println!(
+            "{}",
+            row(
+                v.label(),
+                &[
+                    pct(avg_dead_space(t2, NodeScope::All).unwrap_or(0.0)),
+                    pct(avg_dead_space(t3, NodeScope::All).unwrap_or(0.0)),
+                ]
+            )
+        );
+    }
+
+    // --- Figure 1c: RR*-tree leaf-access optimality per selectivity ---
+    header(
+        "Figure 1c — useful leaf accesses, RR*-tree (paper: ~79% / ~36% at high sel.)",
+        "profile",
+        &["rea02", "axo03"],
+    );
+    let rr2 = &trees2.iter().find(|(v, _)| v.label() == "RR*-tree").unwrap().1;
+    let rr3 = &trees3.iter().find(|(v, _)| v.label() == "RR*-tree").unwrap().1;
+    for profile in QueryProfile::ALL {
+        let q2 = workload(&rea02, rr2, profile, &args);
+        let q3 = workload(&axo03, rr3, profile, &args);
+        let mut s2 = AccessStats::new();
+        let mut s3 = AccessStats::new();
+        for q in &q2 {
+            rr2.range_query_stats(q, &mut s2);
+        }
+        for q in &q3 {
+            rr3.range_query_stats(q, &mut s3);
+        }
+        println!(
+            "{}",
+            row(
+                profile.name,
+                &[
+                    pct(s2.leaf_optimality().unwrap_or(0.0)),
+                    pct(s3.leaf_optimality().unwrap_or(0.0)),
+                ]
+            )
+        );
+    }
+}

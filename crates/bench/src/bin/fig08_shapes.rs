@@ -1,0 +1,91 @@
+//! Figure 8 — dead space of the eight bounding methods on the running
+//! example's two leaf nodes (the 7 objects of Figure 3a).
+//!
+//! Paper reference values (bottom node / top node):
+//!   MBC 79/69, MBB 64/42, RMBB 63/42, 4-C 54/31, 5-C 51/29, CH 48/29,
+//!   CBB_SKY 59/42, CBB_STA 34/8 (percent dead space).
+
+use cbb_bench::{header, pct, row};
+use cbb_bounding::shape::{dead_space_of_shape, fit_all_shapes};
+use cbb_core::{Cbb, ClipConfig, ClipMethod};
+use cbb_geom::{Point, Rect};
+
+/// The running example: 7 objects grouped into two leaf nodes as in
+/// Figure 3a (o1–o5 bottom node, o6–o7 top node).
+fn figure3_nodes() -> [Vec<Rect<2>>; 2] {
+    let bottom = vec![
+        Rect::new(Point([0.0, 55.0]), Point([18.0, 100.0])),  // o1
+        Rect::new(Point([8.0, 30.0]), Point([28.0, 38.0])),   // o2
+        Rect::new(Point([25.0, 8.0]), Point([60.0, 22.0])),   // o3
+        Rect::new(Point([62.0, 0.0]), Point([88.0, 40.0])),   // o4
+        Rect::new(Point([80.0, 12.0]), Point([100.0, 35.0])), // o5
+    ];
+    let top = vec![
+        Rect::new(Point([30.0, 120.0]), Point([55.0, 170.0])), // o6
+        Rect::new(Point([60.0, 110.0]), Point([95.0, 150.0])), // o7
+    ];
+    [bottom, top]
+}
+
+fn main() {
+    let nodes = figure3_nodes();
+    header(
+        "Figure 8 — dead space per bounding method (running example)",
+        "method",
+        &["bottom", "top", "paper-B", "paper-T"],
+    );
+    let paper: &[(&str, (u32, u32))] = &[
+        ("MBC", (79, 69)),
+        ("MBB", (64, 42)),
+        ("RMBB", (63, 42)),
+        ("4-C", (54, 31)),
+        ("5-C", (51, 29)),
+        ("CH", (48, 29)),
+        ("CBB_SKY", (59, 42)),
+        ("CBB_STA", (34, 8)),
+    ];
+
+    let mut measured: Vec<(String, [f64; 2])> = Vec::new();
+    for (label, _) in paper.iter().take(6) {
+        let mut vals = [0.0; 2];
+        for (i, objects) in nodes.iter().enumerate() {
+            let shapes = fit_all_shapes(objects);
+            let shape = &shapes.iter().find(|(l, _)| l == label).unwrap().1;
+            vals[i] = dead_space_of_shape(shape, objects, 20_000, 0xF16_8);
+        }
+        measured.push((label.to_string(), vals));
+    }
+    // CBBs: dead space of the clipped shape = (dead − clipped) volume over
+    // the remaining (unclipped) volume.
+    for (label, method) in [("CBB_SKY", ClipMethod::Skyline), ("CBB_STA", ClipMethod::Stairline)] {
+        let mut vals = [0.0; 2];
+        for (i, objects) in nodes.iter().enumerate() {
+            let cbb = Cbb::build(objects, &ClipConfig::paper_default::<2>(method)).unwrap();
+            let vol = cbb.mbb.volume();
+            let object_vol = cbb_geom::union_volume_exact(&cbb.mbb, objects);
+            let clipped_vol = cbb.clipped_volume();
+            let remaining = vol - clipped_vol;
+            vals[i] = ((remaining - object_vol) / remaining).clamp(0.0, 1.0);
+        }
+        measured.push((label.to_string(), vals));
+    }
+
+    for ((label, vals), (_, (pb, pt))) in measured.iter().zip(paper) {
+        println!(
+            "{}",
+            row(
+                label,
+                &[
+                    pct(vals[0]),
+                    pct(vals[1]),
+                    format!("{pb}%"),
+                    format!("{pt}%"),
+                ]
+            )
+        );
+    }
+    println!(
+        "\n(absolute numbers depend on the hand-placed example geometry; the\n\
+         ordering — CBB_STA < CH < 5-C < 4-C < MBB ≈ RMBB < MBC — is the claim)"
+    );
+}

@@ -1,0 +1,66 @@
+//! Figure 10 — fraction of per-node dead space clipped away as a function
+//! of `k` (max clip points per node), for CSKY (top) and CSTA (bottom),
+//! over {par02, par03, rea02, axo03} × the four R-tree variants.
+//!
+//! Paper headlines: ≥60 % of all node volume is dead space everywhere;
+//! even k = 1 clips ~22-26 % of it; k = 2^{d+1} clips ~half (2-d) and
+//! >60 % (3-d); stairline clips ~50 % more than skyline at equal k.
+
+use cbb_bench::{header, paper_build, parse_args, pct, row, METHODS, VARIANTS};
+use cbb_core::ClipConfig;
+use cbb_datasets::{dataset2, dataset3, Dataset};
+use cbb_rtree::metrics::NodeScope;
+use cbb_rtree::{ClippedRTree, RTree};
+
+fn sweep<const D: usize>(data: &Dataset<D>, args: &cbb_bench::Args) {
+    let ks: Vec<usize> = if D == 2 {
+        vec![1, 2, 4, 6, 8]
+    } else {
+        vec![1, 4, 8, 12, 16]
+    };
+    for method in METHODS {
+        let k_labels: Vec<String> = ks.iter().map(|k| format!("k={k}")).collect();
+        let mut cells: Vec<&str> = vec!["dead"];
+        cells.extend(k_labels.iter().map(|s| s.as_str()));
+        header(
+            &format!(
+                "Figure 10 — {} on {} (clipped fraction of node volume; 'dead' = total dead space)",
+                method.label(),
+                data.name
+            ),
+            "variant",
+            &cells,
+        );
+        for variant in VARIANTS {
+            let tree: RTree<D> = paper_build(variant, data);
+            // Dead space is clipping-invariant: measure once per tree.
+            let dead =
+                cbb_rtree::metrics::avg_dead_space(&tree, NodeScope::All).unwrap_or(0.0);
+            let mut row_cells: Vec<String> = Vec::new();
+            for &k in &ks {
+                let cfg = ClipConfig::paper_default::<D>(method).with_k(k);
+                let clipped = ClippedRTree::from_tree(tree.clone(), cfg);
+                let clip = clipped
+                    .avg_clipped_fraction(NodeScope::All)
+                    .unwrap_or(0.0);
+                row_cells.push(pct(clip));
+            }
+            let mut all = vec![pct(dead)];
+            all.extend(row_cells);
+            println!("{}", row(variant.label(), &all));
+        }
+    }
+    let _ = args;
+}
+
+fn main() {
+    let args = parse_args();
+    let par02 = dataset2("par02", args.scale);
+    let rea02 = dataset2("rea02", args.scale);
+    let par03 = dataset3("par03", args.scale);
+    let axo03 = dataset3("axo03", args.scale);
+    sweep(&par02, &args);
+    sweep(&par03, &args);
+    sweep(&rea02, &args);
+    sweep(&axo03, &args);
+}

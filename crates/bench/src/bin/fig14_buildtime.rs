@@ -1,0 +1,64 @@
+//! Figure 14 — index construction time relative to an unclipped RR*-tree
+//! (= 100 %), with the CBB computation overhead isolated, for every
+//! dataset. HR-tree and R*-tree build times provide context.
+//!
+//! Paper headlines: HR-tree builds fastest (bulk loading), R*-tree slowest
+//! (forced reinsertion); CSKY adds <7 % CPU, CSTA up to 4 % (2-d) / 30 %
+//! (3-d).
+
+use std::time::Instant;
+
+use cbb_bench::{header, paper_build, parse_args, row, METHODS};
+use cbb_core::ClipConfig;
+use cbb_datasets::{dataset2, dataset3, Dataset};
+use cbb_rtree::{ClippedRTree, Variant};
+
+fn run<const D: usize>(data: &Dataset<D>, _args: &cbb_bench::Args) {
+    // Reference: unclipped RR*-tree build time.
+    let t0 = Instant::now();
+    let rr = paper_build(Variant::RRStar, data);
+    let rr_time = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let _hr = paper_build(Variant::Hilbert, data);
+    let hr_time = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let _rs = paper_build(Variant::RStar, data);
+    let rs_time = t0.elapsed().as_secs_f64();
+
+    let mut cells = vec![
+        format!("{:.0}%", 100.0 * hr_time / rr_time),
+        format!("{:.0}%", 100.0 * rs_time / rr_time),
+    ];
+    for method in METHODS {
+        // Clipping overhead on top of the RR* build (construction-time
+        // clipping: one Algorithm 1 pass per node).
+        let t0 = Instant::now();
+        let _clipped =
+            ClippedRTree::from_tree(rr.clone(), ClipConfig::paper_default::<D>(method));
+        let clip_time = t0.elapsed().as_secs_f64();
+        cells.push(format!("{:.0}%", 100.0 * (rr_time + clip_time) / rr_time));
+    }
+    cells.push(format!("{rr_time:.2}s"));
+    println!("{}", row(data.name.as_str(), &cells));
+}
+
+fn main() {
+    let args = parse_args();
+    header(
+        "Figure 14 — build time w.r.t. unclipped RR*-tree (=100%)",
+        "dataset",
+        &["HR-tree", "R*-tree", "CSKY-RR*", "CSTA-RR*", "RR* abs"],
+    );
+    run(&dataset2("par02", args.scale), &args);
+    run(&dataset3("par03", args.scale), &args);
+    run(&dataset2("rea02", args.scale), &args);
+    run(&dataset3("rea03", args.scale), &args);
+    run(&dataset3("axo03", args.scale), &args);
+    run(&dataset3("den03", args.scale), &args);
+    run(&dataset3("neu03", args.scale), &args);
+    println!(
+        "\n(paper: HR fastest, R* slowest; CSKY adds <7% CPU, CSTA up to 30% in 3-d)"
+    );
+}

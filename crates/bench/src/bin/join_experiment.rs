@@ -1,0 +1,84 @@
+//! §V spatial-join experiment — axo03 ⋈ den03 with both strategies over
+//! all four variants, clipped (CSTA) vs unclipped.
+//!
+//! Paper headlines: INLJ I/O reduction of 40/53/50/39 % (HR/QR/R*/RR*);
+//! STT reduction of 17/20/20/16 %; STT needs ~4× fewer total accesses
+//! than INLJ.
+
+use cbb_bench::{clip_tree, header, parse_args, paper_build, row, VARIANTS};
+use cbb_core::ClipMethod;
+use cbb_datasets::dataset3;
+use cbb_joins::{inlj, stt};
+
+fn main() {
+    let args = parse_args();
+    // The registry restores paper density on subsampled inputs — join
+    // selectivity is density-driven.
+    let axons = dataset3("axo03", args.scale);
+    let dendrites = dataset3("den03", args.scale);
+    println!(
+        "join: axo03 ({}) ⋈ den03 ({}), paper density restored",
+        axons.len(),
+        dendrites.len(),
+    );
+
+    header(
+        "INLJ — index axo03, probe with every den03 object",
+        "variant",
+        &["pairs", "base I/O", "CSTA I/O", "saved"],
+    );
+    for variant in VARIANTS {
+        let tree = paper_build(variant, &axons);
+        let clipped = clip_tree(&tree, ClipMethod::Stairline);
+        let base = inlj(&dendrites.boxes, &clipped, false);
+        let with = inlj(&dendrites.boxes, &clipped, true);
+        assert_eq!(base.pairs, with.pairs);
+        println!(
+            "{}",
+            row(
+                variant.label(),
+                &[
+                    base.pairs.to_string(),
+                    base.leaf_accesses_right.to_string(),
+                    with.leaf_accesses_right.to_string(),
+                    format!(
+                        "{:.0}%",
+                        100.0
+                            * (1.0
+                                - with.leaf_accesses_right as f64
+                                    / base.leaf_accesses_right.max(1) as f64)
+                    ),
+                ]
+            )
+        );
+    }
+    println!("(paper INLJ savings: QR 53%, HR 40%, R* 50%, RR* 39%)");
+
+    header(
+        "STT — synchronised traversal of both indexes",
+        "variant",
+        &["pairs", "base I/O", "CSTA I/O", "saved"],
+    );
+    for variant in VARIANTS {
+        let left = clip_tree(&paper_build(variant, &axons), ClipMethod::Stairline);
+        let right = clip_tree(&paper_build(variant, &dendrites), ClipMethod::Stairline);
+        let base = stt(&left, &right, false);
+        let with = stt(&left, &right, true);
+        assert_eq!(base.pairs, with.pairs);
+        let b = base.leaf_accesses_left + base.leaf_accesses_right;
+        let w = with.leaf_accesses_left + with.leaf_accesses_right;
+        println!(
+            "{}",
+            row(
+                variant.label(),
+                &[
+                    base.pairs.to_string(),
+                    b.to_string(),
+                    w.to_string(),
+                    format!("{:.0}%", 100.0 * (1.0 - w as f64 / b.max(1) as f64)),
+                ]
+            )
+        );
+    }
+    println!("(paper STT savings: QR 20%, HR 17%, R* 20%, RR* 16%; STT ≪ INLJ in total I/O)");
+}

@@ -1,0 +1,174 @@
+//! Minimum enclosing circle — Welzl's algorithm (the paper's MBC,
+//! computed "as per Welzl [30]").
+
+use cbb_geom::Point;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+/// A circle `(center, radius)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Circle {
+    /// Center point.
+    pub center: Point<2>,
+    /// Radius.
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Closed containment with a small tolerance for accumulated error.
+    pub fn contains(&self, p: &Point<2>) -> bool {
+        self.center.distance_sq(p) <= self.radius * self.radius * (1.0 + 1e-10) + 1e-12
+    }
+
+    /// Circle area.
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+}
+
+fn circle_from_2(a: &Point<2>, b: &Point<2>) -> Circle {
+    let center = a.midpoint(b);
+    Circle {
+        center,
+        radius: center.distance(a),
+    }
+}
+
+fn circle_from_3(a: &Point<2>, b: &Point<2>, c: &Point<2>) -> Option<Circle> {
+    // Circumcircle via perpendicular bisector intersection.
+    let d = 2.0 * (a[0] * (b[1] - c[1]) + b[0] * (c[1] - a[1]) + c[0] * (a[1] - b[1]));
+    if d.abs() < 1e-12 {
+        return None; // collinear
+    }
+    let a2 = a[0] * a[0] + a[1] * a[1];
+    let b2 = b[0] * b[0] + b[1] * b[1];
+    let c2 = c[0] * c[0] + c[1] * c[1];
+    let ux = (a2 * (b[1] - c[1]) + b2 * (c[1] - a[1]) + c2 * (a[1] - b[1])) / d;
+    let uy = (a2 * (c[0] - b[0]) + b2 * (a[0] - c[0]) + c2 * (b[0] - a[0])) / d;
+    let center = Point([ux, uy]);
+    Some(Circle {
+        radius: center.distance(a),
+        center,
+    })
+}
+
+/// Welzl's randomised incremental algorithm, iterative move-to-front
+/// formulation (expected linear time).
+pub fn min_enclosing_circle(points: &[Point<2>]) -> Option<Circle> {
+    if points.is_empty() {
+        return None;
+    }
+    let mut pts: Vec<Point<2>> = points.to_vec();
+    pts.dedup();
+    let mut rng = StdRng::seed_from_u64(0x3E17_AB1E);
+    pts.shuffle(&mut rng);
+
+    let mut circle = Circle {
+        center: pts[0],
+        radius: 0.0,
+    };
+    for i in 1..pts.len() {
+        if circle.contains(&pts[i]) {
+            continue;
+        }
+        // pts[i] on the boundary.
+        circle = Circle {
+            center: pts[i],
+            radius: 0.0,
+        };
+        for j in 0..i {
+            if circle.contains(&pts[j]) {
+                continue;
+            }
+            // pts[i], pts[j] on the boundary.
+            circle = circle_from_2(&pts[i], &pts[j]);
+            for k in 0..j {
+                if circle.contains(&pts[k]) {
+                    continue;
+                }
+                // Three boundary points determine the circle.
+                if let Some(c) = circle_from_3(&pts[i], &pts[j], &pts[k]) {
+                    circle = c;
+                }
+            }
+        }
+    }
+    Some(circle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point<2> {
+        Point([x, y])
+    }
+
+    #[test]
+    fn single_and_pair() {
+        let c = min_enclosing_circle(&[p(2.0, 3.0)]).unwrap();
+        assert_eq!(c.radius, 0.0);
+        assert_eq!(c.center, p(2.0, 3.0));
+
+        let c = min_enclosing_circle(&[p(0.0, 0.0), p(2.0, 0.0)]).unwrap();
+        assert!((c.radius - 1.0).abs() < 1e-9);
+        assert_eq!(c.center, p(1.0, 0.0));
+    }
+
+    #[test]
+    fn unit_square() {
+        let c = min_enclosing_circle(&[
+            p(0.0, 0.0),
+            p(1.0, 0.0),
+            p(1.0, 1.0),
+            p(0.0, 1.0),
+        ])
+        .unwrap();
+        assert!((c.radius - std::f64::consts::SQRT_2 / 2.0).abs() < 1e-9);
+        assert!((c.center[0] - 0.5).abs() < 1e-9);
+        assert!((c.center[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contains_all_and_is_minimal() {
+        let pts: Vec<Point<2>> = (0..200)
+            .map(|i| {
+                let x = ((i * 37) % 101) as f64 / 10.0;
+                let y = ((i * 89) % 97) as f64 / 10.0;
+                p(x, y)
+            })
+            .collect();
+        let c = min_enclosing_circle(&pts).unwrap();
+        for q in &pts {
+            assert!(c.contains(q), "{q:?} outside");
+        }
+        // Minimality: some point must be (nearly) on the boundary.
+        let max_d = pts
+            .iter()
+            .map(|q| c.center.distance(q))
+            .fold(0.0, f64::max);
+        assert!((max_d - c.radius).abs() < 1e-6);
+        // And shrinking by 1 % must lose a point.
+        let shrunk = Circle {
+            center: c.center,
+            radius: c.radius * 0.99,
+        };
+        assert!(pts.iter().any(|q| !shrunk.contains(q)));
+    }
+
+    #[test]
+    fn collinear_points() {
+        let pts: Vec<Point<2>> = (0..5).map(|i| p(i as f64, 2.0 * i as f64)).collect();
+        let c = min_enclosing_circle(&pts).unwrap();
+        for q in &pts {
+            assert!(c.contains(q));
+        }
+        // Diameter circle of the extremes.
+        assert!((c.radius - pts[0].distance(&pts[4]) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(min_enclosing_circle(&[]).is_none());
+    }
+}

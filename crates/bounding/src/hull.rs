@@ -1,0 +1,137 @@
+//! Convex hull via Andrew's monotone chain (the paper cites Graham scan
+//! [36]; monotone chain is the standard robust equivalent).
+
+use cbb_geom::Point;
+
+/// Cross product of `(b − a) × (c − a)`; positive for a left turn.
+pub fn cross(a: &Point<2>, b: &Point<2>, c: &Point<2>) -> f64 {
+    (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+}
+
+/// Convex hull in counter-clockwise order, collinear points dropped.
+/// Degenerate inputs return what they can (point → 1 vertex, segment → 2).
+pub fn convex_hull(points: &[Point<2>]) -> Vec<Point<2>> {
+    let mut pts: Vec<Point<2>> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a[0].partial_cmp(&b[0])
+            .expect("finite")
+            .then(a[1].partial_cmp(&b[1]).expect("finite"))
+    });
+    pts.dedup();
+    let n = pts.len();
+    if n <= 2 {
+        return pts;
+    }
+    let mut hull: Vec<Point<2>> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for p in &pts {
+        while hull.len() >= 2
+            && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(*p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for p in pts.iter().rev() {
+        while hull.len() >= lower_len
+            && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(*p);
+    }
+    hull.pop(); // last point repeats the first
+    hull
+}
+
+/// Shoelace area of a polygon (positive for counter-clockwise order).
+pub fn polygon_area(poly: &[Point<2>]) -> f64 {
+    if poly.len() < 3 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for i in 0..poly.len() {
+        let a = &poly[i];
+        let b = &poly[(i + 1) % poly.len()];
+        acc += a[0] * b[1] - b[0] * a[1];
+    }
+    acc / 2.0
+}
+
+/// Whether a convex CCW polygon contains `p` (closed).
+pub fn convex_contains(poly: &[Point<2>], p: &Point<2>) -> bool {
+    if poly.len() < 3 {
+        return false;
+    }
+    for i in 0..poly.len() {
+        let a = &poly[i];
+        let b = &poly[(i + 1) % poly.len()];
+        if cross(a, b, p) < -1e-12 {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point<2> {
+        Point([x, y])
+    }
+
+    #[test]
+    fn square_hull() {
+        let pts = vec![
+            p(0.0, 0.0),
+            p(1.0, 0.0),
+            p(1.0, 1.0),
+            p(0.0, 1.0),
+            p(0.5, 0.5), // interior
+            p(0.5, 0.0), // collinear on an edge
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert!((polygon_area(&hull) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hull_is_ccw_and_contains_all_points() {
+        let pts: Vec<Point<2>> = (0..50)
+            .map(|i| {
+                let x = ((i * 37) % 97) as f64;
+                let y = ((i * 53) % 89) as f64;
+                p(x, y)
+            })
+            .collect();
+        let hull = convex_hull(&pts);
+        assert!(polygon_area(&hull) > 0.0, "CCW orientation");
+        for q in &pts {
+            assert!(convex_contains(&hull, q), "{q:?} outside hull");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[p(1.0, 1.0)]).len(), 1);
+        assert_eq!(convex_hull(&[p(0.0, 0.0), p(1.0, 1.0)]).len(), 2);
+        // All collinear.
+        let line: Vec<Point<2>> = (0..5).map(|i| p(i as f64, i as f64)).collect();
+        let hull = convex_hull(&line);
+        assert_eq!(hull.len(), 2);
+        assert_eq!(polygon_area(&hull), 0.0);
+    }
+
+    #[test]
+    fn triangle_membership() {
+        let tri = vec![p(0.0, 0.0), p(4.0, 0.0), p(0.0, 4.0)];
+        assert!(convex_contains(&tri, &p(1.0, 1.0)));
+        assert!(convex_contains(&tri, &p(0.0, 0.0))); // vertex
+        assert!(convex_contains(&tri, &p(2.0, 2.0))); // on hypotenuse
+        assert!(!convex_contains(&tri, &p(3.0, 3.0)));
+    }
+}

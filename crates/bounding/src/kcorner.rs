@@ -1,0 +1,171 @@
+//! Minimum m-corner circumscribing polygons (the paper's 4-C / 5-C),
+//! "the smallest-area polygons with ≤ m corners that fully bound the
+//! children, computed similarly to [35]" (Aggarwal, Chang & Chee 1985).
+//!
+//! We use the standard greedy *edge-removal* heuristic: start from the
+//! convex hull (whose edge lines circumscribe the points exactly) and
+//! repeatedly delete the edge whose removal — replacing it by the
+//! intersection of its two neighbouring edge lines — adds the least area,
+//! until `m` edges remain. The polygon always contains the hull, so
+//! containment of the input is preserved by construction.
+
+use cbb_geom::Point;
+
+use crate::hull::{convex_hull, cross};
+
+/// Intersection of lines `(a1, a2)` and `(b1, b2)`; `None` when parallel.
+fn line_intersection(
+    a1: &Point<2>,
+    a2: &Point<2>,
+    b1: &Point<2>,
+    b2: &Point<2>,
+) -> Option<Point<2>> {
+    let (dax, day) = (a2[0] - a1[0], a2[1] - a1[1]);
+    let (dbx, dby) = (b2[0] - b1[0], b2[1] - b1[1]);
+    let denom = dax * dby - day * dbx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let t = ((b1[0] - a1[0]) * dby - (b1[1] - a1[1]) * dbx) / denom;
+    Some(Point([a1[0] + t * dax, a1[1] + t * day]))
+}
+
+/// Area added by removing edge `i` of polygon `poly` (edges are
+/// `(v_i, v_{i+1})`): the triangle between the removed edge and the apex
+/// where the neighbouring edge lines meet. `None` when the neighbours are
+/// (nearly) parallel or diverge (apex on the wrong side).
+fn removal_cost(poly: &[Point<2>], i: usize) -> Option<(f64, Point<2>)> {
+    let n = poly.len();
+    let prev = (i + n - 1) % n;
+    let next = (i + 1) % n;
+    let next2 = (i + 2) % n;
+    // Neighbouring edges: (prev → i) and (next → next2).
+    let apex = line_intersection(&poly[prev], &poly[i], &poly[next], &poly[next2])?;
+    // The apex must lie outside, beyond the removed edge (left-turn chain
+    // preserved): check it is a proper extension of both edges.
+    let forward_a = (apex[0] - poly[i][0]) * (poly[i][0] - poly[prev][0])
+        + (apex[1] - poly[i][1]) * (poly[i][1] - poly[prev][1]);
+    let forward_b = (apex[0] - poly[next][0]) * (poly[next][0] - poly[next2][0])
+        + (apex[1] - poly[next][1]) * (poly[next][1] - poly[next2][1]);
+    if forward_a < -1e-12 || forward_b < -1e-12 {
+        return None;
+    }
+    // Added area: triangle (v_i, apex, v_{i+1}).
+    let area = 0.5 * cross(&poly[i], &apex, &poly[next]).abs();
+    Some((area, apex))
+}
+
+/// Smallest-area (greedy) circumscribing polygon with at most `m` corners.
+/// Returns the CCW polygon; `None` when the input has no area to bound
+/// (fewer than 3 non-collinear points) — callers fall back to the MBB.
+pub fn k_corner_polygon(points: &[Point<2>], m: usize) -> Option<Vec<Point<2>>> {
+    assert!(m >= 3, "a circumscribing polygon needs ≥ 3 corners");
+    let mut poly = convex_hull(points);
+    if poly.len() < 3 {
+        return None;
+    }
+    while poly.len() > m {
+        // Pick the cheapest removable edge.
+        let mut best: Option<(f64, usize, Point<2>)> = None;
+        for i in 0..poly.len() {
+            if let Some((cost, apex)) = removal_cost(&poly, i) {
+                if best.as_ref().map_or(true, |(c, _, _)| cost < *c) {
+                    best = Some((cost, i, apex));
+                }
+            }
+        }
+        let Some((_, i, apex)) = best else {
+            // No removable edge (e.g. numerically parallel neighbours
+            // everywhere): accept the current polygon.
+            return Some(poly);
+        };
+        // Replace v_i and v_{i+1} with the apex.
+        let next = (i + 1) % poly.len();
+        if next > i {
+            poly[i] = apex;
+            poly.remove(next);
+        } else {
+            // Wrapped: edge (last, 0).
+            poly[i] = apex;
+            poly.remove(next);
+        }
+    }
+    Some(poly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hull::{convex_contains, polygon_area};
+
+    fn p(x: f64, y: f64) -> Point<2> {
+        Point([x, y])
+    }
+
+    /// A regular n-gon on a circle of radius r.
+    fn ngon(n: usize, r: f64) -> Vec<Point<2>> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64 / n as f64 * std::f64::consts::TAU;
+                p(r * a.cos(), r * a.sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn already_few_corners_is_identity() {
+        let tri = vec![p(0.0, 0.0), p(4.0, 0.0), p(0.0, 4.0)];
+        let poly = k_corner_polygon(&tri, 4).unwrap();
+        assert_eq!(poly.len(), 3);
+        assert!((polygon_area(&poly) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn octagon_to_square() {
+        let oct = ngon(8, 10.0);
+        let poly = k_corner_polygon(&oct, 4).unwrap();
+        assert_eq!(poly.len(), 4);
+        // Contains every input point.
+        for q in &oct {
+            assert!(convex_contains(&poly, q), "{q:?} escaped");
+        }
+        // Sane area: at least the hull, at most the circumscribing square
+        // of the circle (side 20).
+        let hull_area = polygon_area(&convex_hull(&oct));
+        let a = polygon_area(&poly);
+        assert!(a >= hull_area - 1e-9);
+        assert!(a <= 400.0 + 1e-9);
+    }
+
+    #[test]
+    fn area_decreases_with_more_corners() {
+        let circle = ngon(32, 5.0);
+        let a4 = polygon_area(&k_corner_polygon(&circle, 4).unwrap());
+        let a5 = polygon_area(&k_corner_polygon(&circle, 5).unwrap());
+        let a6 = polygon_area(&k_corner_polygon(&circle, 6).unwrap());
+        let hull = polygon_area(&convex_hull(&circle));
+        assert!(a4 >= a5 - 1e-9, "4-C {a4} < 5-C {a5}");
+        assert!(a5 >= a6 - 1e-9);
+        assert!(a6 >= hull - 1e-9);
+    }
+
+    #[test]
+    fn containment_preserved_on_random_input() {
+        let pts: Vec<Point<2>> = (0..80)
+            .map(|i| p(((i * 13) % 41) as f64, ((i * 31) % 37) as f64))
+            .collect();
+        for m in [4, 5, 6] {
+            let poly = k_corner_polygon(&pts, m).unwrap();
+            assert!(poly.len() <= m);
+            for q in &pts {
+                assert!(convex_contains(&poly, q), "m={m}: {q:?} escaped");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_collinear_returns_none() {
+        let line: Vec<Point<2>> = (0..6).map(|i| p(i as f64, i as f64)).collect();
+        assert!(k_corner_polygon(&line, 4).is_none());
+    }
+}

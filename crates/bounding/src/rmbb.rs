@@ -1,0 +1,146 @@
+//! Rotated minimum bounding box via rotating calipers: "iterating the
+//! edges of the convex hull and computing the minimum bounding box with
+//! the same orientation as each edge" (paper §V-C). The minimum-area
+//! enclosing rectangle is guaranteed to share an orientation with some
+//! hull edge (Freeman & Shapira 1975).
+
+use cbb_geom::Point;
+
+use crate::hull::convex_hull;
+
+/// An oriented rectangle, stored as its four corners in CCW order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RotatedRect {
+    /// The four corners, counter-clockwise.
+    pub corners: [Point<2>; 4],
+    /// Cached area.
+    pub area: f64,
+}
+
+/// Minimum-area rotated bounding rectangle of a point set. `None` for
+/// fewer than one point; degenerate (zero-area) rects are possible for
+/// collinear input.
+pub fn rotated_mbb(points: &[Point<2>]) -> Option<RotatedRect> {
+    let hull = convex_hull(points);
+    if hull.is_empty() {
+        return None;
+    }
+    if hull.len() == 1 {
+        return Some(RotatedRect {
+            corners: [hull[0]; 4],
+            area: 0.0,
+        });
+    }
+
+    let mut best: Option<RotatedRect> = None;
+    let n = hull.len();
+    for i in 0..n {
+        let a = hull[i];
+        let b = hull[(i + 1) % n];
+        // Unit direction of this edge and its normal.
+        let (dx, dy) = (b[0] - a[0], b[1] - a[1]);
+        let len = (dx * dx + dy * dy).sqrt();
+        if len < 1e-12 {
+            continue;
+        }
+        let u = (dx / len, dy / len);
+        let v = (-u.1, u.0);
+        // Project all hull points on (u, v).
+        let mut min_u = f64::INFINITY;
+        let mut max_u = f64::NEG_INFINITY;
+        let mut min_v = f64::INFINITY;
+        let mut max_v = f64::NEG_INFINITY;
+        for p in &hull {
+            let pu = p[0] * u.0 + p[1] * u.1;
+            let pv = p[0] * v.0 + p[1] * v.1;
+            min_u = min_u.min(pu);
+            max_u = max_u.max(pu);
+            min_v = min_v.min(pv);
+            max_v = max_v.max(pv);
+        }
+        let area = (max_u - min_u) * (max_v - min_v);
+        if best.as_ref().map_or(true, |r| area < r.area) {
+            let corner = |cu: f64, cv: f64| Point([cu * u.0 + cv * v.0, cu * u.1 + cv * v.1]);
+            best = Some(RotatedRect {
+                corners: [
+                    corner(min_u, min_v),
+                    corner(max_u, min_v),
+                    corner(max_u, max_v),
+                    corner(min_u, max_v),
+                ],
+                area,
+            });
+        }
+    }
+    best
+}
+
+impl RotatedRect {
+    /// Closed containment test (via the convex polygon test).
+    pub fn contains(&self, p: &Point<2>) -> bool {
+        crate::hull::convex_contains(&self.corners, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point<2> {
+        Point([x, y])
+    }
+
+    #[test]
+    fn axis_aligned_square_stays_square() {
+        let pts = [p(0.0, 0.0), p(2.0, 0.0), p(2.0, 2.0), p(0.0, 2.0)];
+        let r = rotated_mbb(&pts).unwrap();
+        assert!((r.area - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tilted_segment_cloud_beats_axis_aligned() {
+        // Points along a 45° line with small jitter: the axis-aligned box
+        // wastes ~half the area; the rotated box hugs the line.
+        let pts: Vec<Point<2>> = (0..40)
+            .map(|i| {
+                let t = i as f64;
+                let jitter = if i % 2 == 0 { 0.3 } else { -0.3 };
+                p(t + jitter, t - jitter)
+            })
+            .collect();
+        let r = rotated_mbb(&pts).unwrap();
+        let aabb_area = {
+            let xs: Vec<f64> = pts.iter().map(|q| q[0]).collect();
+            let ys: Vec<f64> = pts.iter().map(|q| q[1]).collect();
+            let w = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let h = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - ys.iter().cloned().fold(f64::INFINITY, f64::min);
+            w * h
+        };
+        assert!(r.area < 0.2 * aabb_area, "rmbb {} vs aabb {aabb_area}", r.area);
+        for q in &pts {
+            assert!(r.contains(q), "{q:?} outside");
+        }
+    }
+
+    #[test]
+    fn contains_all_hull_points() {
+        let pts: Vec<Point<2>> = (0..60)
+            .map(|i| p(((i * 17) % 23) as f64, ((i * 29) % 31) as f64))
+            .collect();
+        let r = rotated_mbb(&pts).unwrap();
+        for q in &pts {
+            assert!(r.contains(q));
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(rotated_mbb(&[]).is_none());
+        let single = rotated_mbb(&[p(1.0, 2.0)]).unwrap();
+        assert_eq!(single.area, 0.0);
+        let seg = rotated_mbb(&[p(0.0, 0.0), p(3.0, 4.0)]).unwrap();
+        assert!(seg.area.abs() < 1e-9);
+    }
+}

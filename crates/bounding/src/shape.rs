@@ -1,0 +1,269 @@
+//! Unified 2-d bounding-shape interface and the dead-space measurement of
+//! Figures 8–9.
+
+use cbb_geom::{Point, Rect, SplitMix64};
+
+use crate::circle::{min_enclosing_circle, Circle};
+use crate::hull::{convex_contains, convex_hull, polygon_area};
+use crate::kcorner::k_corner_polygon;
+use crate::rmbb::{rotated_mbb, RotatedRect};
+
+/// Any of the eight bounding geometries compared in Figure 8/9.
+#[derive(Clone, Debug)]
+pub enum Shape2 {
+    /// Minimum bounding circle (MBC).
+    Circle(Circle),
+    /// Axis-aligned minimum bounding box (MBB).
+    Mbb(Rect<2>),
+    /// Rotated minimum bounding box (RMBB).
+    Rotated(RotatedRect),
+    /// Convex polygon: convex hull (CH) or an m-corner polygon (4-C, 5-C).
+    Polygon(Vec<Point<2>>),
+}
+
+impl Shape2 {
+    /// Closed point containment.
+    pub fn contains(&self, p: &Point<2>) -> bool {
+        match self {
+            Shape2::Circle(c) => c.contains(p),
+            Shape2::Mbb(r) => r.contains_point(p),
+            Shape2::Rotated(r) => r.contains(p),
+            Shape2::Polygon(poly) => convex_contains(poly, p),
+        }
+    }
+
+    /// Enclosed area.
+    pub fn area(&self) -> f64 {
+        match self {
+            Shape2::Circle(c) => c.area(),
+            Shape2::Mbb(r) => r.volume(),
+            Shape2::Rotated(r) => r.area,
+            Shape2::Polygon(poly) => polygon_area(poly),
+        }
+    }
+
+    /// Representation cost in points — the Figure 9b metric. The circle
+    /// counts as 2 (center + radius packed like a point); boxes as 2
+    /// corners; polygons as their corner count.
+    pub fn point_count(&self) -> usize {
+        match self {
+            Shape2::Circle(_) => 2,
+            Shape2::Mbb(_) => 2,
+            // An oriented box needs 3 corners (the 4th is implied).
+            Shape2::Rotated(_) => 3,
+            Shape2::Polygon(poly) => poly.len(),
+        }
+    }
+
+    /// Axis-aligned bounding box of the shape (sampling frame).
+    pub fn bbox(&self) -> Rect<2> {
+        match self {
+            Shape2::Circle(c) => Rect::new(
+                Point([c.center[0] - c.radius, c.center[1] - c.radius]),
+                Point([c.center[0] + c.radius, c.center[1] + c.radius]),
+            ),
+            Shape2::Mbb(r) => *r,
+            Shape2::Rotated(r) => {
+                let mut lo = r.corners[0];
+                let mut hi = r.corners[0];
+                for c in &r.corners[1..] {
+                    lo = lo.min(c);
+                    hi = hi.max(c);
+                }
+                Rect::new(lo, hi)
+            }
+            Shape2::Polygon(poly) => {
+                let mut lo = poly[0];
+                let mut hi = poly[0];
+                for c in &poly[1..] {
+                    lo = lo.min(c);
+                    hi = hi.max(c);
+                }
+                Rect::new(lo, hi)
+            }
+        }
+    }
+}
+
+/// The corner points of a set of rectangles — the input every bounding
+/// shape is fitted to (objects are approximated by their MBBs upstream,
+/// matching the paper's per-node measurement).
+pub fn corner_points(rects: &[Rect<2>]) -> Vec<Point<2>> {
+    let mut pts = Vec::with_capacity(rects.len() * 4);
+    for r in rects {
+        pts.push(Point([r.lo[0], r.lo[1]]));
+        pts.push(Point([r.hi[0], r.lo[1]]));
+        pts.push(Point([r.hi[0], r.hi[1]]));
+        pts.push(Point([r.lo[0], r.hi[1]]));
+    }
+    pts
+}
+
+/// Fit each Figure 9 shape to a set of object rectangles. Shapes that
+/// degenerate (collinear input) fall back to the MBB. Returns
+/// `(label, shape)` pairs in the paper's order.
+pub fn fit_all_shapes(rects: &[Rect<2>]) -> Vec<(&'static str, Shape2)> {
+    let pts = corner_points(rects);
+    let mbb = Rect::mbb_of(rects).expect("non-empty node");
+    let polygon_or_mbb = |poly: Option<Vec<Point<2>>>| match poly {
+        Some(p) if p.len() >= 3 => Shape2::Polygon(p),
+        _ => Shape2::Mbb(mbb),
+    };
+    vec![
+        (
+            "MBC",
+            min_enclosing_circle(&pts)
+                .map(Shape2::Circle)
+                .unwrap_or(Shape2::Mbb(mbb)),
+        ),
+        ("MBB", Shape2::Mbb(mbb)),
+        (
+            "RMBB",
+            rotated_mbb(&pts)
+                .map(Shape2::Rotated)
+                .unwrap_or(Shape2::Mbb(mbb)),
+        ),
+        ("4-C", polygon_or_mbb(k_corner_polygon(&pts, 4))),
+        ("5-C", polygon_or_mbb(k_corner_polygon(&pts, 5))),
+        ("CH", polygon_or_mbb(Some(convex_hull(&pts)))),
+    ]
+}
+
+/// Dead-space fraction of a shape over `objects`: the share of the shape's
+/// area covered by no object — deterministic Monte-Carlo (rejection
+/// sampling inside the shape's bounding box).
+pub fn dead_space_of_shape(shape: &Shape2, objects: &[Rect<2>], samples: usize, seed: u64) -> f64 {
+    let frame = shape.bbox();
+    if frame.volume() <= 0.0 {
+        return 0.0;
+    }
+    let mut rng = SplitMix64::new(seed);
+    let mut inside = 0usize;
+    let mut dead = 0usize;
+    let mut drawn = 0usize;
+    // Keep drawing until `samples` points landed inside the shape (capped
+    // to avoid pathological rejection rates).
+    while inside < samples && drawn < samples * 20 {
+        drawn += 1;
+        let p = Point([
+            rng.gen_range(frame.lo[0], frame.hi[0]),
+            rng.gen_range(frame.lo[1], frame.hi[1]),
+        ]);
+        if !shape.contains(&p) {
+            continue;
+        }
+        inside += 1;
+        if !objects.iter().any(|o| o.contains_point(&p)) {
+            dead += 1;
+        }
+    }
+    if inside == 0 {
+        0.0
+    } else {
+        dead as f64 / inside as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r2(lx: f64, ly: f64, hx: f64, hy: f64) -> Rect<2> {
+        Rect::new(Point([lx, ly]), Point([hx, hy]))
+    }
+
+    fn two_corner_boxes() -> Vec<Rect<2>> {
+        vec![r2(0.0, 0.0, 2.0, 2.0), r2(8.0, 8.0, 10.0, 10.0)]
+    }
+
+    #[test]
+    fn all_shapes_contain_all_object_corners() {
+        let objects = two_corner_boxes();
+        for (label, shape) in fit_all_shapes(&objects) {
+            for p in corner_points(&objects) {
+                assert!(shape.contains(&p), "{label}: corner {p:?} escaped");
+            }
+            assert!(shape.area() > 0.0, "{label}");
+            assert!(shape.point_count() >= 2, "{label}");
+        }
+    }
+
+    #[test]
+    fn area_ordering_follows_the_paper() {
+        // CH ⊆ 5-C ⊆ 4-C (and MBB ≥ CH): the convex hull lower-bounds all
+        // convex shapes.
+        let objects = vec![
+            r2(0.0, 4.0, 2.0, 6.0),
+            r2(3.0, 0.0, 6.0, 2.0),
+            r2(7.0, 3.0, 9.0, 9.0),
+            r2(2.0, 7.0, 4.0, 9.0),
+        ];
+        let shapes = fit_all_shapes(&objects);
+        let area = |l: &str| {
+            shapes
+                .iter()
+                .find(|(label, _)| *label == l)
+                .map(|(_, s)| s.area())
+                .unwrap()
+        };
+        assert!(area("CH") <= area("5-C") + 1e-9);
+        assert!(area("5-C") <= area("4-C") + 1e-9);
+        assert!(area("CH") <= area("MBB") + 1e-9);
+        assert!(area("RMBB") <= area("MBB") + 1e-9);
+    }
+
+    #[test]
+    fn dead_space_ordering() {
+        // The MBC wastes the most; the hull the least (among convex).
+        let objects = two_corner_boxes();
+        let shapes = fit_all_shapes(&objects);
+        let ds = |l: &str| {
+            let s = &shapes.iter().find(|(label, _)| *label == l).unwrap().1;
+            dead_space_of_shape(s, &objects, 4_000, 99)
+        };
+        let (mbc, mbb, ch) = (ds("MBC"), ds("MBB"), ds("CH"));
+        assert!(mbc >= mbb - 0.05, "MBC {mbc} vs MBB {mbb}");
+        assert!(ch <= mbb + 0.05, "CH {ch} vs MBB {mbb}");
+        // Two tiny boxes in a 10×10 frame: MBB must be mostly dead.
+        assert!(mbb > 0.8);
+    }
+
+    #[test]
+    fn dead_space_of_fully_covered_shape_is_zero() {
+        let objects = vec![r2(0.0, 0.0, 10.0, 10.0)];
+        let shape = Shape2::Mbb(r2(0.0, 0.0, 10.0, 10.0));
+        assert_eq!(dead_space_of_shape(&shape, &objects, 1_000, 1), 0.0);
+    }
+
+    #[test]
+    fn degenerate_input_falls_back_to_mbb() {
+        // Collinear degenerate rect (a segment).
+        let objects = vec![r2(0.0, 0.0, 10.0, 0.0)];
+        let shapes = fit_all_shapes(&objects);
+        assert_eq!(shapes.len(), 6);
+        for (label, s) in &shapes {
+            // No panic and a usable (possibly zero-area) shape.
+            let _ = s.area();
+            let _ = s.point_count();
+            let _ = label;
+        }
+    }
+
+    #[test]
+    fn point_counts_match_figure9_expectations() {
+        let objects = two_corner_boxes();
+        let shapes = fit_all_shapes(&objects);
+        let count = |l: &str| {
+            shapes
+                .iter()
+                .find(|(label, _)| *label == l)
+                .map(|(_, s)| s.point_count())
+                .unwrap()
+        };
+        assert_eq!(count("MBB"), 2);
+        assert_eq!(count("MBC"), 2);
+        assert!(count("4-C") <= 4);
+        assert!(count("5-C") <= 5);
+        assert!(count("CH") >= count("5-C"));
+    }
+}

@@ -1,0 +1,183 @@
+//! The clipped bounding box (paper Definition 3).
+
+use cbb_geom::{Coord, Rect};
+
+use crate::clip::ClipPoint;
+use crate::clipper::clip_node;
+use crate::config::ClipConfig;
+use crate::intersect::{insertion_keeps_clips_valid, query_intersects_cbb};
+
+/// A clipped bounding box `⟨R, P⟩`: an MBB plus its selected clip points.
+///
+/// This is the standalone, index-agnostic form of the concept; the R-tree
+/// integration stores clip points in an auxiliary side table instead (see
+/// `cbb-rtree::clipped`) to keep the base tree layout untouched, as the
+/// paper prescribes (§IV-A).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cbb<const D: usize> {
+    /// The minimum bounding box `R`.
+    pub mbb: Rect<D>,
+    /// Selected clip points, sorted by descending score.
+    pub clips: Vec<ClipPoint<D>>,
+}
+
+impl<const D: usize> Cbb<D> {
+    /// Build the CBB of a set of object/child rectangles under `cfg`.
+    /// Returns `None` for an empty set (no MBB exists).
+    pub fn build(children: &[Rect<D>], cfg: &ClipConfig) -> Option<Self> {
+        let mbb = Rect::mbb_of(children)?;
+        let clips = clip_node(&mbb, children, cfg);
+        Some(Cbb { mbb, clips })
+    }
+
+    /// A CBB with no clip points (degenerates to the plain MBB).
+    pub fn unclipped(mbb: Rect<D>) -> Self {
+        Cbb {
+            mbb,
+            clips: Vec::new(),
+        }
+    }
+
+    /// Query-time intersection test (Algorithm 2 with query selector).
+    pub fn intersects_query(&self, q: &Rect<D>) -> bool {
+        query_intersects_cbb(&self.mbb, &self.clips, q)
+    }
+
+    /// Whether inserting `object` keeps all clip points valid (§IV-D).
+    pub fn insertion_keeps_valid(&self, object: &Rect<D>) -> bool {
+        insertion_keeps_clips_valid(&self.mbb, &self.clips, object)
+    }
+
+    /// Exact total volume clipped away — `Vol_R(P)`, the union of all clip
+    /// regions (never double-counted; the paper's quality measure).
+    pub fn clipped_volume(&self) -> Coord {
+        let regions: Vec<Rect<D>> = self.clips.iter().map(|c| c.region(&self.mbb)).collect();
+        cbb_geom::union_volume_exact(&self.mbb, &regions)
+    }
+
+    /// Fraction of the MBB volume clipped away, in `[0, 1]`.
+    pub fn clipped_fraction(&self) -> Coord {
+        let v = self.mbb.volume();
+        if v <= 0.0 {
+            0.0
+        } else {
+            (self.clipped_volume() / v).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Number of stored clip points.
+    pub fn clip_count(&self) -> usize {
+        self.clips.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClipMethod;
+    use cbb_geom::Point;
+
+    fn objects() -> Vec<Rect<2>> {
+        vec![
+            Rect::new(Point([0.0, 55.0]), Point([18.0, 100.0])),
+            Rect::new(Point([8.0, 30.0]), Point([28.0, 38.0])),
+            Rect::new(Point([25.0, 8.0]), Point([60.0, 22.0])),
+            Rect::new(Point([62.0, 0.0]), Point([88.0, 40.0])),
+            Rect::new(Point([80.0, 12.0]), Point([100.0, 35.0])),
+        ]
+    }
+
+    #[test]
+    fn build_computes_mbb_and_clips() {
+        let cfg = ClipConfig::paper_default::<2>(ClipMethod::Stairline);
+        let cbb = Cbb::build(&objects(), &cfg).unwrap();
+        assert_eq!(cbb.mbb, Rect::new(Point([0.0, 0.0]), Point([100.0, 100.0])));
+        assert!(cbb.clip_count() > 0);
+        assert!(Cbb::<2>::build(&[], &cfg).is_none());
+    }
+
+    #[test]
+    fn clipped_volume_union_not_sum() {
+        let cfg = ClipConfig::paper_default::<2>(ClipMethod::Stairline);
+        let cbb = Cbb::build(&objects(), &cfg).unwrap();
+        let union = cbb.clipped_volume();
+        let sum: f64 = cbb
+            .clips
+            .iter()
+            .map(|c| c.clipped_volume(&cbb.mbb))
+            .sum();
+        assert!(union <= sum + 1e-9);
+        assert!(union > 0.0);
+        let frac = cbb.clipped_fraction();
+        assert!(frac > 0.0 && frac <= 1.0);
+    }
+
+    #[test]
+    fn clipping_never_loses_query_results() {
+        // Exhaustive grid of queries: whenever a clipped CBB prunes, the
+        // query must intersect no object.
+        let objs = objects();
+        let cfg = ClipConfig::paper_default::<2>(ClipMethod::Stairline);
+        let cbb = Cbb::build(&objs, &cfg).unwrap();
+        let mut checked = 0;
+        for x in 0..20 {
+            for y in 0..20 {
+                for s in [2.0, 7.0, 15.0] {
+                    let lo = Point([x as f64 * 5.0, y as f64 * 5.0]);
+                    let q = Rect::new(lo, Point([lo[0] + s, lo[1] + s]));
+                    if !cbb.intersects_query(&q) {
+                        checked += 1;
+                        for o in &objs {
+                            assert!(
+                                !q.intersects(o),
+                                "pruned query {q:?} intersects object {o:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        assert!(checked > 0, "no query was ever pruned — test is vacuous");
+    }
+
+    #[test]
+    fn unclipped_behaves_like_mbb() {
+        let mbb = Rect::new(Point([0.0, 0.0]), Point([10.0, 10.0]));
+        let cbb = Cbb::unclipped(mbb);
+        assert_eq!(cbb.clipped_volume(), 0.0);
+        assert_eq!(cbb.clipped_fraction(), 0.0);
+        let q = Rect::new(Point([9.0, 9.0]), Point([11.0, 11.0]));
+        assert!(cbb.intersects_query(&q));
+    }
+
+    #[test]
+    fn deletion_lazy_insertion_eager_scenario() {
+        // §IV-D, Figure 7: delete o3, keep the old clips (still valid);
+        // re-inserting o3 against a freshly-clipped node without o3 must
+        // report invalidation.
+        let cfg = ClipConfig::paper_default::<2>(ClipMethod::Stairline);
+        let objs = objects();
+        let full = Cbb::build(&objs, &cfg).unwrap();
+
+        let without_o3: Vec<Rect<2>> = objs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 2)
+            .map(|(_, r)| *r)
+            .collect();
+
+        // Lazy deletion: the full CBB's clips remain valid for the reduced
+        // object set (clip regions were dead before, deletion only adds
+        // dead space).
+        for c in &full.clips {
+            assert!(c.is_valid_for(&full.mbb, &without_o3));
+        }
+
+        // Eager insertion: re-clip the reduced set (same MBB — o3 is
+        // interior), then o3's insertion must invalidate at least one of
+        // the new, tighter clips.
+        let reduced = Cbb::build(&without_o3, &cfg).unwrap();
+        assert_eq!(reduced.mbb, full.mbb, "o3 is interior; MBB must not change");
+        assert!(!reduced.insertion_keeps_valid(&objs[2]));
+    }
+}

@@ -1,0 +1,109 @@
+//! Clip points (paper Definition 2).
+
+use cbb_geom::{Coord, CornerMask, Point, Rect};
+
+/// A clip point `⟨p, b⟩`: together with the MBB corner `R^b` it spans a
+/// rectangular region asserted to contain no object (dead space).
+///
+/// The `score` records the (approximate, Fig. 5) volume this clip point
+/// contributes; clip points are stored sorted by descending score so that
+/// queries detect non-intersection as early as possible (§IV-A).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClipPoint<const D: usize> {
+    /// Corner of the MBB this point clips (`b` in the paper).
+    pub mask: CornerMask,
+    /// The clip coordinate (`p` in the paper); always inside the MBB.
+    pub coord: Point<D>,
+    /// Approximate clipped volume used for ordering and τ-thresholding.
+    pub score: Coord,
+}
+
+impl<const D: usize> ClipPoint<D> {
+    /// Construct with a zero score (callers assign scores during selection).
+    pub fn new(mask: CornerMask, coord: Point<D>) -> Self {
+        ClipPoint {
+            mask,
+            coord,
+            score: 0.0,
+        }
+    }
+
+    /// The clipped region: the MBB of `{p, R^b}` (dead space by definition).
+    pub fn region(&self, mbb: &Rect<D>) -> Rect<D> {
+        Rect::from_corners(self.coord, mbb.corner(self.mask))
+    }
+
+    /// Volume clipped away from `mbb` by this point alone
+    /// (`Vol_R(⟨p, b⟩)` in the paper).
+    pub fn clipped_volume(&self, mbb: &Rect<D>) -> Coord {
+        self.region(mbb).volume()
+    }
+
+    /// Whether this clip point is *valid* for `objects` per Definition 2:
+    /// the clipped region intersects no object with positive measure.
+    ///
+    /// Boundary contact is permitted — the skyline construction produces
+    /// clip points lying exactly on object corners, whose regions touch the
+    /// generating object on a zero-measure face.
+    pub fn is_valid_for(&self, mbb: &Rect<D>, objects: &[Rect<D>]) -> bool {
+        let region = self.region(mbb);
+        objects.iter().all(|o| region.overlap_volume(o) == 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r2(lx: f64, ly: f64, hx: f64, hy: f64) -> Rect<2> {
+        Rect::new(Point([lx, ly]), Point([hx, hy]))
+    }
+
+    #[test]
+    fn region_spans_point_to_corner() {
+        let mbb = r2(0.0, 0.0, 10.0, 10.0);
+        let c = ClipPoint::new(CornerMask::new(0b11), Point([6.0, 7.0]));
+        assert_eq!(c.region(&mbb), r2(6.0, 7.0, 10.0, 10.0));
+        assert_eq!(c.clipped_volume(&mbb), 12.0);
+
+        let c0 = ClipPoint::new(CornerMask::new(0b00), Point([2.0, 3.0]));
+        assert_eq!(c0.region(&mbb), r2(0.0, 0.0, 2.0, 3.0));
+        assert_eq!(c0.clipped_volume(&mbb), 6.0);
+    }
+
+    #[test]
+    fn mixed_corner_region() {
+        let mbb = r2(0.0, 0.0, 10.0, 10.0);
+        // b = 01: max in x, min in y → bottom-right corner (10, 0).
+        let c = ClipPoint::new(CornerMask::new(0b01), Point([7.0, 4.0]));
+        assert_eq!(c.region(&mbb), r2(7.0, 0.0, 10.0, 4.0));
+    }
+
+    #[test]
+    fn validity_respects_objects() {
+        let mbb = r2(0.0, 0.0, 10.0, 10.0);
+        let objects = [r2(0.0, 0.0, 5.0, 5.0), r2(6.0, 6.0, 8.0, 8.0)];
+        // Clips empty bottom-right corner: valid.
+        let ok = ClipPoint::new(CornerMask::new(0b01), Point([6.0, 5.0]));
+        assert!(ok.is_valid_for(&mbb, &objects));
+        // Would clip away part of the second object: invalid.
+        let bad = ClipPoint::new(CornerMask::new(0b11), Point([7.0, 7.0]));
+        assert!(!bad.is_valid_for(&mbb, &objects));
+        // Boundary contact with the first object: still valid.
+        let touching = ClipPoint::new(CornerMask::new(0b11), Point([5.0, 5.0]));
+        assert!(!touching.is_valid_for(&mbb, &objects)); // overlaps object 2
+        let objects1 = [r2(0.0, 0.0, 5.0, 5.0)];
+        assert!(touching.is_valid_for(&mbb, &objects1));
+    }
+
+    #[test]
+    fn three_d_region() {
+        let mbb: Rect<3> = Rect::new(Point([0.0; 3]), Point([4.0; 3]));
+        let c = ClipPoint::new(CornerMask::new(0b111), Point([2.0, 3.0, 1.0]));
+        assert_eq!(
+            c.region(&mbb),
+            Rect::new(Point([2.0, 3.0, 1.0]), Point([4.0; 3]))
+        );
+        assert_eq!(c.clipped_volume(&mbb), 2.0 * 1.0 * 3.0);
+    }
+}

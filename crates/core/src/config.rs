@@ -1,0 +1,88 @@
+//! Clipping configuration (paper §V-A defaults).
+
+/// Which clip-point generator to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ClipMethod {
+    /// Object-situated clip points: skylines of child corners (CBB_SKY,
+    /// paper §III-B). Cheaper to build, prunes less.
+    Skyline,
+    /// Point-spliced clip points: stairlines over the skylines (CBB_STA,
+    /// paper §III-C). `O(|S|³)` construction per corner, ~2× the pruning.
+    Stairline,
+}
+
+impl ClipMethod {
+    /// Label used in experiment output ("CSKY" / "CSTA" in the paper).
+    pub fn label(self) -> &'static str {
+        match self {
+            ClipMethod::Skyline => "CSKY",
+            ClipMethod::Stairline => "CSTA",
+        }
+    }
+}
+
+/// Parameters of Algorithm 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClipConfig {
+    /// Maximum clip points kept per node (`k`). Paper default: `2^{d+1}`,
+    /// i.e. up to two per corner.
+    pub k: usize,
+    /// Minimum clipped volume as a fraction of the node volume (`τ`).
+    /// Paper default: 2.5 %. Candidates scoring `≤ τ·vol(N)` are dropped.
+    pub tau: f64,
+    /// Generator choice.
+    pub method: ClipMethod,
+}
+
+impl ClipConfig {
+    /// The paper's experimental defaults for dimensionality `D`:
+    /// `k = 2^{D+1}`, `τ = 2.5 %`.
+    pub fn paper_default<const D: usize>(method: ClipMethod) -> Self {
+        ClipConfig {
+            k: 1 << (D + 1),
+            tau: 0.025,
+            method,
+        }
+    }
+
+    /// Override `k` (used by the Figure 10 sweep).
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Override `τ`.
+    pub fn with_tau(mut self, tau: f64) -> Self {
+        self.tau = tau;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c2 = ClipConfig::paper_default::<2>(ClipMethod::Skyline);
+        assert_eq!(c2.k, 8);
+        assert_eq!(c2.tau, 0.025);
+        let c3 = ClipConfig::paper_default::<3>(ClipMethod::Stairline);
+        assert_eq!(c3.k, 16);
+    }
+
+    #[test]
+    fn builders() {
+        let c = ClipConfig::paper_default::<2>(ClipMethod::Skyline)
+            .with_k(3)
+            .with_tau(0.1);
+        assert_eq!(c.k, 3);
+        assert_eq!(c.tau, 0.1);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ClipMethod::Skyline.label(), "CSKY");
+        assert_eq!(ClipMethod::Stairline.label(), "CSTA");
+    }
+}

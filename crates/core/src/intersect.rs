@@ -1,0 +1,209 @@
+//! Algorithm 2: the clipping-enabled intersection test (§IV-C) and the
+//! insertion validity test (§IV-D).
+//!
+//! ```text
+//! Intersection Test (R, C, Q, selector) → bool
+//!   1: if Q ∩ R = ∅ return FALSE
+//!   2: for each c ∈ C:
+//!   3:   if Q^{selector ⊕ c.mask} ≺_{c.mask} c.coord return FALSE
+//!   4: return TRUE
+//! ```
+//!
+//! With `selector = 2^d − 1` (queries) the tested corner is `Q^{∼mask}` —
+//! the *least competitive* query corner; if even that corner lies in the
+//! clipped region, all of `Q ∩ R` does, so the CBB and `Q` are disjoint.
+//! With `selector = 0` (insertions) the tested corner is `Q^{mask}` — the
+//! *most competitive* corner of the inserted object; if it reaches into a
+//! clipped region, that clip point is invalidated.
+//!
+//! ## Why all-strict dominance
+//!
+//! Pruning uses the *all-strict* dominance `≺≺` (strictly closer to the
+//! corner in **every** dimension), matching the all-strict validity rule
+//! used during construction. A clip region may legitimately share a
+//! boundary plane with an object (the skyline point that generated it lies
+//! on that plane), so a query whose corner merely *reaches* the plane —
+//! equality in that dimension — can still touch the object under
+//! closed-rectangle semantics and must not be pruned. When `Q^{∼b} ≺≺_b c`
+//! holds, every point of `Q ∩ R` is strictly inside the clipped region in
+//! every dimension, and validity guarantees objects touch that region at
+//! most on its boundary planes — so no object can be reached: pruning is
+//! exact, even for degenerate (point / segment) objects lying exactly on a
+//! clip boundary.
+//!
+//! The insertion test (`selector = 0`) is conservative in the safe
+//! direction: any object overlapping a clipped region with positive
+//! measure — or any degenerate object strictly inside one — has its
+//! nearest corner all-strictly dominating the clip point and is caught;
+//! harmless measure-zero boundary contact is tolerated without re-clipping.
+
+use cbb_geom::{dominates_strict_all, CornerMask, Rect};
+
+use crate::clip::ClipPoint;
+
+/// Algorithm 2, verbatim: returns `false` when `q` provably does not
+/// intersect any live content of the CBB `(mbb, clips)`.
+pub fn cbb_intersection_test<const D: usize>(
+    mbb: &Rect<D>,
+    clips: &[ClipPoint<D>],
+    q: &Rect<D>,
+    selector: CornerMask,
+) -> bool {
+    if !mbb.intersects(q) {
+        return false;
+    }
+    for c in clips {
+        let qc = q.corner(selector.xor(c.mask));
+        if dominates_strict_all(&qc, &c.coord, c.mask) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Query-flavoured test (`selector = 2^d − 1`): does the range query `q`
+/// possibly intersect live content of the CBB?
+pub fn query_intersects_cbb<const D: usize>(
+    mbb: &Rect<D>,
+    clips: &[ClipPoint<D>],
+    q: &Rect<D>,
+) -> bool {
+    cbb_intersection_test(mbb, clips, q, CornerMask::max_corner::<D>())
+}
+
+/// Insertion-flavoured test (`selector = 0`): `true` when inserting
+/// `object` leaves every clip point valid; `false` when the CBB must be
+/// recomputed (§IV-D). Inserts propagate up from the leaves, so
+/// `object ∩ mbb ≠ ∅` always holds here.
+pub fn insertion_keeps_clips_valid<const D: usize>(
+    mbb: &Rect<D>,
+    clips: &[ClipPoint<D>],
+    object: &Rect<D>,
+) -> bool {
+    cbb_intersection_test(mbb, clips, object, CornerMask::MIN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbb_geom::Point;
+
+    fn r2(lx: f64, ly: f64, hx: f64, hy: f64) -> Rect<2> {
+        Rect::new(Point([lx, ly]), Point([hx, hy]))
+    }
+
+    fn mbb() -> Rect<2> {
+        r2(0.0, 0.0, 10.0, 10.0)
+    }
+
+    /// Clip away the top-right quarter above (6, 6).
+    fn clip_tr() -> ClipPoint<2> {
+        ClipPoint::new(CornerMask::new(0b11), Point([6.0, 6.0]))
+    }
+
+    #[test]
+    fn disjoint_mbb_short_circuits() {
+        let q = r2(20.0, 20.0, 30.0, 30.0);
+        assert!(!query_intersects_cbb(&mbb(), &[], &q));
+        assert!(!query_intersects_cbb(&mbb(), &[clip_tr()], &q));
+    }
+
+    #[test]
+    fn no_clips_reduces_to_mbb_test() {
+        let q = r2(5.0, 5.0, 6.0, 6.0);
+        assert!(query_intersects_cbb(&mbb(), &[], &q));
+    }
+
+    #[test]
+    fn query_fully_inside_clipped_region_is_pruned() {
+        let q = r2(7.0, 7.0, 9.0, 9.0);
+        assert!(!query_intersects_cbb(&mbb(), &[clip_tr()], &q));
+    }
+
+    #[test]
+    fn query_overlapping_live_space_is_kept() {
+        // Straddles the clip boundary.
+        let q = r2(5.0, 5.0, 9.0, 9.0);
+        assert!(query_intersects_cbb(&mbb(), &[clip_tr()], &q));
+        // Entirely in live space.
+        let q2 = r2(1.0, 1.0, 3.0, 3.0);
+        assert!(query_intersects_cbb(&mbb(), &[clip_tr()], &q2));
+    }
+
+    #[test]
+    fn query_extending_beyond_mbb_still_pruned() {
+        // Q reaches outside R but Q ∩ R is inside the clipped region.
+        let q = r2(7.0, 7.0, 15.0, 15.0);
+        assert!(!query_intersects_cbb(&mbb(), &[clip_tr()], &q));
+    }
+
+    #[test]
+    fn boundary_touching_query_is_not_pruned() {
+        // Q's low corner coincides with the clip point: Q may touch the
+        // generating object's corner at (6,6) → must not prune.
+        let q = r2(6.0, 6.0, 9.0, 9.0);
+        assert!(query_intersects_cbb(&mbb(), &[clip_tr()], &q));
+    }
+
+    #[test]
+    fn paper_figure6_example() {
+        // Figure 6a: the bottom node R1 with a clip point toward R^11; the
+        // query's 00-corner dominates it → pruned. Figure 6b: top node R2,
+        // query corner does not dominate the sole clip point → intersects.
+        let r1 = r2(0.0, 0.0, 10.0, 6.0);
+        let clip1 = ClipPoint::new(CornerMask::new(0b11), Point([6.0, 3.0]));
+        let q = r2(8.0, 4.0, 9.5, 5.5);
+        assert!(!query_intersects_cbb(&r1, &[clip1], &q));
+
+        let r2_ = r2(5.0, 4.0, 10.0, 10.0);
+        let clip2 = ClipPoint::new(CornerMask::new(0b01), Point([9.0, 5.0]));
+        assert!(query_intersects_cbb(&r2_, &[clip2], &q));
+    }
+
+    #[test]
+    fn multiple_clips_any_prunes() {
+        let clips = [
+            ClipPoint::new(CornerMask::new(0b11), Point([6.0, 6.0])),
+            ClipPoint::new(CornerMask::new(0b00), Point([3.0, 3.0])),
+        ];
+        assert!(!query_intersects_cbb(&mbb(), &clips, &r2(0.5, 0.5, 2.0, 2.0)));
+        assert!(!query_intersects_cbb(&mbb(), &clips, &r2(7.0, 7.0, 8.0, 8.0)));
+        assert!(query_intersects_cbb(&mbb(), &clips, &r2(4.0, 4.0, 5.0, 5.0)));
+    }
+
+    #[test]
+    fn insertion_validity_detection() {
+        let clips = [clip_tr()];
+        // Object inside live space: clips stay valid.
+        assert!(insertion_keeps_clips_valid(&mbb(), &clips, &r2(1.0, 1.0, 4.0, 4.0)));
+        // Object reaching into the clipped region: invalid.
+        assert!(!insertion_keeps_clips_valid(&mbb(), &clips, &r2(5.0, 5.0, 7.0, 7.0)));
+        // Object entirely inside the clipped region: invalid.
+        assert!(!insertion_keeps_clips_valid(&mbb(), &clips, &r2(8.0, 8.0, 9.0, 9.0)));
+        // Object touching the clip boundary only: still valid
+        // (measure-zero contact).
+        assert!(insertion_keeps_clips_valid(&mbb(), &clips, &r2(1.0, 1.0, 6.0, 6.0)));
+    }
+
+    #[test]
+    fn paper_figure7b_insertion_invalidates() {
+        // Figure 7b: re-inserting o3 invalidates the post-deletion clip
+        // point c′ because o3's 00-corner dominates c′ w.r.t. R^00... the
+        // figure's clip is toward corner 00 of the bottom node; modelled
+        // here with the region below-left of c′.
+        let node = r2(0.0, 0.0, 100.0, 48.0);
+        let c_prime = ClipPoint::new(CornerMask::new(0b00), Point([55.0, 20.0]));
+        let o3 = r2(25.0, 0.0, 60.0, 22.0);
+        assert!(!insertion_keeps_clips_valid(&node, &[c_prime], &o3));
+    }
+
+    #[test]
+    fn three_d_query_pruning() {
+        let mbb: Rect<3> = Rect::new(Point([0.0; 3]), Point([10.0; 3]));
+        let clip = ClipPoint::new(CornerMask::new(0b111), Point([5.0, 5.0, 5.0]));
+        let inside = Rect::new(Point([6.0; 3]), Point([8.0; 3]));
+        let straddling = Rect::new(Point([4.0; 3]), Point([8.0; 3]));
+        assert!(!query_intersects_cbb(&mbb, &[clip], &inside));
+        assert!(query_intersects_cbb(&mbb, &[clip], &straddling));
+    }
+}

@@ -1,0 +1,160 @@
+//! Clip-point scoring (paper §IV-B, Figure 5).
+//!
+//! Exact union volume of `k` clip regions needs inclusion–exclusion
+//! (exponential); the paper instead scores candidates per corner under
+//! three assumptions: corners are independent, the largest-volume candidate
+//! is always selected, and pairwise overlap among the rest is (mostly)
+//! covered by that largest candidate. Concretely, for corner `b` with
+//! candidates `p_1 … p_n` and top candidate `p* = argmax Vol(p_i)`:
+//!
+//! ```text
+//! score(p*)  = Vol(p*)
+//! score(p_i) = Vol(p_i) − Vol(p_i ∩ p*)          (i ≠ *)
+//! ```
+//!
+//! where `p_i ∩ p*`'s region is itself a corner region anchored at the
+//! splice of the two points *toward* the corner (mask `b`).
+
+use cbb_geom::{Coord, CornerMask, Point, Rect};
+
+use crate::clip::ClipPoint;
+use crate::stairline::splice;
+
+/// Volume of the intersection of the two corner regions anchored at `p` and
+/// `q` toward corner `b` of `mbb`: the region of `b(p, q)` (Definition 6
+/// with mask `b`, i.e. the splice *toward* the corner).
+pub fn overlap_with<const D: usize>(
+    mbb: &Rect<D>,
+    p: &Point<D>,
+    q: &Point<D>,
+    b: CornerMask,
+) -> Coord {
+    let toward = splice(p, q, b);
+    Rect::from_corners(toward, mbb.corner(b)).volume()
+}
+
+/// Score the candidate clip points of one corner per Figure 5 and return
+/// them as [`ClipPoint`]s (unsorted, unfiltered).
+pub fn score_corner<const D: usize>(
+    mbb: &Rect<D>,
+    candidates: &[Point<D>],
+    b: CornerMask,
+) -> Vec<ClipPoint<D>> {
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let corner = mbb.corner(b);
+    let vols: Vec<Coord> = candidates
+        .iter()
+        .map(|p| Rect::from_corners(*p, corner).volume())
+        .collect();
+    // Index of the top candidate (assumption 2).
+    let top = vols
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite volumes"))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+
+    candidates
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let score = if i == top {
+                vols[i]
+            } else {
+                vols[i] - overlap_with(mbb, p, &candidates[top], b)
+            };
+            ClipPoint {
+                mask: b,
+                coord: *p,
+                score,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B00: CornerMask = CornerMask::new(0b00);
+
+    fn mbb() -> Rect<2> {
+        Rect::new(Point([0.0, 0.0]), Point([10.0, 10.0]))
+    }
+
+    #[test]
+    fn single_candidate_gets_full_volume() {
+        let scored = score_corner(&mbb(), &[Point([4.0, 5.0])], B00);
+        assert_eq!(scored.len(), 1);
+        assert_eq!(scored[0].score, 20.0);
+        assert_eq!(scored[0].mask, B00);
+    }
+
+    #[test]
+    fn figure5_shape_scoring() {
+        // Figure 5 layout (corner R^00): p2 clips the most; p1 and p3 sit
+        // on either side. score(p2) = area(p2); the others lose their
+        // overlap with p2.
+        let p1 = Point([2.0, 8.0]);
+        let p2 = Point([5.0, 5.0]);
+        let p3 = Point([8.0, 2.0]);
+        let scored = score_corner(&mbb(), &[p1, p2, p3], B00);
+        let get = |p: Point<2>| scored.iter().find(|c| c.coord == p).unwrap().score;
+        assert_eq!(get(p2), 25.0);
+        // area(p1) = 16, overlap with p2 = MBB((2,5) → corner) = 10.
+        assert_eq!(get(p1), 16.0 - 10.0);
+        // Symmetric for p3.
+        assert_eq!(get(p3), 16.0 - 10.0);
+    }
+
+    #[test]
+    fn combined_score_is_exact_for_opposite_side_points() {
+        // The paper notes the approximation is exact when the smaller
+        // candidates lie on opposite sides of the top one: union equals the
+        // sum of scores.
+        let p1 = Point([2.0, 8.0]);
+        let p2 = Point([5.0, 5.0]);
+        let p3 = Point([8.0, 2.0]);
+        let frame = mbb();
+        let scored = score_corner(&frame, &[p1, p2, p3], B00);
+        let total: f64 = scored.iter().map(|c| c.score).sum();
+        let regions: Vec<Rect<2>> = scored.iter().map(|c| c.region(&frame)).collect();
+        let exact = cbb_geom::union_volume_exact(&frame, &regions);
+        assert!((total - exact).abs() < 1e-9, "approx {total} vs exact {exact}");
+    }
+
+    #[test]
+    fn nested_candidate_scores_zero() {
+        // A candidate fully inside the top candidate's region contributes
+        // nothing.
+        let top = Point([6.0, 6.0]);
+        let nested = Point([3.0, 3.0]);
+        let scored = score_corner(&mbb(), &[top, nested], B00);
+        let get = |p: Point<2>| scored.iter().find(|c| c.coord == p).unwrap().score;
+        assert_eq!(get(top), 36.0);
+        assert_eq!(get(nested), 0.0);
+    }
+
+    #[test]
+    fn overlap_matches_exact_region_intersection() {
+        let frame = mbb();
+        for b in CornerMask::all::<2>() {
+            let p = Point([3.0, 7.0]);
+            let q = Point([6.0, 4.0]);
+            let rp = Rect::from_corners(p, frame.corner(b));
+            let rq = Rect::from_corners(q, frame.corner(b));
+            let expected = rp.overlap_volume(&rq);
+            assert!(
+                (overlap_with(&frame, &p, &q, b) - expected).abs() < 1e-12,
+                "mask {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_candidates() {
+        assert!(score_corner::<2>(&mbb(), &[], B00).is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! Point-spliced clip points / stairlines (paper §III-C, Definitions 6–7).
+//!
+//! Splicing two skyline points with the **opposite** mask `∼b` yields a
+//! point "between" them that is farther from corner `R^b` in every
+//! dimension than either source alone allows — clipping strictly more dead
+//! space. Not every splice is valid; validity is checked against the
+//! skyline itself (checking skyline points suffices: any object corner in a
+//! would-be clipped region is dominated toward `R^b` by a skyline point
+//! that is then also inside the region).
+//!
+//! ## Erratum
+//!
+//! Algorithm 1 (line 6) prints the validity test as
+//! `∀ s_k ∈ P : ∼b(s_i, s_j) ⊀_b s_k`. Under Definition 4
+//! (`p ≺_b q ⟺ p ∈ MBB(q, R^b)`), membership of a skyline point `s_k` in
+//! the splice's clipped region `MBB(t, R^b)` is `s_k ≺_b t` — the printed
+//! direction would accept splices that clip away live objects (see
+//! `rejects_splice_covering_skyline_point` below for a counter-example).
+//!
+//! Moreover the membership must be tested *strictly in every dimension*
+//! ([`cbb_geom::dominates_strict_all`]): a proper splice shares a
+//! coordinate with each of its source points by construction, so every
+//! source weakly dominates it — using weak dominance would reject all
+//! proper splices, including the paper's own example point `c` of Fig. 2.
+//! A skyline point on the region *boundary* means measure-zero contact
+//! between the clipped region and the object, which keeps clipping exact.
+
+use cbb_geom::{dominates_strict_all, CornerMask, Point};
+
+/// The splice point of `p` and `q` with respect to `mask` (Definition 6):
+/// per dimension, the max of the two coordinates where `mask` is set, the
+/// min where it is clear. (Equivalently: corner `mask` of `MBB({p, q})`.)
+pub fn splice<const D: usize>(p: &Point<D>, q: &Point<D>, mask: CornerMask) -> Point<D> {
+    let mut out = [0.0; D];
+    for i in 0..D {
+        out[i] = if mask.bit(i) {
+            p[i].max(q[i])
+        } else {
+            p[i].min(q[i])
+        };
+    }
+    Point(out)
+}
+
+/// The oriented stairline of skyline `sky` toward corner `b`
+/// (Definition 7): all valid splice points `∼b(s_i, s_j)`.
+///
+/// The original skyline points are retained as degenerate splices
+/// (`∼b(s, s) = s`): with a single skyline point no pair exists, yet the
+/// point itself remains a perfectly good clip point, and the paper's claim
+/// that stairline clipping is never worse than skyline clipping requires
+/// the skyline to stay in the candidate pool.
+///
+/// Cost is `O(|sky|³)` as in the paper ("an unfortunately-cubic algorithm
+/// that is still practically reasonable given the small input sets").
+pub fn stairline<const D: usize>(sky: &[Point<D>], b: CornerMask) -> Vec<Point<D>> {
+    let inv = b.flipped::<D>();
+    let mut out: Vec<Point<D>> = sky.to_vec();
+    for i in 0..sky.len() {
+        for j in (i + 1)..sky.len() {
+            let t = splice(&sky[i], &sky[j], inv);
+            // Degenerate splices equal to a source point are already kept.
+            if t == sky[i] || t == sky[j] || out.contains(&t) {
+                continue;
+            }
+            // Validity: no skyline point strictly inside MBB(t, R^b).
+            if sky.iter().all(|s| !dominates_strict_all(s, &t, b)) {
+                out.push(t);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skyline::oriented_skyline;
+    use cbb_geom::Rect;
+
+    const B11: CornerMask = CornerMask::new(0b11);
+    const B00: CornerMask = CornerMask::new(0b00);
+
+    #[test]
+    fn splice_takes_extremes_per_mask() {
+        let p = Point([1.0, 8.0]);
+        let q = Point([5.0, 2.0]);
+        assert_eq!(splice(&p, &q, CornerMask::new(0b00)), Point([1.0, 2.0]));
+        assert_eq!(splice(&p, &q, CornerMask::new(0b11)), Point([5.0, 8.0]));
+        assert_eq!(splice(&p, &q, CornerMask::new(0b01)), Point([5.0, 2.0]));
+        assert_eq!(splice(&p, &q, CornerMask::new(0b10)), Point([1.0, 8.0]));
+    }
+
+    #[test]
+    fn splice_is_corner_of_pair_mbb() {
+        let p = Point([3.0, 7.0]);
+        let q = Point([6.0, 1.0]);
+        let mbb = Rect::from_corners(p, q);
+        for mask in CornerMask::all::<2>() {
+            assert_eq!(splice(&p, &q, mask), mbb.corner(mask));
+        }
+    }
+
+    #[test]
+    fn paper_figure2_splice_c() {
+        // Paper: "c is equal to 00(o1^11, o4^11), i.e., takes the smallest
+        // x and y values from its source points."
+        let o1_11 = Point([18.0, 100.0]);
+        let o4_11 = Point([88.0, 40.0]);
+        let c = splice(&o1_11, &o4_11, B00);
+        assert_eq!(c, Point([18.0, 40.0]));
+    }
+
+    #[test]
+    fn stairline_of_staircase_generates_inner_corners() {
+        // Three skyline points toward corner 11 of a [0,10]² MBB.
+        let sky = [Point([2.0, 9.0]), Point([5.0, 6.0]), Point([8.0, 2.0])];
+        let st = stairline(&sky, B11);
+        // Retains the three originals.
+        for s in &sky {
+            assert!(st.contains(s));
+        }
+        // Adjacent pairs splice to valid inner corners.
+        assert!(st.contains(&Point([2.0, 6.0])));
+        assert!(st.contains(&Point([5.0, 2.0])));
+        // The far pair splices to (2,2), which would clip away (5,6):
+        // (5,6) ≺_11 (2,2) holds (closer to corner in both dims) → invalid.
+        assert!(!st.contains(&Point([2.0, 2.0])));
+        assert_eq!(st.len(), 5);
+    }
+
+    #[test]
+    fn rejects_splice_covering_skyline_point() {
+        // The counter-example showing Algorithm 1's printed test direction
+        // is inverted: skyline {(10,2), (2,10), (5,5)} toward corner 11.
+        // Splice of the outer pair is (2,2) whose clipped region
+        // MBB((2,2), R^11) contains (5,5) — an object corner — so it MUST
+        // be rejected. (Under the printed test, (2,2) dominates no skyline
+        // point toward b=11, so it would be wrongly accepted.)
+        let sky = [Point([10.0, 2.0]), Point([2.0, 10.0]), Point([5.0, 5.0])];
+        let st = stairline(&sky, B11);
+        assert!(!st.contains(&Point([2.0, 2.0])));
+        // The splices with (5,5) are valid.
+        assert!(st.contains(&Point([5.0, 2.0])));
+        assert!(st.contains(&Point([2.0, 5.0])));
+    }
+
+    #[test]
+    fn singleton_skyline_is_preserved() {
+        let sky = [Point([4.0, 4.0])];
+        let st = stairline(&sky, B11);
+        assert_eq!(st, vec![Point([4.0, 4.0])]);
+    }
+
+    #[test]
+    fn stairline_superset_of_skyline() {
+        let pts: Vec<Point<2>> = (0..20)
+            .map(|i| Point([(i * 13 % 19) as f64, (i * 7 % 23) as f64]))
+            .collect();
+        for mask in CornerMask::all::<2>() {
+            let sky = oriented_skyline(&pts, mask);
+            let st = stairline(&sky, mask);
+            for s in &sky {
+                assert!(st.contains(s));
+            }
+            assert!(st.len() >= sky.len());
+        }
+    }
+
+    #[test]
+    fn stairline_points_clip_at_least_their_sources() {
+        // Every non-degenerate stairline point's region contains the
+        // regions of... not quite — but its volume toward the corner is at
+        // least the max of what a *pairwise* splice's sources clip jointly
+        // in the shared sub-box. Check the weaker paper claim: each splice
+        // point clips at least as much as either source point alone.
+        let mbb: Rect<2> = Rect::new(Point([0.0, 0.0]), Point([12.0, 12.0]));
+        let sky = [Point([2.0, 9.0]), Point([5.0, 6.0]), Point([8.0, 2.0])];
+        let st = stairline(&sky, B11);
+        for t in st.iter().filter(|t| !sky.contains(t)) {
+            let vol_t = Rect::from_corners(*t, mbb.corner(B11)).volume();
+            // Find the source pair.
+            let mut max_src: f64 = 0.0;
+            for s in &sky {
+                let v = Rect::from_corners(*s, mbb.corner(B11)).volume();
+                if (0..2).all(|i| t[i] <= s[i]) {
+                    max_src = max_src.max(v);
+                }
+            }
+            assert!(vol_t >= max_src, "{t:?} clips less than a source");
+        }
+    }
+
+    #[test]
+    fn three_d_stairline() {
+        let b = CornerMask::new(0b111);
+        // Two incomparable corners toward (10,10,10).
+        let sky = [Point([9.0, 2.0, 5.0]), Point([2.0, 9.0, 5.0])];
+        let st = stairline(&sky, b);
+        assert!(st.contains(&Point([2.0, 2.0, 5.0])));
+        assert_eq!(st.len(), 3);
+    }
+}

@@ -1,0 +1,136 @@
+//! Common dataset container.
+
+use cbb_geom::Rect;
+use cbb_rtree::DataId;
+
+/// A generated dataset: named boxes inside a known domain.
+#[derive(Clone, Debug)]
+pub struct Dataset<const D: usize> {
+    /// Benchmark name (`rea02`, `axo03`, …).
+    pub name: String,
+    /// Object MBBs (possibly degenerate: points, segments).
+    pub boxes: Vec<Rect<D>>,
+    /// The world bounds all objects fall into (Hilbert grid domain).
+    pub domain: Rect<D>,
+}
+
+impl<const D: usize> Dataset<D> {
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// `(rect, id)` pairs ready for `RTree::bulk_load` / insertion.
+    pub fn items(&self) -> Vec<(Rect<D>, DataId)> {
+        self.boxes
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (*r, DataId(i as u32)))
+            .collect()
+    }
+
+    /// Contract box *centers* toward the origin by `factor` (> 1) while
+    /// keeping box extents, multiplying spatial density by `factor^D`.
+    ///
+    /// Needed when experiments subsample the paper-scale datasets: object
+    /// *density* drives join selectivity and node occupancy, and plain
+    /// coordinate scaling is density-invariant (boxes shrink along with
+    /// the domain). The join experiments subsample at `1/s` of the paper
+    /// counts and densify by `s^(1/D)` to restore the paper's density.
+    pub fn densified(mut self, factor: f64) -> Self {
+        assert!(factor >= 1.0, "densification factor must be ≥ 1");
+        for b in self.boxes.iter_mut() {
+            let c = b.center();
+            let mut lo = [0.0; D];
+            let mut hi = [0.0; D];
+            for i in 0..D {
+                let half = b.extent(i) / 2.0;
+                lo[i] = c[i] / factor - half;
+                hi[i] = c[i] / factor + half;
+            }
+            *b = Rect::new(cbb_geom::Point(lo), cbb_geom::Point(hi));
+        }
+        self.domain = Rect::mbb_of(&self.boxes).expect("non-empty dataset");
+        self
+    }
+
+    /// The densification factor restoring the density of a `paper_count`
+    /// dataset: `(paper_count / len)^(1/D)`.
+    pub fn density_restoring_factor(&self, paper_count: usize) -> f64 {
+        ((paper_count as f64 / self.len().max(1) as f64).max(1.0)).powf(1.0 / D as f64)
+    }
+
+    /// Panic unless every box is finite and inside the domain (generator
+    /// post-condition; used by tests).
+    pub fn check_integrity(&self) {
+        for (i, b) in self.boxes.iter().enumerate() {
+            assert!(b.is_finite(), "{}: box {i} not finite", self.name);
+            assert!(
+                self.domain.contains_rect(b),
+                "{}: box {i} {b:?} outside domain {:?}",
+                self.name,
+                self.domain
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbb_geom::Point;
+
+    #[test]
+    fn densified_preserves_extents_and_boosts_density() {
+        let d = Dataset {
+            name: "t".into(),
+            boxes: vec![
+                Rect::new(Point([100.0, 100.0]), Point([102.0, 103.0])),
+                Rect::new(Point([200.0, 200.0]), Point([204.0, 201.0])),
+            ],
+            domain: Rect::new(Point([0.0, 0.0]), Point([300.0, 300.0])),
+        };
+        let centers_before: Vec<_> = d.boxes.iter().map(|b| b.center()).collect();
+        let dd = d.densified(10.0);
+        for (b, c0) in dd.boxes.iter().zip(&centers_before) {
+            assert!((b.extent(0) - if c0[0] < 150.0 { 2.0 } else { 4.0 }).abs() < 1e-9);
+            let c = b.center();
+            assert!((c[0] - c0[0] / 10.0).abs() < 1e-9);
+        }
+        dd.check_integrity();
+    }
+
+    #[test]
+    fn density_factor_formula() {
+        let d = Dataset::<2> {
+            name: "t".into(),
+            boxes: vec![Rect::new(Point([0.0, 0.0]), Point([1.0, 1.0])); 100],
+            domain: Rect::new(Point([0.0, 0.0]), Point([10.0, 10.0])),
+        };
+        assert!((d.density_restoring_factor(10_000) - 10.0).abs() < 1e-9);
+        assert_eq!(d.density_restoring_factor(50), 1.0); // never shrinks
+    }
+
+    #[test]
+    fn items_enumerate_ids() {
+        let d = Dataset {
+            name: "t".into(),
+            boxes: vec![
+                Rect::new(Point([0.0, 0.0]), Point([1.0, 1.0])),
+                Rect::new(Point([2.0, 2.0]), Point([3.0, 3.0])),
+            ],
+            domain: Rect::new(Point([0.0, 0.0]), Point([10.0, 10.0])),
+        };
+        let items = d.items();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[1].1, DataId(1));
+        d.check_integrity();
+        assert!(!d.is_empty());
+        assert_eq!(d.len(), 2);
+    }
+}

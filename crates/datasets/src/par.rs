@@ -1,0 +1,110 @@
+//! `par02` / `par03` stand-ins: synthetic boxes "generated with a very
+//! large variance in size and shape" ([33]) — modelled with uniform
+//! centers and independent Pareto-distributed side lengths.
+
+use cbb_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+
+/// Domain side length (arbitrary units; matches the benchmark's unit cube
+/// scaled up for readable coordinates).
+const DOMAIN: f64 = 1_000_000.0;
+
+/// Pareto shape: α ≈ 1.2 gives the heavy tail ("very large variance");
+/// the scale `x_m` sets the typical object size.
+const PARETO_ALPHA: f64 = 1.2;
+const PARETO_XM: f64 = 40.0;
+
+/// Cap on any side (5 % of the domain) so single objects cannot dominate.
+const MAX_SIDE: f64 = 0.05 * DOMAIN;
+
+/// Draw a Pareto(α, x_m) deviate by inverse transform.
+fn pareto(rng: &mut StdRng) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    PARETO_XM / u.powf(1.0 / PARETO_ALPHA)
+}
+
+/// Generate the `par0{D}` dataset with `n` boxes.
+pub fn generate<const D: usize>(n: usize, seed: u64) -> Dataset<D> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let domain = Rect::new(Point::splat(0.0), Point::splat(DOMAIN));
+    let mut boxes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut lo = [0.0; D];
+        let mut hi = [0.0; D];
+        for i in 0..D {
+            // Independent per-dimension Pareto draws: extreme aspect
+            // ratios are common, exactly what makes par0d "challenging to
+            // approximate".
+            let side = pareto(&mut rng).min(MAX_SIDE);
+            let center = rng.gen_range(0.0..DOMAIN);
+            lo[i] = (center - side / 2.0).max(0.0);
+            hi[i] = (center + side / 2.0).min(DOMAIN);
+        }
+        boxes.push(Rect::new(Point(lo), Point(hi)));
+    }
+    Dataset {
+        name: format!("par0{D}"),
+        boxes,
+        domain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_inside_domain() {
+        let d = generate::<2>(2_000, 1);
+        assert_eq!(d.len(), 2_000);
+        d.check_integrity();
+        let d3 = generate::<3>(500, 1);
+        assert_eq!(d3.len(), 500);
+        d3.check_integrity();
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate::<2>(100, 7);
+        let b = generate::<2>(100, 7);
+        assert_eq!(a.boxes, b.boxes);
+        let c = generate::<2>(100, 8);
+        assert_ne!(a.boxes, c.boxes);
+    }
+
+    #[test]
+    fn sizes_are_heavy_tailed() {
+        let d = generate::<2>(20_000, 3);
+        let mut sides: Vec<f64> = d.boxes.iter().map(|b| b.extent(0)).collect();
+        sides.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sides[sides.len() / 2];
+        let p999 = sides[(sides.len() as f64 * 0.999) as usize];
+        // Heavy tail: the 99.9th percentile dwarfs the median.
+        assert!(
+            p999 > 20.0 * median,
+            "tail p99.9 = {p999}, median = {median}"
+        );
+        // And the cap holds.
+        assert!(*sides.last().unwrap() <= MAX_SIDE + 1e-9);
+    }
+
+    #[test]
+    fn aspect_ratios_vary_widely() {
+        let d = generate::<2>(10_000, 5);
+        let extreme = d
+            .boxes
+            .iter()
+            .filter(|b| {
+                let (w, h) = (b.extent(0).max(1e-9), b.extent(1).max(1e-9));
+                w / h > 10.0 || h / w > 10.0
+            })
+            .count();
+        assert!(
+            extreme > 500,
+            "expected many extreme aspect ratios, got {extreme}"
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Query-workload generator (paper §V-B, after the benchmark of [33]).
+//!
+//! "Given dataset D and number of result objects |R| as input, the
+//! generator produces queries originating from the dithered centers of the
+//! objects in D. |R| object centers are chosen randomly so that the most
+//! dense data regions are also most actively queried."
+//!
+//! Query extent is *calibrated* per dataset and profile: a binary search
+//! over the hypercube half-extent drives the mean result count of probe
+//! queries to the profile target (≈1 / ≈10 / ≈100 — QR0 / QR1 / QR2).
+
+use cbb_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+
+/// The three selectivity profiles of §V-B.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryProfile {
+    /// Label used in figures ("QR0" …).
+    pub name: &'static str,
+    /// Approximate objects returned per query.
+    pub target_results: usize,
+}
+
+impl QueryProfile {
+    /// ≈1 result per query (high selectivity).
+    pub const QR0: QueryProfile = QueryProfile {
+        name: "QR0",
+        target_results: 1,
+    };
+    /// ≈10 results per query (medium selectivity).
+    pub const QR1: QueryProfile = QueryProfile {
+        name: "QR1",
+        target_results: 10,
+    };
+    /// ≈100 results per query (low selectivity).
+    pub const QR2: QueryProfile = QueryProfile {
+        name: "QR2",
+        target_results: 100,
+    };
+
+    /// All three profiles in paper order.
+    pub const ALL: [QueryProfile; 3] = [Self::QR0, Self::QR1, Self::QR2];
+}
+
+/// A query box of half-extent `h` centred at a dithered object center.
+fn query_at<const D: usize>(
+    dataset: &Dataset<D>,
+    rng: &mut StdRng,
+    h: f64,
+) -> Rect<D> {
+    let obj = &dataset.boxes[rng.gen_range(0..dataset.len())];
+    let c = obj.center();
+    let mut lo = [0.0; D];
+    let mut hi = [0.0; D];
+    for i in 0..D {
+        // Dither: shift the center by up to ±h so queries don't always
+        // score their seed object.
+        let dither = rng.gen_range(-h..=h);
+        let center = c[i] + dither;
+        lo[i] = center - h;
+        hi[i] = center + h;
+    }
+    Rect::new(Point(lo), Point(hi))
+}
+
+/// Calibrate the hypercube half-extent so `count_fn` (results per query)
+/// averages `target` over `probes` sampled queries.
+fn calibrate_extent<const D: usize>(
+    dataset: &Dataset<D>,
+    count_fn: &mut dyn FnMut(&Rect<D>) -> usize,
+    target: f64,
+    seed: u64,
+) -> f64 {
+    let probes = 24;
+    let max_h = (0..D)
+        .map(|i| dataset.domain.extent(i))
+        .fold(f64::INFINITY, f64::min)
+        / 2.0;
+    let mut lo = 1e-9 * max_h;
+    let mut hi = max_h;
+    for _ in 0..22 {
+        let mid = (lo * hi).sqrt(); // geometric midpoint: extents span decades
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xCA11);
+        let mean = (0..probes)
+            .map(|_| count_fn(&query_at(dataset, &mut rng, mid)))
+            .sum::<usize>() as f64
+            / probes as f64;
+        if mean < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo * hi).sqrt()
+}
+
+/// Generate `count` queries for `profile`, calibrated against `count_fn`
+/// (typically an index-backed result counter; brute force works too).
+pub fn generate_queries<const D: usize>(
+    dataset: &Dataset<D>,
+    profile: QueryProfile,
+    count: usize,
+    seed: u64,
+    count_fn: &mut dyn FnMut(&Rect<D>) -> usize,
+) -> Vec<Rect<D>> {
+    assert!(!dataset.is_empty(), "cannot query an empty dataset");
+    let h = calibrate_extent(dataset, count_fn, profile.target_results as f64, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| query_at(dataset, &mut rng, h)).collect()
+}
+
+/// Brute-force result counter for use as `count_fn` on small datasets.
+pub fn brute_force_counter<const D: usize>(boxes: &[Rect<D>]) -> impl FnMut(&Rect<D>) -> usize + '_ {
+    move |q: &Rect<D>| boxes.iter().filter(|b| b.intersects(q)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par;
+
+    #[test]
+    fn calibration_hits_selectivity_targets() {
+        let d = par::generate::<2>(20_000, 42);
+        for profile in QueryProfile::ALL {
+            let mut counter = brute_force_counter(&d.boxes);
+            let queries = generate_queries(&d, profile, 200, 7, &mut counter);
+            assert_eq!(queries.len(), 200);
+            let mean = queries
+                .iter()
+                .map(|q| d.boxes.iter().filter(|b| b.intersects(q)).count())
+                .sum::<usize>() as f64
+                / queries.len() as f64;
+            let target = profile.target_results as f64;
+            assert!(
+                mean > target * 0.3 && mean < target * 3.5,
+                "{}: mean {mean} vs target {target}",
+                profile.name
+            );
+        }
+    }
+
+    #[test]
+    fn queries_are_squares_following_density() {
+        let d = par::generate::<2>(5_000, 1);
+        let mut counter = brute_force_counter(&d.boxes);
+        let queries = generate_queries(&d, QueryProfile::QR1, 100, 3, &mut counter);
+        for q in &queries {
+            assert!((q.extent(0) - q.extent(1)).abs() < 1e-9, "hypercube queries");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = par::generate::<2>(3_000, 2);
+        let a = {
+            let mut c = brute_force_counter(&d.boxes);
+            generate_queries(&d, QueryProfile::QR0, 50, 9, &mut c)
+        };
+        let b = {
+            let mut c = brute_force_counter(&d.boxes);
+            generate_queries(&d, QueryProfile::QR0, 50, 9, &mut c)
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn profiles_order_extents() {
+        // Lower selectivity (more results) must need larger queries.
+        let d = par::generate::<2>(10_000, 5);
+        let ext = |profile| {
+            let mut c = brute_force_counter(&d.boxes);
+            generate_queries(&d, profile, 10, 11, &mut c)[0].extent(0)
+        };
+        let e0 = ext(QueryProfile::QR0);
+        let e1 = ext(QueryProfile::QR1);
+        let e2 = ext(QueryProfile::QR2);
+        assert!(e0 < e1 && e1 < e2, "extents {e0} {e1} {e2}");
+    }
+}

@@ -1,0 +1,227 @@
+//! `rea02` / `rea03` stand-ins.
+//!
+//! * `rea02` — California street segments: thin axis-aligned boxes laid out
+//!   in urban grid clusters plus randomly oriented rural segments (whose
+//!   MBBs are thin but tilted), with a small share of point objects. The
+//!   property the paper leans on: streets "wrap around" dead space in grid
+//!   patterns, making corner clipping *hardest* among the datasets.
+//! * `rea03` — 11.9 M points of three floating-point attributes from a
+//!   biological file: modelled as skewed, correlated Gaussian clusters of
+//!   pure points (zero-volume boxes ⇒ leaf MBBs are ~100 % dead space).
+
+use cbb_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+
+/// rea02 domain: ~600 km square (California-ish, meters).
+const REA02_DOMAIN: f64 = 600_000.0;
+
+/// Number of urban grid clusters.
+const CITIES: usize = 40;
+
+/// Generate the `rea02` street-segment stand-in with `n` objects.
+pub fn streets2d(n: usize, seed: u64) -> Dataset<2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let domain = Rect::new(Point::splat(0.0), Point::splat(REA02_DOMAIN));
+
+    // City centers and radii (log-normal-ish population spread).
+    let cities: Vec<(f64, f64, f64)> = (0..CITIES)
+        .map(|_| {
+            let cx = rng.gen_range(0.05 * REA02_DOMAIN..0.95 * REA02_DOMAIN);
+            let cy = rng.gen_range(0.05 * REA02_DOMAIN..0.95 * REA02_DOMAIN);
+            let radius = rng.gen_range(2_000.0..15_000.0);
+            (cx, cy, radius)
+        })
+        .collect();
+
+    let mut boxes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let style = rng.gen_range(0.0..1.0);
+        let b = if style < 0.70 {
+            // Urban grid street: axis-aligned thin box near a city center.
+            let (cx, cy, radius) = cities[rng.gen_range(0..CITIES)];
+            let gx = cx + rng.gen_range(-1.0f64..1.0) * radius;
+            let gy = cy + rng.gen_range(-1.0f64..1.0) * radius;
+            let len = rng.gen_range(40.0..250.0);
+            let width = rng.gen_range(0.0..12.0);
+            if rng.gen_bool(0.5) {
+                rect_clamped(gx, gy, len, width, REA02_DOMAIN)
+            } else {
+                rect_clamped(gx, gy, width, len, REA02_DOMAIN)
+            }
+        } else if style < 0.95 {
+            // Rural road: a tilted segment — its MBB extent depends on the
+            // orientation angle.
+            let x = rng.gen_range(0.0..REA02_DOMAIN);
+            let y = rng.gen_range(0.0..REA02_DOMAIN);
+            let len = rng.gen_range(100.0..2_000.0);
+            let theta: f64 = rng.gen_range(0.0..std::f64::consts::PI);
+            rect_clamped(x, y, len * theta.cos().abs(), len * theta.sin().abs(), REA02_DOMAIN)
+        } else {
+            // Point of interest (the dataset contains points too).
+            let x = rng.gen_range(0.0..REA02_DOMAIN);
+            let y = rng.gen_range(0.0..REA02_DOMAIN);
+            Rect::point(Point([x, y]))
+        };
+        boxes.push(b);
+    }
+    Dataset {
+        name: "rea02".into(),
+        boxes,
+        domain,
+    }
+}
+
+fn rect_clamped(cx: f64, cy: f64, w: f64, h: f64, domain: f64) -> Rect<2> {
+    let lo = Point([(cx - w / 2.0).clamp(0.0, domain), (cy - h / 2.0).clamp(0.0, domain)]);
+    let hi = Point([(cx + w / 2.0).clamp(0.0, domain), (cy + h / 2.0).clamp(0.0, domain)]);
+    Rect::new(lo, hi)
+}
+
+/// rea03 domain: unit-ish attribute space scaled to 1e4.
+const REA03_DOMAIN: f64 = 10_000.0;
+
+/// Number of attribute clusters.
+const CLUSTERS: usize = 24;
+
+/// Generate the `rea03` 3-attribute point stand-in with `n` points.
+pub fn points3d(n: usize, seed: u64) -> Dataset<3> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let domain = Rect::new(Point::splat(0.0), Point::splat(REA03_DOMAIN));
+
+    // Cluster means, per-axis spreads and correlation shear.
+    let clusters: Vec<([f64; 3], [f64; 3], f64)> = (0..CLUSTERS)
+        .map(|_| {
+            let mean = [
+                rng.gen_range(0.1 * REA03_DOMAIN..0.9 * REA03_DOMAIN),
+                rng.gen_range(0.1 * REA03_DOMAIN..0.9 * REA03_DOMAIN),
+                rng.gen_range(0.1 * REA03_DOMAIN..0.9 * REA03_DOMAIN),
+            ];
+            let spread = [
+                rng.gen_range(20.0..600.0),
+                rng.gen_range(20.0..600.0),
+                rng.gen_range(20.0..600.0),
+            ];
+            let shear = rng.gen_range(-0.8f64..0.8);
+            (mean, spread, shear)
+        })
+        .collect();
+
+    // Skewed cluster weights (Zipf-ish): attribute files are heavily
+    // concentrated.
+    let weights: Vec<f64> = (1..=CLUSTERS).map(|i| 1.0 / i as f64).collect();
+    let total_weight: f64 = weights.iter().sum();
+
+    let mut boxes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut pick = rng.gen_range(0.0..total_weight);
+        let mut ci = 0;
+        for (i, w) in weights.iter().enumerate() {
+            if pick < *w {
+                ci = i;
+                break;
+            }
+            pick -= w;
+        }
+        let (mean, spread, shear) = clusters[ci];
+        let gauss = |rng: &mut StdRng| -> f64 {
+            // Box–Muller.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        let g0 = gauss(&mut rng);
+        let g1 = gauss(&mut rng);
+        let g2 = gauss(&mut rng);
+        let p = Point([
+            (mean[0] + spread[0] * g0).clamp(0.0, REA03_DOMAIN),
+            // Correlate attribute 1 with attribute 0 via the shear.
+            (mean[1] + spread[1] * (shear * g0 + (1.0 - shear.abs()) * g1))
+                .clamp(0.0, REA03_DOMAIN),
+            (mean[2] + spread[2] * g2).clamp(0.0, REA03_DOMAIN),
+        ]);
+        boxes.push(Rect::point(p));
+    }
+    Dataset {
+        name: "rea03".into(),
+        boxes,
+        domain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rea02_objects_are_thin() {
+        let d = streets2d(5_000, 2);
+        assert_eq!(d.len(), 5_000);
+        d.check_integrity();
+        // Street segments: the median shorter side is tiny relative to the
+        // median longer side.
+        let mut shorter: Vec<f64> = Vec::new();
+        let mut longer: Vec<f64> = Vec::new();
+        for b in &d.boxes {
+            let (w, h) = (b.extent(0), b.extent(1));
+            shorter.push(w.min(h));
+            longer.push(w.max(h));
+        }
+        shorter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        longer.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(shorter[shorter.len() / 2] < 20.0);
+        assert!(longer[longer.len() / 2] > 30.0);
+    }
+
+    #[test]
+    fn rea02_contains_points_and_is_clustered() {
+        let d = streets2d(10_000, 4);
+        let points = d.boxes.iter().filter(|b| b.volume() == 0.0).count();
+        assert!(points > 100, "expected some degenerate objects: {points}");
+        // Clustering: a random 10 km disk around a dense area should hold
+        // far more than the uniform share. Use the densest cell of a
+        // coarse grid as a proxy.
+        let mut grid = vec![0u32; 36];
+        for b in &d.boxes {
+            let c = b.center();
+            let gx = (c[0] / REA02_DOMAIN * 6.0).min(5.0) as usize;
+            let gy = (c[1] / REA02_DOMAIN * 6.0).min(5.0) as usize;
+            grid[gy * 6 + gx] += 1;
+        }
+        let max = *grid.iter().max().unwrap() as f64;
+        let uniform_share = d.len() as f64 / 36.0;
+        assert!(max > 1.5 * uniform_share, "no clustering detected");
+    }
+
+    #[test]
+    fn rea03_is_pure_points() {
+        let d = points3d(5_000, 9);
+        assert_eq!(d.len(), 5_000);
+        d.check_integrity();
+        assert!(d.boxes.iter().all(|b| b.volume() == 0.0));
+        assert!(d.boxes.iter().all(|b| b.lo == b.hi));
+    }
+
+    #[test]
+    fn rea03_is_skewed() {
+        let d = points3d(20_000, 11);
+        // Coarse 3-d grid: the densest cell must hold far more than the
+        // uniform share (cluster skew).
+        let mut grid = vec![0u32; 4 * 4 * 4];
+        for b in &d.boxes {
+            let c = b.center();
+            let i = |v: f64| ((v / REA03_DOMAIN) * 4.0).min(3.0) as usize;
+            grid[i(c[0]) * 16 + i(c[1]) * 4 + i(c[2])] += 1;
+        }
+        let max = *grid.iter().max().unwrap() as f64;
+        assert!(max > 4.0 * (d.len() as f64 / 64.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(streets2d(500, 3).boxes, streets2d(500, 3).boxes);
+        assert_eq!(points3d(500, 3).boxes, points3d(500, 3).boxes);
+    }
+}

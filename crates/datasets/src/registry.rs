@@ -1,0 +1,125 @@
+//! Dataset registry: the paper's seven datasets at configurable scale.
+
+use crate::dataset::Dataset;
+use crate::{neuro, par, rea};
+
+/// Scale factor relative to paper-size datasets. The default `1/16` keeps
+/// every experiment minutes-scale on a laptop; `--full` harness runs use
+/// [`Scale::Paper`]. Result *shapes* are stable across scales (checked at
+/// 1/64, 1/16 and 1/4 during development).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-size object counts.
+    Paper,
+    /// Paper counts divided by `n`.
+    Fraction(u32),
+    /// Explicit object count (same for every dataset).
+    Exact(usize),
+}
+
+impl Scale {
+    /// Default experiment scale (1/16 of the paper counts).
+    pub const DEFAULT: Scale = Scale::Fraction(16);
+
+    fn apply(self, paper_count: usize) -> usize {
+        match self {
+            Scale::Paper => paper_count,
+            Scale::Fraction(n) => (paper_count / n as usize).max(1_000),
+            Scale::Exact(n) => n,
+        }
+    }
+}
+
+/// The 2-d datasets of §V-B with their paper object counts.
+pub const DATASETS_2D: [(&str, usize); 2] = [("par02", 1_048_576), ("rea02", 1_888_012)];
+
+/// The 3-d datasets of §V-B with their paper object counts.
+pub const DATASETS_3D: [(&str, usize); 5] = [
+    ("par03", 1_048_576),
+    ("rea03", 11_958_999),
+    ("axo03", 2_570_016),
+    ("den03", 1_288_251),
+    ("neu03", 3_858_267),
+];
+
+/// Base RNG seed: all experiments derive their dataset from this.
+pub const BASE_SEED: u64 = 0xCBB_2018;
+
+/// Instantiate a 2-d dataset by benchmark name.
+///
+/// Subsampled instantiations (any scale below the paper count) are
+/// *densified* back to the paper's spatial density
+/// ([`Dataset::densified`]): object density — not absolute coordinates —
+/// drives node occupancy, dead-space geometry and join selectivity, and
+/// is what makes results shape-stable across scales.
+pub fn dataset2(name: &str, scale: Scale) -> Dataset<2> {
+    let paper = DATASETS_2D
+        .iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("unknown 2-d dataset {name}"))
+        .1;
+    let n = scale.apply(paper);
+    let d = match name {
+        "par02" => par::generate::<2>(n, BASE_SEED),
+        "rea02" => rea::streets2d(n, BASE_SEED),
+        _ => unreachable!(),
+    };
+    let f = d.density_restoring_factor(paper);
+    d.densified(f)
+}
+
+/// Instantiate a 3-d dataset by benchmark name (density-restored like
+/// [`dataset2`]).
+pub fn dataset3(name: &str, scale: Scale) -> Dataset<3> {
+    let paper = DATASETS_3D
+        .iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("unknown 3-d dataset {name}"))
+        .1;
+    let n = scale.apply(paper);
+    let d = match name {
+        "par03" => par::generate::<3>(n, BASE_SEED),
+        "rea03" => rea::points3d(n, BASE_SEED),
+        "axo03" => neuro::axons(n, BASE_SEED),
+        "den03" => neuro::dendrites(n, BASE_SEED),
+        "neu03" => neuro::neurites(n, BASE_SEED),
+        _ => unreachable!(),
+    };
+    let f = d.density_restoring_factor(paper);
+    d.densified(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales() {
+        assert_eq!(Scale::Paper.apply(1_000_000), 1_000_000);
+        assert_eq!(Scale::Fraction(16).apply(1_600_000), 100_000);
+        assert_eq!(Scale::Fraction(1000).apply(100_000), 1_000); // floor
+        assert_eq!(Scale::Exact(777).apply(123), 777);
+    }
+
+    #[test]
+    fn all_datasets_instantiate_small() {
+        for (name, _) in DATASETS_2D {
+            let d = dataset2(name, Scale::Exact(2_000));
+            assert_eq!(d.len(), 2_000);
+            assert_eq!(d.name, name);
+            d.check_integrity();
+        }
+        for (name, _) in DATASETS_3D {
+            let d = dataset3(name, Scale::Exact(2_000));
+            assert_eq!(d.len(), 2_000);
+            assert_eq!(d.name, name);
+            d.check_integrity();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown 2-d dataset")]
+    fn unknown_name_panics() {
+        let _ = dataset2("nope", Scale::DEFAULT);
+    }
+}

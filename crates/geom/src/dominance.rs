@@ -1,0 +1,193 @@
+//! Oriented dominance (paper Definition 4).
+//!
+//! Given a corner mask `b`, point `p` *dominates* `q` (written `p ≺_b q`)
+//! when `p` is at least as close to the corner `R^b` as `q` in **every**
+//! dimension and the points differ. Equivalently (and how the paper states
+//! it for MBBs): `p ≺_b q ⟺ p ∈ MBB({q, R^b})`.
+//!
+//! Closeness to `R^b` per dimension: if `b[i]` is set the corner maximises
+//! dimension `i`, so *larger* coordinates are closer; otherwise smaller ones
+//! are.
+
+use crate::{CornerMask, Point};
+
+/// Strict oriented dominance `p ≺_b q`: `p` at least as close to corner `b`
+/// as `q` in every dimension, and `p ≠ q`.
+pub fn dominates<const D: usize>(p: &Point<D>, q: &Point<D>, b: CornerMask) -> bool {
+    let mut strict = false;
+    for i in 0..D {
+        if b.bit(i) {
+            if p[i] < q[i] {
+                return false;
+            }
+            strict |= p[i] > q[i];
+        } else {
+            if p[i] > q[i] {
+                return false;
+            }
+            strict |= p[i] < q[i];
+        }
+    }
+    strict
+}
+
+/// Non-strict oriented dominance (`p ⪯_b q`): like [`dominates`] but `true`
+/// for equal points.
+///
+/// Note that the Algorithm 2 pruning tests use [`dominates_strict_all`]:
+/// under closed-rectangle intersection semantics a query corner that merely
+/// reaches a clip region's boundary plane may still touch an object lying
+/// on that plane, so pruning requires strictness in every dimension (see
+/// `cbb-core::intersect` for the full argument).
+pub fn dominates_eq<const D: usize>(p: &Point<D>, q: &Point<D>, b: CornerMask) -> bool {
+    for i in 0..D {
+        if b.bit(i) {
+            if p[i] < q[i] {
+                return false;
+            }
+        } else if p[i] > q[i] {
+            return false;
+        }
+    }
+    true
+}
+
+/// All-strict oriented dominance: `p` *strictly* closer to corner `b` than
+/// `q` in **every** dimension — i.e. `p` lies in the interior (toward the
+/// corner) of `MBB(q, R^b)`.
+///
+/// This is the stairline validity test: a splice point `t` is invalid only
+/// when some skyline point sits strictly inside `MBB(t, R^b)`, because only
+/// then does the corresponding object overlap the clipped region with
+/// positive measure. A skyline point on the region's *boundary* (equal in
+/// some dimension) belongs to an object extending away from the corner, so
+/// the overlap is measure-zero and clipping stays exact. Using the weaker
+/// [`dominates`] here would reject every proper splice — each splice shares
+/// a coordinate with both of its source points by construction.
+pub fn dominates_strict_all<const D: usize>(p: &Point<D>, q: &Point<D>, b: CornerMask) -> bool {
+    for i in 0..D {
+        if b.bit(i) {
+            if p[i] <= q[i] {
+                return false;
+            }
+        } else if p[i] >= q[i] {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B00: CornerMask = CornerMask::new(0b00);
+    const B11: CornerMask = CornerMask::new(0b11);
+
+    #[test]
+    fn paper_running_example() {
+        // Figure 2: o4^00 ≺_00 o5^00 because o4's corner is closer to R^00
+        // in both x and y.
+        let o4 = Point([5.0, 1.0]);
+        let o5 = Point([6.0, 2.0]);
+        assert!(dominates(&o4, &o5, B00));
+        assert!(!dominates(&o5, &o4, B00));
+        // Toward the opposite corner the relation flips.
+        assert!(dominates(&o5, &o4, B11));
+    }
+
+    #[test]
+    fn incomparable_points() {
+        let p = Point([1.0, 5.0]);
+        let q = Point([5.0, 1.0]);
+        assert!(!dominates(&p, &q, B00));
+        assert!(!dominates(&q, &p, B00));
+        assert!(!dominates(&p, &q, B11));
+        assert!(!dominates(&q, &p, B11));
+    }
+
+    #[test]
+    fn strictness() {
+        let p = Point([1.0, 1.0]);
+        assert!(!dominates(&p, &p, B00));
+        assert!(dominates_eq(&p, &p, B00));
+        // Equal in one dim, better in the other → strict dominance holds.
+        let q = Point([1.0, 2.0]);
+        assert!(dominates(&p, &q, B00));
+        assert!(dominates_eq(&p, &q, B00));
+    }
+
+    #[test]
+    fn mixed_masks() {
+        // b = 01: dimension 0 maximised, dimension 1 minimised.
+        let b = CornerMask::new(0b01);
+        let p = Point([9.0, 0.0]);
+        let q = Point([5.0, 3.0]);
+        assert!(dominates(&p, &q, b));
+        assert!(!dominates(&q, &p, b));
+    }
+
+    #[test]
+    fn equivalent_to_membership_in_corner_mbb() {
+        // p ≺_b q ⟺ p ∈ MBB({q, R^b}) (and p ≠ q). Spot-check on a grid.
+        use crate::Rect;
+        let r: Rect<2> = Rect::new(Point([0.0, 0.0]), Point([10.0, 10.0]));
+        for bm in CornerMask::all::<2>() {
+            let corner = r.corner(bm);
+            for qx in [2.0, 5.0] {
+                for qy in [3.0, 7.0] {
+                    let q = Point([qx, qy]);
+                    let region = Rect::from_corners(q, corner);
+                    for px in [1.0, 4.0, 6.0, 9.0] {
+                        for py in [1.0, 4.0, 6.0, 9.0] {
+                            let p = Point([px, py]);
+                            let member = region.contains_point(&p) && p != q;
+                            assert_eq!(
+                                dominates(&p, &q, bm),
+                                member,
+                                "p={p:?} q={q:?} b={bm:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn three_d() {
+        let b = CornerMask::new(0b111);
+        let p = Point([5.0, 5.0, 5.0]);
+        let q = Point([4.0, 4.0, 4.0]);
+        assert!(dominates(&p, &q, b));
+        assert!(!dominates(&q, &p, b));
+        assert!(dominates(&q, &p, CornerMask::new(0b000)));
+    }
+
+    #[test]
+    fn strict_all_requires_every_dimension() {
+        let p = Point([5.0, 5.0]);
+        // Strict in both dims.
+        assert!(dominates_strict_all(&p, &Point([3.0, 3.0]), B11));
+        // Equal in one dim → fails all-strict but passes plain dominance.
+        let q = Point([3.0, 5.0]);
+        assert!(!dominates_strict_all(&p, &q, B11));
+        assert!(dominates(&p, &q, B11));
+        // Never reflexive.
+        assert!(!dominates_strict_all(&p, &p, B11));
+        assert!(!dominates_strict_all(&p, &p, B00));
+    }
+
+    #[test]
+    fn strict_all_implies_dominates() {
+        for (px, py, qx, qy) in [(1.0, 2.0, 3.0, 4.0), (0.0, 0.0, -1.0, -2.0)] {
+            let p = Point([px, py]);
+            let q = Point([qx, qy]);
+            for b in CornerMask::all::<2>() {
+                if dominates_strict_all(&p, &q, b) {
+                    assert!(dominates(&p, &q, b));
+                }
+            }
+        }
+    }
+}

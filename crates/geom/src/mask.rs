@@ -1,0 +1,124 @@
+//! Corner bitmasks (paper §III-A).
+//!
+//! A hyper-rectangle `R = ⟨l, u⟩` has `2^d` corners. A bitmask `b` selects
+//! one: bit `i` set means the corner takes the **maximum** (`u[i]`) in
+//! dimension `i`, clear means the minimum (`l[i]`). The same masks orient
+//! the dominance relation (Definition 4) and label clip points.
+
+use std::fmt;
+
+/// A d-bit corner selector. Supports up to 8 dimensions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CornerMask(u8);
+
+impl CornerMask {
+    /// Mask with the given raw bits. Bits at positions `>= D` must be zero
+    /// for a `D`-dimensional use; [`CornerMask::all`] guarantees this.
+    pub const fn new(bits: u8) -> Self {
+        CornerMask(bits)
+    }
+
+    /// The all-zero mask (the minimum corner, `R^{0…0} = l`).
+    pub const MIN: CornerMask = CornerMask(0);
+
+    /// The all-one mask for `D` dimensions (the maximum corner `u`).
+    pub const fn max_corner<const D: usize>() -> Self {
+        assert!(D <= 8, "CornerMask supports at most 8 dimensions");
+        CornerMask(((1u16 << D) - 1) as u8)
+    }
+
+    /// Iterate over all `2^D` corner masks, in ascending bit order.
+    pub fn all<const D: usize>() -> impl Iterator<Item = CornerMask> {
+        assert!(D <= 8, "CornerMask supports at most 8 dimensions");
+        (0u16..(1 << D)).map(|b| CornerMask(b as u8))
+    }
+
+    /// Raw bits.
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Whether bit `i` is set (dimension `i` maximised).
+    pub const fn bit(self, i: usize) -> bool {
+        (self.0 >> i) & 1 == 1
+    }
+
+    /// Bitwise complement within `D` dimensions: the opposite corner (`∼b`).
+    pub const fn flipped<const D: usize>(self) -> Self {
+        CornerMask(!self.0 & (((1u16 << D) - 1) as u8))
+    }
+
+    /// Bitwise xor: `selector ⊕ mask` in Algorithm 2.
+    pub const fn xor(self, other: Self) -> Self {
+        CornerMask(self.0 ^ other.0)
+    }
+
+    /// Number of set bits.
+    pub const fn count_ones(self) -> u32 {
+        self.0.count_ones()
+    }
+}
+
+impl fmt::Debug for CornerMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{:08b}", self.0)
+    }
+}
+
+impl fmt::Display for CornerMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:b}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_enumerates_every_corner() {
+        let masks: Vec<_> = CornerMask::all::<2>().collect();
+        assert_eq!(masks.len(), 4);
+        assert_eq!(masks[0], CornerMask::new(0b00));
+        assert_eq!(masks[3], CornerMask::new(0b11));
+        assert_eq!(CornerMask::all::<3>().count(), 8);
+    }
+
+    #[test]
+    fn bits_and_bit() {
+        let m = CornerMask::new(0b101);
+        assert!(m.bit(0));
+        assert!(!m.bit(1));
+        assert!(m.bit(2));
+        assert_eq!(m.bits(), 0b101);
+        assert_eq!(m.count_ones(), 2);
+    }
+
+    #[test]
+    fn flipped_is_opposite_corner() {
+        let m = CornerMask::new(0b01);
+        assert_eq!(m.flipped::<2>(), CornerMask::new(0b10));
+        // In 3-d the complement keeps only the low 3 bits.
+        let m3 = CornerMask::new(0b001);
+        assert_eq!(m3.flipped::<3>(), CornerMask::new(0b110));
+        // Double flip round-trips.
+        assert_eq!(m3.flipped::<3>().flipped::<3>(), m3);
+    }
+
+    #[test]
+    fn xor_matches_algorithm2_selectors() {
+        let mask = CornerMask::new(0b10);
+        // Query selector 2^d − 1 == negation.
+        let query_sel = CornerMask::max_corner::<2>();
+        assert_eq!(query_sel.xor(mask), mask.flipped::<2>());
+        // Insertion selector 0 == identity.
+        assert_eq!(CornerMask::MIN.xor(mask), mask);
+    }
+
+    #[test]
+    fn max_corner_mask() {
+        assert_eq!(CornerMask::max_corner::<2>().bits(), 0b11);
+        assert_eq!(CornerMask::max_corner::<3>().bits(), 0b111);
+        assert_eq!(CornerMask::max_corner::<8>().bits(), 0xff);
+    }
+}

@@ -1,0 +1,187 @@
+//! d-dimensional points with array-notation coordinates (paper §III-A).
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::Coord;
+
+/// A point `p = (p[1], …, p[d])` in `D`-dimensional space.
+///
+/// Coordinates are `f64`; the paper's array notation `p[i]` maps to
+/// `p[i - 1]` here (Rust is zero-indexed).
+#[derive(Clone, Copy, PartialEq)]
+pub struct Point<const D: usize>(pub [Coord; D]);
+
+impl<const D: usize> Point<D> {
+    /// A point with every coordinate set to `v`.
+    pub const fn splat(v: Coord) -> Self {
+        Point([v; D])
+    }
+
+    /// The origin.
+    pub const fn origin() -> Self {
+        Self::splat(0.0)
+    }
+
+    /// Borrow the raw coordinate array.
+    pub fn coords(&self) -> &[Coord; D] {
+        &self.0
+    }
+
+    /// Component-wise minimum of two points.
+    pub fn min(&self, other: &Self) -> Self {
+        let mut out = [0.0; D];
+        for i in 0..D {
+            out[i] = self.0[i].min(other.0[i]);
+        }
+        Point(out)
+    }
+
+    /// Component-wise maximum of two points.
+    pub fn max(&self, other: &Self) -> Self {
+        let mut out = [0.0; D];
+        for i in 0..D {
+            out[i] = self.0[i].max(other.0[i]);
+        }
+        Point(out)
+    }
+
+    /// Midpoint of the segment between `self` and `other`.
+    pub fn midpoint(&self, other: &Self) -> Self {
+        let mut out = [0.0; D];
+        for i in 0..D {
+            out[i] = 0.5 * (self.0[i] + other.0[i]);
+        }
+        Point(out)
+    }
+
+    /// Squared Euclidean distance to `other`.
+    pub fn distance_sq(&self, other: &Self) -> Coord {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let d = self.0[i] - other.0[i];
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Self) -> Coord {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// True when every coordinate is finite (no NaN / ±∞).
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().all(|c| c.is_finite())
+    }
+
+    /// Apply `f` to each coordinate, producing a new point.
+    pub fn map(&self, mut f: impl FnMut(Coord) -> Coord) -> Self {
+        let mut out = [0.0; D];
+        for i in 0..D {
+            out[i] = f(self.0[i]);
+        }
+        Point(out)
+    }
+
+    /// Component-wise combination of two points.
+    pub fn zip_with(&self, other: &Self, mut f: impl FnMut(Coord, Coord) -> Coord) -> Self {
+        let mut out = [0.0; D];
+        for i in 0..D {
+            out[i] = f(self.0[i], other.0[i]);
+        }
+        Point(out)
+    }
+}
+
+impl<const D: usize> Index<usize> for Point<D> {
+    type Output = Coord;
+
+    fn index(&self, i: usize) -> &Coord {
+        &self.0[i]
+    }
+}
+
+impl<const D: usize> IndexMut<usize> for Point<D> {
+    fn index_mut(&mut self, i: usize) -> &mut Coord {
+        &mut self.0[i]
+    }
+}
+
+impl<const D: usize> From<[Coord; D]> for Point<D> {
+    fn from(a: [Coord; D]) -> Self {
+        Point(a)
+    }
+}
+
+impl<const D: usize> fmt::Debug for Point<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_and_origin() {
+        let p: Point<3> = Point::splat(2.5);
+        assert_eq!(p.coords(), &[2.5, 2.5, 2.5]);
+        let o: Point<2> = Point::origin();
+        assert_eq!(o, Point([0.0, 0.0]));
+    }
+
+    #[test]
+    fn min_max_are_componentwise() {
+        let a = Point([1.0, 5.0]);
+        let b = Point([3.0, 2.0]);
+        assert_eq!(a.min(&b), Point([1.0, 2.0]));
+        assert_eq!(a.max(&b), Point([3.0, 5.0]));
+    }
+
+    #[test]
+    fn midpoint_is_average() {
+        let a = Point([0.0, 0.0, 0.0]);
+        let b = Point([2.0, 4.0, -6.0]);
+        assert_eq!(a.midpoint(&b), Point([1.0, 2.0, -3.0]));
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point([0.0, 0.0]);
+        let b = Point([3.0, 4.0]);
+        assert_eq!(a.distance_sq(&b), 25.0);
+        assert_eq!(a.distance(&b), 5.0);
+    }
+
+    #[test]
+    fn indexing_reads_and_writes() {
+        let mut p = Point([1.0, 2.0]);
+        p[0] = 7.0;
+        assert_eq!(p[0], 7.0);
+        assert_eq!(p[1], 2.0);
+    }
+
+    #[test]
+    fn finite_detects_nan() {
+        assert!(Point([1.0, 2.0]).is_finite());
+        assert!(!Point([f64::NAN, 2.0]).is_finite());
+        assert!(!Point([f64::INFINITY, 2.0]).is_finite());
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let a = Point([1.0, 2.0]);
+        let b = Point([10.0, 20.0]);
+        assert_eq!(a.map(|c| c * 2.0), Point([2.0, 4.0]));
+        assert_eq!(a.zip_with(&b, |x, y| x + y), Point([11.0, 22.0]));
+    }
+}

@@ -1,0 +1,333 @@
+//! # cbb-joins — spatial joins over (clipped) R-trees
+//!
+//! The two classic strategies evaluated in §V (after Brinkhoff et al.
+//! [8]):
+//!
+//! * **INLJ** (Index Nested Loop Join) — one input indexed, the other
+//!   streamed: one range query per outer object. Clipping accelerates
+//!   every probe.
+//! * **STT** (Synchronised Tree Traversal) — both inputs indexed: the
+//!   trees are descended in lock-step over intersecting node pairs.
+//!   Clipping restricts each recursion to the intersection of the pair's
+//!   CBBs via dominance tests, exactly as §V describes.
+//!
+//! Both report per-side leaf accesses (raw, unbuffered — the paper's join
+//! I/O metric) and the number of result pairs, which is invariant under
+//! clipping (verified by tests).
+
+use cbb_core::query_intersects_cbb;
+use cbb_geom::Rect;
+use cbb_rtree::{AccessStats, Child, ClippedRTree, NodeId};
+
+/// Join outcome and cost counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JoinResult {
+    /// Number of intersecting object pairs found.
+    pub pairs: u64,
+    /// Leaf accesses on the left / outer side (0 for INLJ: the outer input
+    /// is a sequential scan, not index I/O).
+    pub leaf_accesses_left: u64,
+    /// Leaf accesses on the right / indexed side.
+    pub leaf_accesses_right: u64,
+    /// Directory-node accesses (both sides).
+    pub internal_accesses: u64,
+    /// Recursions avoided by clip-point dominance tests.
+    pub clip_prunes: u64,
+}
+
+/// Index Nested Loop Join: probe `inner` with every rectangle of `outer`.
+/// With `use_clips = false` the probes run on the base tree (the
+/// unclipped baseline on the *same* tree).
+pub fn inlj<const D: usize>(
+    outer: &[Rect<D>],
+    inner: &ClippedRTree<D>,
+    use_clips: bool,
+) -> JoinResult {
+    let mut result = JoinResult::default();
+    let mut stats = AccessStats::new();
+    for o in outer {
+        let found = if use_clips {
+            inner.range_query_stats(o, &mut stats)
+        } else {
+            inner.tree.range_query_stats(o, &mut stats)
+        };
+        result.pairs += found.len() as u64;
+    }
+    result.leaf_accesses_right = stats.leaf_accesses;
+    result.internal_accesses = stats.internal_accesses;
+    result.clip_prunes = stats.clip_prunes;
+    result
+}
+
+/// Synchronised Tree Traversal join of two (clipped) R-trees.
+pub fn stt<const D: usize>(
+    left: &ClippedRTree<D>,
+    right: &ClippedRTree<D>,
+    use_clips: bool,
+) -> JoinResult {
+    let mut result = JoinResult::default();
+    if left.tree.is_empty() || right.tree.is_empty() {
+        return result;
+    }
+    let lroot = left.tree.root_id();
+    let rroot = right.tree.root_id();
+    let lmbb = left.tree.node(lroot).mbb;
+    let rmbb = right.tree.node(rroot).mbb;
+    let Some(w) = lmbb.intersection(&rmbb) else {
+        return result;
+    };
+    if use_clips && !pair_survives_clips(left, lroot, &lmbb, right, rroot, &rmbb, &w, &mut result)
+    {
+        return result;
+    }
+    stt_rec(left, lroot, right, rroot, use_clips, &mut result);
+    result
+}
+
+/// The §V clip test for a candidate node pair: the pair's search window
+/// `w` (the intersection of their MBBs) must escape the dead space of both
+/// CBBs.
+#[allow(clippy::too_many_arguments)]
+fn pair_survives_clips<const D: usize>(
+    left: &ClippedRTree<D>,
+    lid: NodeId,
+    lmbb: &Rect<D>,
+    right: &ClippedRTree<D>,
+    rid: NodeId,
+    rmbb: &Rect<D>,
+    w: &Rect<D>,
+    result: &mut JoinResult,
+) -> bool {
+    if !query_intersects_cbb(lmbb, left.clips_of(lid), w)
+        || !query_intersects_cbb(rmbb, right.clips_of(rid), w)
+    {
+        result.clip_prunes += 1;
+        return false;
+    }
+    true
+}
+
+fn stt_rec<const D: usize>(
+    left: &ClippedRTree<D>,
+    lid: NodeId,
+    right: &ClippedRTree<D>,
+    rid: NodeId,
+    use_clips: bool,
+    result: &mut JoinResult,
+) {
+    let lnode = left.tree.node(lid);
+    let rnode = right.tree.node(rid);
+
+    match (lnode.is_leaf(), rnode.is_leaf()) {
+        (true, true) => {
+            result.leaf_accesses_left += 1;
+            result.leaf_accesses_right += 1;
+            for e1 in &lnode.entries {
+                for e2 in &rnode.entries {
+                    if e1.mbb.intersects(&e2.mbb) {
+                        result.pairs += 1;
+                    }
+                }
+            }
+        }
+        (false, true) => {
+            // Descend the left (deeper) side only.
+            result.internal_accesses += 1;
+            for e1 in &lnode.entries {
+                let Some(w) = e1.mbb.intersection(&rnode.mbb) else {
+                    continue;
+                };
+                let c1 = match e1.child {
+                    Child::Node(c) => c,
+                    Child::Data(_) => unreachable!("non-leaf with data entry"),
+                };
+                if use_clips {
+                    // One-sided window restriction: the right node is a
+                    // leaf already; test the left child's CBB against w.
+                    if !query_intersects_cbb(&e1.mbb, left.clips_of(c1), &w) {
+                        result.clip_prunes += 1;
+                        continue;
+                    }
+                }
+                stt_rec(left, c1, right, rid, use_clips, result);
+            }
+        }
+        (true, false) => {
+            result.internal_accesses += 1;
+            for e2 in &rnode.entries {
+                let Some(w) = e2.mbb.intersection(&lnode.mbb) else {
+                    continue;
+                };
+                let c2 = match e2.child {
+                    Child::Node(c) => c,
+                    Child::Data(_) => unreachable!("non-leaf with data entry"),
+                };
+                if use_clips {
+                    if !query_intersects_cbb(&e2.mbb, right.clips_of(c2), &w) {
+                        result.clip_prunes += 1;
+                        continue;
+                    }
+                }
+                stt_rec(left, lid, right, c2, use_clips, result);
+            }
+        }
+        (false, false) => {
+            result.internal_accesses += 2;
+            for e1 in &lnode.entries {
+                for e2 in &rnode.entries {
+                    let Some(w) = e1.mbb.intersection(&e2.mbb) else {
+                        continue;
+                    };
+                    let c1 = match e1.child {
+                        Child::Node(c) => c,
+                        Child::Data(_) => unreachable!(),
+                    };
+                    let c2 = match e2.child {
+                        Child::Node(c) => c,
+                        Child::Data(_) => unreachable!(),
+                    };
+                    if use_clips
+                        && !pair_survives_clips(
+                            left, c1, &e1.mbb, right, c2, &e2.mbb, &w, result,
+                        )
+                    {
+                        continue;
+                    }
+                    stt_rec(left, c1, right, c2, use_clips, result);
+                }
+            }
+        }
+    }
+}
+
+/// Brute-force pair count (test oracle).
+pub fn brute_force_pairs<const D: usize>(a: &[Rect<D>], b: &[Rect<D>]) -> u64 {
+    let mut pairs = 0u64;
+    for x in a {
+        for y in b {
+            if x.intersects(y) {
+                pairs += 1;
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbb_core::{ClipConfig, ClipMethod};
+    use cbb_geom::{Point, SplitMix64};
+    use cbb_rtree::{DataId, RTree, TreeConfig, Variant};
+
+    fn r2(lx: f64, ly: f64, hx: f64, hy: f64) -> Rect<2> {
+        Rect::new(Point([lx, ly]), Point([hx, hy]))
+    }
+
+    fn boxes(n: usize, seed: u64) -> Vec<Rect<2>> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| {
+                let x = rng.gen_range(0.0, 480.0);
+                let y = rng.gen_range(0.0, 480.0);
+                let w = rng.gen_range(0.5, 20.0);
+                let h = rng.gen_range(0.5, 20.0);
+                r2(x, y, x + w, y + h)
+            })
+            .collect()
+    }
+
+    fn clipped(data: &[Rect<2>], variant: Variant) -> ClippedRTree<2> {
+        let items: Vec<(Rect<2>, DataId)> = data
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (*b, DataId(i as u32)))
+            .collect();
+        let tree = RTree::bulk_load(
+            TreeConfig::tiny(variant).with_world(r2(0.0, 0.0, 500.0, 500.0)),
+            &items,
+        );
+        ClippedRTree::from_tree(tree, ClipConfig::paper_default::<2>(ClipMethod::Stairline))
+    }
+
+    #[test]
+    fn inlj_counts_match_brute_force() {
+        let a = boxes(150, 1);
+        let b = boxes(200, 2);
+        let inner = clipped(&b, Variant::RStar);
+        let expected = brute_force_pairs(&a, &b);
+        let plain = inlj(&a, &inner, false);
+        let with_clips = inlj(&a, &inner, true);
+        assert_eq!(plain.pairs, expected);
+        assert_eq!(with_clips.pairs, expected);
+        assert!(with_clips.leaf_accesses_right <= plain.leaf_accesses_right);
+    }
+
+    #[test]
+    fn stt_counts_match_brute_force() {
+        for variant in Variant::ALL {
+            let a = boxes(150, 3);
+            let b = boxes(180, 4);
+            let left = clipped(&a, variant);
+            let right = clipped(&b, variant);
+            let expected = brute_force_pairs(&a, &b);
+            let plain = stt(&left, &right, false);
+            let with_clips = stt(&left, &right, true);
+            assert_eq!(plain.pairs, expected, "{variant:?}");
+            assert_eq!(with_clips.pairs, expected, "{variant:?}");
+            assert!(
+                with_clips.leaf_accesses_left + with_clips.leaf_accesses_right
+                    <= plain.leaf_accesses_left + plain.leaf_accesses_right,
+                "{variant:?}: clipping increased STT I/O"
+            );
+        }
+    }
+
+    #[test]
+    fn stt_handles_different_heights() {
+        let a = boxes(30, 5); // short tree
+        let b = boxes(900, 6); // taller tree
+        let left = clipped(&a, Variant::Quadratic);
+        let right = clipped(&b, Variant::Quadratic);
+        assert!(left.tree.height() < right.tree.height());
+        let expected = brute_force_pairs(&a, &b);
+        assert_eq!(stt(&left, &right, true).pairs, expected);
+        // Symmetric order.
+        assert_eq!(stt(&right, &left, true).pairs, expected);
+    }
+
+    #[test]
+    fn disjoint_inputs_join_empty() {
+        let a = vec![r2(0.0, 0.0, 10.0, 10.0)];
+        let b = vec![r2(400.0, 400.0, 410.0, 410.0)];
+        let left = clipped(&a, Variant::RRStar);
+        let right = clipped(&b, Variant::RRStar);
+        let res = stt(&left, &right, true);
+        assert_eq!(res.pairs, 0);
+        assert_eq!(res.leaf_accesses_left + res.leaf_accesses_right, 0);
+        assert_eq!(inlj(&a, &right, true).pairs, 0);
+    }
+
+    #[test]
+    fn empty_tree_joins() {
+        let a = boxes(50, 7);
+        let left = clipped(&a, Variant::Hilbert);
+        let empty = ClippedRTree::from_tree(
+            RTree::new(TreeConfig::tiny(Variant::Hilbert)),
+            ClipConfig::paper_default::<2>(ClipMethod::Skyline),
+        );
+        assert_eq!(stt(&left, &empty, true).pairs, 0);
+        assert_eq!(stt(&empty, &left, true).pairs, 0);
+        assert_eq!(inlj(&a, &empty, true).pairs, 0);
+    }
+
+    #[test]
+    fn self_join_counts_all_pairs_including_self() {
+        let a = boxes(100, 8);
+        let t = clipped(&a, Variant::RStar);
+        let res = stt(&t, &t, true);
+        // Self-join includes (i, i) pairs and both (i, j), (j, i).
+        assert_eq!(res.pairs, brute_force_pairs(&a, &a));
+        assert!(res.pairs >= a.len() as u64);
+    }
+}

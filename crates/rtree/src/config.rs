@@ -1,0 +1,157 @@
+//! Tree configuration: variant choice and node capacities.
+
+use cbb_geom::Rect;
+
+/// The R-tree variants evaluated in the paper (§V-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Guttman's original R-tree with the quadratic split ("QR-tree").
+    Quadratic,
+    /// Hilbert R-tree ("HR-tree"): Hilbert-sort bulk loading, dynamic
+    /// inserts ordered by Hilbert value.
+    Hilbert,
+    /// R*-tree (Beckmann, Kriegel, Schneider, Seeger 1990).
+    RStar,
+    /// Revised R*-tree (Beckmann & Seeger 2009).
+    RRStar,
+}
+
+impl Variant {
+    /// All four variants, in the paper's presentation order.
+    pub const ALL: [Variant; 4] = [
+        Variant::Quadratic,
+        Variant::Hilbert,
+        Variant::RStar,
+        Variant::RRStar,
+    ];
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Quadratic => "QR-tree",
+            Variant::Hilbert => "HR-tree",
+            Variant::RStar => "R*-tree",
+            Variant::RRStar => "RR*-tree",
+        }
+    }
+}
+
+/// Size of a simulated disk page in bytes (the benchmark default).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Per-page header bytes (level, entry count, padding) in the Figure 4
+/// physical layout.
+pub const NODE_HEADER_BYTES: usize = 16;
+
+/// Bytes per node entry for dimensionality `d`: an MBB (2·d coordinates)
+/// plus a 4-byte child pointer / object id.
+pub const fn entry_bytes(d: usize) -> usize {
+    2 * d * std::mem::size_of::<f64>() + 4
+}
+
+/// Node capacities and variant selection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TreeConfig<const D: usize> {
+    /// Variant algorithms to use for insertion and splitting.
+    pub variant: Variant,
+    /// Maximum entries per node (`M`).
+    pub max_entries: usize,
+    /// Minimum entries per node (`m`), `2 ≤ m ≤ M/2`.
+    pub min_entries: usize,
+    /// Fraction of entries force-reinserted on first overflow per level
+    /// (R*-tree only; the canonical 30 %).
+    pub reinsert_fraction: f64,
+    /// World bounds used to discretise coordinates for the Hilbert curve.
+    /// When `None`, bulk loading derives them from the data and dynamic
+    /// inserts clamp to the bounds seen so far.
+    pub world: Option<Rect<D>>,
+}
+
+impl<const D: usize> TreeConfig<D> {
+    /// Paper-faithful configuration: `M` from a 4 KiB page
+    /// (113 entries in 2-d, 78 in 3-d), `m = 0.4·M` for QR/HR/R\* and
+    /// `m = 0.2·M` for RR\* (per Beckmann & Seeger 2009).
+    pub fn paper_default(variant: Variant) -> Self {
+        let max_entries = (PAGE_SIZE - NODE_HEADER_BYTES) / entry_bytes(D);
+        let min_fraction = match variant {
+            Variant::RRStar => 0.2,
+            _ => 0.4,
+        };
+        let min_entries = ((max_entries as f64 * min_fraction) as usize).max(2);
+        TreeConfig {
+            variant,
+            max_entries,
+            min_entries,
+            reinsert_fraction: 0.3,
+            world: None,
+        }
+    }
+
+    /// Small capacities for unit tests and illustrations.
+    pub fn tiny(variant: Variant) -> Self {
+        TreeConfig {
+            variant,
+            max_entries: 8,
+            min_entries: 3,
+            reinsert_fraction: 0.3,
+            world: None,
+        }
+    }
+
+    /// Override capacities (`m` clamped into `[2, M/2]`).
+    pub fn with_capacity(mut self, max_entries: usize, min_entries: usize) -> Self {
+        assert!(max_entries >= 4, "M must be at least 4");
+        self.max_entries = max_entries;
+        self.min_entries = min_entries.clamp(2, max_entries / 2);
+        self
+    }
+
+    /// Set explicit world bounds (Hilbert discretisation grid).
+    pub fn with_world(mut self, world: Rect<D>) -> Self {
+        self.world = Some(world);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_capacities_match_page_math() {
+        let c2 = TreeConfig::<2>::paper_default(Variant::RStar);
+        assert_eq!(c2.max_entries, (4096 - 16) / 36); // 113
+        assert_eq!(c2.max_entries, 113);
+        assert_eq!(c2.min_entries, 45); // 0.4 · 113
+
+        let c3 = TreeConfig::<3>::paper_default(Variant::RStar);
+        assert_eq!(c3.max_entries, (4096 - 16) / 52); // 78
+        assert_eq!(c3.max_entries, 78);
+
+        let rr = TreeConfig::<2>::paper_default(Variant::RRStar);
+        assert_eq!(rr.min_entries, 22); // 0.2 · 113
+    }
+
+    #[test]
+    fn capacity_override_clamps_m() {
+        let c = TreeConfig::<2>::tiny(Variant::Quadratic).with_capacity(10, 9);
+        assert_eq!(c.min_entries, 5);
+        let c = TreeConfig::<2>::tiny(Variant::Quadratic).with_capacity(10, 1);
+        assert_eq!(c.min_entries, 2);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Variant::Quadratic.label(), "QR-tree");
+        assert_eq!(Variant::Hilbert.label(), "HR-tree");
+        assert_eq!(Variant::RStar.label(), "R*-tree");
+        assert_eq!(Variant::RRStar.label(), "RR*-tree");
+        assert_eq!(Variant::ALL.len(), 4);
+    }
+
+    #[test]
+    fn entry_bytes_formula() {
+        assert_eq!(entry_bytes(2), 36);
+        assert_eq!(entry_bytes(3), 52);
+    }
+}

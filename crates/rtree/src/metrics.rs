@@ -1,0 +1,159 @@
+//! Per-node quality metrics: overlap and dead space (Figure 1a/1b and the
+//! denominators of Figure 10).
+
+use cbb_geom::{dead_space_fraction, union_volume, Rect};
+
+use crate::node::Node;
+use crate::tree::RTree;
+
+/// Fraction of a node's volume covered by **two or more** of its children
+/// (Figure 1a's per-node overlap measure). 0 for degenerate nodes.
+pub fn node_overlap_fraction<const D: usize>(node: &Node<D>) -> f64 {
+    let vol = node.mbb.volume();
+    if vol <= 0.0 || node.entries.len() < 2 {
+        return 0.0;
+    }
+    // The overlapped region is the union of all pairwise intersections.
+    let mut pair_boxes: Vec<Rect<D>> = Vec::new();
+    for i in 0..node.entries.len() {
+        for j in (i + 1)..node.entries.len() {
+            if let Some(b) = node.entries[i].mbb.intersection(&node.entries[j].mbb) {
+                if b.volume() > 0.0 {
+                    pair_boxes.push(b);
+                }
+            }
+        }
+    }
+    (union_volume(&node.mbb, &pair_boxes) / vol).clamp(0.0, 1.0)
+}
+
+/// Fraction of a node's volume not covered by any child (Definition 1 /
+/// Figure 1b). 0 for degenerate nodes.
+pub fn node_dead_space<const D: usize>(node: &Node<D>) -> f64 {
+    let rects = node.entry_rects();
+    dead_space_fraction(&node.mbb, &rects)
+}
+
+/// Which nodes an aggregate runs over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeScope {
+    /// Every node in the tree.
+    All,
+    /// Leaves only (level 0) — where most dead space lives.
+    Leaves,
+    /// Directory nodes only (the Figure 1a population).
+    Internal,
+}
+
+impl NodeScope {
+    fn matches<const D: usize>(self, node: &Node<D>) -> bool {
+        match self {
+            NodeScope::All => true,
+            NodeScope::Leaves => node.is_leaf(),
+            NodeScope::Internal => !node.is_leaf(),
+        }
+    }
+}
+
+/// Average of `f` over the nodes in `scope`; `None` when no node matches.
+pub fn average_over_nodes<const D: usize>(
+    tree: &RTree<D>,
+    scope: NodeScope,
+    mut f: impl FnMut(&Node<D>) -> f64,
+) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (_, node) in tree.iter_nodes() {
+        if scope.matches(node) && !node.entries.is_empty() {
+            sum += f(node);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(sum / count as f64)
+    }
+}
+
+/// Average per-node overlap fraction (Figure 1a; paper uses internal
+/// nodes).
+pub fn avg_overlap<const D: usize>(tree: &RTree<D>, scope: NodeScope) -> Option<f64> {
+    average_over_nodes(tree, scope, node_overlap_fraction)
+}
+
+/// Average per-node dead-space fraction (Figure 1b / Figure 10 bars).
+pub fn avg_dead_space<const D: usize>(tree: &RTree<D>, scope: NodeScope) -> Option<f64> {
+    average_over_nodes(tree, scope, node_dead_space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{TreeConfig, Variant};
+    use crate::node::{DataId, Entry};
+    use cbb_geom::Point;
+
+    fn r2(lx: f64, ly: f64, hx: f64, hy: f64) -> Rect<2> {
+        Rect::new(Point([lx, ly]), Point([hx, hy]))
+    }
+
+    fn leaf_with(rects: &[Rect<2>]) -> Node<2> {
+        let mut n = Node::new(0);
+        for (i, r) in rects.iter().enumerate() {
+            n.entries.push(Entry::data(*r, DataId(i as u32)));
+        }
+        n.recompute_mbb();
+        n
+    }
+
+    #[test]
+    fn overlap_fraction_of_disjoint_children_is_zero() {
+        let n = leaf_with(&[r2(0.0, 0.0, 1.0, 1.0), r2(2.0, 2.0, 3.0, 3.0)]);
+        assert_eq!(node_overlap_fraction(&n), 0.0);
+    }
+
+    #[test]
+    fn overlap_fraction_of_identical_children_is_full_child_area() {
+        // Two identical children inside their union: overlap area = child
+        // area = node area.
+        let n = leaf_with(&[r2(0.0, 0.0, 2.0, 2.0), r2(0.0, 0.0, 2.0, 2.0)]);
+        assert!((node_overlap_fraction(&n) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap_measured_exactly() {
+        // Node [0,3]×[0,2]: children [0,2]² and [1,3]×[0,2] overlap on
+        // [1,2]×[0,2] = 2 of 6.
+        let n = leaf_with(&[r2(0.0, 0.0, 2.0, 2.0), r2(1.0, 0.0, 3.0, 2.0)]);
+        assert!((node_overlap_fraction(&n) - 2.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dead_space_of_sparse_node() {
+        // Two unit boxes in the corners of a 10×10 node: 98 % dead.
+        let n = leaf_with(&[r2(0.0, 0.0, 1.0, 1.0), r2(9.0, 9.0, 10.0, 10.0)]);
+        assert!((node_dead_space(&n) - 0.98).abs() < 1e-9);
+    }
+
+    #[test]
+    fn averages_respect_scope() {
+        let mut tree: RTree<2> = RTree::new(TreeConfig::tiny(Variant::Quadratic));
+        for i in 0..100 {
+            let x = (i % 10) as f64 * 5.0;
+            let y = (i / 10) as f64 * 5.0;
+            tree.insert(r2(x, y, x + 1.0, y + 1.0), DataId(i));
+        }
+        assert!(tree.height() > 1, "need internal nodes for the test");
+        let all = avg_dead_space(&tree, NodeScope::All).unwrap();
+        let leaves = avg_dead_space(&tree, NodeScope::Leaves).unwrap();
+        let internal = avg_dead_space(&tree, NodeScope::Internal).unwrap();
+        for v in [all, leaves, internal] {
+            assert!((0.0..=1.0).contains(&v));
+        }
+        // Sparse unit boxes ⇒ leaves are mostly dead space.
+        assert!(leaves > 0.5);
+        let ovl = avg_overlap(&tree, NodeScope::Internal).unwrap();
+        assert!((0.0..=1.0).contains(&ovl));
+    }
+}

@@ -1,0 +1,157 @@
+//! Node arena primitives: entries, nodes, and their identifiers.
+
+use cbb_geom::Rect;
+
+/// Identifier of a node in the tree's arena (a page id on disk).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a data object referenced from a leaf.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DataId(pub u32);
+
+/// What an entry points at: a child node (directory nodes) or a data
+/// object (leaves).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Child {
+    /// Child node reference.
+    Node(NodeId),
+    /// Data object reference.
+    Data(DataId),
+}
+
+impl Child {
+    /// The node id, panicking on data entries (directory-level use only).
+    pub fn node_id(self) -> NodeId {
+        match self {
+            Child::Node(id) => id,
+            Child::Data(d) => panic!("expected node child, found data {d:?}"),
+        }
+    }
+
+    /// The data id, panicking on node entries (leaf-level use only).
+    pub fn data_id(self) -> DataId {
+        match self {
+            Child::Data(id) => id,
+            Child::Node(n) => panic!("expected data child, found node {n:?}"),
+        }
+    }
+}
+
+/// A node entry: an MBB plus a child pointer (Figure 4a layout).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Entry<const D: usize> {
+    /// Bounding box of the referenced child/object.
+    pub mbb: Rect<D>,
+    /// The reference itself.
+    pub child: Child,
+}
+
+impl<const D: usize> Entry<D> {
+    /// Leaf entry for a data object.
+    pub fn data(mbb: Rect<D>, id: DataId) -> Self {
+        Entry {
+            mbb,
+            child: Child::Data(id),
+        }
+    }
+
+    /// Directory entry for a child node.
+    pub fn node(mbb: Rect<D>, id: NodeId) -> Self {
+        Entry {
+            mbb,
+            child: Child::Node(id),
+        }
+    }
+}
+
+/// An R-tree node. `level == 0` for leaves; the root has the highest level.
+///
+/// The node caches its own MBB (kept in sync with the parent's entry) and,
+/// for the Hilbert variant, its largest Hilbert value (LHV).
+#[derive(Clone, Debug)]
+pub struct Node<const D: usize> {
+    /// 0 = leaf; parents have `level = child.level + 1`.
+    pub level: u32,
+    /// Cached MBB of all entries (undefined for an empty root).
+    pub mbb: Rect<D>,
+    /// Entries; between `m` and `M` except transiently and for the root.
+    pub entries: Vec<Entry<D>>,
+    /// Largest Hilbert value of any data object below (Hilbert variant).
+    pub lhv: u64,
+}
+
+impl<const D: usize> Node<D> {
+    /// Fresh empty node at `level`.
+    pub fn new(level: u32) -> Self {
+        Node {
+            level,
+            mbb: Rect::point(cbb_geom::Point::origin()),
+            entries: Vec::new(),
+            lhv: 0,
+        }
+    }
+
+    /// Whether this is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Recompute the cached MBB from the entries. No-op (degenerate MBB)
+    /// for an empty node.
+    pub fn recompute_mbb(&mut self) {
+        if let Some(first) = self.entries.first() {
+            let mut mbb = first.mbb;
+            for e in &self.entries[1..] {
+                mbb = mbb.union(&e.mbb);
+            }
+            self.mbb = mbb;
+        }
+    }
+
+    /// The MBBs of all entries (what the clipper consumes).
+    pub fn entry_rects(&self) -> Vec<Rect<D>> {
+        self.entries.iter().map(|e| e.mbb).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbb_geom::Point;
+
+    fn r2(lx: f64, ly: f64, hx: f64, hy: f64) -> Rect<2> {
+        Rect::new(Point([lx, ly]), Point([hx, hy]))
+    }
+
+    #[test]
+    fn child_accessors() {
+        assert_eq!(Child::Node(NodeId(3)).node_id(), NodeId(3));
+        assert_eq!(Child::Data(DataId(7)).data_id(), DataId(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected node child")]
+    fn node_id_panics_on_data() {
+        let _ = Child::Data(DataId(0)).node_id();
+    }
+
+    #[test]
+    fn recompute_mbb_unions_entries() {
+        let mut n: Node<2> = Node::new(0);
+        n.entries.push(Entry::data(r2(0.0, 0.0, 1.0, 1.0), DataId(0)));
+        n.entries.push(Entry::data(r2(4.0, 2.0, 6.0, 3.0), DataId(1)));
+        n.recompute_mbb();
+        assert_eq!(n.mbb, r2(0.0, 0.0, 6.0, 3.0));
+        assert!(n.is_leaf());
+    }
+
+    #[test]
+    fn entry_rects_roundtrip() {
+        let mut n: Node<2> = Node::new(1);
+        n.entries.push(Entry::node(r2(0.0, 0.0, 1.0, 1.0), NodeId(1)));
+        n.entries.push(Entry::node(r2(2.0, 2.0, 3.0, 3.0), NodeId(2)));
+        assert_eq!(n.entry_rects().len(), 2);
+        assert!(!n.is_leaf());
+    }
+}

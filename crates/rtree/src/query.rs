@@ -1,0 +1,147 @@
+//! Instrumented range queries over the base (unclipped) tree.
+
+use cbb_geom::Rect;
+
+use crate::node::{Child, DataId, NodeId};
+use crate::stats::AccessStats;
+use crate::tree::RTree;
+
+impl<const D: usize> RTree<D> {
+    /// All objects whose MBBs intersect `q` (closed-interval semantics).
+    pub fn range_query(&self, q: &Rect<D>) -> Vec<DataId> {
+        let mut stats = AccessStats::new();
+        self.range_query_stats(q, &mut stats)
+    }
+
+    /// Range query collecting access statistics (leaf accesses are the
+    /// paper's I/O metric; internal nodes are assumed buffered).
+    pub fn range_query_stats(&self, q: &Rect<D>, stats: &mut AccessStats) -> Vec<DataId> {
+        let mut out = Vec::new();
+        if self.is_empty() {
+            return out;
+        }
+        self.query_node(self.root_id(), q, stats, &mut out);
+        out
+    }
+
+    fn query_node(
+        &self,
+        id: NodeId,
+        q: &Rect<D>,
+        stats: &mut AccessStats,
+        out: &mut Vec<DataId>,
+    ) {
+        let node = self.node(id);
+        if node.is_leaf() {
+            stats.leaf_accesses += 1;
+            let before = out.len();
+            for e in &node.entries {
+                if e.mbb.intersects(q) {
+                    out.push(e.child.data_id());
+                }
+            }
+            let found = out.len() - before;
+            stats.results += found as u64;
+            if found > 0 {
+                stats.contributing_leaf_accesses += 1;
+            }
+        } else {
+            stats.internal_accesses += 1;
+            for e in &node.entries {
+                if e.mbb.intersects(q) {
+                    if let Child::Node(child) = e.child {
+                        self.query_node(child, q, stats, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collect every `(mbb, id)` stored in the tree (test/debug helper).
+    pub fn all_objects(&self) -> Vec<(Rect<D>, DataId)> {
+        let mut out = Vec::with_capacity(self.len());
+        for (_, node) in self.iter_nodes() {
+            if node.is_leaf() {
+                for e in &node.entries {
+                    out.push((e.mbb, e.child.data_id()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{TreeConfig, Variant};
+    use cbb_geom::Point;
+
+    fn grid_tree(variant: Variant) -> RTree<2> {
+        // 10×10 grid of unit boxes.
+        let mut tree = RTree::new(TreeConfig::tiny(variant));
+        let mut id = 0;
+        for x in 0..10 {
+            for y in 0..10 {
+                let lo = Point([x as f64 * 2.0, y as f64 * 2.0]);
+                let r = Rect::new(lo, Point([lo[0] + 1.0, lo[1] + 1.0]));
+                tree.insert(r, DataId(id));
+                id += 1;
+            }
+        }
+        tree
+    }
+
+    #[test]
+    fn query_returns_exactly_intersecting_objects() {
+        for variant in Variant::ALL {
+            let tree = grid_tree(variant);
+            // A query covering the 2×2 block of cells at origin.
+            let q = Rect::new(Point([0.0, 0.0]), Point([3.0, 3.0]));
+            let mut res = tree.range_query(&q);
+            res.sort();
+            // Cells (0,0), (0,1), (1,0), (1,1) → ids 0, 1, 10, 11.
+            assert_eq!(
+                res,
+                vec![DataId(0), DataId(1), DataId(10), DataId(11)],
+                "{variant:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_query_region() {
+        let tree = grid_tree(Variant::RStar);
+        let q = Rect::new(Point([100.0, 100.0]), Point([110.0, 110.0]));
+        assert!(tree.range_query(&q).is_empty());
+    }
+
+    #[test]
+    fn stats_count_accesses() {
+        let tree = grid_tree(Variant::Quadratic);
+        let mut stats = AccessStats::new();
+        let q = Rect::new(Point([0.0, 0.0]), Point([3.0, 3.0]));
+        let res = tree.range_query_stats(&q, &mut stats);
+        assert_eq!(res.len() as u64, stats.results);
+        assert!(stats.leaf_accesses >= 1);
+        assert!(stats.contributing_leaf_accesses <= stats.leaf_accesses);
+    }
+
+    #[test]
+    fn boundary_touch_counts_as_intersection() {
+        let tree = grid_tree(Variant::RRStar);
+        // Query touching cell (0,0) exactly at its right edge x = 1.
+        let q = Rect::new(Point([1.0, 0.0]), Point([1.5, 0.5]));
+        let res = tree.range_query(&q);
+        assert!(res.contains(&DataId(0)));
+    }
+
+    #[test]
+    fn all_objects_roundtrip() {
+        let tree = grid_tree(Variant::Hilbert);
+        let mut objs = tree.all_objects();
+        objs.sort_by_key(|(_, d)| *d);
+        assert_eq!(objs.len(), 100);
+        assert_eq!(objs[0].1, DataId(0));
+    }
+}

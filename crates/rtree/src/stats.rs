@@ -1,0 +1,84 @@
+//! Access accounting — the paper's I/O metric.
+//!
+//! Following the paper (and the disk-based indexing literature it cites),
+//! internal nodes are assumed memory-resident and **leaf accesses** are the
+//! I/O cost. The stats also record which leaf accesses *contributed* at
+//! least one result — the numerator of the Figure 1c optimality ratio.
+
+/// Counters collected by instrumented traversals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Leaf nodes read (the I/O metric).
+    pub leaf_accesses: u64,
+    /// Leaf nodes read that contained ≥ 1 result object ("useful" I/Os).
+    pub contributing_leaf_accesses: u64,
+    /// Internal (directory) nodes visited.
+    pub internal_accesses: u64,
+    /// Result objects produced.
+    pub results: u64,
+    /// Clip-point dominance comparisons performed (Algorithm 2, line 4).
+    pub clip_tests: u64,
+    /// Subtree visits avoided because a clip point pruned the recursion.
+    pub clip_prunes: u64,
+}
+
+impl AccessStats {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merge counters from another traversal.
+    pub fn absorb(&mut self, other: &AccessStats) {
+        self.leaf_accesses += other.leaf_accesses;
+        self.contributing_leaf_accesses += other.contributing_leaf_accesses;
+        self.internal_accesses += other.internal_accesses;
+        self.results += other.results;
+        self.clip_tests += other.clip_tests;
+        self.clip_prunes += other.clip_prunes;
+    }
+
+    /// Fraction of leaf accesses that contributed results (Figure 1c),
+    /// `None` when no leaf was accessed.
+    pub fn leaf_optimality(&self) -> Option<f64> {
+        if self.leaf_accesses == 0 {
+            None
+        } else {
+            Some(self.contributing_leaf_accesses as f64 / self.leaf_accesses as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = AccessStats::new();
+        let b = AccessStats {
+            leaf_accesses: 3,
+            contributing_leaf_accesses: 2,
+            internal_accesses: 1,
+            results: 5,
+            clip_tests: 7,
+            clip_prunes: 1,
+        };
+        a.absorb(&b);
+        a.absorb(&b);
+        assert_eq!(a.leaf_accesses, 6);
+        assert_eq!(a.results, 10);
+        assert_eq!(a.clip_prunes, 2);
+    }
+
+    #[test]
+    fn optimality_ratio() {
+        let s = AccessStats {
+            leaf_accesses: 4,
+            contributing_leaf_accesses: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.leaf_optimality(), Some(0.25));
+        assert_eq!(AccessStats::new().leaf_optimality(), None);
+    }
+}

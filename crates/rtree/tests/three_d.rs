@@ -1,0 +1,286 @@
+//! 3-d coverage across all variants: the experiments' 3-d datasets stress
+//! different code paths (8 corners per node, 3-axis splits, order-16
+//! Hilbert keys in 3-d), so every core behaviour is re-checked here in
+//! three dimensions against brute-force oracles.
+
+use cbb_core::{ClipConfig, ClipMethod};
+use cbb_geom::{Point, Rect, SplitMix64};
+use cbb_rtree::{AccessStats, ClippedRTree, DataId, RTree, TreeConfig, Variant};
+
+fn boxes3(n: usize, seed: u64) -> Vec<Rect<3>> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let x = rng.gen_range(0.0, 900.0);
+            let y = rng.gen_range(0.0, 900.0);
+            let z = rng.gen_range(0.0, 900.0);
+            // Skinny in one random dimension, like the neuro data.
+            let mut ext = [
+                rng.gen_range(1.0, 8.0),
+                rng.gen_range(1.0, 8.0),
+                rng.gen_range(1.0, 8.0),
+            ];
+            ext[rng.gen_index(3)] = rng.gen_range(30.0, 80.0);
+            Rect::new(
+                Point([x, y, z]),
+                Point([x + ext[0], y + ext[1], z + ext[2]]),
+            )
+        })
+        .collect()
+}
+
+fn world3() -> Rect<3> {
+    Rect::new(Point([0.0; 3]), Point([1000.0; 3]))
+}
+
+fn brute<const D: usize>(objs: &[(Rect<D>, DataId)], q: &Rect<D>) -> Vec<DataId> {
+    let mut v: Vec<DataId> = objs
+        .iter()
+        .filter(|(r, _)| r.intersects(q))
+        .map(|(_, d)| *d)
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn insert_query_delete_all_variants_3d() {
+    for variant in Variant::ALL {
+        let mut tree: RTree<3> =
+            RTree::new(TreeConfig::tiny(variant).with_world(world3()));
+        let data = boxes3(400, 21);
+        let mut objs = Vec::new();
+        for (i, b) in data.iter().enumerate() {
+            tree.insert(*b, DataId(i as u32));
+            objs.push((*b, DataId(i as u32)));
+        }
+        tree.validate().unwrap();
+
+        let q = Rect::new(Point([100.0; 3]), Point([400.0; 3]));
+        let mut got = tree.range_query(&q);
+        got.sort();
+        assert_eq!(got, brute(&objs, &q), "{variant:?} after inserts");
+
+        // Delete every third object.
+        let mut survivors = Vec::new();
+        for (i, b) in data.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(tree.delete(b, DataId(i as u32)).is_some(), "{variant:?}");
+            } else {
+                survivors.push((*b, DataId(i as u32)));
+            }
+        }
+        tree.validate().unwrap();
+        let mut got = tree.range_query(&q);
+        got.sort();
+        assert_eq!(got, brute(&survivors, &q), "{variant:?} after deletes");
+    }
+}
+
+#[test]
+fn clipped_3d_exactness_and_savings() {
+    let data = boxes3(1_500, 33);
+    let items: Vec<(Rect<3>, DataId)> = data
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (*b, DataId(i as u32)))
+        .collect();
+    for variant in Variant::ALL {
+        let tree = RTree::bulk_load(TreeConfig::tiny(variant).with_world(world3()), &items);
+        let clipped = ClippedRTree::from_tree(
+            tree,
+            ClipConfig::paper_default::<3>(ClipMethod::Stairline),
+        );
+        clipped.verify_clips().unwrap();
+        // All 8 corners can carry clips in 3-d.
+        let mut masks_seen = std::collections::HashSet::new();
+        for (id, _) in clipped.tree.iter_nodes() {
+            for c in clipped.clips_of(id) {
+                masks_seen.insert(c.mask.bits());
+            }
+        }
+        assert!(masks_seen.len() >= 4, "{variant:?}: clips use too few corners");
+
+        let mut rng = SplitMix64::new(7);
+        let mut base = AccessStats::new();
+        let mut with = AccessStats::new();
+        for _ in 0..200 {
+            let p = Point([
+                rng.gen_range(0.0, 950.0),
+                rng.gen_range(0.0, 950.0),
+                rng.gen_range(0.0, 950.0),
+            ]);
+            let q = Rect::new(p, Point([p[0] + 15.0, p[1] + 15.0, p[2] + 15.0]));
+            let a = clipped.tree.range_query_stats(&q, &mut base);
+            let b = clipped.range_query_stats(&q, &mut with);
+            assert_eq!(a.len(), b.len(), "{variant:?}");
+        }
+        assert!(
+            with.leaf_accesses < base.leaf_accesses,
+            "{variant:?}: no 3-d savings ({} vs {})",
+            with.leaf_accesses,
+            base.leaf_accesses
+        );
+    }
+}
+
+#[test]
+fn maintenance_3d_mixed_workload() {
+    let data = boxes3(600, 44);
+    let (initial, updates) = data.split_at(400);
+    let items: Vec<(Rect<3>, DataId)> = initial
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (*b, DataId(i as u32)))
+        .collect();
+    for variant in [Variant::RStar, Variant::Hilbert] {
+        let tree = RTree::bulk_load(TreeConfig::tiny(variant).with_world(world3()), &items);
+        let mut clipped = ClippedRTree::from_tree(
+            tree,
+            ClipConfig::paper_default::<3>(ClipMethod::Skyline),
+        );
+        for (i, b) in updates.iter().enumerate() {
+            clipped.insert(*b, DataId(400 + i as u32));
+            if i % 2 == 0 {
+                assert!(clipped.delete(&initial[i], DataId(i as u32)), "{variant:?}");
+            }
+        }
+        clipped.tree.validate().unwrap();
+        clipped.verify_clips().unwrap();
+    }
+}
+
+/// The machinery is dimension-generic: exercise it as a 1-d interval tree,
+/// the degenerate base case (2 corners, 1-bit masks).
+#[test]
+fn one_dimensional_intervals() {
+    let mut rng = SplitMix64::new(9);
+    let mut tree: RTree<1> = RTree::new(
+        TreeConfig::tiny(Variant::RStar)
+            .with_world(Rect::new(Point([0.0]), Point([1000.0]))),
+    );
+    let mut objs = Vec::new();
+    for i in 0..500 {
+        let lo = rng.gen_range(0.0, 990.0);
+        let len = rng.gen_range(0.1, 10.0);
+        let r = Rect::new(Point([lo]), Point([lo + len]));
+        tree.insert(r, DataId(i));
+        objs.push((r, DataId(i)));
+    }
+    tree.validate().unwrap();
+    let clipped =
+        ClippedRTree::from_tree(tree, ClipConfig::paper_default::<1>(ClipMethod::Stairline));
+    clipped.verify_clips().unwrap();
+    for start in [5.0, 250.0, 777.0] {
+        let q = Rect::new(Point([start]), Point([start + 20.0]));
+        let mut got = clipped.range_query(&q);
+        got.sort();
+        assert_eq!(got, brute(&objs, &q));
+    }
+}
+
+#[test]
+fn hilbert_lhv_invariant_after_updates() {
+    // HR-tree structural invariant: within every directory node, entries
+    // are ordered by their child's LHV, and each node's LHV equals the max
+    // over its subtree.
+    let mut tree: RTree<3> =
+        RTree::new(TreeConfig::tiny(Variant::Hilbert).with_world(world3()));
+    let data = boxes3(500, 55);
+    for (i, b) in data.iter().enumerate() {
+        tree.insert(*b, DataId(i as u32));
+    }
+    for (i, b) in data.iter().enumerate().take(200) {
+        tree.delete(b, DataId(i as u32)).unwrap();
+    }
+    tree.validate().unwrap();
+
+    fn check_lhv<const D: usize>(tree: &RTree<D>, id: cbb_rtree::NodeId) -> u64 {
+        let node = tree.node(id);
+        if node.is_leaf() {
+            let max = node
+                .entries
+                .iter()
+                .map(|e| tree.hilbert_key(&e.mbb))
+                .max()
+                .unwrap_or(0);
+            assert_eq!(node.lhv, max, "leaf {id:?} LHV stale");
+            return max;
+        }
+        let mut prev = 0u64;
+        let mut max = 0u64;
+        for e in &node.entries {
+            let child = match e.child {
+                cbb_rtree::Child::Node(c) => c,
+                cbb_rtree::Child::Data(_) => unreachable!(),
+            };
+            let lhv = check_lhv(tree, child);
+            assert!(lhv >= prev, "directory {id:?} not LHV-ordered");
+            prev = lhv;
+            max = max.max(lhv);
+        }
+        assert_eq!(node.lhv, max, "directory {id:?} LHV stale");
+        max
+    }
+    check_lhv(&tree, tree.root_id());
+}
+
+#[test]
+#[should_panic(expected = "non-finite")]
+fn nan_rect_rejected() {
+    let mut tree: RTree<2> = RTree::new(TreeConfig::tiny(Variant::Quadratic));
+    let bad = Rect {
+        lo: Point([f64::NAN, 0.0]),
+        hi: Point([1.0, 1.0]),
+    };
+    tree.insert(bad, DataId(0));
+}
+
+#[test]
+fn delete_from_empty_and_missing() {
+    let mut tree: RTree<2> = RTree::new(TreeConfig::tiny(Variant::RRStar));
+    let r = Rect::new(Point([0.0, 0.0]), Point([1.0, 1.0]));
+    assert!(tree.delete(&r, DataId(0)).is_none());
+    tree.insert(r, DataId(0));
+    // Wrong id, wrong rect.
+    assert!(tree.delete(&r, DataId(1)).is_none());
+    let other = Rect::new(Point([0.0, 0.0]), Point([2.0, 2.0]));
+    assert!(tree.delete(&other, DataId(0)).is_none());
+    // Correct delete empties the tree.
+    assert!(tree.delete(&r, DataId(0)).is_some());
+    assert!(tree.is_empty());
+    tree.validate().unwrap();
+}
+
+#[test]
+fn drain_tree_to_empty_and_refill() {
+    for variant in Variant::ALL {
+        let mut tree: RTree<2> =
+            RTree::new(TreeConfig::tiny(variant).with_world(
+                Rect::new(Point([0.0, 0.0]), Point([1000.0, 1000.0])),
+            ));
+        let mut rng = SplitMix64::new(66);
+        let data: Vec<Rect<2>> = (0..300)
+            .map(|_| {
+                let x = rng.gen_range(0.0, 990.0);
+                let y = rng.gen_range(0.0, 990.0);
+                Rect::new(Point([x, y]), Point([x + 5.0, y + 5.0]))
+            })
+            .collect();
+        for (i, b) in data.iter().enumerate() {
+            tree.insert(*b, DataId(i as u32));
+        }
+        for (i, b) in data.iter().enumerate() {
+            assert!(tree.delete(b, DataId(i as u32)).is_some(), "{variant:?}");
+        }
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 1, "{variant:?}: root must shrink back to a leaf");
+        tree.validate().unwrap();
+        // Refill works after drain.
+        for (i, b) in data.iter().enumerate() {
+            tree.insert(*b, DataId(i as u32));
+        }
+        tree.validate().unwrap();
+        assert_eq!(tree.len(), data.len());
+    }
+}

@@ -1,0 +1,156 @@
+//! LRU buffer pool with hit/miss accounting.
+
+use std::collections::HashMap;
+
+use cbb_rtree::config::PAGE_SIZE;
+
+use crate::pagestore::PageStore;
+
+/// Pool statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Requests served from the pool.
+    pub hits: u64,
+    /// Requests that had to read the backend (page faults).
+    pub misses: u64,
+    /// Pages evicted.
+    pub evictions: u64,
+}
+
+/// A fixed-capacity LRU buffer pool over some [`PageStore`].
+///
+/// Read-only workloads only (the experiments build first, then query), so
+/// eviction never writes back.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    /// page id → frame index.
+    map: HashMap<u32, usize>,
+    /// Frame payloads.
+    frames: Vec<Box<[u8]>>,
+    /// Frame → page id.
+    owners: Vec<u32>,
+    /// LRU clock: per frame, last touch tick.
+    last_used: Vec<u64>,
+    tick: u64,
+    /// Statistics.
+    pub stats: PoolStats,
+}
+
+impl BufferPool {
+    /// Pool holding up to `capacity` pages (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        BufferPool {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            frames: Vec::with_capacity(capacity),
+            owners: Vec::with_capacity(capacity),
+            last_used: Vec::with_capacity(capacity),
+            tick: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Fetch page `id`, reading through to `store` on a miss. Returns the
+    /// page bytes.
+    pub fn get<'a>(&'a mut self, store: &mut dyn PageStore, id: u32) -> &'a [u8] {
+        self.tick += 1;
+        if let Some(&frame) = self.map.get(&id) {
+            self.stats.hits += 1;
+            self.last_used[frame] = self.tick;
+            return &self.frames[frame];
+        }
+        self.stats.misses += 1;
+        let frame = if self.frames.len() < self.capacity {
+            self.frames.push(vec![0u8; PAGE_SIZE].into_boxed_slice());
+            self.owners.push(id);
+            self.last_used.push(self.tick);
+            self.frames.len() - 1
+        } else {
+            // Evict the least recently used frame.
+            let victim = (0..self.frames.len())
+                .min_by_key(|&i| self.last_used[i])
+                .expect("non-empty pool");
+            self.stats.evictions += 1;
+            self.map.remove(&self.owners[victim]);
+            self.owners[victim] = id;
+            self.last_used[victim] = self.tick;
+            victim
+        };
+        store.read_page(id, &mut self.frames[frame]);
+        self.map.insert(id, frame);
+        &self.frames[frame]
+    }
+
+    /// Drop all cached pages (cold-cache experiment resets).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.frames.clear();
+        self.owners.clear();
+        self.last_used.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagestore::MemPageStore;
+
+    fn store_with_pages(n: u32) -> MemPageStore {
+        let mut s = MemPageStore::new();
+        for i in 0..n {
+            s.write_page(i, &vec![i as u8; PAGE_SIZE]);
+        }
+        s
+    }
+
+    #[test]
+    fn hits_and_misses() {
+        let mut store = store_with_pages(4);
+        let mut pool = BufferPool::new(2);
+        assert_eq!(pool.get(&mut store, 0)[0], 0);
+        assert_eq!(pool.get(&mut store, 0)[0], 0); // hit
+        assert_eq!(pool.stats.hits, 1);
+        assert_eq!(pool.stats.misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut store = store_with_pages(4);
+        let mut pool = BufferPool::new(2);
+        pool.get(&mut store, 0);
+        pool.get(&mut store, 1);
+        pool.get(&mut store, 0); // refresh 0 → LRU victim is 1
+        pool.get(&mut store, 2); // evicts 1
+        assert_eq!(pool.stats.evictions, 1);
+        // 0 still cached, 1 gone.
+        let before = pool.stats.misses;
+        pool.get(&mut store, 0);
+        assert_eq!(pool.stats.misses, before);
+        pool.get(&mut store, 1);
+        assert_eq!(pool.stats.misses, before + 1);
+    }
+
+    #[test]
+    fn single_frame_pool() {
+        let mut store = store_with_pages(3);
+        let mut pool = BufferPool::new(1);
+        for id in [0u32, 1, 2, 0, 1, 2] {
+            assert_eq!(pool.get(&mut store, id)[0], id as u8);
+        }
+        assert_eq!(pool.stats.hits, 0);
+        assert_eq!(pool.stats.misses, 6);
+    }
+
+    #[test]
+    fn clear_resets_contents() {
+        let mut store = store_with_pages(2);
+        let mut pool = BufferPool::new(2);
+        pool.get(&mut store, 0);
+        pool.clear();
+        let misses = pool.stats.misses;
+        pool.get(&mut store, 0);
+        assert_eq!(pool.stats.misses, misses + 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Storage-breakdown accounting (Figure 13): bytes devoted to directory
+//! nodes, leaf nodes and clip points of a clipped R-tree, using the
+//! Figure 4 physical layout sizes.
+
+use cbb_rtree::config::PAGE_SIZE;
+use cbb_rtree::ClippedRTree;
+
+use crate::codec::{clip_point_bytes, CLIP_RECORD_HEADER_BYTES};
+
+/// Byte totals per storage component.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StorageBreakdown {
+    /// Bytes in directory-node pages.
+    pub dir_bytes: u64,
+    /// Bytes in leaf-node pages.
+    pub leaf_bytes: u64,
+    /// Bytes in the auxiliary clip structure (table + point arrays).
+    pub clip_bytes: u64,
+    /// Stored clip points.
+    pub clip_points: u64,
+    /// Live nodes.
+    pub nodes: u64,
+}
+
+impl StorageBreakdown {
+    /// Total bytes.
+    pub fn total(&self) -> u64 {
+        self.dir_bytes + self.leaf_bytes + self.clip_bytes
+    }
+
+    /// Percentage split `(dir, leaf, clips)`.
+    pub fn percentages(&self) -> (f64, f64, f64) {
+        let t = self.total() as f64;
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.dir_bytes as f64 / t * 100.0,
+            self.leaf_bytes as f64 / t * 100.0,
+            self.clip_bytes as f64 / t * 100.0,
+        )
+    }
+
+    /// Average stored clip points per node (Figure 13 bar annotations).
+    pub fn avg_clip_points(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.clip_points as f64 / self.nodes as f64
+        }
+    }
+}
+
+/// Account a clipped tree's storage in the Figure 4 layout: one 4 KiB page
+/// per node; per node a clip-table record (count + pointer) plus its
+/// clip-point array (mask byte + `d` coordinates each).
+pub fn storage_breakdown<const D: usize>(tree: &ClippedRTree<D>) -> StorageBreakdown {
+    let mut b = StorageBreakdown::default();
+    for (id, node) in tree.tree.iter_nodes() {
+        b.nodes += 1;
+        if node.is_leaf() {
+            b.leaf_bytes += PAGE_SIZE as u64;
+        } else {
+            b.dir_bytes += PAGE_SIZE as u64;
+        }
+        let clips = tree.clips_of(id).len() as u64;
+        b.clip_points += clips;
+        b.clip_bytes += CLIP_RECORD_HEADER_BYTES as u64 + clips * clip_point_bytes(D) as u64;
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbb_core::{ClipConfig, ClipMethod};
+    use cbb_geom::{Point, Rect, SplitMix64};
+    use cbb_rtree::{DataId, RTree, TreeConfig, Variant};
+
+    fn sample_tree() -> ClippedRTree<2> {
+        let mut rng = SplitMix64::new(1);
+        let items: Vec<(Rect<2>, DataId)> = (0..600)
+            .map(|i| {
+                let x = rng.gen_range(0.0, 950.0);
+                let y = rng.gen_range(0.0, 950.0);
+                (
+                    Rect::new(Point([x, y]), Point([x + 3.0, y + 3.0])),
+                    DataId(i),
+                )
+            })
+            .collect();
+        let tree = RTree::bulk_load(TreeConfig::tiny(Variant::RRStar), &items);
+        ClippedRTree::from_tree(tree, ClipConfig::paper_default::<2>(ClipMethod::Stairline))
+    }
+
+    #[test]
+    fn breakdown_sums_and_dominant_leaves() {
+        let t = sample_tree();
+        let b = storage_breakdown(&t);
+        assert_eq!(b.nodes as usize, t.tree.node_count());
+        assert_eq!(b.clip_points as usize, t.total_clip_points());
+        assert!(b.leaf_bytes > b.dir_bytes, "leaves dominate storage");
+        let (pd, pl, pc) = b.percentages();
+        assert!((pd + pl + pc - 100.0).abs() < 1e-9);
+        // The paper's observation: clip overhead is a few percent.
+        assert!(pc < 15.0, "clip overhead {pc}% unexpectedly high");
+        assert!(b.avg_clip_points() > 0.0);
+    }
+
+    #[test]
+    fn empty_breakdown() {
+        let b = StorageBreakdown::default();
+        assert_eq!(b.total(), 0);
+        assert_eq!(b.percentages(), (0.0, 0.0, 0.0));
+        assert_eq!(b.avg_clip_points(), 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Page-granular storage backends with I/O accounting.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use cbb_rtree::config::PAGE_SIZE;
+
+/// Counters shared by all backends.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoCounters {
+    /// Pages read from the backend.
+    pub reads: u64,
+    /// Pages written to the backend.
+    pub writes: u64,
+}
+
+/// A page-addressable store.
+pub trait PageStore {
+    /// Read page `id` into `buf` (`buf.len() == PAGE_SIZE`).
+    fn read_page(&mut self, id: u32, buf: &mut [u8]);
+    /// Write page `id` from `buf`.
+    fn write_page(&mut self, id: u32, buf: &[u8]);
+    /// Number of pages the store holds.
+    fn page_count(&self) -> u32;
+    /// I/O counters so far.
+    fn counters(&self) -> IoCounters;
+}
+
+/// In-memory page store (tests; deterministic "disk").
+#[derive(Debug, Default)]
+pub struct MemPageStore {
+    pages: Vec<Box<[u8]>>,
+    counters: IoCounters,
+}
+
+impl MemPageStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl PageStore for MemPageStore {
+    fn read_page(&mut self, id: u32, buf: &mut [u8]) {
+        self.counters.reads += 1;
+        buf.copy_from_slice(&self.pages[id as usize]);
+    }
+
+    fn write_page(&mut self, id: u32, buf: &[u8]) {
+        self.counters.writes += 1;
+        let idx = id as usize;
+        if self.pages.len() <= idx {
+            self.pages
+                .resize_with(idx + 1, || vec![0u8; PAGE_SIZE].into_boxed_slice());
+        }
+        self.pages[idx].copy_from_slice(buf);
+    }
+
+    fn page_count(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    fn counters(&self) -> IoCounters {
+        self.counters
+    }
+}
+
+/// File-backed page store (the real-disk backend for the scalability
+/// experiment).
+#[derive(Debug)]
+pub struct FilePageStore {
+    file: File,
+    pages: u32,
+    counters: IoCounters,
+}
+
+impl FilePageStore {
+    /// Create (truncating) a page file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FilePageStore {
+            file,
+            pages: 0,
+            counters: IoCounters::default(),
+        })
+    }
+}
+
+impl PageStore for FilePageStore {
+    fn read_page(&mut self, id: u32, buf: &mut [u8]) {
+        self.counters.reads += 1;
+        self.file
+            .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))
+            .expect("seek");
+        self.file.read_exact(buf).expect("page read");
+    }
+
+    fn write_page(&mut self, id: u32, buf: &[u8]) {
+        self.counters.writes += 1;
+        self.file
+            .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))
+            .expect("seek");
+        self.file.write_all(buf).expect("page write");
+        self.pages = self.pages.max(id + 1);
+    }
+
+    fn page_count(&self) -> u32 {
+        self.pages
+    }
+
+    fn counters(&self) -> IoCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(store: &mut dyn PageStore) {
+        let page_a = vec![0xABu8; PAGE_SIZE];
+        let page_b = vec![0x17u8; PAGE_SIZE];
+        store.write_page(0, &page_a);
+        store.write_page(3, &page_b);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        store.read_page(0, &mut buf);
+        assert_eq!(buf, page_a);
+        store.read_page(3, &mut buf);
+        assert_eq!(buf, page_b);
+        assert!(store.page_count() >= 4);
+        let c = store.counters();
+        assert_eq!(c.reads, 2);
+        assert_eq!(c.writes, 2);
+    }
+
+    #[test]
+    fn mem_store_roundtrip() {
+        roundtrip(&mut MemPageStore::new());
+    }
+
+    #[test]
+    fn file_store_roundtrip() {
+        let dir = std::env::temp_dir().join("cbb_storage_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.bin");
+        roundtrip(&mut FilePageStore::create(&path).unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,69 @@
+//! Disk-resident queries under memory pressure — a scaled-down rendition
+//! of the paper's billion-object experiment (Figure 15): the index far
+//! exceeds the buffer pool, queries fault pages in from a real page file,
+//! and clipping cuts the faults.
+//!
+//! ```text
+//! cargo run --release --example disk_scale
+//! ```
+
+use clipped_bbox::datasets::{self, Scale};
+use clipped_bbox::prelude::*;
+use clipped_bbox::storage::{DiskRTree, FilePageStore, PageStore};
+
+fn main() {
+    let data = datasets::dataset2("par02", Scale::Exact(200_000));
+    println!("dataset: {} with {} objects", data.name, data.len());
+
+    let config = TreeConfig::paper_default(Variant::Hilbert).with_world(data.domain);
+    let tree = RTree::bulk_load(config, &data.items());
+    let clipped = ClippedRTree::from_tree(
+        tree,
+        ClipConfig::paper_default::<2>(ClipMethod::Stairline),
+    );
+
+    // Persist to an actual page file under target/.
+    let dir = std::env::temp_dir().join("cbb_disk_scale");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("hr_tree.pages");
+    let mut store = FilePageStore::create(&path).expect("page file");
+    // A pool of 64 pages (256 KiB) against thousands of pages: the paper's
+    // "index ≫ memory" regime.
+    let mut disk = DiskRTree::persist(&clipped, &mut store, 64);
+    println!(
+        "persisted {} pages ({} MiB) at {}",
+        store.page_count(),
+        store.page_count() as usize * 4096 / (1024 * 1024),
+        path.display()
+    );
+
+    let mut counter = |q: &Rect<2>| clipped.tree.range_query(q).len();
+    let queries = datasets::generate_queries(
+        &data,
+        datasets::QueryProfile::QR1,
+        500,
+        3,
+        &mut counter,
+    );
+
+    for use_clips in [false, true] {
+        disk.drop_caches();
+        let start = std::time::Instant::now();
+        let mut faults = 0u64;
+        let mut results = 0u64;
+        for q in &queries {
+            let (found, stats) = disk.range_query(&mut store, q, use_clips);
+            faults += stats.page_faults;
+            results += found.len() as u64;
+        }
+        println!(
+            "{}: {} page faults, {} results, {:.1} ms for {} queries",
+            if use_clips { "clipped  " } else { "unclipped" },
+            faults,
+            results,
+            start.elapsed().as_secs_f64() * 1e3,
+            queries.len()
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,65 @@
+//! Quickstart: build an R-tree, clip it, and watch the I/O drop.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use clipped_bbox::datasets::{self, Scale};
+use clipped_bbox::prelude::*;
+
+fn main() {
+    // 1. A real-ish workload: the par02 benchmark stand-in (50k boxes with
+    //    heavy-tailed sizes).
+    let data = datasets::dataset2("par02", Scale::Exact(50_000));
+    println!("dataset: {} with {} objects", data.name, data.len());
+
+    // 2. Build an R*-tree with the paper's page-derived capacities.
+    let config = TreeConfig::paper_default(Variant::RStar).with_world(data.domain);
+    let tree = RTree::bulk_load(config, &data.items());
+    println!(
+        "R*-tree: {} nodes, height {}, {} leaves",
+        tree.node_count(),
+        tree.height(),
+        tree.leaf_count()
+    );
+
+    // 3. Attach clipped bounding boxes (CBB_STA, k = 2^{d+1}, τ = 2.5 %).
+    let clipped = ClippedRTree::from_tree(
+        tree,
+        ClipConfig::paper_default::<2>(ClipMethod::Stairline),
+    );
+    println!(
+        "clipped: {} clip points ({:.2} per node)",
+        clipped.total_clip_points(),
+        clipped.avg_clips_per_node()
+    );
+
+    // 4. Run the same selective queries on both and compare leaf I/O.
+    let mut counter = |q: &Rect<2>| clipped.tree.range_query(q).len();
+    let queries = datasets::generate_queries(
+        &data,
+        datasets::QueryProfile::QR0,
+        500,
+        42,
+        &mut counter,
+    );
+
+    let mut base = AccessStats::new();
+    let mut clip = AccessStats::new();
+    for q in &queries {
+        let a = clipped.tree.range_query_stats(q, &mut base);
+        let b = clipped.range_query_stats(q, &mut clip);
+        assert_eq!(a.len(), b.len(), "clipping must never change results");
+    }
+    println!(
+        "unclipped: {} leaf accesses over {} queries",
+        base.leaf_accesses,
+        queries.len()
+    );
+    println!(
+        "clipped:   {} leaf accesses ({} prunes) — {:.1}% of baseline",
+        clip.leaf_accesses,
+        clip.clip_prunes,
+        100.0 * clip.leaf_accesses as f64 / base.leaf_accesses as f64
+    );
+}

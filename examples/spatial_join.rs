@@ -1,0 +1,60 @@
+//! Spatial join demo: axons ⋈ dendrites with both join strategies of §V
+//! (Index Nested Loop Join and Synchronised Tree Traversal), with and
+//! without clipping.
+//!
+//! ```text
+//! cargo run --release --example spatial_join
+//! ```
+
+use clipped_bbox::datasets::{self, Scale};
+use clipped_bbox::joins::{inlj, stt};
+use clipped_bbox::prelude::*;
+
+fn main() {
+    // Subsampled neuro data is densified back to the paper's tissue
+    // density by the registry — join selectivity is density-driven.
+    let axons = datasets::dataset3("axo03", Scale::Exact(40_000));
+    let dendrites = datasets::dataset3("den03", Scale::Exact(20_050));
+    println!(
+        "join inputs: {} axon boxes ⋈ {} dendrite boxes (paper density)",
+        axons.len(),
+        dendrites.len(),
+    );
+
+    let clip_cfg = ClipConfig::paper_default::<3>(ClipMethod::Stairline);
+    let build = |d: &datasets::Dataset<3>| {
+        let config = TreeConfig::paper_default(Variant::RStar).with_world(d.domain);
+        ClippedRTree::from_tree(RTree::bulk_load(config, &d.items()), clip_cfg)
+    };
+    let axon_tree = build(&axons);
+    let dendrite_tree = build(&dendrites);
+
+    // INLJ: index the larger input (axons), probe with every dendrite.
+    let plain = inlj(&dendrites.boxes, &axon_tree, false);
+    let clipped = inlj(&dendrites.boxes, &axon_tree, true);
+    assert_eq!(plain.pairs, clipped.pairs, "clipping must not change pairs");
+    println!("INLJ: {} intersecting pairs", plain.pairs);
+    println!(
+        "  unclipped: {:>9} leaf accesses\n  clipped:   {:>9} leaf accesses ({:.1}% saved)",
+        plain.leaf_accesses_right,
+        clipped.leaf_accesses_right,
+        100.0 * (1.0 - clipped.leaf_accesses_right as f64 / plain.leaf_accesses_right as f64)
+    );
+
+    // STT: both sides indexed, synchronised descent.
+    let plain = stt(&axon_tree, &dendrite_tree, false);
+    let clipped = stt(&axon_tree, &dendrite_tree, true);
+    assert_eq!(plain.pairs, clipped.pairs);
+    let total = |r: &clipped_bbox::joins::JoinResult| r.leaf_accesses_left + r.leaf_accesses_right;
+    println!("STT:  {} intersecting pairs", plain.pairs);
+    println!(
+        "  unclipped: {:>9} leaf accesses\n  clipped:   {:>9} leaf accesses ({:.1}% saved, {} prunes)",
+        total(&plain),
+        total(&clipped),
+        100.0 * (1.0 - total(&clipped) as f64 / total(&plain) as f64),
+        clipped.clip_prunes
+    );
+    println!(
+        "(paper: STT does far fewer total accesses than INLJ; clipping saves more on INLJ)"
+    );
+}

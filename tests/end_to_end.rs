@@ -1,0 +1,210 @@
+//! End-to-end integration tests spanning every crate: generated datasets →
+//! variant trees → clipping → queries / joins / disk persistence, checked
+//! against brute-force oracles and the paper's qualitative claims.
+
+use clipped_bbox::datasets::{self, QueryProfile, Scale};
+use clipped_bbox::joins::{brute_force_pairs, inlj, stt};
+use clipped_bbox::prelude::*;
+use clipped_bbox::storage::{DiskRTree, MemPageStore};
+
+fn build_clipped2(
+    data: &datasets::Dataset<2>,
+    variant: Variant,
+    method: ClipMethod,
+) -> ClippedRTree<2> {
+    let config = TreeConfig::paper_default(variant).with_world(data.domain);
+    let tree = RTree::bulk_load(config, &data.items());
+    tree.validate().unwrap();
+    ClippedRTree::from_tree(tree, ClipConfig::paper_default::<2>(method))
+}
+
+#[test]
+fn pipeline_query_correctness_all_variants() {
+    let data = datasets::dataset2("par02", Scale::Exact(5_000));
+    let mut counter = |q: &Rect<2>| data.boxes.iter().filter(|b| b.intersects(q)).count();
+    let queries =
+        datasets::generate_queries(&data, QueryProfile::QR1, 60, 11, &mut counter);
+    for variant in Variant::ALL {
+        for method in [ClipMethod::Skyline, ClipMethod::Stairline] {
+            let clipped = build_clipped2(&data, variant, method);
+            clipped.verify_clips().unwrap();
+            for q in &queries {
+                let mut expected: Vec<u32> = data
+                    .boxes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| b.intersects(q))
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                let mut got: Vec<u32> =
+                    clipped.range_query(q).iter().map(|d| d.0).collect();
+                expected.sort();
+                got.sort();
+                assert_eq!(got, expected, "{variant:?}/{method:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn clipping_saves_io_on_every_variant_for_neuro_data() {
+    // The paper's headline on its motivating data: selective queries over
+    // skinny 3-d boxes save leaf I/O under clipping, on every variant.
+    let data = datasets::dataset3("axo03", Scale::Exact(12_000));
+    for variant in Variant::ALL {
+        let config = TreeConfig::paper_default(variant).with_world(data.domain);
+        let tree = RTree::bulk_load(config, &data.items());
+        let clipped = ClippedRTree::from_tree(
+            tree,
+            ClipConfig::paper_default::<3>(ClipMethod::Stairline),
+        );
+        let mut counter = |q: &Rect<3>| clipped.tree.range_query(q).len();
+        let queries =
+            datasets::generate_queries(&data, QueryProfile::QR0, 150, 5, &mut counter);
+        let mut base = AccessStats::new();
+        let mut with = AccessStats::new();
+        for q in &queries {
+            clipped.tree.range_query_stats(q, &mut base);
+            clipped.range_query_stats(q, &mut with);
+        }
+        assert!(
+            with.leaf_accesses < base.leaf_accesses,
+            "{variant:?}: no I/O savings ({} vs {})",
+            with.leaf_accesses,
+            base.leaf_accesses
+        );
+    }
+}
+
+#[test]
+fn stairline_saves_at_least_as_much_as_skyline_in_aggregate() {
+    let data = datasets::dataset3("den03", Scale::Exact(10_000));
+    let config = TreeConfig::paper_default(Variant::RStar).with_world(data.domain);
+    let tree = RTree::bulk_load(config, &data.items());
+    let sky = ClippedRTree::from_tree(
+        tree.clone(),
+        ClipConfig::paper_default::<3>(ClipMethod::Skyline),
+    );
+    let sta = ClippedRTree::from_tree(
+        tree,
+        ClipConfig::paper_default::<3>(ClipMethod::Stairline),
+    );
+    let mut counter = |q: &Rect<3>| sky.tree.range_query(q).len();
+    let queries = datasets::generate_queries(&data, QueryProfile::QR0, 200, 13, &mut counter);
+    let mut s_sky = AccessStats::new();
+    let mut s_sta = AccessStats::new();
+    for q in &queries {
+        sky.range_query_stats(q, &mut s_sky);
+        sta.range_query_stats(q, &mut s_sta);
+    }
+    assert!(
+        s_sta.leaf_accesses <= s_sky.leaf_accesses,
+        "stairline ({}) worse than skyline ({})",
+        s_sta.leaf_accesses,
+        s_sky.leaf_accesses
+    );
+}
+
+#[test]
+fn updates_after_bulk_load_stay_correct_and_clipped() {
+    let data = datasets::dataset2("rea02", Scale::Exact(4_000));
+    let (build, inserts) = data.boxes.split_at(3_000);
+    let items: Vec<(Rect<2>, DataId)> = build
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (*b, DataId(i as u32)))
+        .collect();
+    let config = TreeConfig::paper_default(Variant::RStar).with_world(data.domain);
+    let tree = RTree::bulk_load(config, &items);
+    let mut clipped =
+        ClippedRTree::from_tree(tree, ClipConfig::paper_default::<2>(ClipMethod::Stairline));
+
+    for (i, b) in inserts.iter().enumerate() {
+        clipped.insert(*b, DataId(3_000 + i as u32));
+    }
+    // Delete a slice of the originals.
+    for (i, b) in build.iter().enumerate().take(500) {
+        assert!(clipped.delete(b, DataId(i as u32)));
+    }
+    clipped.tree.validate().unwrap();
+    clipped.verify_clips().unwrap();
+    assert_eq!(clipped.tree.len(), 3_000 + inserts.len() - 500);
+    assert!(clipped.maintenance.total_reclips() > 0);
+    assert!(clipped.maintenance.validity_tests > 0);
+}
+
+#[test]
+fn disk_tree_round_trip_matches_memory() {
+    let data = datasets::dataset2("par02", Scale::Exact(6_000));
+    let clipped = build_clipped2(&data, Variant::Hilbert, ClipMethod::Stairline);
+    let mut store = MemPageStore::new();
+    let mut disk = DiskRTree::persist(&clipped, &mut store, 32);
+    let mut counter = |q: &Rect<2>| clipped.tree.range_query(q).len();
+    let queries = datasets::generate_queries(&data, QueryProfile::QR1, 40, 17, &mut counter);
+    for q in &queries {
+        let mut expected = clipped.range_query(q);
+        let (mut got, stats) = disk.range_query(&mut store, q, true);
+        expected.sort();
+        got.sort();
+        assert_eq!(got, expected);
+        assert!(stats.page_requests > 0);
+    }
+}
+
+#[test]
+fn joins_agree_with_brute_force_on_generated_data() {
+    // Proportional Exact counts (axo:den paper ratio ≈ 1.995) keep the
+    // registry's density-restoring contraction factors equal, so the
+    // shared circuit hotspots of the two datasets stay co-located and the
+    // join is non-trivial.
+    let axons = datasets::dataset3("axo03", Scale::Exact(16_000));
+    let dendrites = datasets::dataset3("den03", Scale::Exact(8_020));
+    let expected = brute_force_pairs(&axons.boxes, &dendrites.boxes);
+    assert!(expected > 0, "test inputs must actually join");
+
+    let build = |d: &datasets::Dataset<3>| {
+        let config = TreeConfig::paper_default(Variant::RRStar).with_world(d.domain);
+        ClippedRTree::from_tree(
+            RTree::bulk_load(config, &d.items()),
+            ClipConfig::paper_default::<3>(ClipMethod::Stairline),
+        )
+    };
+    let left = build(&axons);
+    let right = build(&dendrites);
+
+    let inlj_res = inlj(&dendrites.boxes, &left, true);
+    assert_eq!(inlj_res.pairs, expected);
+
+    let stt_res = stt(&left, &right, true);
+    assert_eq!(stt_res.pairs, expected);
+
+    // STT must beat INLJ in total leaf accesses (the paper's observation).
+    let stt_total = stt_res.leaf_accesses_left + stt_res.leaf_accesses_right;
+    assert!(
+        stt_total < inlj_res.leaf_accesses_right,
+        "STT {} vs INLJ {}",
+        stt_total,
+        inlj_res.leaf_accesses_right
+    );
+}
+
+#[test]
+fn point_dataset_pipeline() {
+    // rea03 is pure points; the entire pipeline must handle degenerate
+    // boxes.
+    let data = datasets::dataset3("rea03", Scale::Exact(8_000));
+    let config = TreeConfig::paper_default(Variant::Quadratic).with_world(data.domain);
+    let tree = RTree::bulk_load(config, &data.items());
+    let clipped =
+        ClippedRTree::from_tree(tree, ClipConfig::paper_default::<3>(ClipMethod::Stairline));
+    clipped.verify_clips().unwrap();
+    let mut counter = |q: &Rect<3>| clipped.tree.range_query(q).len();
+    let queries = datasets::generate_queries(&data, QueryProfile::QR2, 30, 23, &mut counter);
+    for q in &queries {
+        let mut base = clipped.tree.range_query(q);
+        let mut with = clipped.range_query(q);
+        base.sort();
+        with.sort();
+        assert_eq!(base, with);
+    }
+}

@@ -152,10 +152,8 @@ fn bench_range_query(c: &mut Criterion) {
             .with_world(Rect::new(Point([0.0, 0.0]), Point([1000.0, 1000.0]))),
         &items,
     );
-    let clipped = ClippedRTree::from_tree(
-        tree,
-        ClipConfig::paper_default::<2>(ClipMethod::Stairline),
-    );
+    let clipped =
+        ClippedRTree::from_tree(tree, ClipConfig::paper_default::<2>(ClipMethod::Stairline));
     let mut rng = SplitMix64::new(8);
     let queries: Vec<Rect<2>> = (0..128)
         .map(|_| {

@@ -42,7 +42,7 @@ fn exact_greedy<const D: usize>(
             let mut with = regions.clone();
             with.push(c.region(mbb));
             let gain = union_volume_exact(mbb, &with) - covered;
-            if best.map_or(true, |(g, _)| gain > g) {
+            if best.is_none_or(|(g, _)| gain > g) {
                 best = Some((gain, i));
             }
         }

@@ -5,7 +5,9 @@
 //! that gap: sweep τ and report stored clip points, storage overhead, and
 //! QR0 leaf-access reduction on a clipped RR*-tree.
 
-use cbb_bench::{base_leaf_accesses, clipped_leaf_accesses, header, paper_build, parse_args, row, workload};
+use cbb_bench::{
+    base_leaf_accesses, clipped_leaf_accesses, header, paper_build, parse_args, row, workload,
+};
 use cbb_core::{ClipConfig, ClipMethod};
 use cbb_datasets::{dataset2, dataset3, Dataset, QueryProfile};
 use cbb_rtree::{ClippedRTree, Variant};
@@ -15,7 +17,10 @@ const TAUS: [f64; 5] = [0.0, 0.0125, 0.025, 0.05, 0.10];
 
 fn run<const D: usize>(data: &Dataset<D>, args: &cbb_bench::Args) {
     header(
-        &format!("τ ablation — CSTA-RR*-tree on {} (paper default τ = 2.5%)", data.name),
+        &format!(
+            "τ ablation — CSTA-RR*-tree on {} (paper default τ = 2.5%)",
+            data.name
+        ),
         "tau",
         &["clips/node", "clip-storage", "QR0 I/O", "saved"],
     );

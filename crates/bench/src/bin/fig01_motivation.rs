@@ -16,11 +16,7 @@ fn main() {
     let args = parse_args();
     let rea02 = dataset2("rea02", args.scale);
     let axo03 = dataset3("axo03", args.scale);
-    println!(
-        "datasets: rea02 n={}  axo03 n={}",
-        rea02.len(),
-        axo03.len()
-    );
+    println!("datasets: rea02 n={}  axo03 n={}", rea02.len(), axo03.len());
 
     // --- Figure 1a/1b ---
     header(
@@ -71,8 +67,16 @@ fn main() {
         "profile",
         &["rea02", "axo03"],
     );
-    let rr2 = &trees2.iter().find(|(v, _)| v.label() == "RR*-tree").unwrap().1;
-    let rr3 = &trees3.iter().find(|(v, _)| v.label() == "RR*-tree").unwrap().1;
+    let rr2 = &trees2
+        .iter()
+        .find(|(v, _)| v.label() == "RR*-tree")
+        .unwrap()
+        .1;
+    let rr3 = &trees3
+        .iter()
+        .find(|(v, _)| v.label() == "RR*-tree")
+        .unwrap()
+        .1;
     for profile in QueryProfile::ALL {
         let q2 = workload(&rea02, rr2, profile, &args);
         let q3 = workload(&axo03, rr3, profile, &args);

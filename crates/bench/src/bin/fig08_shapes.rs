@@ -14,10 +14,10 @@ use cbb_geom::{Point, Rect};
 /// Figure 3a (o1–o5 bottom node, o6–o7 top node).
 fn figure3_nodes() -> [Vec<Rect<2>>; 2] {
     let bottom = vec![
-        Rect::new(Point([0.0, 55.0]), Point([18.0, 100.0])),  // o1
-        Rect::new(Point([8.0, 30.0]), Point([28.0, 38.0])),   // o2
-        Rect::new(Point([25.0, 8.0]), Point([60.0, 22.0])),   // o3
-        Rect::new(Point([62.0, 0.0]), Point([88.0, 40.0])),   // o4
+        Rect::new(Point([0.0, 55.0]), Point([18.0, 100.0])), // o1
+        Rect::new(Point([8.0, 30.0]), Point([28.0, 38.0])),  // o2
+        Rect::new(Point([25.0, 8.0]), Point([60.0, 22.0])),  // o3
+        Rect::new(Point([62.0, 0.0]), Point([88.0, 40.0])),  // o4
         Rect::new(Point([80.0, 12.0]), Point([100.0, 35.0])), // o5
     ];
     let top = vec![
@@ -51,13 +51,16 @@ fn main() {
         for (i, objects) in nodes.iter().enumerate() {
             let shapes = fit_all_shapes(objects);
             let shape = &shapes.iter().find(|(l, _)| l == label).unwrap().1;
-            vals[i] = dead_space_of_shape(shape, objects, 20_000, 0xF16_8);
+            vals[i] = dead_space_of_shape(shape, objects, 20_000, 0xF168);
         }
         measured.push((label.to_string(), vals));
     }
     // CBBs: dead space of the clipped shape = (dead − clipped) volume over
     // the remaining (unclipped) volume.
-    for (label, method) in [("CBB_SKY", ClipMethod::Skyline), ("CBB_STA", ClipMethod::Stairline)] {
+    for (label, method) in [
+        ("CBB_SKY", ClipMethod::Skyline),
+        ("CBB_STA", ClipMethod::Stairline),
+    ] {
         let mut vals = [0.0; 2];
         for (i, objects) in nodes.iter().enumerate() {
             let cbb = Cbb::build(objects, &ClipConfig::paper_default::<2>(method)).unwrap();

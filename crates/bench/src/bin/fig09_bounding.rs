@@ -74,7 +74,14 @@ fn measure(name: &str, args: &cbb_bench::Args, sample_nodes: usize) -> Vec<(Stri
         }
         let n = count.max(1) as f64;
         out.push((
-            format!("CBB_{}", if method == cbb_core::ClipMethod::Skyline { "SKY" } else { "STA" }),
+            format!(
+                "CBB_{}",
+                if method == cbb_core::ClipMethod::Skyline {
+                    "SKY"
+                } else {
+                    "STA"
+                }
+            ),
             dead_sum / n,
             pts_sum / n,
         ));
@@ -108,7 +115,5 @@ fn main() {
             row(&p.0, &[format!("{:.1}", p.2), format!("{:.1}", r.2)])
         );
     }
-    println!(
-        "\n(paper: CH needs ~12 points; CBB_STA beats CH's dead space with ~3-5 points)"
-    );
+    println!("\n(paper: CH needs ~12 points; CBB_STA beats CH's dead space with ~3-5 points)");
 }

@@ -34,15 +34,12 @@ fn sweep<const D: usize>(data: &Dataset<D>, args: &cbb_bench::Args) {
         for variant in VARIANTS {
             let tree: RTree<D> = paper_build(variant, data);
             // Dead space is clipping-invariant: measure once per tree.
-            let dead =
-                cbb_rtree::metrics::avg_dead_space(&tree, NodeScope::All).unwrap_or(0.0);
+            let dead = cbb_rtree::metrics::avg_dead_space(&tree, NodeScope::All).unwrap_or(0.0);
             let mut row_cells: Vec<String> = Vec::new();
             for &k in &ks {
                 let cfg = ClipConfig::paper_default::<D>(method).with_k(k);
                 let clipped = ClippedRTree::from_tree(tree.clone(), cfg);
-                let clip = clipped
-                    .avg_clipped_fraction(NodeScope::All)
-                    .unwrap_or(0.0);
+                let clip = clipped.avg_clipped_fraction(NodeScope::All).unwrap_or(0.0);
                 row_cells.push(pct(clip));
             }
             let mut all = vec![pct(dead)];

@@ -37,7 +37,7 @@ impl Accumulator {
         let mut sum = 0.0;
         let mut n = 0usize;
         for (&(vv, pp, mm), &(s, c)) in &self.sums {
-            if mm == m && v.map_or(true, |x| x == vv) && p.map_or(true, |x| x == pp) {
+            if mm == m && v.is_none_or(|x| x == vv) && p.is_none_or(|x| x == pp) {
                 sum += s;
                 n += c;
             }
@@ -52,9 +52,14 @@ impl Accumulator {
 
 fn run_dataset<const D: usize>(data: &Dataset<D>, args: &cbb_bench::Args, acc: &mut Accumulator) {
     header(
-        &format!("Figure 11 — {} (leaf accesses w.r.t. unclipped = 100%)", data.name),
+        &format!(
+            "Figure 11 — {} (leaf accesses w.r.t. unclipped = 100%)",
+            data.name
+        ),
         "variant",
-        &["QR0 SKY", "QR0 STA", "QR1 SKY", "QR1 STA", "QR2 SKY", "QR2 STA"],
+        &[
+            "QR0 SKY", "QR0 STA", "QR1 SKY", "QR1 STA", "QR2 SKY", "QR2 STA",
+        ],
     );
     for (vi, variant) in VARIANTS.iter().enumerate() {
         let tree = paper_build(*variant, data);
@@ -101,12 +106,18 @@ fn main() {
                 acc.mean(Some(vi), Some(pi), 1),
             ));
         }
-        cells.push(fmt_pair(acc.mean(Some(vi), None, 0), acc.mean(Some(vi), None, 1)));
+        cells.push(fmt_pair(
+            acc.mean(Some(vi), None, 0),
+            acc.mean(Some(vi), None, 1),
+        ));
         println!("{}", row(variant.label(), &cells));
     }
     let mut cells = Vec::new();
     for pi in 0..3 {
-        cells.push(fmt_pair(acc.mean(None, Some(pi), 0), acc.mean(None, Some(pi), 1)));
+        cells.push(fmt_pair(
+            acc.mean(None, Some(pi), 0),
+            acc.mean(None, Some(pi), 1),
+        ));
     }
     cells.push(fmt_pair(acc.mean(None, None, 0), acc.mean(None, None, 1)));
     println!("{}", row("Total", &cells));

@@ -18,14 +18,17 @@ use rand::SeedableRng;
 
 fn run<const D: usize>(data: &Dataset<D>, args: &cbb_bench::Args) {
     header(
-        &format!("Figure 12 — expected re-clips per insertion on {}", data.name),
+        &format!(
+            "Figure 12 — expected re-clips per insertion on {}",
+            data.name
+        ),
         "variant",
         &["splits", "mbb-chg", "cbb-chg", "total", "tests"],
     );
     for variant in VARIANTS {
         // 90/10 split of the input.
         let mut items = data.items();
-        let mut rng = StdRng::seed_from_u64(args.seed ^ 0xF16_12);
+        let mut rng = StdRng::seed_from_u64(args.seed ^ 0xF1612);
         items.shuffle(&mut rng);
         let insert_count = (items.len() / 10).max(1);
         let (inserts, build) = items.split_at(insert_count);

@@ -35,8 +35,7 @@ fn run<const D: usize>(data: &Dataset<D>, _args: &cbb_bench::Args) {
         // Clipping overhead on top of the RR* build (construction-time
         // clipping: one Algorithm 1 pass per node).
         let t0 = Instant::now();
-        let _clipped =
-            ClippedRTree::from_tree(rr.clone(), ClipConfig::paper_default::<D>(method));
+        let _clipped = ClippedRTree::from_tree(rr.clone(), ClipConfig::paper_default::<D>(method));
         let clip_time = t0.elapsed().as_secs_f64();
         cells.push(format!("{:.0}%", 100.0 * (rr_time + clip_time) / rr_time));
     }
@@ -58,7 +57,5 @@ fn main() {
     run(&dataset3("axo03", args.scale), &args);
     run(&dataset3("den03", args.scale), &args);
     run(&dataset3("neu03", args.scale), &args);
-    println!(
-        "\n(paper: HR fastest, R* slowest; CSKY adds <7% CPU, CSTA up to 30% in 3-d)"
-    );
+    println!("\n(paper: HR fastest, R* slowest; CSKY adds <7% CPU, CSTA up to 30% in 3-d)");
 }

@@ -12,7 +12,7 @@
 
 use std::time::Instant;
 
-use cbb_bench::{clip_tree, header, parse_args, paper_build, row, workload};
+use cbb_bench::{clip_tree, header, paper_build, parse_args, row, workload};
 use cbb_core::ClipMethod;
 use cbb_datasets::{dataset2, dataset3, Dataset, QueryProfile, Scale};
 use cbb_rtree::Variant;
@@ -74,7 +74,5 @@ fn main() {
     }
     run(&dataset2("par02", args.scale), &args);
     run(&dataset3("par03", args.scale), &args);
-    println!(
-        "\n(paper: CSTA ≈ 2× CSKY's gain; CSTA-HR matches or beats unclipped RR*)"
-    );
+    println!("\n(paper: CSTA ≈ 2× CSKY's gain; CSTA-HR matches or beats unclipped RR*)");
 }

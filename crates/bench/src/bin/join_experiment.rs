@@ -5,7 +5,7 @@
 //! STT reduction of 17/20/20/16 %; STT needs ~4× fewer total accesses
 //! than INLJ.
 
-use cbb_bench::{clip_tree, header, parse_args, paper_build, row, VARIANTS};
+use cbb_bench::{clip_tree, header, paper_build, parse_args, row, VARIANTS};
 use cbb_core::ClipMethod;
 use cbb_datasets::dataset3;
 use cbb_joins::{inlj, stt};

@@ -1,0 +1,180 @@
+//! Engine scaling experiment: sequential vs partitioned-parallel join and
+//! batched range queries on a ≥ 50 k-object workload, across worker
+//! counts. Emits `BENCH_engine.json` (machine-readable) next to the
+//! usual table output.
+//!
+//! ```text
+//! cargo run --release -p cbb-bench --bin partition_scale [--exact N] [--queries N] [--seed N]
+//! ```
+
+use std::time::Instant;
+
+use cbb_bench::{header, row};
+use cbb_core::{ClipConfig, ClipMethod};
+use cbb_datasets::{dataset2, generate_queries, QueryProfile, Scale};
+use cbb_engine::{
+    parallel_range_queries, partitioned_join, sequential_join, JoinPlan, UniformGrid,
+};
+use cbb_rtree::{ClippedRTree, RTree, TreeConfig, Variant};
+
+const GRID_PER_DIM: usize = 8;
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    // Defaults sized for the acceptance bar (≥ 50 k objects per side);
+    // `--exact` / `--queries` / `--seed` override.
+    let mut n = 60_000usize;
+    let mut n_queries = 4_000usize;
+    let mut seed = 0xCBBu64;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next_usize = |flag: &str| -> usize {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{flag} needs a numeric argument"))
+        };
+        match a.as_str() {
+            "--exact" => n = next_usize("--exact"),
+            "--queries" => n_queries = next_usize("--queries"),
+            "--seed" => seed = next_usize("--seed") as u64,
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let streets = dataset2("rea02", Scale::Exact(n));
+    let parcels = dataset2("par02", Scale::Exact(n));
+    let domain = streets.domain.union(&parcels.domain);
+    println!(
+        "workload: rea02 ({}) ⋈ par02 ({}), grid {GRID_PER_DIM}×{GRID_PER_DIM}, R*-tree + CSTA",
+        streets.len(),
+        parcels.len(),
+    );
+
+    let base_plan = JoinPlan::new(
+        UniformGrid::new(domain, GRID_PER_DIM),
+        TreeConfig::paper_default(Variant::RStar),
+        ClipConfig::paper_default::<2>(ClipMethod::Stairline),
+        1,
+    );
+
+    // ---- partitioned parallel join vs sequential -------------------
+    let t = Instant::now();
+    let seq = sequential_join(&base_plan, &streets.boxes, &parcels.boxes);
+    let seq_join_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    header(
+        "partitioned parallel STT join (build + join per run)",
+        "configuration",
+        &["pairs", "wall ms", "speedup"],
+    );
+    println!(
+        "{}",
+        row(
+            "sequential",
+            &[
+                seq.pairs.to_string(),
+                format!("{seq_join_ms:.1}"),
+                "1.00x".into(),
+            ],
+        )
+    );
+    let mut join_rows = Vec::new();
+    for workers in WORKER_COUNTS {
+        let plan = JoinPlan {
+            workers,
+            ..base_plan
+        };
+        let t = Instant::now();
+        let par = partitioned_join(&plan, &streets.boxes, &parcels.boxes);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(par.pairs, seq.pairs, "partitioning changed the pair count");
+        println!(
+            "{}",
+            row(
+                &format!("partitioned, {workers} thr"),
+                &[
+                    par.pairs.to_string(),
+                    format!("{ms:.1}"),
+                    format!("{:.2}x", seq_join_ms / ms),
+                ],
+            )
+        );
+        join_rows.push(format!(
+            "{{\"workers\": {workers}, \"wall_ms\": {ms:.3}, \"pairs\": {}, \"leaf_accesses\": {}, \"clip_prunes\": {}}}",
+            par.pairs,
+            par.leaf_accesses(),
+            par.clip_prunes,
+        ));
+    }
+
+    // ---- batched range queries over one shared tree ----------------
+    let items = streets.items();
+    let tree = ClippedRTree::from_tree(
+        RTree::bulk_load(
+            TreeConfig::paper_default(Variant::RStar).with_world(streets.domain),
+            &items,
+        ),
+        ClipConfig::paper_default::<2>(ClipMethod::Stairline),
+    );
+    let mut counter = |q: &cbb_geom::Rect<2>| tree.tree.range_query(q).len();
+    let queries = generate_queries(&streets, QueryProfile::QR1, n_queries, seed, &mut counter);
+
+    let t = Instant::now();
+    let base = parallel_range_queries(&tree, &queries, 1, true);
+    let seq_batch_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    header(
+        &format!("batched clipped range queries ({} queries)", queries.len()),
+        "configuration",
+        &["results", "leaf I/O", "wall ms", "speedup"],
+    );
+    println!(
+        "{}",
+        row(
+            "sequential",
+            &[
+                base.total_results().to_string(),
+                base.stats.leaf_accesses.to_string(),
+                format!("{seq_batch_ms:.1}"),
+                "1.00x".into(),
+            ],
+        )
+    );
+    let mut batch_rows = Vec::new();
+    for workers in WORKER_COUNTS {
+        let t = Instant::now();
+        let out = parallel_range_queries(&tree, &queries, workers, true);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(out.results, base.results, "sharding changed the answers");
+        println!(
+            "{}",
+            row(
+                &format!("batched, {workers} thr"),
+                &[
+                    out.total_results().to_string(),
+                    out.stats.leaf_accesses.to_string(),
+                    format!("{ms:.1}"),
+                    format!("{:.2}x", seq_batch_ms / ms),
+                ],
+            )
+        );
+        batch_rows.push(format!(
+            "{{\"workers\": {workers}, \"wall_ms\": {ms:.3}, \"results\": {}, \"leaf_accesses\": {}}}",
+            out.total_results(),
+            out.stats.leaf_accesses,
+        ));
+    }
+
+    // ---- machine-readable report -----------------------------------
+    let json = format!(
+        "{{\n  \"workload\": {{\"left\": \"rea02\", \"right\": \"par02\", \"objects_per_side\": {n}, \"grid\": [{GRID_PER_DIM}, {GRID_PER_DIM}], \"variant\": \"R*-tree\", \"clip\": \"CSTA\", \"queries\": {}}},\n  \"join\": {{\n    \"sequential\": {{\"wall_ms\": {seq_join_ms:.3}, \"pairs\": {}}},\n    \"parallel\": [\n      {}\n    ]\n  }},\n  \"batch\": {{\n    \"sequential\": {{\"wall_ms\": {seq_batch_ms:.3}, \"results\": {}, \"leaf_accesses\": {}}},\n    \"parallel\": [\n      {}\n    ]\n  }}\n}}\n",
+        queries.len(),
+        seq.pairs,
+        join_rows.join(",\n      "),
+        base.total_results(),
+        base.stats.leaf_accesses,
+        batch_rows.join(",\n      "),
+    );
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("\nwrote BENCH_engine.json");
+}

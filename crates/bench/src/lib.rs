@@ -96,10 +96,7 @@ pub fn base_leaf_accesses<const D: usize>(tree: &RTree<D>, queries: &[Rect<D>]) 
 }
 
 /// Total leaf accesses of `queries` on a clipped tree.
-pub fn clipped_leaf_accesses<const D: usize>(
-    tree: &ClippedRTree<D>,
-    queries: &[Rect<D>],
-) -> u64 {
+pub fn clipped_leaf_accesses<const D: usize>(tree: &ClippedRTree<D>, queries: &[Rect<D>]) -> u64 {
     let mut stats = AccessStats::new();
     for q in queries {
         tree.range_query_stats(q, &mut stats);
@@ -119,7 +116,10 @@ pub fn row(label: &str, cells: &[String]) -> String {
 /// Render a header row plus a rule.
 pub fn header(title: &str, label: &str, cells: &[&str]) {
     println!("\n=== {title} ===");
-    let r = row(label, &cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    let r = row(
+        label,
+        &cells.iter().map(|c| c.to_string()).collect::<Vec<_>>(),
+    );
     println!("{r}");
     println!("{}", "-".repeat(r.len().min(120)));
 }

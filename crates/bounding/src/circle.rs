@@ -117,13 +117,8 @@ mod tests {
 
     #[test]
     fn unit_square() {
-        let c = min_enclosing_circle(&[
-            p(0.0, 0.0),
-            p(1.0, 0.0),
-            p(1.0, 1.0),
-            p(0.0, 1.0),
-        ])
-        .unwrap();
+        let c =
+            min_enclosing_circle(&[p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)]).unwrap();
         assert!((c.radius - std::f64::consts::SQRT_2 / 2.0).abs() < 1e-9);
         assert!((c.center[0] - 0.5).abs() < 1e-9);
         assert!((c.center[1] - 0.5).abs() < 1e-9);
@@ -143,10 +138,7 @@ mod tests {
             assert!(c.contains(q), "{q:?} outside");
         }
         // Minimality: some point must be (nearly) on the boundary.
-        let max_d = pts
-            .iter()
-            .map(|q| c.center.distance(q))
-            .fold(0.0, f64::max);
+        let max_d = pts.iter().map(|q| c.center.distance(q)).fold(0.0, f64::max);
         assert!((max_d - c.radius).abs() < 1e-6);
         // And shrinking by 1 % must lose a point.
         let shrunk = Circle {

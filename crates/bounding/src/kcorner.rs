@@ -69,7 +69,7 @@ pub fn k_corner_polygon(points: &[Point<2>], m: usize) -> Option<Vec<Point<2>>> 
         let mut best: Option<(f64, usize, Point<2>)> = None;
         for i in 0..poly.len() {
             if let Some((cost, apex)) = removal_cost(&poly, i) {
-                if best.as_ref().map_or(true, |(c, _, _)| cost < *c) {
+                if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
                     best = Some((cost, i, apex));
                 }
             }

@@ -59,7 +59,7 @@ pub fn rotated_mbb(points: &[Point<2>]) -> Option<RotatedRect> {
             max_v = max_v.max(pv);
         }
         let area = (max_u - min_u) * (max_v - min_v);
-        if best.as_ref().map_or(true, |r| area < r.area) {
+        if best.as_ref().is_none_or(|r| area < r.area) {
             let corner = |cu: f64, cv: f64| Point([cu * u.0 + cv * v.0, cu * u.1 + cv * v.1]);
             best = Some(RotatedRect {
                 corners: [
@@ -118,7 +118,11 @@ mod tests {
                 - ys.iter().cloned().fold(f64::INFINITY, f64::min);
             w * h
         };
-        assert!(r.area < 0.2 * aabb_area, "rmbb {} vs aabb {aabb_area}", r.area);
+        assert!(
+            r.area < 0.2 * aabb_area,
+            "rmbb {} vs aabb {aabb_area}",
+            r.area
+        );
         for q in &pts {
             assert!(r.contains(q), "{q:?} outside");
         }

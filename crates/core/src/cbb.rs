@@ -101,11 +101,7 @@ mod tests {
         let cfg = ClipConfig::paper_default::<2>(ClipMethod::Stairline);
         let cbb = Cbb::build(&objects(), &cfg).unwrap();
         let union = cbb.clipped_volume();
-        let sum: f64 = cbb
-            .clips
-            .iter()
-            .map(|c| c.clipped_volume(&cbb.mbb))
-            .sum();
+        let sum: f64 = cbb.clips.iter().map(|c| c.clipped_volume(&cbb.mbb)).sum();
         assert!(union <= sum + 1e-9);
         assert!(union > 0.0);
         let frac = cbb.clipped_fraction();

@@ -166,23 +166,51 @@ mod tests {
             ClipPoint::new(CornerMask::new(0b11), Point([6.0, 6.0])),
             ClipPoint::new(CornerMask::new(0b00), Point([3.0, 3.0])),
         ];
-        assert!(!query_intersects_cbb(&mbb(), &clips, &r2(0.5, 0.5, 2.0, 2.0)));
-        assert!(!query_intersects_cbb(&mbb(), &clips, &r2(7.0, 7.0, 8.0, 8.0)));
-        assert!(query_intersects_cbb(&mbb(), &clips, &r2(4.0, 4.0, 5.0, 5.0)));
+        assert!(!query_intersects_cbb(
+            &mbb(),
+            &clips,
+            &r2(0.5, 0.5, 2.0, 2.0)
+        ));
+        assert!(!query_intersects_cbb(
+            &mbb(),
+            &clips,
+            &r2(7.0, 7.0, 8.0, 8.0)
+        ));
+        assert!(query_intersects_cbb(
+            &mbb(),
+            &clips,
+            &r2(4.0, 4.0, 5.0, 5.0)
+        ));
     }
 
     #[test]
     fn insertion_validity_detection() {
         let clips = [clip_tr()];
         // Object inside live space: clips stay valid.
-        assert!(insertion_keeps_clips_valid(&mbb(), &clips, &r2(1.0, 1.0, 4.0, 4.0)));
+        assert!(insertion_keeps_clips_valid(
+            &mbb(),
+            &clips,
+            &r2(1.0, 1.0, 4.0, 4.0)
+        ));
         // Object reaching into the clipped region: invalid.
-        assert!(!insertion_keeps_clips_valid(&mbb(), &clips, &r2(5.0, 5.0, 7.0, 7.0)));
+        assert!(!insertion_keeps_clips_valid(
+            &mbb(),
+            &clips,
+            &r2(5.0, 5.0, 7.0, 7.0)
+        ));
         // Object entirely inside the clipped region: invalid.
-        assert!(!insertion_keeps_clips_valid(&mbb(), &clips, &r2(8.0, 8.0, 9.0, 9.0)));
+        assert!(!insertion_keeps_clips_valid(
+            &mbb(),
+            &clips,
+            &r2(8.0, 8.0, 9.0, 9.0)
+        ));
         // Object touching the clip boundary only: still valid
         // (measure-zero contact).
-        assert!(insertion_keeps_clips_valid(&mbb(), &clips, &r2(1.0, 1.0, 6.0, 6.0)));
+        assert!(insertion_keeps_clips_valid(
+            &mbb(),
+            &clips,
+            &r2(1.0, 1.0, 6.0, 6.0)
+        ));
     }
 
     #[test]

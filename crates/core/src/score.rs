@@ -122,7 +122,10 @@ mod tests {
         let total: f64 = scored.iter().map(|c| c.score).sum();
         let regions: Vec<Rect<2>> = scored.iter().map(|c| c.region(&frame)).collect();
         let exact = cbb_geom::union_volume_exact(&frame, &regions);
-        assert!((total - exact).abs() < 1e-9, "approx {total} vs exact {exact}");
+        assert!(
+            (total - exact).abs() < 1e-9,
+            "approx {total} vs exact {exact}"
+        );
     }
 
     #[test]

@@ -122,7 +122,12 @@ mod tests {
     fn anti_chain_is_fully_kept() {
         // A descending diagonal is an anti-chain toward corners 00 and 11,
         // but toward 01/10 it is a chain with a single extreme point.
-        let pts = [Point([1.0, 4.0]), Point([2.0, 3.0]), Point([3.0, 2.0]), Point([4.0, 1.0])];
+        let pts = [
+            Point([1.0, 4.0]),
+            Point([2.0, 3.0]),
+            Point([3.0, 2.0]),
+            Point([4.0, 1.0]),
+        ];
         assert_eq!(oriented_skyline(&pts, B00).len(), 4);
         assert_eq!(oriented_skyline(&pts, B11).len(), 4);
         assert_eq!(

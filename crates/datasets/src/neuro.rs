@@ -137,7 +137,11 @@ pub fn tubules(name: &str, n: usize, morph: Morphology, seed: u64) -> Dataset<3>
             .sqrt();
             let pull = (dist / (3.0 * HOTSPOT_SIGMA)).min(1.0) * 0.12;
             for i in 0..3 {
-                let toward = if dist > 1e-9 { (home[i] - pos[i]) / dist } else { 0.0 };
+                let toward = if dist > 1e-9 {
+                    (home[i] - pos[i]) / dist
+                } else {
+                    0.0
+                };
                 dir[i] = morph.persistence * dir[i]
                     + (1.0 - morph.persistence) * jitter[i]
                     + pull * toward;

@@ -46,11 +46,7 @@ impl QueryProfile {
 }
 
 /// A query box of half-extent `h` centred at a dithered object center.
-fn query_at<const D: usize>(
-    dataset: &Dataset<D>,
-    rng: &mut StdRng,
-    h: f64,
-) -> Rect<D> {
+fn query_at<const D: usize>(dataset: &Dataset<D>, rng: &mut StdRng, h: f64) -> Rect<D> {
     let obj = &dataset.boxes[rng.gen_range(0..dataset.len())];
     let c = obj.center();
     let mut lo = [0.0; D];
@@ -113,7 +109,9 @@ pub fn generate_queries<const D: usize>(
 }
 
 /// Brute-force result counter for use as `count_fn` on small datasets.
-pub fn brute_force_counter<const D: usize>(boxes: &[Rect<D>]) -> impl FnMut(&Rect<D>) -> usize + '_ {
+pub fn brute_force_counter<const D: usize>(
+    boxes: &[Rect<D>],
+) -> impl FnMut(&Rect<D>) -> usize + '_ {
     move |q: &Rect<D>| boxes.iter().filter(|b| b.intersects(q)).count()
 }
 
@@ -149,7 +147,10 @@ mod tests {
         let mut counter = brute_force_counter(&d.boxes);
         let queries = generate_queries(&d, QueryProfile::QR1, 100, 3, &mut counter);
         for q in &queries {
-            assert!((q.extent(0) - q.extent(1)).abs() < 1e-9, "hypercube queries");
+            assert!(
+                (q.extent(0) - q.extent(1)).abs() < 1e-9,
+                "hypercube queries"
+            );
         }
     }
 

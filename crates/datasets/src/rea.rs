@@ -58,7 +58,13 @@ pub fn streets2d(n: usize, seed: u64) -> Dataset<2> {
             let y = rng.gen_range(0.0..REA02_DOMAIN);
             let len = rng.gen_range(100.0..2_000.0);
             let theta: f64 = rng.gen_range(0.0..std::f64::consts::PI);
-            rect_clamped(x, y, len * theta.cos().abs(), len * theta.sin().abs(), REA02_DOMAIN)
+            rect_clamped(
+                x,
+                y,
+                len * theta.cos().abs(),
+                len * theta.sin().abs(),
+                REA02_DOMAIN,
+            )
         } else {
             // Point of interest (the dataset contains points too).
             let x = rng.gen_range(0.0..REA02_DOMAIN);
@@ -75,8 +81,14 @@ pub fn streets2d(n: usize, seed: u64) -> Dataset<2> {
 }
 
 fn rect_clamped(cx: f64, cy: f64, w: f64, h: f64, domain: f64) -> Rect<2> {
-    let lo = Point([(cx - w / 2.0).clamp(0.0, domain), (cy - h / 2.0).clamp(0.0, domain)]);
-    let hi = Point([(cx + w / 2.0).clamp(0.0, domain), (cy + h / 2.0).clamp(0.0, domain)]);
+    let lo = Point([
+        (cx - w / 2.0).clamp(0.0, domain),
+        (cy - h / 2.0).clamp(0.0, domain),
+    ]);
+    let hi = Point([
+        (cx + w / 2.0).clamp(0.0, domain),
+        (cy + h / 2.0).clamp(0.0, domain),
+    ]);
     Rect::new(lo, hi)
 }
 
@@ -183,7 +195,7 @@ mod tests {
         // Clustering: a random 10 km disk around a dense area should hold
         // far more than the uniform share. Use the densest cell of a
         // coarse grid as a proxy.
-        let mut grid = vec![0u32; 36];
+        let mut grid = [0u32; 36];
         for b in &d.boxes {
             let c = b.center();
             let gx = (c[0] / REA02_DOMAIN * 6.0).min(5.0) as usize;

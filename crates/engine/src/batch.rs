@@ -1,0 +1,150 @@
+//! Batched range-query execution over one shared clipped tree.
+//!
+//! A query workload is split into contiguous shards, each shard runs on
+//! its own worker against the *same* `&ClippedRTree` (the index types are
+//! `Sync`; traversal is read-only), and the per-worker [`AccessStats`]
+//! are merged. Results come back **in workload order** regardless of the
+//! worker count, so callers can line answers up with their queries.
+
+use cbb_geom::Rect;
+use cbb_rtree::{AccessStats, ClippedRTree, DataId};
+
+use crate::pool::map_chunked;
+
+/// Merged outcome of a batched query run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Result ids per query, in workload order (same order the queries
+    /// were given; each list in tree traversal order).
+    pub results: Vec<Vec<DataId>>,
+    /// Access counters summed over all workers.
+    pub stats: AccessStats,
+}
+
+impl BatchOutcome {
+    /// Total result objects over the whole batch.
+    pub fn total_results(&self) -> u64 {
+        self.results.iter().map(|r| r.len() as u64).sum()
+    }
+}
+
+/// Execute `queries` against `tree` on `workers` threads. With
+/// `use_clips = false` the probes run on the base tree (the unclipped
+/// baseline on the same index).
+pub fn parallel_range_queries<const D: usize>(
+    tree: &ClippedRTree<D>,
+    queries: &[Rect<D>],
+    workers: usize,
+    use_clips: bool,
+) -> BatchOutcome {
+    let shards = map_chunked(workers, queries, |_offset, chunk| {
+        let mut stats = AccessStats::new();
+        let results: Vec<Vec<DataId>> = chunk
+            .iter()
+            .map(|q| {
+                if use_clips {
+                    tree.range_query_stats(q, &mut stats)
+                } else {
+                    tree.tree.range_query_stats(q, &mut stats)
+                }
+            })
+            .collect();
+        (results, stats)
+    });
+    let mut outcome = BatchOutcome::default();
+    for (results, stats) in shards {
+        outcome.results.extend(results);
+        outcome.stats += stats;
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbb_core::{ClipConfig, ClipMethod};
+    use cbb_geom::{Point, SplitMix64};
+    use cbb_rtree::{RTree, TreeConfig, Variant};
+
+    fn r2(lx: f64, ly: f64, hx: f64, hy: f64) -> Rect<2> {
+        Rect::new(Point([lx, ly]), Point([hx, hy]))
+    }
+
+    fn setup(n: usize) -> (ClippedRTree<2>, Vec<Rect<2>>) {
+        let mut rng = SplitMix64::new(21);
+        let items: Vec<(Rect<2>, cbb_rtree::DataId)> = (0..n)
+            .map(|i| {
+                let x = rng.gen_range(0.0, 950.0);
+                let y = rng.gen_range(0.0, 950.0);
+                (
+                    r2(
+                        x,
+                        y,
+                        x + rng.gen_range(0.5, 20.0),
+                        y + rng.gen_range(0.5, 20.0),
+                    ),
+                    cbb_rtree::DataId(i as u32),
+                )
+            })
+            .collect();
+        let tree = RTree::bulk_load(
+            TreeConfig::tiny(Variant::RStar).with_world(r2(0.0, 0.0, 1000.0, 1000.0)),
+            &items,
+        );
+        let clipped =
+            ClippedRTree::from_tree(tree, ClipConfig::paper_default::<2>(ClipMethod::Stairline));
+        let queries: Vec<Rect<2>> = (0..200)
+            .map(|_| {
+                let x = rng.gen_range(0.0, 960.0);
+                let y = rng.gen_range(0.0, 960.0);
+                let s = rng.gen_range(1.0, 40.0);
+                r2(x, y, x + s, y + s)
+            })
+            .collect();
+        (clipped, queries)
+    }
+
+    #[test]
+    fn parallel_equals_sequential_for_any_worker_count() {
+        let (tree, queries) = setup(800);
+        let baseline = parallel_range_queries(&tree, &queries, 1, true);
+        // Sequential reference computed directly.
+        let mut stats = AccessStats::new();
+        let expected: Vec<Vec<DataId>> = queries
+            .iter()
+            .map(|q| tree.range_query_stats(q, &mut stats))
+            .collect();
+        assert_eq!(baseline.results, expected);
+        assert_eq!(baseline.stats, stats);
+        for workers in [2, 3, 8, 200] {
+            let out = parallel_range_queries(&tree, &queries, workers, true);
+            assert_eq!(out.results, expected, "workers = {workers}");
+            assert_eq!(out.stats, stats, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn clipped_batch_saves_io_but_returns_identical_results() {
+        let (tree, queries) = setup(1_000);
+        let base = parallel_range_queries(&tree, &queries, 4, false);
+        let clip = parallel_range_queries(&tree, &queries, 4, true);
+        let sort = |mut v: Vec<DataId>| {
+            v.sort();
+            v
+        };
+        for (b, c) in base.results.iter().zip(&clip.results) {
+            assert_eq!(sort(b.clone()), sort(c.clone()));
+        }
+        assert!(clip.stats.leaf_accesses <= base.stats.leaf_accesses);
+        assert!(clip.stats.clip_prunes > 0);
+        assert_eq!(clip.total_results(), base.total_results());
+    }
+
+    #[test]
+    fn empty_workload() {
+        let (tree, _) = setup(100);
+        let out = parallel_range_queries(&tree, &[], 4, true);
+        assert!(out.results.is_empty());
+        assert_eq!(out.stats, AccessStats::new());
+    }
+}

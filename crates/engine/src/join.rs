@@ -1,0 +1,280 @@
+//! Partition-parallel spatial join.
+//!
+//! The input rectangle sets are multi-assigned to the tiles of a
+//! [`UniformGrid`], a clipped R-tree is bulk-loaded per tile and side,
+//! and the per-tile joins (STT or INLJ, clipped or not) run on a scoped
+//! worker pool with dynamic tile scheduling. Duplicate pairs from
+//! spanning objects are eliminated with the reference-point rule (see
+//! [`crate::partition`]), so the merged [`JoinResult`] reports **exactly**
+//! the global pair count of a sequential join — verified against
+//! `brute_force_pairs` and sequential `stt`/`inlj` in the tests.
+//!
+//! I/O counters are summed over tiles. They are comparable across runs of
+//! the same plan (the paper's join I/O metric per tile), but not directly
+//! to a single global-tree join: per-tile trees are smaller and shallower.
+
+use cbb_core::ClipConfig;
+use cbb_geom::Rect;
+use cbb_joins::{inlj_filtered, reference_point, stt_filtered, JoinResult};
+use cbb_rtree::{ClippedRTree, DataId, RTree, TreeConfig};
+
+use crate::partition::UniformGrid;
+use crate::pool::fold_dynamic;
+
+/// Which per-tile join strategy to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinAlgo {
+    /// Synchronised tree traversal: both tile sides are indexed.
+    Stt,
+    /// Index nested loops: the right tile side is indexed, the left tile
+    /// side streamed as probes.
+    Inlj,
+}
+
+/// A complete partitioned-join plan: partitioning, per-tile index and
+/// clipping configuration, strategy, and parallelism.
+#[derive(Clone, Copy, Debug)]
+pub struct JoinPlan<const D: usize> {
+    /// Spatial partitioning of the workload.
+    pub grid: UniformGrid<D>,
+    /// Template for every per-tile tree (world bounds are taken from the
+    /// template as-is; leave `world` unset to derive them per tile).
+    pub tree: TreeConfig<D>,
+    /// Clip-point parameters for the per-tile trees.
+    pub clip: ClipConfig,
+    /// Run Algorithm 2 dominance pruning inside each tile join.
+    pub use_clips: bool,
+    /// Per-tile strategy.
+    pub algo: JoinAlgo,
+    /// Worker threads (clamped to the number of non-empty tiles).
+    pub workers: usize,
+}
+
+impl<const D: usize> JoinPlan<D> {
+    /// A plan joining with STT over `grid` using `workers` threads,
+    /// paper-default clipping, and the given tree template.
+    pub fn new(
+        grid: UniformGrid<D>,
+        tree: TreeConfig<D>,
+        clip: ClipConfig,
+        workers: usize,
+    ) -> Self {
+        JoinPlan {
+            grid,
+            tree,
+            clip,
+            use_clips: true,
+            algo: JoinAlgo::Stt,
+            workers,
+        }
+    }
+
+    /// Switch the per-tile strategy.
+    pub fn with_algo(mut self, algo: JoinAlgo) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Enable/disable clip-point pruning (the tile trees are built
+    /// without clip tables when disabled, so the baseline pays no
+    /// Algorithm 1 cost either).
+    pub fn with_clips(mut self, use_clips: bool) -> Self {
+        self.use_clips = use_clips;
+        self
+    }
+}
+
+/// Bulk-load one side of a tile: `ids` index into `objects` and are kept
+/// as global [`DataId`]s so cross-tile dedup reasons about global pairs.
+fn build_tile_tree<const D: usize>(
+    objects: &[Rect<D>],
+    ids: &[u32],
+    tree: TreeConfig<D>,
+    clip: ClipConfig,
+    use_clips: bool,
+) -> ClippedRTree<D> {
+    let items: Vec<(Rect<D>, DataId)> = ids
+        .iter()
+        .map(|&i| (objects[i as usize], DataId(i)))
+        .collect();
+    let base = RTree::bulk_load(tree, &items);
+    if use_clips {
+        ClippedRTree::from_tree(base, clip)
+    } else {
+        ClippedRTree::unclipped(base)
+    }
+}
+
+/// Run the partitioned parallel join of `left ⋈ right` under `plan`.
+///
+/// Returns the merged counters; `pairs` equals the sequential
+/// `stt`/`inlj` (and brute-force) pair count exactly.
+pub fn partitioned_join<const D: usize>(
+    plan: &JoinPlan<D>,
+    left: &[Rect<D>],
+    right: &[Rect<D>],
+) -> JoinResult {
+    let left_assign = plan.grid.assign(left);
+    let right_assign = plan.grid.assign(right);
+    // Only tiles where both sides are populated can produce pairs.
+    let tiles: Vec<usize> = (0..plan.grid.tile_count())
+        .filter(|&t| !left_assign[t].is_empty() && !right_assign[t].is_empty())
+        .collect();
+
+    let parts = fold_dynamic(
+        plan.workers,
+        tiles.len(),
+        JoinResult::default,
+        |i, acc: &mut JoinResult| {
+            let t = tiles[i];
+            *acc += join_tile(plan, t, left, &left_assign[t], right, &right_assign[t]);
+        },
+    );
+    parts.into_iter().sum()
+}
+
+/// Join one tile: build both side trees and run the planned strategy with
+/// the reference-point ownership filter.
+fn join_tile<const D: usize>(
+    plan: &JoinPlan<D>,
+    tile: usize,
+    left: &[Rect<D>],
+    left_ids: &[u32],
+    right: &[Rect<D>],
+    right_ids: &[u32],
+) -> JoinResult {
+    let rtree = build_tile_tree(right, right_ids, plan.tree, plan.clip, plan.use_clips);
+    match plan.algo {
+        JoinAlgo::Stt => {
+            let ltree = build_tile_tree(left, left_ids, plan.tree, plan.clip, plan.use_clips);
+            stt_filtered(&ltree, &rtree, plan.use_clips, |a, b| {
+                plan.grid.owns(tile, &reference_point(a, b))
+            })
+        }
+        JoinAlgo::Inlj => {
+            let probes: Vec<Rect<D>> = left_ids.iter().map(|&i| left[i as usize]).collect();
+            inlj_filtered(&probes, &rtree, plan.use_clips, |probe, id| {
+                plan.grid
+                    .owns(tile, &reference_point(probe, &right[id.0 as usize]))
+            })
+        }
+    }
+}
+
+/// Sequential baseline with the same per-tile index configuration: one
+/// global tree per side, one thread, no partitioning. Used by benches and
+/// tests as the ground truth the partitioned join must reproduce.
+pub fn sequential_join<const D: usize>(
+    plan: &JoinPlan<D>,
+    left: &[Rect<D>],
+    right: &[Rect<D>],
+) -> JoinResult {
+    let all_left: Vec<u32> = (0..left.len() as u32).collect();
+    let all_right: Vec<u32> = (0..right.len() as u32).collect();
+    let rtree = build_tile_tree(right, &all_right, plan.tree, plan.clip, plan.use_clips);
+    match plan.algo {
+        JoinAlgo::Stt => {
+            let ltree = build_tile_tree(left, &all_left, plan.tree, plan.clip, plan.use_clips);
+            cbb_joins::stt(&ltree, &rtree, plan.use_clips)
+        }
+        JoinAlgo::Inlj => cbb_joins::inlj(left, &rtree, plan.use_clips),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbb_core::ClipMethod;
+    use cbb_geom::{Point, SplitMix64};
+    use cbb_joins::brute_force_pairs;
+    use cbb_rtree::Variant;
+
+    fn r2(lx: f64, ly: f64, hx: f64, hy: f64) -> Rect<2> {
+        Rect::new(Point([lx, ly]), Point([hx, hy]))
+    }
+
+    fn boxes(n: usize, seed: u64, max_side: f64) -> Vec<Rect<2>> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| {
+                let x = rng.gen_range(0.0, 480.0);
+                let y = rng.gen_range(0.0, 480.0);
+                let w = rng.gen_range(0.5, max_side);
+                let h = rng.gen_range(0.5, max_side);
+                r2(x, y, x + w, y + h)
+            })
+            .collect()
+    }
+
+    fn plan2(per_dim: usize, workers: usize) -> JoinPlan<2> {
+        JoinPlan::new(
+            UniformGrid::new(r2(0.0, 0.0, 500.0, 500.0), per_dim),
+            TreeConfig::tiny(Variant::RStar),
+            ClipConfig::paper_default::<2>(ClipMethod::Stairline),
+            workers,
+        )
+    }
+
+    #[test]
+    fn matches_brute_force_for_both_algos() {
+        let a = boxes(250, 1, 20.0);
+        let b = boxes(300, 2, 20.0);
+        let expected = brute_force_pairs(&a, &b);
+        for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+            for workers in [1, 4] {
+                let plan = plan2(4, workers).with_algo(algo);
+                assert_eq!(
+                    partitioned_join(&plan, &a, &b).pairs,
+                    expected,
+                    "{algo:?} workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_spanning_objects_do_not_double_count() {
+        // Sides up to 150 over 125-wide tiles: most objects span tiles.
+        let a = boxes(120, 3, 150.0);
+        let b = boxes(140, 4, 150.0);
+        let expected = brute_force_pairs(&a, &b);
+        for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+            let plan = plan2(4, 3).with_algo(algo);
+            assert_eq!(partitioned_join(&plan, &a, &b).pairs, expected, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn unclipped_plan_matches_too() {
+        let a = boxes(200, 5, 25.0);
+        let b = boxes(200, 6, 25.0);
+        let expected = brute_force_pairs(&a, &b);
+        let plan = plan2(3, 2).with_clips(false);
+        let res = partitioned_join(&plan, &a, &b);
+        assert_eq!(res.pairs, expected);
+        assert_eq!(res.clip_prunes, 0, "no clips, no prunes");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let a = boxes(50, 7, 20.0);
+        let plan = plan2(4, 2);
+        assert_eq!(partitioned_join(&plan, &a, &[]).pairs, 0);
+        assert_eq!(partitioned_join(&plan, &[], &a).pairs, 0);
+        assert_eq!(partitioned_join(&plan, &[], &[]), JoinResult::default());
+    }
+
+    #[test]
+    fn sequential_baseline_agrees() {
+        let a = boxes(180, 8, 30.0);
+        let b = boxes(220, 9, 30.0);
+        for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+            let plan = plan2(4, 4).with_algo(algo);
+            assert_eq!(
+                sequential_join(&plan, &a, &b).pairs,
+                partitioned_join(&plan, &a, &b).pairs,
+                "{algo:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Uniform-grid spatial partitioning (PBSM-style).
+//!
+//! Rectangles are assigned to every tile they overlap
+//! (*multi-assignment*), so each tile can be processed independently.
+//! Exactness of global pair counts is restored by *reference-point
+//! duplicate elimination*: every point of space is **owned** by exactly
+//! one tile ([`UniformGrid::owns`]), a candidate pair is attributed to the
+//! tile owning the lower corner of its intersection
+//! ([`cbb_joins::reference_point`]), and that tile is guaranteed to have
+//! both rectangles assigned — so each pair is counted exactly once.
+//!
+//! Points outside the grid's domain are clamped to the border tiles;
+//! objects sticking out of the domain therefore still land in (border)
+//! tiles and joins stay exact even for out-of-domain data.
+
+use cbb_geom::{Point, Rect};
+
+/// A uniform grid over a rectangular domain with `dims[i]` tiles along
+/// axis `i`, tiles indexed row-major in `0..tile_count()`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UniformGrid<const D: usize> {
+    domain: Rect<D>,
+    dims: [usize; D],
+}
+
+impl<const D: usize> UniformGrid<D> {
+    /// Grid with `per_dim` tiles along every axis (`per_dim ≥ 1`).
+    pub fn new(domain: Rect<D>, per_dim: usize) -> Self {
+        Self::with_dims(domain, [per_dim; D])
+    }
+
+    /// Grid with an explicit tile count per axis (each `≥ 1`).
+    pub fn with_dims(domain: Rect<D>, dims: [usize; D]) -> Self {
+        assert!(
+            dims.iter().all(|&n| n >= 1),
+            "every axis needs at least one tile"
+        );
+        assert!(domain.is_finite(), "grid domain must be finite");
+        UniformGrid { domain, dims }
+    }
+
+    /// The partitioned domain.
+    pub fn domain(&self) -> &Rect<D> {
+        &self.domain
+    }
+
+    /// Tiles per axis.
+    pub fn dims(&self) -> [usize; D] {
+        self.dims
+    }
+
+    /// Total number of tiles.
+    pub fn tile_count(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// The cell coordinate containing `p` along each axis, clamped into
+    /// the grid (so out-of-domain points map to border cells and the
+    /// domain's upper face belongs to the last cell).
+    pub fn cell_of(&self, p: &Point<D>) -> [usize; D] {
+        let mut cell = [0usize; D];
+        for i in 0..D {
+            let extent = self.domain.extent(i);
+            if extent <= 0.0 {
+                continue;
+            }
+            let frac = (p[i] - self.domain.lo[i]) / extent;
+            let scaled = (frac * self.dims[i] as f64).floor();
+            cell[i] = (scaled.max(0.0) as usize).min(self.dims[i] - 1);
+        }
+        cell
+    }
+
+    /// Row-major tile index of a cell coordinate.
+    pub fn tile_index(&self, cell: [usize; D]) -> usize {
+        let mut idx = 0;
+        for (c, n) in cell.into_iter().zip(self.dims) {
+            debug_assert!(c < n);
+            idx = idx * n + c;
+        }
+        idx
+    }
+
+    /// The unique tile owning point `p` (reference-point semantics).
+    pub fn tile_of(&self, p: &Point<D>) -> usize {
+        self.tile_index(self.cell_of(p))
+    }
+
+    /// Whether tile `tile` owns point `p`. Exactly one tile owns any
+    /// point, which is what makes reference-point dedup exact.
+    pub fn owns(&self, tile: usize, p: &Point<D>) -> bool {
+        self.tile_of(p) == tile
+    }
+
+    /// Geometric bounds of a tile (closed rectangle; adjacent tiles share
+    /// faces — ownership of the shared face is resolved by [`Self::owns`]).
+    pub fn tile_rect(&self, tile: usize) -> Rect<D> {
+        assert!(tile < self.tile_count(), "tile out of range");
+        // Decompose the row-major index back into cell coordinates.
+        let mut cell = [0usize; D];
+        let mut rest = tile;
+        for i in (0..D).rev() {
+            cell[i] = rest % self.dims[i];
+            rest /= self.dims[i];
+        }
+        let mut lo = [0.0; D];
+        let mut hi = [0.0; D];
+        for i in 0..D {
+            let width = self.domain.extent(i) / self.dims[i] as f64;
+            lo[i] = self.domain.lo[i] + cell[i] as f64 * width;
+            hi[i] = if cell[i] + 1 == self.dims[i] {
+                self.domain.hi[i]
+            } else {
+                self.domain.lo[i] + (cell[i] + 1) as f64 * width
+            };
+        }
+        Rect::new(Point(lo), Point(hi))
+    }
+
+    /// All tiles `r` overlaps (multi-assignment set): the row-major
+    /// indices of the cell box spanned by `r`'s corners.
+    pub fn covering_tiles(&self, r: &Rect<D>) -> Vec<usize> {
+        let lo_cell = self.cell_of(&r.lo);
+        let hi_cell = self.cell_of(&r.hi);
+        let mut tiles = Vec::with_capacity(
+            (0..D)
+                .map(|i| hi_cell[i] - lo_cell[i] + 1)
+                .product::<usize>(),
+        );
+        let mut cell = lo_cell;
+        loop {
+            tiles.push(self.tile_index(cell));
+            // Odometer increment over the cell box.
+            let mut axis = D;
+            loop {
+                if axis == 0 {
+                    return tiles;
+                }
+                axis -= 1;
+                if cell[axis] < hi_cell[axis] {
+                    cell[axis] += 1;
+                    break;
+                }
+                cell[axis] = lo_cell[axis];
+            }
+        }
+    }
+
+    /// Multi-assign every rectangle to the tiles it overlaps. Returns one
+    /// index list per tile, preserving input order within a tile; indices
+    /// are `u32` (the same id space as `cbb_rtree::DataId`).
+    pub fn assign(&self, rects: &[Rect<D>]) -> Vec<Vec<u32>> {
+        assert!(
+            rects.len() <= u32::MAX as usize,
+            "object count exceeds the u32 id space"
+        );
+        let mut per_tile = vec![Vec::new(); self.tile_count()];
+        for (i, r) in rects.iter().enumerate() {
+            for t in self.covering_tiles(r) {
+                per_tile[t].push(i as u32);
+            }
+        }
+        per_tile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbb_geom::SplitMix64;
+
+    fn r2(lx: f64, ly: f64, hx: f64, hy: f64) -> Rect<2> {
+        Rect::new(Point([lx, ly]), Point([hx, hy]))
+    }
+
+    fn grid4() -> UniformGrid<2> {
+        UniformGrid::new(r2(0.0, 0.0, 100.0, 100.0), 4)
+    }
+
+    #[test]
+    fn tile_rects_tile_the_domain() {
+        let g = grid4();
+        assert_eq!(g.tile_count(), 16);
+        let total: f64 = (0..16).map(|t| g.tile_rect(t).volume()).sum();
+        assert!((total - 10_000.0).abs() < 1e-9);
+        // Round-trip: the center of every tile maps back to that tile.
+        for t in 0..16 {
+            assert_eq!(g.tile_of(&g.tile_rect(t).center()), t);
+            assert!(g.owns(t, &g.tile_rect(t).center()));
+        }
+    }
+
+    #[test]
+    fn every_point_owned_by_exactly_one_tile() {
+        let g = grid4();
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..2_000 {
+            // Include out-of-domain points: clamping must still pick one.
+            let p = Point([rng.gen_range(-20.0, 120.0), rng.gen_range(-20.0, 120.0)]);
+            let owners = (0..g.tile_count()).filter(|&t| g.owns(t, &p)).count();
+            assert_eq!(owners, 1, "point {p:?}");
+        }
+    }
+
+    #[test]
+    fn boundary_points_resolve_to_one_side() {
+        let g = grid4();
+        // x = 25 is the face between columns 0 and 1: owned by column 1.
+        assert_eq!(g.cell_of(&Point([25.0, 10.0])), [1, 0]);
+        // The domain's upper corner belongs to the last tile.
+        assert_eq!(g.cell_of(&Point([100.0, 100.0])), [3, 3]);
+        // Outside points clamp to border cells.
+        assert_eq!(g.cell_of(&Point([-5.0, 105.0])), [0, 3]);
+    }
+
+    #[test]
+    fn covering_tiles_matches_geometry() {
+        let g = grid4();
+        let mut rng = SplitMix64::new(10);
+        for _ in 0..500 {
+            let x = rng.gen_range(-10.0, 100.0);
+            let y = rng.gen_range(-10.0, 100.0);
+            let r = r2(
+                x,
+                y,
+                x + rng.gen_range(0.1, 60.0),
+                y + rng.gen_range(0.1, 60.0),
+            );
+            let covered = g.covering_tiles(&r);
+            // Every covered tile geometrically intersects r once r is
+            // clamped to the domain (fully outside rects clamp to border
+            // tiles they do not touch — that is the intended semantics).
+            if let Some(clamped) = r.intersection(g.domain()) {
+                for &t in &covered {
+                    let tile = g.tile_rect(t);
+                    assert!(
+                        tile.intersects(&clamped),
+                        "tile {t} {tile:?} does not meet {clamped:?}"
+                    );
+                }
+            }
+            // And no tile strictly containing a piece of r is missed.
+            for t in 0..g.tile_count() {
+                if g.tile_rect(t)
+                    .intersection(&r)
+                    .is_some_and(|i| i.volume() > 1e-12)
+                {
+                    assert!(covered.contains(&t), "missed tile {t} for {r:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spanning_object_lands_in_all_its_tiles() {
+        let g = grid4();
+        let r = r2(20.0, 20.0, 55.0, 30.0); // columns 0..=2 × rows 0..=1
+        let assigned = g.assign(&[r]);
+        let tiles: Vec<usize> = (0..16).filter(|&t| !assigned[t].is_empty()).collect();
+        assert_eq!(tiles.len(), 6);
+        for &t in &tiles {
+            assert_eq!(assigned[t], vec![0]);
+        }
+    }
+
+    #[test]
+    fn degenerate_1x1_grid_owns_everything() {
+        let g = UniformGrid::new(r2(0.0, 0.0, 10.0, 10.0), 1);
+        assert_eq!(g.tile_count(), 1);
+        assert!(g.owns(0, &Point([3.0, 3.0])));
+        assert!(g.owns(0, &Point([-100.0, 100.0])));
+        assert_eq!(g.covering_tiles(&r2(2.0, 2.0, 8.0, 8.0)), vec![0]);
+    }
+
+    #[test]
+    fn reference_point_ownership_is_covered_by_both_sides() {
+        // The invariant the join's exactness rests on: for any
+        // intersecting pair, the tile owning the reference point is in
+        // the covering set of both rectangles.
+        let g = grid4();
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..1_000 {
+            let ax = rng.gen_range(-10.0, 100.0);
+            let ay = rng.gen_range(-10.0, 100.0);
+            let a = r2(
+                ax,
+                ay,
+                ax + rng.gen_range(0.1, 50.0),
+                ay + rng.gen_range(0.1, 50.0),
+            );
+            let bx = rng.gen_range(-10.0, 100.0);
+            let by = rng.gen_range(-10.0, 100.0);
+            let b = r2(
+                bx,
+                by,
+                bx + rng.gen_range(0.1, 50.0),
+                by + rng.gen_range(0.1, 50.0),
+            );
+            if !a.intersects(&b) {
+                continue;
+            }
+            let owner = g.tile_of(&cbb_joins::reference_point(&a, &b));
+            assert!(g.covering_tiles(&a).contains(&owner));
+            assert!(g.covering_tiles(&b).contains(&owner));
+        }
+    }
+
+    #[test]
+    fn rectangular_grids_work() {
+        let g = UniformGrid::with_dims(r2(0.0, 0.0, 100.0, 50.0), [5, 2]);
+        assert_eq!(g.tile_count(), 10);
+        assert_eq!(g.dims(), [5, 2]);
+        let total: f64 = (0..10).map(|t| g.tile_rect(t).volume()).sum();
+        assert!((total - 5_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn assign_is_exhaustive() {
+        let g = grid4();
+        let mut rng = SplitMix64::new(12);
+        let rects: Vec<Rect<2>> = (0..300)
+            .map(|_| {
+                let x = rng.gen_range(0.0, 95.0);
+                let y = rng.gen_range(0.0, 95.0);
+                r2(
+                    x,
+                    y,
+                    x + rng.gen_range(0.1, 30.0),
+                    y + rng.gen_range(0.1, 30.0),
+                )
+            })
+            .collect();
+        let assigned = g.assign(&rects);
+        assert_eq!(assigned.len(), 16);
+        // Every object appears at least once; ids stay in range.
+        let mut seen = vec![false; rects.len()];
+        for list in &assigned {
+            for &i in list {
+                seen[i as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,162 @@
+//! Minimal scoped-thread worker pool.
+//!
+//! Two scheduling disciplines, both built on `std::thread::scope` (no
+//! external dependencies, no long-lived threads):
+//!
+//! * [`fold_dynamic`] — workers pull item indices from a shared atomic
+//!   counter and fold them into per-worker accumulators. Best when item
+//!   costs are skewed (join tiles over clustered data), since fast
+//!   workers steal the remaining items. Output order is per-worker, so
+//!   use it for *commutative* accumulation (counter merging).
+//! * [`map_chunked`] — items are split into one contiguous chunk per
+//!   worker and the per-chunk outputs come back in input order. Use it
+//!   when the result must be deterministic and position-addressed
+//!   (batched query answers).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Clamp a requested worker count to something sane for `items` items:
+/// at least one, at most one per item.
+pub fn effective_workers(requested: usize, items: usize) -> usize {
+    requested.max(1).min(items.max(1))
+}
+
+/// Process `items` indices `0..items` on `workers` threads pulling work
+/// from a shared queue; each worker folds its items into an accumulator
+/// seeded by `init`, and all accumulators are returned (in worker order).
+///
+/// `step` must be safe to call concurrently for distinct indices; every
+/// index is processed exactly once.
+pub fn fold_dynamic<A, I, F>(workers: usize, items: usize, init: I, step: F) -> Vec<A>
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(usize, &mut A) + Sync,
+{
+    let workers = effective_workers(workers, items);
+    if workers == 1 {
+        let mut acc = init();
+        for i in 0..items {
+            step(i, &mut acc);
+        }
+        return vec![acc];
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut acc = init();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items {
+                            break;
+                        }
+                        step(i, &mut acc);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("engine worker panicked"))
+            .collect()
+    })
+}
+
+/// Split `items` into one contiguous chunk per worker, apply `f` to each
+/// chunk concurrently, and return the outputs **in input order**. `f`
+/// receives the chunk's starting offset within `items`.
+pub fn map_chunked<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let workers = effective_workers(workers, items.len());
+    if workers == 1 {
+        return vec![f(0, items)];
+    }
+    // Spread the remainder over the first chunks so sizes differ by ≤ 1.
+    let base = items.len() / workers;
+    let extra = items.len() % workers;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut start = 0;
+        for w in 0..workers {
+            let len = base + usize::from(w < extra);
+            let chunk = &items[start..start + len];
+            let offset = start;
+            let f = &f;
+            handles.push(scope.spawn(move || f(offset, chunk)));
+            start += len;
+        }
+        debug_assert_eq!(start, items.len());
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("engine worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn effective_workers_clamps() {
+        assert_eq!(effective_workers(0, 10), 1);
+        assert_eq!(effective_workers(8, 3), 3);
+        assert_eq!(effective_workers(4, 0), 1);
+        assert_eq!(effective_workers(2, 100), 2);
+    }
+
+    #[test]
+    fn fold_dynamic_visits_every_index_once() {
+        for workers in [1, 2, 5, 16] {
+            let seen = Mutex::new(Vec::new());
+            let accs = fold_dynamic(
+                workers,
+                100,
+                || 0u64,
+                |i, acc| {
+                    seen.lock().unwrap().push(i);
+                    *acc += i as u64;
+                },
+            );
+            assert!(accs.len() <= workers.max(1));
+            assert_eq!(accs.iter().sum::<u64>(), (0..100).sum::<u64>());
+            let seen = seen.into_inner().unwrap();
+            assert_eq!(seen.len(), 100);
+            assert_eq!(seen.iter().copied().collect::<HashSet<_>>().len(), 100);
+        }
+    }
+
+    #[test]
+    fn fold_dynamic_zero_items() {
+        let accs = fold_dynamic(4, 0, || 7u32, |_, _| unreachable!("no items"));
+        assert_eq!(accs, vec![7]);
+    }
+
+    #[test]
+    fn map_chunked_preserves_order_and_offsets() {
+        let items: Vec<u32> = (0..37).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let outs = map_chunked(workers, &items, |offset, chunk| {
+                assert_eq!(chunk[0] as usize, offset);
+                chunk.to_vec()
+            });
+            let flat: Vec<u32> = outs.into_iter().flatten().collect();
+            assert_eq!(flat, items, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn map_chunked_empty_input() {
+        let outs = map_chunked(3, &[] as &[u8], |_, chunk| chunk.len());
+        assert_eq!(outs, vec![0]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Oracle tests for the partitioned parallel executor: for every R-tree
+//! variant and both per-tile strategies, the partitioned join must return
+//! *exactly* the pair count of `brute_force_pairs` and of the sequential
+//! `stt`/`inlj` — including workloads engineered so that most objects span
+//! tile boundaries (the duplicate-elimination edge case) and the
+//! degenerate 1×1 grid (pure overhead, no partitioning effect).
+
+use cbb_core::{ClipConfig, ClipMethod};
+use cbb_engine::{
+    parallel_range_queries, partitioned_join, sequential_join, JoinAlgo, JoinPlan, UniformGrid,
+};
+use cbb_geom::{Point, Rect, SplitMix64};
+use cbb_joins::{brute_force_pairs, inlj, stt, JoinResult};
+use cbb_rtree::{AccessStats, ClippedRTree, DataId, RTree, TreeConfig, Variant};
+
+fn r2(lx: f64, ly: f64, hx: f64, hy: f64) -> Rect<2> {
+    Rect::new(Point([lx, ly]), Point([hx, hy]))
+}
+
+const WORLD: Rect<2> = Rect {
+    lo: Point([0.0, 0.0]),
+    hi: Point([500.0, 500.0]),
+};
+
+fn boxes(n: usize, seed: u64, max_side: f64) -> Vec<Rect<2>> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let x = rng.gen_range(0.0, 480.0);
+            let y = rng.gen_range(0.0, 480.0);
+            let w = rng.gen_range(0.5, max_side);
+            let h = rng.gen_range(0.5, max_side);
+            r2(x, y, x + w, y + h)
+        })
+        .collect()
+}
+
+fn plan(variant: Variant, per_dim: usize, workers: usize) -> JoinPlan<2> {
+    JoinPlan::new(
+        UniformGrid::new(WORLD, per_dim),
+        TreeConfig::tiny(variant),
+        ClipConfig::paper_default::<2>(ClipMethod::Stairline),
+        workers,
+    )
+}
+
+fn global_clipped(objects: &[Rect<2>], variant: Variant) -> ClippedRTree<2> {
+    let items: Vec<(Rect<2>, DataId)> = objects
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (*b, DataId(i as u32)))
+        .collect();
+    ClippedRTree::from_tree(
+        RTree::bulk_load(TreeConfig::tiny(variant).with_world(WORLD), &items),
+        ClipConfig::paper_default::<2>(ClipMethod::Stairline),
+    )
+}
+
+#[test]
+fn partitioned_join_matches_oracles_on_all_variants() {
+    let a = boxes(220, 31, 25.0);
+    let b = boxes(260, 32, 25.0);
+    let expected = brute_force_pairs(&a, &b);
+    for variant in Variant::ALL {
+        let left = global_clipped(&a, variant);
+        let right = global_clipped(&b, variant);
+        assert_eq!(stt(&left, &right, true).pairs, expected, "{variant:?} stt");
+        assert_eq!(inlj(&a, &right, true).pairs, expected, "{variant:?} inlj");
+        for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+            for workers in [1, 3] {
+                let p = plan(variant, 4, workers).with_algo(algo);
+                assert_eq!(
+                    partitioned_join(&p, &a, &b).pairs,
+                    expected,
+                    "{variant:?}/{algo:?} workers={workers}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tile_spanning_objects_are_counted_exactly_once() {
+    // 125-wide tiles, objects up to 180 wide: nearly everything spans
+    // multiple tiles and many pairs intersect inside several tiles.
+    let a = boxes(100, 33, 180.0);
+    let b = boxes(120, 34, 180.0);
+    let expected = brute_force_pairs(&a, &b);
+    for variant in Variant::ALL {
+        for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+            let p = plan(variant, 4, 4).with_algo(algo);
+            assert_eq!(
+                partitioned_join(&p, &a, &b).pairs,
+                expected,
+                "{variant:?}/{algo:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_1x1_grid_equals_sequential_exactly() {
+    let a = boxes(150, 35, 30.0);
+    let b = boxes(170, 36, 30.0);
+    for variant in [Variant::Quadratic, Variant::RRStar] {
+        for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+            let p = plan(variant, 1, 2).with_algo(algo);
+            let par = partitioned_join(&p, &a, &b);
+            let seq = sequential_join(&p, &a, &b);
+            // One tile holding everything: identical trees, identical
+            // traversal, so *all* counters match, not just pairs.
+            assert_eq!(par, seq, "{variant:?}/{algo:?}");
+        }
+    }
+}
+
+#[test]
+fn partitioned_counters_merge_consistently() {
+    let a = boxes(200, 37, 40.0);
+    let b = boxes(200, 38, 40.0);
+    let p = plan(Variant::RStar, 4, 3);
+    let r: JoinResult = partitioned_join(&p, &a, &b);
+    // Merged counters come from real per-tile work.
+    assert!(r.pairs > 0);
+    assert!(r.leaf_accesses() > 0);
+    assert!(r.leaf_accesses() == r.leaf_accesses_left + r.leaf_accesses_right);
+    // JoinResult::sum agrees with operator merging.
+    let halves = [r, JoinResult::default()];
+    assert_eq!(JoinResult::sum(halves.iter()), r);
+    let mut acc = JoinResult::default();
+    acc += r;
+    acc += &JoinResult::default();
+    assert_eq!(acc, r);
+}
+
+#[test]
+fn clipping_helps_inside_tiles() {
+    // The whole point of the subsystem: per-tile probes still benefit
+    // from clip pruning. Compare clipped vs unclipped partitioned INLJ.
+    let a = boxes(400, 39, 12.0);
+    let b = boxes(500, 40, 12.0);
+    let clipped = plan(Variant::RStar, 4, 4).with_algo(JoinAlgo::Inlj);
+    let unclipped = clipped.with_clips(false);
+    let rc = partitioned_join(&clipped, &a, &b);
+    let ru = partitioned_join(&unclipped, &a, &b);
+    assert_eq!(rc.pairs, ru.pairs);
+    assert!(rc.clip_prunes > 0, "clip points never pruned anything");
+    assert!(
+        rc.leaf_accesses_right <= ru.leaf_accesses_right,
+        "clipping increased per-tile I/O"
+    );
+}
+
+#[test]
+fn batched_queries_match_sequential_and_merge_stats() {
+    let objects = boxes(1_200, 41, 15.0);
+    let tree = global_clipped(&objects, Variant::RRStar);
+    let mut rng = SplitMix64::new(42);
+    let queries: Vec<Rect<2>> = (0..300)
+        .map(|_| {
+            let x = rng.gen_range(0.0, 460.0);
+            let y = rng.gen_range(0.0, 460.0);
+            let s = rng.gen_range(1.0, 30.0);
+            r2(x, y, x + s, y + s)
+        })
+        .collect();
+
+    let mut seq_stats = AccessStats::new();
+    let seq: Vec<Vec<DataId>> = queries
+        .iter()
+        .map(|q| tree.range_query_stats(q, &mut seq_stats))
+        .collect();
+
+    for workers in [1, 2, 7] {
+        let out = parallel_range_queries(&tree, &queries, workers, true);
+        assert_eq!(out.results, seq, "workers = {workers}");
+        assert_eq!(out.stats, seq_stats, "workers = {workers}");
+    }
+
+    // AccessStats::sum helper merges like repeated absorb.
+    let merged = AccessStats::sum([seq_stats, AccessStats::new()].iter());
+    assert_eq!(merged, seq_stats);
+}

@@ -142,11 +142,7 @@ mod tests {
                         for py in [1.0, 4.0, 6.0, 9.0] {
                             let p = Point([px, py]);
                             let member = region.contains_point(&p) && p != q;
-                            assert_eq!(
-                                dominates(&p, &q, bm),
-                                member,
-                                "p={p:?} q={q:?} b={bm:?}"
-                            );
+                            assert_eq!(dominates(&p, &q, bm), member, "p={p:?} q={q:?} b={bm:?}");
                         }
                     }
                 }

@@ -30,29 +30,17 @@ impl<const D: usize> Point<D> {
 
     /// Component-wise minimum of two points.
     pub fn min(&self, other: &Self) -> Self {
-        let mut out = [0.0; D];
-        for i in 0..D {
-            out[i] = self.0[i].min(other.0[i]);
-        }
-        Point(out)
+        self.zip_with(other, Coord::min)
     }
 
     /// Component-wise maximum of two points.
     pub fn max(&self, other: &Self) -> Self {
-        let mut out = [0.0; D];
-        for i in 0..D {
-            out[i] = self.0[i].max(other.0[i]);
-        }
-        Point(out)
+        self.zip_with(other, Coord::max)
     }
 
     /// Midpoint of the segment between `self` and `other`.
     pub fn midpoint(&self, other: &Self) -> Self {
-        let mut out = [0.0; D];
-        for i in 0..D {
-            out[i] = 0.5 * (self.0[i] + other.0[i]);
-        }
-        Point(out)
+        self.zip_with(other, |a, b| 0.5 * (a + b))
     }
 
     /// Squared Euclidean distance to `other`.
@@ -77,20 +65,12 @@ impl<const D: usize> Point<D> {
 
     /// Apply `f` to each coordinate, producing a new point.
     pub fn map(&self, mut f: impl FnMut(Coord) -> Coord) -> Self {
-        let mut out = [0.0; D];
-        for i in 0..D {
-            out[i] = f(self.0[i]);
-        }
-        Point(out)
+        Point(std::array::from_fn(|i| f(self.0[i])))
     }
 
     /// Component-wise combination of two points.
     pub fn zip_with(&self, other: &Self, mut f: impl FnMut(Coord, Coord) -> Coord) -> Self {
-        let mut out = [0.0; D];
-        for i in 0..D {
-            out[i] = f(self.0[i], other.0[i]);
-        }
-        Point(out)
+        Point(std::array::from_fn(|i| f(self.0[i], other.0[i])))
     }
 }
 

@@ -49,11 +49,13 @@ impl<const D: usize> Rect<D> {
 
     /// The corner selected by `mask`: `R^b[i] = u[i]` if `b[i]` else `l[i]`.
     pub fn corner(&self, mask: CornerMask) -> Point<D> {
-        let mut out = [0.0; D];
-        for i in 0..D {
-            out[i] = if mask.bit(i) { self.hi[i] } else { self.lo[i] };
-        }
-        Point(out)
+        Point(std::array::from_fn(|i| {
+            if mask.bit(i) {
+                self.hi[i]
+            } else {
+                self.lo[i]
+            }
+        }))
     }
 
     /// Extent (side length) along dimension `i`.

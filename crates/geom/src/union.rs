@@ -39,10 +39,7 @@ pub fn union_volume_exact_budgeted<const D: usize>(
     boxes: &[Rect<D>],
     max_cells: usize,
 ) -> Option<f64> {
-    let clipped: Vec<Rect<D>> = boxes
-        .iter()
-        .filter_map(|b| b.intersection(frame))
-        .collect();
+    let clipped: Vec<Rect<D>> = boxes.iter().filter_map(|b| b.intersection(frame)).collect();
     if clipped.is_empty() {
         return Some(0.0);
     }
@@ -177,7 +174,12 @@ pub fn union_volume_mc<const D: usize>(
 pub fn union_volume<const D: usize>(frame: &Rect<D>, boxes: &[Rect<D>]) -> f64 {
     match union_volume_exact_budgeted(frame, boxes, DEFAULT_CELL_BUDGET) {
         Some(v) => v,
-        None => union_volume_mc(frame, boxes, DEFAULT_MC_SAMPLES, 0xCBB0_5EED ^ boxes.len() as u64),
+        None => union_volume_mc(
+            frame,
+            boxes,
+            DEFAULT_MC_SAMPLES,
+            0xCBB0_5EED ^ boxes.len() as u64,
+        ),
     }
 }
 
@@ -310,6 +312,9 @@ mod tests {
     #[test]
     fn auto_matches_exact_when_cheap() {
         let boxes = [r2(1.0, 1.0, 2.0, 2.0), r2(4.0, 4.0, 6.0, 9.0)];
-        assert_eq!(union_volume(&FRAME, &boxes), union_volume_exact(&FRAME, &boxes));
+        assert_eq!(
+            union_volume(&FRAME, &boxes),
+            union_volume_exact(&FRAME, &boxes)
+        );
     }
 }

@@ -15,9 +15,12 @@
 //! I/O metric) and the number of result pairs, which is invariant under
 //! clipping (verified by tests).
 
+use std::iter::Sum;
+use std::ops::AddAssign;
+
 use cbb_core::query_intersects_cbb;
-use cbb_geom::Rect;
-use cbb_rtree::{AccessStats, Child, ClippedRTree, NodeId};
+use cbb_geom::{Point, Rect};
+use cbb_rtree::{AccessStats, Child, ClippedRTree, DataId, NodeId};
 
 /// Join outcome and cost counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -35,6 +38,51 @@ pub struct JoinResult {
     pub clip_prunes: u64,
 }
 
+impl JoinResult {
+    /// Total leaf accesses over both sides.
+    pub fn leaf_accesses(&self) -> u64 {
+        self.leaf_accesses_left + self.leaf_accesses_right
+    }
+
+    /// Merge many partial results (e.g. per-partition counters).
+    pub fn sum<'a>(parts: impl IntoIterator<Item = &'a JoinResult>) -> JoinResult {
+        parts.into_iter().copied().sum()
+    }
+}
+
+impl AddAssign for JoinResult {
+    fn add_assign(&mut self, other: JoinResult) {
+        self.pairs += other.pairs;
+        self.leaf_accesses_left += other.leaf_accesses_left;
+        self.leaf_accesses_right += other.leaf_accesses_right;
+        self.internal_accesses += other.internal_accesses;
+        self.clip_prunes += other.clip_prunes;
+    }
+}
+
+impl AddAssign<&JoinResult> for JoinResult {
+    fn add_assign(&mut self, other: &JoinResult) {
+        *self += *other;
+    }
+}
+
+impl Sum for JoinResult {
+    fn sum<I: Iterator<Item = JoinResult>>(iter: I) -> JoinResult {
+        iter.fold(JoinResult::default(), |mut acc, r| {
+            acc += r;
+            acc
+        })
+    }
+}
+
+/// The PBSM reference point of an intersecting pair: the lower corner of
+/// `a ∩ b` (component-wise max of the lower corners). Partitioned joins
+/// count a pair only in the tile that *owns* this point, which makes
+/// global pair counts exact despite multi-assignment of spanning objects.
+pub fn reference_point<const D: usize>(a: &Rect<D>, b: &Rect<D>) -> Point<D> {
+    a.lo.max(&b.lo)
+}
+
 /// Index Nested Loop Join: probe `inner` with every rectangle of `outer`.
 /// With `use_clips = false` the probes run on the base tree (the
 /// unclipped baseline on the *same* tree).
@@ -43,6 +91,22 @@ pub fn inlj<const D: usize>(
     inner: &ClippedRTree<D>,
     use_clips: bool,
 ) -> JoinResult {
+    inlj_filtered(outer, inner, use_clips, |_, _| true)
+}
+
+/// Tile-local INLJ entry point: as [`inlj`], but a found `(outer rect,
+/// inner id)` match is counted only when `keep` accepts it. Partitioned
+/// executors use this for reference-point duplicate elimination; I/O
+/// counters still reflect the full probes.
+pub fn inlj_filtered<const D: usize, F>(
+    outer: &[Rect<D>],
+    inner: &ClippedRTree<D>,
+    use_clips: bool,
+    keep: F,
+) -> JoinResult
+where
+    F: Fn(&Rect<D>, DataId) -> bool,
+{
     let mut result = JoinResult::default();
     let mut stats = AccessStats::new();
     for o in outer {
@@ -51,7 +115,7 @@ pub fn inlj<const D: usize>(
         } else {
             inner.tree.range_query_stats(o, &mut stats)
         };
-        result.pairs += found.len() as u64;
+        result.pairs += found.iter().filter(|id| keep(o, **id)).count() as u64;
     }
     result.leaf_accesses_right = stats.leaf_accesses;
     result.internal_accesses = stats.internal_accesses;
@@ -65,6 +129,22 @@ pub fn stt<const D: usize>(
     right: &ClippedRTree<D>,
     use_clips: bool,
 ) -> JoinResult {
+    stt_filtered(left, right, use_clips, |_, _| true)
+}
+
+/// Tile-local STT entry point: as [`stt`], but an intersecting leaf pair
+/// is counted only when `keep` accepts its two object rectangles.
+/// Partitioned executors pass a reference-point ownership test here so a
+/// pair materialised in several tiles is counted exactly once globally.
+pub fn stt_filtered<const D: usize, F>(
+    left: &ClippedRTree<D>,
+    right: &ClippedRTree<D>,
+    use_clips: bool,
+    keep: F,
+) -> JoinResult
+where
+    F: Fn(&Rect<D>, &Rect<D>) -> bool,
+{
     let mut result = JoinResult::default();
     if left.tree.is_empty() || right.tree.is_empty() {
         return result;
@@ -76,11 +156,10 @@ pub fn stt<const D: usize>(
     let Some(w) = lmbb.intersection(&rmbb) else {
         return result;
     };
-    if use_clips && !pair_survives_clips(left, lroot, &lmbb, right, rroot, &rmbb, &w, &mut result)
-    {
+    if use_clips && !pair_survives_clips(left, lroot, &lmbb, right, rroot, &rmbb, &w, &mut result) {
         return result;
     }
-    stt_rec(left, lroot, right, rroot, use_clips, &mut result);
+    stt_rec(left, lroot, right, rroot, use_clips, &keep, &mut result);
     result
 }
 
@@ -107,14 +186,17 @@ fn pair_survives_clips<const D: usize>(
     true
 }
 
-fn stt_rec<const D: usize>(
+fn stt_rec<const D: usize, F>(
     left: &ClippedRTree<D>,
     lid: NodeId,
     right: &ClippedRTree<D>,
     rid: NodeId,
     use_clips: bool,
+    keep: &F,
     result: &mut JoinResult,
-) {
+) where
+    F: Fn(&Rect<D>, &Rect<D>) -> bool,
+{
     let lnode = left.tree.node(lid);
     let rnode = right.tree.node(rid);
 
@@ -124,7 +206,7 @@ fn stt_rec<const D: usize>(
             result.leaf_accesses_right += 1;
             for e1 in &lnode.entries {
                 for e2 in &rnode.entries {
-                    if e1.mbb.intersects(&e2.mbb) {
+                    if e1.mbb.intersects(&e2.mbb) && keep(&e1.mbb, &e2.mbb) {
                         result.pairs += 1;
                     }
                 }
@@ -149,7 +231,7 @@ fn stt_rec<const D: usize>(
                         continue;
                     }
                 }
-                stt_rec(left, c1, right, rid, use_clips, result);
+                stt_rec(left, c1, right, rid, use_clips, keep, result);
             }
         }
         (true, false) => {
@@ -162,13 +244,11 @@ fn stt_rec<const D: usize>(
                     Child::Node(c) => c,
                     Child::Data(_) => unreachable!("non-leaf with data entry"),
                 };
-                if use_clips {
-                    if !query_intersects_cbb(&e2.mbb, right.clips_of(c2), &w) {
-                        result.clip_prunes += 1;
-                        continue;
-                    }
+                if use_clips && !query_intersects_cbb(&e2.mbb, right.clips_of(c2), &w) {
+                    result.clip_prunes += 1;
+                    continue;
                 }
-                stt_rec(left, lid, right, c2, use_clips, result);
+                stt_rec(left, lid, right, c2, use_clips, keep, result);
             }
         }
         (false, false) => {
@@ -187,13 +267,11 @@ fn stt_rec<const D: usize>(
                         Child::Data(_) => unreachable!(),
                     };
                     if use_clips
-                        && !pair_survives_clips(
-                            left, c1, &e1.mbb, right, c2, &e2.mbb, &w, result,
-                        )
+                        && !pair_survives_clips(left, c1, &e1.mbb, right, c2, &e2.mbb, &w, result)
                     {
                         continue;
                     }
-                    stt_rec(left, c1, right, c2, use_clips, result);
+                    stt_rec(left, c1, right, c2, use_clips, keep, result);
                 }
             }
         }

@@ -7,7 +7,9 @@
 //! clip points live in a side table indexed by node id (Figure 4b), so any
 //! variant can be clipped after the fact.
 
-use cbb_core::{clip_node, insertion_keeps_clips_valid, query_intersects_cbb, ClipConfig, ClipPoint};
+use cbb_core::{
+    clip_node, insertion_keeps_clips_valid, query_intersects_cbb, ClipConfig, ClipPoint,
+};
 use cbb_geom::Rect;
 
 use crate::node::{Child, DataId, NodeId};
@@ -64,6 +66,19 @@ impl<const D: usize> ClippedRTree<D> {
         };
         clipped.reclip_all();
         clipped
+    }
+
+    /// Attach an *empty* clip table: queries behave exactly like the base
+    /// tree. This is the cheap baseline wrapper for executors that want
+    /// the [`ClippedRTree`] API without paying Algorithm 1 construction
+    /// (e.g. per-partition trees in a no-clipping comparison run).
+    pub fn unclipped(tree: RTree<D>) -> Self {
+        ClippedRTree {
+            tree,
+            clips: Vec::new(),
+            clip_config: ClipConfig::paper_default::<D>(cbb_core::ClipMethod::Stairline).with_k(0),
+            maintenance: MaintenanceStats::default(),
+        }
     }
 
     /// Recompute the clip points of every live node.
@@ -274,8 +289,7 @@ impl<const D: usize> ClippedRTree<D> {
                 .iter()
                 .map(|c| c.region(&node.mbb))
                 .collect();
-            clip_sum +=
-                cbb_geom::union_volume_exact(&node.mbb, &regions) / node.mbb.volume();
+            clip_sum += cbb_geom::union_volume_exact(&node.mbb, &regions) / node.mbb.volume();
             count += 1;
         }
         if count == 0 {
@@ -311,8 +325,7 @@ impl<const D: usize> ClippedRTree<D> {
                 .iter()
                 .map(|c| c.region(&node.mbb))
                 .collect();
-            clip_sum +=
-                cbb_geom::union_volume_exact(&node.mbb, &regions) / node.mbb.volume();
+            clip_sum += cbb_geom::union_volume_exact(&node.mbb, &regions) / node.mbb.volume();
             count += 1;
         }
         if count == 0 {
@@ -363,9 +376,8 @@ mod tests {
     }
 
     fn build(variant: Variant, method: ClipMethod, n: usize) -> ClippedRTree<2> {
-        let mut tree = RTree::new(
-            TreeConfig::tiny(variant).with_world(r2(0.0, 0.0, 1000.0, 1000.0)),
-        );
+        let mut tree =
+            RTree::new(TreeConfig::tiny(variant).with_world(r2(0.0, 0.0, 1000.0, 1000.0)));
         for (i, b) in boxes(n, 42).into_iter().enumerate() {
             tree.insert(b, DataId(i as u32));
         }

@@ -35,3 +35,16 @@ pub use config::{TreeConfig, Variant};
 pub use node::{Child, DataId, Entry, Node, NodeId};
 pub use stats::AccessStats;
 pub use tree::RTree;
+
+// Parallel executors (cbb-engine) share immutable trees across worker
+// threads; keep that property guarded at compile time so no interior
+// mutability sneaks into the index types.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RTree<2>>();
+    assert_send_sync::<RTree<3>>();
+    assert_send_sync::<ClippedRTree<2>>();
+    assert_send_sync::<ClippedRTree<3>>();
+    assert_send_sync::<AccessStats>();
+    assert_send_sync::<TreeConfig<2>>();
+};

@@ -139,8 +139,10 @@ mod tests {
     #[test]
     fn recompute_mbb_unions_entries() {
         let mut n: Node<2> = Node::new(0);
-        n.entries.push(Entry::data(r2(0.0, 0.0, 1.0, 1.0), DataId(0)));
-        n.entries.push(Entry::data(r2(4.0, 2.0, 6.0, 3.0), DataId(1)));
+        n.entries
+            .push(Entry::data(r2(0.0, 0.0, 1.0, 1.0), DataId(0)));
+        n.entries
+            .push(Entry::data(r2(4.0, 2.0, 6.0, 3.0), DataId(1)));
         n.recompute_mbb();
         assert_eq!(n.mbb, r2(0.0, 0.0, 6.0, 3.0));
         assert!(n.is_leaf());
@@ -149,8 +151,10 @@ mod tests {
     #[test]
     fn entry_rects_roundtrip() {
         let mut n: Node<2> = Node::new(1);
-        n.entries.push(Entry::node(r2(0.0, 0.0, 1.0, 1.0), NodeId(1)));
-        n.entries.push(Entry::node(r2(2.0, 2.0, 3.0, 3.0), NodeId(2)));
+        n.entries
+            .push(Entry::node(r2(0.0, 0.0, 1.0, 1.0), NodeId(1)));
+        n.entries
+            .push(Entry::node(r2(2.0, 2.0, 3.0, 3.0), NodeId(2)));
         assert_eq!(n.entry_rects().len(), 2);
         assert!(!n.is_leaf());
     }

@@ -24,13 +24,7 @@ impl<const D: usize> RTree<D> {
         out
     }
 
-    fn query_node(
-        &self,
-        id: NodeId,
-        q: &Rect<D>,
-        stats: &mut AccessStats,
-        out: &mut Vec<DataId>,
-    ) {
+    fn query_node(&self, id: NodeId, q: &Rect<D>, stats: &mut AccessStats, out: &mut Vec<DataId>) {
         let node = self.node(id);
         if node.is_leaf() {
             stats.leaf_accesses += 1;

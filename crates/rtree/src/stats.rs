@@ -5,6 +5,9 @@
 //! I/O cost. The stats also record which leaf accesses *contributed* at
 //! least one result — the numerator of the Figure 1c optimality ratio.
 
+use std::iter::Sum;
+use std::ops::AddAssign;
+
 /// Counters collected by instrumented traversals.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct AccessStats {
@@ -46,6 +49,32 @@ impl AccessStats {
         } else {
             Some(self.contributing_leaf_accesses as f64 / self.leaf_accesses as f64)
         }
+    }
+
+    /// Merge many partial stats (e.g. per-worker counters).
+    pub fn sum<'a>(parts: impl IntoIterator<Item = &'a AccessStats>) -> AccessStats {
+        parts.into_iter().copied().sum()
+    }
+}
+
+impl AddAssign for AccessStats {
+    fn add_assign(&mut self, other: AccessStats) {
+        self.absorb(&other);
+    }
+}
+
+impl AddAssign<&AccessStats> for AccessStats {
+    fn add_assign(&mut self, other: &AccessStats) {
+        self.absorb(other);
+    }
+}
+
+impl Sum for AccessStats {
+    fn sum<I: Iterator<Item = AccessStats>>(iter: I) -> AccessStats {
+        iter.fold(AccessStats::default(), |mut acc, s| {
+            acc += s;
+            acc
+        })
     }
 }
 

@@ -251,9 +251,8 @@ impl<const D: usize> RTree<D> {
             let world = self.hilbert_world();
             let pos = if node.is_leaf() {
                 let key = self.hilbert_key(&entry.mbb);
-                node.entries.partition_point(|e| {
-                    hilbert_key_of_rect(&e.mbb, &world, DEFAULT_ORDER) <= key
-                })
+                node.entries
+                    .partition_point(|e| hilbert_key_of_rect(&e.mbb, &world, DEFAULT_ORDER) <= key)
             } else {
                 // Directory entries stay ordered by child LHV.
                 let child_lhv = self.node(entry.child.node_id()).lhv;
@@ -282,9 +281,7 @@ impl<const D: usize> RTree<D> {
             let node = self.node(current);
             let idx = match self.config.variant {
                 Variant::Quadratic => quadratic::choose_child(&node.entries, rect),
-                Variant::RStar => {
-                    rstar::choose_child(&node.entries, rect, node.level == 1)
-                }
+                Variant::RStar => rstar::choose_child(&node.entries, rect, node.level == 1),
                 Variant::RRStar => rrstar::choose_child(&node.entries, rect),
                 Variant::Hilbert => {
                     // First child whose LHV is ≥ the key, else the last.
@@ -512,10 +509,11 @@ impl<const D: usize> RTree<D> {
                 self.node_mut(id).recompute_mbb();
                 self.refresh_lhv(id);
                 self.sync_parent_entry(parent, id);
-                log.record(id, ChangeKind::Split); // wholesale redistribution
-                // The redistributed boxes may span the gap between the two
-                // old sibling boxes, possibly invading the parent's clip
-                // regions — surface them to the eager validity test.
+                // Wholesale redistribution: the redistributed boxes may
+                // span the gap between the two old sibling boxes, possibly
+                // invading the parent's clip regions — surface them to the
+                // eager validity test.
+                log.record(id, ChangeKind::Split);
                 let mbb = self.node(id).mbb;
                 log.record_added(parent, mbb);
             }
@@ -663,13 +661,14 @@ impl<const D: usize> RTree<D> {
         let mut level = 0u32;
         loop {
             let mut next: Vec<Entry<D>> = Vec::with_capacity(level_entries.len() / cap + 1);
-            for chunk in chunk_sizes(level_entries.len(), cap, m)
-                .into_iter()
-                .scan(0usize, |off, size| {
-                    let s = *off;
-                    *off += size;
-                    Some(&level_entries[s..s + size])
-                })
+            for chunk in
+                chunk_sizes(level_entries.len(), cap, m)
+                    .into_iter()
+                    .scan(0usize, |off, size| {
+                        let s = *off;
+                        *off += size;
+                        Some(&level_entries[s..s + size])
+                    })
             {
                 let mut node = Node::new(level);
                 node.entries = chunk.to_vec();
@@ -745,10 +744,7 @@ fn str_recurse<const D: usize>(entries: &mut [Entry<D>], axis: usize, cap: usize
     }
     let n = entries.len();
     let pages = n.div_ceil(cap).max(1);
-    let slabs = (pages as f64)
-        .powf(1.0 / (D - axis) as f64)
-        .ceil()
-        .max(1.0) as usize;
+    let slabs = (pages as f64).powf(1.0 / (D - axis) as f64).ceil().max(1.0) as usize;
     let slab_size = n.div_ceil(slabs).max(1);
     for chunk in entries.chunks_mut(slab_size) {
         str_recurse(chunk, axis + 1, cap);

@@ -57,14 +57,12 @@ impl<const D: usize> RTree<D> {
         if node.entries.is_empty() && !is_root {
             return Err(format!("non-root {id:?} is empty"));
         }
-        if !is_root {
-            if node.entries.len() < self.config.min_entries {
-                return Err(format!(
-                    "{id:?} underfull: {} < m = {}",
-                    node.entries.len(),
-                    self.config.min_entries
-                ));
-            }
+        if !is_root && node.entries.len() < self.config.min_entries {
+            return Err(format!(
+                "{id:?} underfull: {} < m = {}",
+                node.entries.len(),
+                self.config.min_entries
+            ));
         }
         if node.entries.len() > self.config.max_entries {
             return Err(format!(
@@ -131,10 +129,7 @@ mod tests {
     #[test]
     fn single_insert_valid() {
         let mut tree: RTree<2> = RTree::new(TreeConfig::tiny(Variant::Quadratic));
-        tree.insert(
-            Rect::new(Point([0.0, 0.0]), Point([1.0, 1.0])),
-            DataId(0),
-        );
+        tree.insert(Rect::new(Point([0.0, 0.0]), Point([1.0, 1.0])), DataId(0));
         tree.validate().unwrap();
         assert_eq!(tree.len(), 1);
         assert_eq!(tree.height(), 1);

@@ -18,7 +18,19 @@ pub type Split<const D: usize> = (Vec<Entry<D>>, Vec<Entry<D>>);
 /// Debug helper: assert a split respects `m` and preserves all entries.
 #[cfg(test)]
 pub(crate) fn check_split<const D: usize>(input_len: usize, m: usize, split: &Split<D>) {
-    assert_eq!(split.0.len() + split.1.len(), input_len, "entries lost in split");
-    assert!(split.0.len() >= m, "group 1 below m: {} < {m}", split.0.len());
-    assert!(split.1.len() >= m, "group 2 below m: {} < {m}", split.1.len());
+    assert_eq!(
+        split.0.len() + split.1.len(),
+        input_len,
+        "entries lost in split"
+    );
+    assert!(
+        split.0.len() >= m,
+        "group 1 below m: {} < {m}",
+        split.0.len()
+    );
+    assert!(
+        split.1.len() >= m,
+        "group 2 below m: {} < {m}",
+        split.1.len()
+    );
 }

@@ -120,10 +120,7 @@ mod tests {
     use cbb_geom::Point;
 
     fn entry(lx: f64, ly: f64, hx: f64, hy: f64, id: u32) -> Entry<2> {
-        Entry::data(
-            Rect::new(Point([lx, ly]), Point([hx, hy])),
-            DataId(id),
-        )
+        Entry::data(Rect::new(Point([lx, ly]), Point([hx, hy])), DataId(id))
     }
 
     #[test]
@@ -140,10 +137,7 @@ mod tests {
 
     #[test]
     fn choose_child_ties_break_on_area() {
-        let entries = vec![
-            entry(0.0, 0.0, 10.0, 10.0, 0),
-            entry(0.0, 0.0, 5.0, 5.0, 1),
-        ];
+        let entries = vec![entry(0.0, 0.0, 10.0, 10.0, 0), entry(0.0, 0.0, 5.0, 5.0, 1)];
         // Contained in both → zero enlargement for both → smaller area wins.
         let q = Rect::new(Point([1.0, 1.0]), Point([2.0, 2.0]));
         assert_eq!(choose_child(&entries, &q), 1);

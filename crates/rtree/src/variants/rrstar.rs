@@ -54,7 +54,7 @@ pub fn choose_child<const D: usize>(entries: &[Entry<D>], rect: &Rect<D>) -> usi
     for (i, e) in entries.iter().enumerate() {
         if e.mbb.contains_rect(rect) {
             let key = (e.mbb.volume(), e.mbb.margin());
-            if cover_best.map_or(true, |(v, p, _)| (key.0, key.1) < (v, p)) {
+            if cover_best.is_none_or(|(v, p, _)| (key.0, key.1) < (v, p)) {
                 cover_best = Some((key.0, key.1, i));
             }
         }
@@ -212,8 +212,8 @@ mod tests {
     #[test]
     fn covering_child_wins() {
         let entries = vec![
-            entry(0.0, 0.0, 20.0, 20.0, 0),  // big cover
-            entry(2.0, 2.0, 8.0, 8.0, 1),    // small cover
+            entry(0.0, 0.0, 20.0, 20.0, 0), // big cover
+            entry(2.0, 2.0, 8.0, 8.0, 1),   // small cover
             entry(30.0, 30.0, 40.0, 40.0, 2),
         ];
         let q = Rect::new(Point([3.0, 3.0]), Point([4.0, 4.0]));
@@ -252,7 +252,13 @@ mod tests {
     fn split_balanced_and_low_overlap() {
         let mut entries = Vec::new();
         for i in 0..8 {
-            entries.push(entry(i as f64 * 3.0, 0.0, i as f64 * 3.0 + 2.0, 2.0, i as u32));
+            entries.push(entry(
+                i as f64 * 3.0,
+                0.0,
+                i as f64 * 3.0 + 2.0,
+                2.0,
+                i as u32,
+            ));
         }
         let s = split(entries, 3);
         check_split(8, 3, &s);
@@ -290,8 +296,8 @@ mod tests {
     #[test]
     fn ovlp_prioritises_volume_over_perimeter() {
         let a = Rect::new(Point([0.0, 0.0]), Point([4.0, 4.0]));
-        let b = Rect::new(Point([2.0, 2.0]), Point([6.0, 6.0]));  // volume overlap
-        let c = Rect::new(Point([4.0, 0.0]), Point([8.0, 4.0]));  // edge contact
+        let b = Rect::new(Point([2.0, 2.0]), Point([6.0, 6.0])); // volume overlap
+        let c = Rect::new(Point([4.0, 0.0]), Point([8.0, 4.0])); // edge contact
         let d = Rect::new(Point([10.0, 10.0]), Point([12.0, 12.0])); // disjoint
         assert!(ovlp(&a, &b) > ovlp(&a, &c));
         assert!(ovlp(&a, &c) > ovlp(&a, &d));

@@ -78,10 +78,8 @@ pub fn choose_child<const D: usize>(
 /// One candidate distribution: the first `k` entries of a sorted order go
 /// left, the rest right.
 fn distribution_cost<const D: usize>(sorted: &[Entry<D>], k: usize) -> (Rect<D>, Rect<D>) {
-    let bb1 = Rect::mbb_of(&sorted[..k].iter().map(|e| e.mbb).collect::<Vec<_>>())
-        .expect("k ≥ 1");
-    let bb2 = Rect::mbb_of(&sorted[k..].iter().map(|e| e.mbb).collect::<Vec<_>>())
-        .expect("k < n");
+    let bb1 = Rect::mbb_of(&sorted[..k].iter().map(|e| e.mbb).collect::<Vec<_>>()).expect("k ≥ 1");
+    let bb2 = Rect::mbb_of(&sorted[k..].iter().map(|e| e.mbb).collect::<Vec<_>>()).expect("k < n");
     (bb1, bb2)
 }
 
@@ -137,9 +135,7 @@ pub fn split<const D: usize>(entries: Vec<Entry<D>>, m: usize) -> Split<D> {
             let area = bb1.volume() + bb2.volume();
             let better = match &best {
                 None => true,
-                Some((bo, ba, _, _)) => {
-                    overlap < *bo || (overlap == *bo && area < *ba)
-                }
+                Some((bo, ba, _, _)) => overlap < *bo || (overlap == *bo && area < *ba),
             };
             if better {
                 best = Some((overlap, area, sorted.clone(), k));
@@ -172,7 +168,11 @@ pub fn select_reinsert<const D: usize>(
     // reversed so callers reinsert nearest-first.
     keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
     let keep_len = keyed.len() - p;
-    let mut reinsert: Vec<Entry<D>> = keyed.split_off(keep_len).into_iter().map(|(_, e)| e).collect();
+    let mut reinsert: Vec<Entry<D>> = keyed
+        .split_off(keep_len)
+        .into_iter()
+        .map(|(_, e)| e)
+        .collect();
     reinsert.reverse();
     let kept = keyed.into_iter().map(|(_, e)| e).collect();
     (kept, reinsert)
@@ -193,10 +193,7 @@ mod tests {
     fn leaf_level_minimises_overlap_enlargement() {
         // Two siblings; inserting into the left one would newly overlap the
         // right one, inserting into the right adds no overlap.
-        let entries = vec![
-            entry(0.0, 0.0, 4.0, 10.0, 0),
-            entry(5.0, 0.0, 9.0, 10.0, 1),
-        ];
+        let entries = vec![entry(0.0, 0.0, 4.0, 10.0, 0), entry(5.0, 0.0, 9.0, 10.0, 1)];
         let q = Rect::new(Point([6.0, 4.0]), Point([7.0, 5.0]));
         assert_eq!(choose_child(&entries, &q, true), 1);
         // A rect reaching into entry 1's territory: extending entry 0 to
@@ -222,8 +219,20 @@ mod tests {
         // zero overlap.
         let mut entries = Vec::new();
         for i in 0..6 {
-            entries.push(entry(0.0, i as f64 * 2.0, 1.0, i as f64 * 2.0 + 1.0, i as u32));
-            entries.push(entry(10.0, i as f64 * 2.0, 11.0, i as f64 * 2.0 + 1.0, 6 + i as u32));
+            entries.push(entry(
+                0.0,
+                i as f64 * 2.0,
+                1.0,
+                i as f64 * 2.0 + 1.0,
+                i as u32,
+            ));
+            entries.push(entry(
+                10.0,
+                i as f64 * 2.0,
+                11.0,
+                i as f64 * 2.0 + 1.0,
+                6 + i as u32,
+            ));
         }
         let (g1, g2) = split(entries, 4);
         check_split(12, 4, &(g1.clone(), g2.clone()));
@@ -234,8 +243,9 @@ mod tests {
 
     #[test]
     fn split_respects_m_on_skewed_data() {
-        let mut entries: Vec<Entry<2>> =
-            (0..11).map(|i| entry(0.0, 0.0, 1.0 + i as f64 * 0.01, 1.0, i)).collect();
+        let mut entries: Vec<Entry<2>> = (0..11)
+            .map(|i| entry(0.0, 0.0, 1.0 + i as f64 * 0.01, 1.0, i))
+            .collect();
         entries.push(entry(50.0, 50.0, 51.0, 51.0, 11));
         let s = split(entries, 5);
         check_split(12, 5, &s);

@@ -201,8 +201,7 @@ proptest! {
 fn point_data_everywhere() {
     for variant in Variant::ALL {
         let mut tree: RTree<3> = RTree::new(
-            TreeConfig::tiny(variant)
-                .with_world(Rect::new(Point([0.0; 3]), Point([100.0; 3]))),
+            TreeConfig::tiny(variant).with_world(Rect::new(Point([0.0; 3]), Point([100.0; 3]))),
         );
         let mut rng = cbb_geom::SplitMix64::new(17);
         let mut pts = Vec::new();
@@ -216,10 +215,8 @@ fn point_data_everywhere() {
             pts.push((Rect::point(p), DataId(i)));
         }
         tree.validate().unwrap();
-        let clipped = ClippedRTree::from_tree(
-            tree,
-            ClipConfig::paper_default::<3>(ClipMethod::Stairline),
-        );
+        let clipped =
+            ClippedRTree::from_tree(tree, ClipConfig::paper_default::<3>(ClipMethod::Stairline));
         clipped.verify_clips().unwrap();
         let q: Rect<3> = Rect::new(Point([20.0; 3]), Point([60.0; 3]));
         let mut base = clipped.tree.range_query(&q);

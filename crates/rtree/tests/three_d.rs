@@ -46,8 +46,7 @@ fn brute<const D: usize>(objs: &[(Rect<D>, DataId)], q: &Rect<D>) -> Vec<DataId>
 #[test]
 fn insert_query_delete_all_variants_3d() {
     for variant in Variant::ALL {
-        let mut tree: RTree<3> =
-            RTree::new(TreeConfig::tiny(variant).with_world(world3()));
+        let mut tree: RTree<3> = RTree::new(TreeConfig::tiny(variant).with_world(world3()));
         let data = boxes3(400, 21);
         let mut objs = Vec::new();
         for (i, b) in data.iter().enumerate() {
@@ -87,10 +86,8 @@ fn clipped_3d_exactness_and_savings() {
         .collect();
     for variant in Variant::ALL {
         let tree = RTree::bulk_load(TreeConfig::tiny(variant).with_world(world3()), &items);
-        let clipped = ClippedRTree::from_tree(
-            tree,
-            ClipConfig::paper_default::<3>(ClipMethod::Stairline),
-        );
+        let clipped =
+            ClippedRTree::from_tree(tree, ClipConfig::paper_default::<3>(ClipMethod::Stairline));
         clipped.verify_clips().unwrap();
         // All 8 corners can carry clips in 3-d.
         let mut masks_seen = std::collections::HashSet::new();
@@ -99,7 +96,10 @@ fn clipped_3d_exactness_and_savings() {
                 masks_seen.insert(c.mask.bits());
             }
         }
-        assert!(masks_seen.len() >= 4, "{variant:?}: clips use too few corners");
+        assert!(
+            masks_seen.len() >= 4,
+            "{variant:?}: clips use too few corners"
+        );
 
         let mut rng = SplitMix64::new(7);
         let mut base = AccessStats::new();
@@ -135,10 +135,8 @@ fn maintenance_3d_mixed_workload() {
         .collect();
     for variant in [Variant::RStar, Variant::Hilbert] {
         let tree = RTree::bulk_load(TreeConfig::tiny(variant).with_world(world3()), &items);
-        let mut clipped = ClippedRTree::from_tree(
-            tree,
-            ClipConfig::paper_default::<3>(ClipMethod::Skyline),
-        );
+        let mut clipped =
+            ClippedRTree::from_tree(tree, ClipConfig::paper_default::<3>(ClipMethod::Skyline));
         for (i, b) in updates.iter().enumerate() {
             clipped.insert(*b, DataId(400 + i as u32));
             if i % 2 == 0 {
@@ -156,8 +154,7 @@ fn maintenance_3d_mixed_workload() {
 fn one_dimensional_intervals() {
     let mut rng = SplitMix64::new(9);
     let mut tree: RTree<1> = RTree::new(
-        TreeConfig::tiny(Variant::RStar)
-            .with_world(Rect::new(Point([0.0]), Point([1000.0]))),
+        TreeConfig::tiny(Variant::RStar).with_world(Rect::new(Point([0.0]), Point([1000.0]))),
     );
     let mut objs = Vec::new();
     for i in 0..500 {
@@ -184,8 +181,7 @@ fn hilbert_lhv_invariant_after_updates() {
     // HR-tree structural invariant: within every directory node, entries
     // are ordered by their child's LHV, and each node's LHV equals the max
     // over its subtree.
-    let mut tree: RTree<3> =
-        RTree::new(TreeConfig::tiny(Variant::Hilbert).with_world(world3()));
+    let mut tree: RTree<3> = RTree::new(TreeConfig::tiny(Variant::Hilbert).with_world(world3()));
     let data = boxes3(500, 55);
     for (i, b) in data.iter().enumerate() {
         tree.insert(*b, DataId(i as u32));
@@ -255,10 +251,10 @@ fn delete_from_empty_and_missing() {
 #[test]
 fn drain_tree_to_empty_and_refill() {
     for variant in Variant::ALL {
-        let mut tree: RTree<2> =
-            RTree::new(TreeConfig::tiny(variant).with_world(
-                Rect::new(Point([0.0, 0.0]), Point([1000.0, 1000.0])),
-            ));
+        let mut tree: RTree<2> = RTree::new(
+            TreeConfig::tiny(variant)
+                .with_world(Rect::new(Point([0.0, 0.0]), Point([1000.0, 1000.0]))),
+        );
         let mut rng = SplitMix64::new(66);
         let data: Vec<Rect<2>> = (0..300)
             .map(|_| {
@@ -274,7 +270,11 @@ fn drain_tree_to_empty_and_refill() {
             assert!(tree.delete(b, DataId(i as u32)).is_some(), "{variant:?}");
         }
         assert!(tree.is_empty());
-        assert_eq!(tree.height(), 1, "{variant:?}: root must shrink back to a leaf");
+        assert_eq!(
+            tree.height(),
+            1,
+            "{variant:?}: root must shrink back to a leaf"
+        );
         tree.validate().unwrap();
         // Refill works after drain.
         for (i, b) in data.iter().enumerate() {

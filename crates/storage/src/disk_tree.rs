@@ -39,11 +39,7 @@ pub struct DiskRTree<const D: usize> {
 impl<const D: usize> DiskRTree<D> {
     /// Persist a clipped tree into `store`; queries run through a pool of
     /// `pool_pages` frames.
-    pub fn persist(
-        source: &ClippedRTree<D>,
-        store: &mut dyn PageStore,
-        pool_pages: usize,
-    ) -> Self {
+    pub fn persist(source: &ClippedRTree<D>, store: &mut dyn PageStore, pool_pages: usize) -> Self {
         // Dense page-id remapping of live nodes.
         let live: Vec<NodeId> = source.tree.iter_nodes().map(|(id, _)| id).collect();
         let mut remap = std::collections::HashMap::with_capacity(live.len());
@@ -135,9 +131,7 @@ impl<const D: usize> DiskRTree<D> {
                     Child::Node(NodeId(p)) => p,
                     Child::Data(_) => unreachable!("directory with data entry"),
                 };
-                if use_clips
-                    && !query_intersects_cbb(&e.mbb, &self.clips[child as usize], q)
-                {
+                if use_clips && !query_intersects_cbb(&e.mbb, &self.clips[child as usize], q) {
                     stats.clip_prunes += 1;
                     continue;
                 }

@@ -17,10 +17,8 @@ fn main() {
 
     let config = TreeConfig::paper_default(Variant::Hilbert).with_world(data.domain);
     let tree = RTree::bulk_load(config, &data.items());
-    let clipped = ClippedRTree::from_tree(
-        tree,
-        ClipConfig::paper_default::<2>(ClipMethod::Stairline),
-    );
+    let clipped =
+        ClippedRTree::from_tree(tree, ClipConfig::paper_default::<2>(ClipMethod::Stairline));
 
     // Persist to an actual page file under target/.
     let dir = std::env::temp_dir().join("cbb_disk_scale");
@@ -38,13 +36,8 @@ fn main() {
     );
 
     let mut counter = |q: &Rect<2>| clipped.tree.range_query(q).len();
-    let queries = datasets::generate_queries(
-        &data,
-        datasets::QueryProfile::QR1,
-        500,
-        3,
-        &mut counter,
-    );
+    let queries =
+        datasets::generate_queries(&data, datasets::QueryProfile::QR1, 500, 3, &mut counter);
 
     for use_clips in [false, true] {
         disk.drop_caches();

@@ -27,10 +27,7 @@ fn main() {
     );
 
     for method in [ClipMethod::Skyline, ClipMethod::Stairline] {
-        let clipped = ClippedRTree::from_tree(
-            tree.clone(),
-            ClipConfig::paper_default::<3>(method),
-        );
+        let clipped = ClippedRTree::from_tree(tree.clone(), ClipConfig::paper_default::<3>(method));
         let (ds, cl) = clipped
             .avg_dead_space_and_clipped(NodeScope::Leaves)
             .unwrap();
@@ -45,13 +42,8 @@ fn main() {
         // Selective queries: a microscope-style box probe around dense
         // tissue regions.
         let mut counter = |q: &Rect<3>| clipped.tree.range_query(q).len();
-        let queries = datasets::generate_queries(
-            &data,
-            datasets::QueryProfile::QR1,
-            300,
-            7,
-            &mut counter,
-        );
+        let queries =
+            datasets::generate_queries(&data, datasets::QueryProfile::QR1, 300, 7, &mut counter);
         let mut base = AccessStats::new();
         let mut clip = AccessStats::new();
         for q in &queries {

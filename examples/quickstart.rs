@@ -24,10 +24,8 @@ fn main() {
     );
 
     // 3. Attach clipped bounding boxes (CBB_STA, k = 2^{d+1}, τ = 2.5 %).
-    let clipped = ClippedRTree::from_tree(
-        tree,
-        ClipConfig::paper_default::<2>(ClipMethod::Stairline),
-    );
+    let clipped =
+        ClippedRTree::from_tree(tree, ClipConfig::paper_default::<2>(ClipMethod::Stairline));
     println!(
         "clipped: {} clip points ({:.2} per node)",
         clipped.total_clip_points(),
@@ -36,13 +34,8 @@ fn main() {
 
     // 4. Run the same selective queries on both and compare leaf I/O.
     let mut counter = |q: &Rect<2>| clipped.tree.range_query(q).len();
-    let queries = datasets::generate_queries(
-        &data,
-        datasets::QueryProfile::QR0,
-        500,
-        42,
-        &mut counter,
-    );
+    let queries =
+        datasets::generate_queries(&data, datasets::QueryProfile::QR0, 500, 42, &mut counter);
 
     let mut base = AccessStats::new();
     let mut clip = AccessStats::new();

@@ -54,7 +54,5 @@ fn main() {
         100.0 * (1.0 - total(&clipped) as f64 / total(&plain) as f64),
         clipped.clip_prunes
     );
-    println!(
-        "(paper: STT does far fewer total accesses than INLJ; clipping saves more on INLJ)"
-    );
+    println!("(paper: STT does far fewer total accesses than INLJ; clipping saves more on INLJ)");
 }

@@ -46,10 +46,12 @@
 //! | [`datasets`] | `cbb-datasets` | the seven benchmark dataset stand-ins + queries |
 //! | [`bounding`] | `cbb-bounding` | MBC / RMBB / k-corner / hull comparisons |
 //! | [`joins`] | `cbb-joins` | INLJ and STT spatial joins |
+//! | [`engine`] | `cbb-engine` | parallel partitioned join + batched query execution |
 
 pub use cbb_bounding as bounding;
 pub use cbb_core as core;
 pub use cbb_datasets as datasets;
+pub use cbb_engine as engine;
 pub use cbb_geom as geom;
 pub use cbb_joins as joins;
 pub use cbb_rtree as rtree;
@@ -58,8 +60,10 @@ pub use cbb_storage as storage;
 /// The names almost every user of the library needs.
 pub mod prelude {
     pub use cbb_core::{Cbb, ClipConfig, ClipMethod, ClipPoint};
-    pub use cbb_geom::{CornerMask, Point, Rect};
-    pub use cbb_rtree::{
-        AccessStats, ClippedRTree, DataId, NodeId, RTree, TreeConfig, Variant,
+    pub use cbb_engine::{
+        parallel_range_queries, partitioned_join, BatchOutcome, JoinAlgo, JoinPlan, UniformGrid,
     };
+    pub use cbb_geom::{CornerMask, Point, Rect};
+    pub use cbb_joins::JoinResult;
+    pub use cbb_rtree::{AccessStats, ClippedRTree, DataId, NodeId, RTree, TreeConfig, Variant};
 }

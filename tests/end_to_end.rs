@@ -22,8 +22,7 @@ fn build_clipped2(
 fn pipeline_query_correctness_all_variants() {
     let data = datasets::dataset2("par02", Scale::Exact(5_000));
     let mut counter = |q: &Rect<2>| data.boxes.iter().filter(|b| b.intersects(q)).count();
-    let queries =
-        datasets::generate_queries(&data, QueryProfile::QR1, 60, 11, &mut counter);
+    let queries = datasets::generate_queries(&data, QueryProfile::QR1, 60, 11, &mut counter);
     for variant in Variant::ALL {
         for method in [ClipMethod::Skyline, ClipMethod::Stairline] {
             let clipped = build_clipped2(&data, variant, method);
@@ -36,8 +35,7 @@ fn pipeline_query_correctness_all_variants() {
                     .filter(|(_, b)| b.intersects(q))
                     .map(|(i, _)| i as u32)
                     .collect();
-                let mut got: Vec<u32> =
-                    clipped.range_query(q).iter().map(|d| d.0).collect();
+                let mut got: Vec<u32> = clipped.range_query(q).iter().map(|d| d.0).collect();
                 expected.sort();
                 got.sort();
                 assert_eq!(got, expected, "{variant:?}/{method:?}");
@@ -54,13 +52,10 @@ fn clipping_saves_io_on_every_variant_for_neuro_data() {
     for variant in Variant::ALL {
         let config = TreeConfig::paper_default(variant).with_world(data.domain);
         let tree = RTree::bulk_load(config, &data.items());
-        let clipped = ClippedRTree::from_tree(
-            tree,
-            ClipConfig::paper_default::<3>(ClipMethod::Stairline),
-        );
+        let clipped =
+            ClippedRTree::from_tree(tree, ClipConfig::paper_default::<3>(ClipMethod::Stairline));
         let mut counter = |q: &Rect<3>| clipped.tree.range_query(q).len();
-        let queries =
-            datasets::generate_queries(&data, QueryProfile::QR0, 150, 5, &mut counter);
+        let queries = datasets::generate_queries(&data, QueryProfile::QR0, 150, 5, &mut counter);
         let mut base = AccessStats::new();
         let mut with = AccessStats::new();
         for q in &queries {
@@ -85,10 +80,7 @@ fn stairline_saves_at_least_as_much_as_skyline_in_aggregate() {
         tree.clone(),
         ClipConfig::paper_default::<3>(ClipMethod::Skyline),
     );
-    let sta = ClippedRTree::from_tree(
-        tree,
-        ClipConfig::paper_default::<3>(ClipMethod::Stairline),
-    );
+    let sta = ClippedRTree::from_tree(tree, ClipConfig::paper_default::<3>(ClipMethod::Stairline));
     let mut counter = |q: &Rect<3>| sky.tree.range_query(q).len();
     let queries = datasets::generate_queries(&data, QueryProfile::QR0, 200, 13, &mut counter);
     let mut s_sky = AccessStats::new();

@@ -19,7 +19,7 @@ use cbb_bench::{
 };
 use cbb_datasets::{dataset2, dataset3, Dataset, QueryProfile};
 
-/// reduction[variant][profile][method] accumulated across datasets.
+/// `reduction[variant][profile][method]` accumulated across datasets.
 #[derive(Default)]
 struct Accumulator {
     /// (variant, profile, method) → (sum of reductions, count).

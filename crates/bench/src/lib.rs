@@ -53,7 +53,7 @@ pub fn parse_args() -> Args {
     args
 }
 
-/// Construct a tree the way the benchmark of [33] does: HR-trees are
+/// Construct a tree the way the benchmark of \[33\] does: HR-trees are
 /// bulk-loaded via the Hilbert curve; the other variants are built by
 /// tuple-wise insertion.
 pub fn paper_build<const D: usize>(variant: Variant, data: &Dataset<D>) -> RTree<D> {

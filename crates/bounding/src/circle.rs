@@ -1,5 +1,5 @@
 //! Minimum enclosing circle — Welzl's algorithm (the paper's MBC,
-//! computed "as per Welzl [30]").
+//! computed "as per Welzl \[30\]").
 
 use cbb_geom::Point;
 use rand::rngs::StdRng;

@@ -1,5 +1,5 @@
 //! Convex hull via Andrew's monotone chain (the paper cites Graham scan
-//! [36]; monotone chain is the standard robust equivalent).
+//! \[36\]; monotone chain is the standard robust equivalent).
 
 use cbb_geom::Point;
 

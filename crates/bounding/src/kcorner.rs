@@ -1,6 +1,6 @@
 //! Minimum m-corner circumscribing polygons (the paper's 4-C / 5-C),
 //! "the smallest-area polygons with ≤ m corners that fully bound the
-//! children, computed similarly to [35]" (Aggarwal, Chang & Chee 1985).
+//! children, computed similarly to \[35\]" (Aggarwal, Chang & Chee 1985).
 //!
 //! We use the standard greedy *edge-removal* heuristic: start from the
 //! convex hull (whose edge lines circumscribe the points exactly) and

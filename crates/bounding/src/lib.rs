@@ -3,8 +3,8 @@
 //! The comparison set of Figures 8 and 9: minimum bounding circle (MBC,
 //! Welzl), minimum bounding box (MBB), rotated MBB (RMBB, rotating
 //! calipers), minimum m-corner polygons (4-C, 5-C, greedy edge-removal
-//! heuristic after Aggarwal et al. [35]), and the convex hull (CH, Andrew
-//! monotone chain). Following the paper (and [6], [20]), these are 2-d
+//! heuristic after Aggarwal et al. \[35\]), and the convex hull (CH, Andrew
+//! monotone chain). Following the paper (and \[6\], \[20\]), these are 2-d
 //! only — no efficient minimum m-corner polytope constructions are known
 //! in higher dimensions, which is precisely the paper's argument for CBBs.
 

@@ -6,7 +6,7 @@
 //!   an MBB to be dead space (Definition 2);
 //! * [`skyline`] — oriented skylines of object corners (Definition 5), the
 //!   object-situated clip-point candidates of CBB_SKY (§III-B);
-//! * [`stairline`] — splice points between skyline points (Definitions 6–7),
+//! * [`mod@stairline`] — splice points between skyline points (Definitions 6–7),
 //!   the more aggressive CBB_STA candidates (§III-C);
 //! * [`clipper`] — Algorithm 1: scoring (Fig. 5 union approximation),
 //!   τ-thresholding and top-k selection of clip points per node;

@@ -1,7 +1,7 @@
 //! # cbb-datasets — benchmark dataset and query-workload generators
 //!
 //! The paper evaluates on seven datasets: four from the multidimensional
-//! index benchmark of Beckmann & Seeger [33] (`rea02`, `rea03`, `par02`,
+//! index benchmark of Beckmann & Seeger \[33\] (`rea02`, `rea03`, `par02`,
 //! `par03`) and three Human-Brain-Project neuroscience extracts (`axo03`,
 //! `den03`, `neu03`). None are redistributable, so this crate generates
 //! synthetic stand-ins that reproduce the *load-bearing properties* each
@@ -12,6 +12,10 @@
 //! * `rea03` — pure points (3 correlated float attributes, skewed);
 //! * `axo03` / `den03` / `neu03` — long skinny boxes from segmented 3-d
 //!   random-walk tubules (axons/dendrites/neurites).
+//!
+//! Beyond the paper's seven, [`skew`] adds adversarially skewed
+//! workloads (clustered blobs, Zipfian cells) used to evaluate the
+//! engine's adaptive partitioners.
 //!
 //! All generators are deterministic given a seed. [`queries`] implements
 //! the benchmark's query generator: density-following dithered object
@@ -24,7 +28,9 @@ pub mod par;
 pub mod queries;
 pub mod rea;
 pub mod registry;
+pub mod skew;
 
 pub use dataset::Dataset;
 pub use queries::{generate_queries, QueryProfile};
 pub use registry::{dataset2, dataset3, Scale, DATASETS_2D, DATASETS_3D};
+pub use skew::{clustered, clustered_with_layout, zipfian};

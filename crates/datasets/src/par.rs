@@ -1,5 +1,5 @@
 //! `par02` / `par03` stand-ins: synthetic boxes "generated with a very
-//! large variance in size and shape" ([33]) — modelled with uniform
+//! large variance in size and shape" (\[33\]) — modelled with uniform
 //! centers and independent Pareto-distributed side lengths.
 
 use cbb_geom::{Point, Rect};

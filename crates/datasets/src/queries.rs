@@ -1,4 +1,4 @@
-//! Query-workload generator (paper §V-B, after the benchmark of [33]).
+//! Query-workload generator (paper §V-B, after the benchmark of \[33\]).
 //!
 //! "Given dataset D and number of result objects |R| as input, the
 //! generator produces queries originating from the dithered centers of the

@@ -1,0 +1,258 @@
+//! Skewed synthetic workloads: clustered and Zipfian placements.
+//!
+//! The paper's benchmark datasets are *spatially* irregular but not
+//! adversarially skewed; the partitioned execution engine needs
+//! workloads where a uniform grid demonstrably unbalances (Aji et al.,
+//! *Effective Spatial Data Partitioning for Scalable Query Processing*).
+//! Two generators cover the classic skew shapes:
+//!
+//! * [`clustered`] — a handful of Gaussian-ish blobs with Zipf-ranked
+//!   populations over a sparse uniform background: the "cities on a map"
+//!   shape. The top-ranked blob alone holds a constant fraction of all
+//!   objects, so one grid tile goes hot.
+//! * [`zipfian`] — coordinates drawn from a Zipf rank distribution over
+//!   grid cells: smooth heavy-tailed density without distinct blobs,
+//!   the "long-tail popularity" shape.
+//!
+//! Both are deterministic per seed and emit [`Dataset`]s in the same
+//! `1 000 000`-unit domain family as the `par0d` stand-ins.
+
+use cbb_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+
+/// Domain side length (matches `par0d`).
+const DOMAIN: f64 = 1_000_000.0;
+
+/// Zipf exponent for cluster populations / cell ranks: `s = 1` is the
+/// classic harmonic shape — heavy but not degenerate.
+const ZIPF_S: f64 = 1.0;
+
+/// Box sides: uniform in `[0.5, SIDE_MAX]` — small relative to the
+/// domain, so skew comes from *placement*, not object size.
+const SIDE_MAX: f64 = 900.0;
+
+/// Draw an index in `0..n` with probability ∝ `1/(rank+1)^s` via the
+/// precomputed cumulative weights `cdf` (last entry = total mass).
+fn zipf_index(rng: &mut StdRng, cdf: &[f64]) -> usize {
+    let total = *cdf.last().expect("non-empty cdf");
+    let u = rng.gen_range(0.0..total);
+    cdf.partition_point(|&c| c <= u).min(cdf.len() - 1)
+}
+
+/// Cumulative Zipf weights for `n` ranks.
+fn zipf_cdf(n: usize) -> Vec<f64> {
+    let mut acc = 0.0;
+    (0..n)
+        .map(|k| {
+            acc += 1.0 / ((k + 1) as f64).powf(ZIPF_S);
+            acc
+        })
+        .collect()
+}
+
+/// A box with uniform sides in `[0.5, SIDE_MAX]` centred near `c`,
+/// clamped into the domain.
+fn box_at<const D: usize>(rng: &mut StdRng, c: [f64; D]) -> Rect<D> {
+    let mut lo = [0.0; D];
+    let mut hi = [0.0; D];
+    for i in 0..D {
+        let side = rng.gen_range(0.5..SIDE_MAX);
+        let center = c[i].clamp(0.0, DOMAIN);
+        lo[i] = (center - side / 2.0).max(0.0);
+        hi[i] = (center + side / 2.0).min(DOMAIN);
+    }
+    Rect::new(Point(lo), Point(hi))
+}
+
+/// `n` boxes in `clusters` Zipf-populated blobs plus a `background`
+/// fraction (0..1) of uniform scatter. Each blob is a product of
+/// triangular marginals of half-width `spread` (triangular ≈ Gaussian
+/// core without needing a normal sampler), centred uniformly at random.
+///
+/// With the defaults used by the benches (`clusters = 8`,
+/// `background = 0.1`), rank-0 alone draws ≈ 33 % of all objects into
+/// ≈ `spread`-sized neighbourhood — a guaranteed hot tile for any
+/// uniform grid coarser than `spread`.
+pub fn clustered<const D: usize>(
+    n: usize,
+    clusters: usize,
+    spread: f64,
+    background: f64,
+    seed: u64,
+) -> Dataset<D> {
+    clustered_with_layout(n, clusters, spread, background, seed, seed)
+}
+
+/// [`clustered`] with the blob layout seeded separately from the object
+/// draws: two datasets sharing a `layout_seed` cluster at the **same**
+/// places (think restaurants ⋈ customers of the same cities), which is
+/// what makes their join concentrate in a few hot tiles. Different
+/// `seed`s keep the objects themselves independent.
+pub fn clustered_with_layout<const D: usize>(
+    n: usize,
+    clusters: usize,
+    spread: f64,
+    background: f64,
+    layout_seed: u64,
+    seed: u64,
+) -> Dataset<D> {
+    assert!(clusters >= 1, "need at least one cluster");
+    assert!(
+        (0.0..=1.0).contains(&background),
+        "background is a fraction"
+    );
+    assert!(spread > 0.0, "spread must be positive");
+    let mut layout_rng = StdRng::seed_from_u64(layout_seed ^ 0xC1D5_7E4E_D5EE_D001);
+    let centers: Vec<[f64; D]> = (0..clusters)
+        .map(|_| std::array::from_fn(|_| layout_rng.gen_range(0.0..DOMAIN)))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC1D5_7E4E_D5EE_D000);
+    let cdf = zipf_cdf(clusters);
+    let mut boxes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c: [f64; D] = if rng.gen_bool(background) {
+            std::array::from_fn(|_| rng.gen_range(0.0..DOMAIN))
+        } else {
+            let center = centers[zipf_index(&mut rng, &cdf)];
+            std::array::from_fn(|i| {
+                // Triangular deviate in ±spread: sum of two uniforms.
+                let t = rng.gen_range(-spread..spread) + rng.gen_range(-spread..spread);
+                center[i] + t / 2.0
+            })
+        };
+        boxes.push(box_at(&mut rng, c));
+    }
+    Dataset {
+        name: format!("clu0{D}"),
+        boxes,
+        domain: Rect::new(Point::splat(0.0), Point::splat(DOMAIN)),
+    }
+}
+
+/// `n` boxes whose per-axis cell is drawn from a Zipf rank distribution
+/// over `cells` cells (cell ranks are shuffled per axis so the dense
+/// cells are scattered, not stacked in a corner), uniform within a cell.
+pub fn zipfian<const D: usize>(n: usize, cells: usize, seed: u64) -> Dataset<D> {
+    assert!(cells >= 1, "need at least one cell per axis");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x21BF_1A11_0000_0001);
+    let cdf = zipf_cdf(cells);
+    // Per-axis permutation of cell ranks.
+    let perms: Vec<Vec<usize>> = (0..D)
+        .map(|_| {
+            let mut perm: Vec<usize> = (0..cells).collect();
+            // Fisher–Yates with the compat rng.
+            for i in (1..cells).rev() {
+                let j = rng.gen_range(0..=i);
+                perm.swap(i, j);
+            }
+            perm
+        })
+        .collect();
+    let width = DOMAIN / cells as f64;
+    let mut boxes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c: [f64; D] = std::array::from_fn(|i| {
+            let cell = perms[i][zipf_index(&mut rng, &cdf)];
+            (cell as f64 + rng.gen_range(0.0..1.0)) * width
+        });
+        boxes.push(box_at(&mut rng, c));
+    }
+    Dataset {
+        name: format!("zip0{D}"),
+        boxes,
+        domain: Rect::new(Point::splat(0.0), Point::splat(DOMAIN)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fraction of objects whose center falls into the densest cell of a
+    /// `per_dim`-per-axis histogram.
+    fn densest_cell_share<const D: usize>(d: &Dataset<D>, per_dim: usize) -> f64 {
+        let mut counts = vec![0usize; per_dim.pow(D as u32)];
+        let width = DOMAIN / per_dim as f64;
+        for b in &d.boxes {
+            let mut idx = 0;
+            for i in 0..D {
+                let c = ((b.lo[i] + b.hi[i]) / 2.0 / width) as usize;
+                idx = idx * per_dim + c.min(per_dim - 1);
+            }
+            counts[idx] += 1;
+        }
+        *counts.iter().max().unwrap() as f64 / d.len() as f64
+    }
+
+    #[test]
+    fn clustered_generates_valid_and_deterministic() {
+        let a = clustered::<2>(3_000, 8, 20_000.0, 0.1, 42);
+        assert_eq!(a.len(), 3_000);
+        a.check_integrity();
+        let b = clustered::<2>(3_000, 8, 20_000.0, 0.1, 42);
+        assert_eq!(a.boxes, b.boxes);
+        let c = clustered::<2>(3_000, 8, 20_000.0, 0.1, 43);
+        assert_ne!(a.boxes, c.boxes);
+        let d3 = clustered::<3>(500, 4, 20_000.0, 0.2, 1);
+        assert_eq!(d3.len(), 500);
+        d3.check_integrity();
+    }
+
+    #[test]
+    fn clustered_is_actually_skewed() {
+        let d = clustered::<2>(8_000, 8, 20_000.0, 0.1, 7);
+        // Uniform data puts ≈ 1/64 ≈ 1.6 % in the densest 8×8 cell; the
+        // rank-0 cluster alone should put >10 % there.
+        let share = densest_cell_share(&d, 8);
+        assert!(share > 0.10, "densest-cell share {share}");
+    }
+
+    #[test]
+    fn shared_layout_shares_blobs_but_not_objects() {
+        let a = clustered_with_layout::<2>(2_000, 6, 15_000.0, 0.1, 99, 1);
+        let b = clustered_with_layout::<2>(2_000, 6, 15_000.0, 0.1, 99, 2);
+        assert_ne!(a.boxes, b.boxes, "objects must differ across seeds");
+        // Same layout → the densest cells coincide; measure by comparing
+        // per-cell histograms: the top cell of `a` is also hot in `b`.
+        let per_dim = 10usize;
+        let hist = |d: &Dataset<2>| {
+            let mut counts = vec![0usize; per_dim * per_dim];
+            let width = DOMAIN / per_dim as f64;
+            for bx in &d.boxes {
+                let cx = (((bx.lo[0] + bx.hi[0]) / 2.0 / width) as usize).min(per_dim - 1);
+                let cy = (((bx.lo[1] + bx.hi[1]) / 2.0 / width) as usize).min(per_dim - 1);
+                counts[cy * per_dim + cx] += 1;
+            }
+            counts
+        };
+        let (ha, hb) = (hist(&a), hist(&b));
+        let top_a = (0..ha.len()).max_by_key(|&i| ha[i]).unwrap();
+        assert!(
+            hb[top_a] * 20 > b.len(),
+            "b holds only {}/{} objects in a's hottest cell",
+            hb[top_a],
+            b.len()
+        );
+    }
+
+    #[test]
+    fn zipfian_generates_valid_and_skewed() {
+        let d = zipfian::<2>(8_000, 16, 11);
+        assert_eq!(d.len(), 8_000);
+        d.check_integrity();
+        let share = densest_cell_share(&d, 16);
+        // Uniform would be ≈ 1/256 ≈ 0.4 %; Zipf's top cell ≈ (1/H_16)².
+        assert!(share > 0.03, "densest-cell share {share}");
+        let again = zipfian::<2>(8_000, 16, 11);
+        assert_eq!(d.boxes, again.boxes);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_rejected() {
+        let _ = clustered::<2>(10, 0, 1_000.0, 0.0, 1);
+    }
+}

@@ -1,14 +1,19 @@
-//! Batched range-query execution over one shared clipped tree.
+//! Batched range-query execution: one shared clipped tree
+//! ([`parallel_range_queries`]) or a reusable partitioned executor
+//! ([`BatchExecutor`]).
 //!
 //! A query workload is split into contiguous shards, each shard runs on
-//! its own worker against the *same* `&ClippedRTree` (the index types are
-//! `Sync`; traversal is read-only), and the per-worker [`AccessStats`]
-//! are merged. Results come back **in workload order** regardless of the
-//! worker count, so callers can line answers up with their queries.
+//! its own worker against read-only indexes (the index types are `Sync`),
+//! and the per-worker [`AccessStats`] are merged. Results come back **in
+//! workload order** regardless of the worker count, so callers can line
+//! answers up with their queries.
 
+use cbb_core::ClipConfig;
 use cbb_geom::Rect;
-use cbb_rtree::{AccessStats, ClippedRTree, DataId};
+use cbb_joins::reference_point;
+use cbb_rtree::{AccessStats, ClippedRTree, DataId, RTree, TreeConfig};
 
+use crate::partition::Partitioner;
 use crate::pool::map_chunked;
 
 /// Merged outcome of a batched query run.
@@ -57,6 +62,117 @@ pub fn parallel_range_queries<const D: usize>(
         outcome.stats += stats;
     }
     outcome
+}
+
+/// A reusable partitioned batch executor: the dataset is multi-assigned
+/// to the tiles of any [`Partitioner`], one clipped R-tree is built per
+/// non-empty tile **once**, and query batches are then served against the
+/// per-tile trees for the lifetime of the executor (per-tile tree reuse —
+/// no rebuilding per batch).
+///
+/// A query is probed against every tile it covers; an object found in
+/// several tiles is reported once, by the tile owning the query/object
+/// reference point (the same duplicate-elimination rule the join uses).
+/// Results come back in workload order; the id order *within* one query's
+/// result list follows per-tile traversal order and is deterministic for
+/// a fixed partitioner, independent of the worker count.
+pub struct BatchExecutor<const D: usize, P> {
+    partitioner: P,
+    objects: Vec<Rect<D>>,
+    /// One clipped tree per tile; `None` for empty tiles. Ids are global
+    /// [`DataId`]s into `objects`.
+    tiles: Vec<Option<ClippedRTree<D>>>,
+}
+
+impl<const D: usize, P: Partitioner<D>> BatchExecutor<D, P> {
+    /// Partition `objects` and bulk-load the per-tile trees on `workers`
+    /// threads. Trees are always built with clip tables so every batch
+    /// can choose clipped or unclipped probing.
+    pub fn build(
+        partitioner: P,
+        objects: &[Rect<D>],
+        tree: TreeConfig<D>,
+        clip: ClipConfig,
+        workers: usize,
+    ) -> Self {
+        let assign = partitioner.assign(objects);
+        let built = map_chunked(workers, &assign, |_, chunk| {
+            chunk
+                .iter()
+                .map(|ids| {
+                    if ids.is_empty() {
+                        return None;
+                    }
+                    let items: Vec<(Rect<D>, DataId)> = ids
+                        .iter()
+                        .map(|&i| (objects[i as usize], DataId(i)))
+                        .collect();
+                    Some(ClippedRTree::from_tree(
+                        RTree::bulk_load(tree, &items),
+                        clip,
+                    ))
+                })
+                .collect::<Vec<_>>()
+        });
+        BatchExecutor {
+            partitioner,
+            objects: objects.to_vec(),
+            tiles: built.into_iter().flatten().collect(),
+        }
+    }
+
+    /// The partitioner the executor was built over.
+    pub fn partitioner(&self) -> &P {
+        &self.partitioner
+    }
+
+    /// Number of non-empty tiles (built trees).
+    pub fn tile_tree_count(&self) -> usize {
+        self.tiles.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Answer one query: probe every covered tile, keep each object only
+    /// in the tile owning the query/object reference point.
+    fn query_one(&self, q: &Rect<D>, use_clips: bool, stats: &mut AccessStats) -> Vec<DataId> {
+        let mut tiles = self.partitioner.covering_tiles(q);
+        tiles.sort_unstable();
+        let mut out = Vec::new();
+        for t in tiles {
+            let Some(tree) = &self.tiles[t] else {
+                continue;
+            };
+            let found = if use_clips {
+                tree.range_query_stats(q, stats)
+            } else {
+                tree.tree.range_query_stats(q, stats)
+            };
+            out.extend(found.into_iter().filter(|id| {
+                self.partitioner
+                    .owns(t, &reference_point(q, &self.objects[id.0 as usize]))
+            }));
+        }
+        out
+    }
+
+    /// Execute `queries` on `workers` threads. With `use_clips = false`
+    /// the probes run on the base trees (the unclipped baseline on the
+    /// same indexes).
+    pub fn run(&self, queries: &[Rect<D>], workers: usize, use_clips: bool) -> BatchOutcome {
+        let shards = map_chunked(workers, queries, |_offset, chunk| {
+            let mut stats = AccessStats::new();
+            let results: Vec<Vec<DataId>> = chunk
+                .iter()
+                .map(|q| self.query_one(q, use_clips, &mut stats))
+                .collect();
+            (results, stats)
+        });
+        let mut outcome = BatchOutcome::default();
+        for (results, stats) in shards {
+            outcome.results.extend(results);
+            outcome.stats += stats;
+        }
+        outcome
+    }
 }
 
 #[cfg(test)]
@@ -146,5 +262,125 @@ mod tests {
         let out = parallel_range_queries(&tree, &[], 4, true);
         assert!(out.results.is_empty());
         assert_eq!(out.stats, AccessStats::new());
+    }
+
+    mod executor {
+        use super::*;
+        use crate::adaptive::AdaptiveGrid;
+        use crate::partition::UniformGrid;
+        use crate::quadtree::QuadtreePartitioner;
+        use cbb_rtree::{TreeConfig, Variant};
+
+        fn objects_and_queries() -> (Vec<Rect<2>>, Vec<Rect<2>>) {
+            let mut rng = SplitMix64::new(31);
+            // Clustered objects, some spanning many tiles.
+            let objects: Vec<Rect<2>> = (0..1_500)
+                .map(|_| {
+                    let clustered = rng.gen_range(0.0, 1.0) < 0.6;
+                    let (cx, cy) = if clustered {
+                        (120.0, 120.0)
+                    } else {
+                        (rng.gen_range(0.0, 900.0), rng.gen_range(0.0, 900.0))
+                    };
+                    let x = (cx + rng.gen_range(-80.0, 80.0)).clamp(0.0, 900.0);
+                    let y = (cy + rng.gen_range(-80.0, 80.0)).clamp(0.0, 900.0);
+                    let w = rng.gen_range(0.0, 60.0); // degenerate extents included
+                    let h = rng.gen_range(0.0, 60.0);
+                    r2(x, y, x + w, y + h)
+                })
+                .collect();
+            let queries: Vec<Rect<2>> = (0..250)
+                .map(|_| {
+                    let x = rng.gen_range(-20.0, 950.0);
+                    let y = rng.gen_range(-20.0, 950.0);
+                    let s = rng.gen_range(1.0, 120.0);
+                    r2(x, y, x + s, y + s)
+                })
+                .collect();
+            (objects, queries)
+        }
+
+        fn brute(objects: &[Rect<2>], q: &Rect<2>) -> Vec<DataId> {
+            let mut ids: Vec<DataId> = objects
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| o.intersects(q))
+                .map(|(i, _)| DataId(i as u32))
+                .collect();
+            ids.sort();
+            ids
+        }
+
+        fn sorted(mut v: Vec<DataId>) -> Vec<DataId> {
+            v.sort();
+            v
+        }
+
+        #[test]
+        fn partitioned_batches_match_brute_force_exactly_once() {
+            let (objects, queries) = objects_and_queries();
+            let domain = r2(0.0, 0.0, 1000.0, 1000.0);
+            let clip = ClipConfig::paper_default::<2>(ClipMethod::Stairline);
+            let tree = TreeConfig::tiny(Variant::RStar);
+            let uniform =
+                BatchExecutor::build(UniformGrid::new(domain, 4), &objects, tree, clip, 2);
+            let adaptive = BatchExecutor::build(
+                AdaptiveGrid::from_sample(domain, [4, 4], &objects),
+                &objects,
+                tree,
+                clip,
+                2,
+            );
+            let quadtree = BatchExecutor::build(
+                QuadtreePartitioner::build(domain, &objects, 300),
+                &objects,
+                tree,
+                clip,
+                2,
+            );
+            let out_u = uniform.run(&queries, 3, true);
+            let out_a = adaptive.run(&queries, 3, true);
+            let out_q = quadtree.run(&queries, 3, true);
+            for (i, q) in queries.iter().enumerate() {
+                let want = brute(&objects, q);
+                // Exactly once: sorted equality fails on duplicates too.
+                assert_eq!(sorted(out_u.results[i].clone()), want, "uniform q{i}");
+                assert_eq!(sorted(out_a.results[i].clone()), want, "adaptive q{i}");
+                assert_eq!(sorted(out_q.results[i].clone()), want, "quadtree q{i}");
+            }
+        }
+
+        #[test]
+        fn executor_is_deterministic_across_workers_and_reusable() {
+            let (objects, queries) = objects_and_queries();
+            let domain = r2(0.0, 0.0, 1000.0, 1000.0);
+            let exec = BatchExecutor::build(
+                AdaptiveGrid::from_sample(domain, [3, 5], &objects),
+                &objects,
+                TreeConfig::tiny(Variant::RRStar),
+                ClipConfig::paper_default::<2>(ClipMethod::Stairline),
+                2,
+            );
+            assert!(exec.tile_tree_count() > 1);
+            assert_eq!(exec.partitioner().dims(), [3, 5]);
+            let base = exec.run(&queries, 1, true);
+            for workers in [2, 5, 64] {
+                let out = exec.run(&queries, workers, true);
+                assert_eq!(out.results, base.results, "workers = {workers}");
+                assert_eq!(out.stats, base.stats, "workers = {workers}");
+            }
+            // Second batch on the same executor: trees are reused, fresh
+            // counters.
+            let again = exec.run(&queries, 3, true);
+            assert_eq!(again.results, base.results);
+            // Unclipped probing answers identically with no prunes.
+            let unclipped = exec.run(&queries, 3, false);
+            assert_eq!(unclipped.results.len(), base.results.len());
+            for (b, u) in base.results.iter().zip(&unclipped.results) {
+                assert_eq!(sorted(b.clone()), sorted(u.clone()));
+            }
+            assert_eq!(unclipped.stats.clip_prunes, 0);
+            assert!(base.stats.clip_prunes > 0);
+        }
     }
 }

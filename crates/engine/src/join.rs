@@ -1,13 +1,23 @@
-//! Partition-parallel spatial join.
+//! Partition-parallel spatial join with two-level dynamic scheduling.
 //!
 //! The input rectangle sets are multi-assigned to the tiles of a
-//! [`UniformGrid`], a clipped R-tree is bulk-loaded per tile and side,
+//! [`Partitioner`], a clipped R-tree is bulk-loaded per tile and side,
 //! and the per-tile joins (STT or INLJ, clipped or not) run on a scoped
-//! worker pool with dynamic tile scheduling. Duplicate pairs from
-//! spanning objects are eliminated with the reference-point rule (see
-//! [`crate::partition`]), so the merged [`JoinResult`] reports **exactly**
-//! the global pair count of a sequential join — verified against
-//! `brute_force_pairs` and sequential `stt`/`inlj` in the tests.
+//! worker pool pulling from one shared dynamic queue. Duplicate pairs
+//! from spanning objects are eliminated with the reference-point rule
+//! (see [`crate::partition`]), so the merged [`JoinResult`] reports
+//! **exactly** the global pair count of a sequential join — verified
+//! against `brute_force_pairs` and sequential `stt`/`inlj` in the tests.
+//!
+//! **Two-level scheduling.** Per-tile tasks alone cannot balance skewed
+//! data: one dense tile can hold most of the work and straggle the run
+//! no matter how the remaining tiles are stolen. Tiles whose estimated
+//! work exceeds the [`SplitPolicy`] threshold are therefore *decomposed*
+//! — STT tiles into root-level node-pair subtasks
+//! ([`cbb_joins::stt_tasks`]), INLJ tiles into probe chunks — and the
+//! subtasks are fed to the same dynamic queue as the remaining whole
+//! tiles, heaviest first. The decomposition is counter-exact: every
+//! [`JoinResult`] field, not just `pairs`, matches the undecomposed run.
 //!
 //! I/O counters are summed over tiles. They are comparable across runs of
 //! the same plan (the paper's join I/O metric per tile), but not directly
@@ -15,11 +25,13 @@
 
 use cbb_core::ClipConfig;
 use cbb_geom::Rect;
-use cbb_joins::{inlj_filtered, reference_point, stt_filtered, JoinResult};
-use cbb_rtree::{ClippedRTree, DataId, RTree, TreeConfig};
+use cbb_joins::{
+    inlj_filtered, reference_point, stt_filtered, stt_filtered_from, stt_tasks, JoinResult,
+};
+use cbb_rtree::{ClippedRTree, DataId, NodeId, RTree, TreeConfig};
 
-use crate::partition::UniformGrid;
-use crate::pool::fold_dynamic;
+use crate::partition::{Partitioner, UniformGrid};
+use crate::pool::{fold_dynamic_tasks, map_chunked};
 
 /// Which per-tile join strategy to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,12 +43,44 @@ pub enum JoinAlgo {
     Inlj,
 }
 
+/// When to decompose a tile into intra-tile subtasks (the second
+/// scheduling level). Estimated tile work is `|left| × |right|`, the
+/// candidate cross product.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SplitPolicy {
+    /// Per-tile tasks only (the PR 1 behaviour): a hot tile serialises
+    /// its whole work on one worker.
+    Never,
+    /// Decompose tiles holding more than `1/(2·workers)` of the total
+    /// estimated work — a tile light enough to fit its fair share twice
+    /// over is not worth the extra task bookkeeping. No-op with one
+    /// worker.
+    Auto,
+    /// Decompose tiles whose estimated work exceeds this many candidate
+    /// pairs, regardless of worker count.
+    Above(u64),
+}
+
+impl SplitPolicy {
+    /// The decomposition threshold for a workload of `total` estimated
+    /// work on `workers` threads; `None` disables decomposition.
+    fn threshold(self, total: u64, workers: usize) -> Option<u64> {
+        match self {
+            SplitPolicy::Never => None,
+            SplitPolicy::Above(thr) => Some(thr),
+            SplitPolicy::Auto if workers <= 1 => None,
+            SplitPolicy::Auto => Some(total / (2 * workers as u64)),
+        }
+    }
+}
+
 /// A complete partitioned-join plan: partitioning, per-tile index and
-/// clipping configuration, strategy, and parallelism.
+/// clipping configuration, strategy, parallelism, and the intra-tile
+/// decomposition policy.
 #[derive(Clone, Copy, Debug)]
-pub struct JoinPlan<const D: usize> {
-    /// Spatial partitioning of the workload.
-    pub grid: UniformGrid<D>,
+pub struct JoinPlan<const D: usize, P = UniformGrid<D>> {
+    /// Spatial partitioning of the workload (any [`Partitioner`]).
+    pub partitioner: P,
     /// Template for every per-tile tree (world bounds are taken from the
     /// template as-is; leave `world` unset to derive them per tile).
     pub tree: TreeConfig<D>,
@@ -46,26 +90,25 @@ pub struct JoinPlan<const D: usize> {
     pub use_clips: bool,
     /// Per-tile strategy.
     pub algo: JoinAlgo,
-    /// Worker threads (clamped to the number of non-empty tiles).
+    /// Worker threads (clamped to the number of scheduled tasks).
     pub workers: usize,
+    /// When to decompose hot tiles into subtasks.
+    pub split: SplitPolicy,
 }
 
-impl<const D: usize> JoinPlan<D> {
-    /// A plan joining with STT over `grid` using `workers` threads,
-    /// paper-default clipping, and the given tree template.
-    pub fn new(
-        grid: UniformGrid<D>,
-        tree: TreeConfig<D>,
-        clip: ClipConfig,
-        workers: usize,
-    ) -> Self {
+impl<const D: usize, P> JoinPlan<D, P> {
+    /// A plan joining with STT over `partitioner` using `workers`
+    /// threads, paper-default clipping, automatic hot-tile decomposition,
+    /// and the given tree template.
+    pub fn new(partitioner: P, tree: TreeConfig<D>, clip: ClipConfig, workers: usize) -> Self {
         JoinPlan {
-            grid,
+            partitioner,
             tree,
             clip,
             use_clips: true,
             algo: JoinAlgo::Stt,
             workers,
+            split: SplitPolicy::Auto,
         }
     }
 
@@ -80,6 +123,12 @@ impl<const D: usize> JoinPlan<D> {
     /// Algorithm 1 cost either).
     pub fn with_clips(mut self, use_clips: bool) -> Self {
         self.use_clips = use_clips;
+        self
+    }
+
+    /// Set the hot-tile decomposition policy.
+    pub fn with_split(mut self, split: SplitPolicy) -> Self {
+        self.split = split;
         self
     }
 }
@@ -105,38 +154,195 @@ fn build_tile_tree<const D: usize>(
     }
 }
 
+/// A decomposed (hot) tile: its trees are built once up front, then its
+/// subtasks interleave with whole tiles on the shared queue.
+enum HotWork<const D: usize> {
+    /// STT: both sides indexed; `seeds` are the root-level node pairs
+    /// from [`stt_tasks`].
+    Stt {
+        left: ClippedRTree<D>,
+        right: ClippedRTree<D>,
+        seeds: Vec<(NodeId, NodeId)>,
+    },
+    /// INLJ: the right side indexed, the probe list cut into `chunk`-size
+    /// subtasks.
+    Inlj {
+        right: ClippedRTree<D>,
+        probes: Vec<Rect<D>>,
+        chunk: usize,
+    },
+}
+
+struct HotTile<const D: usize> {
+    tile: usize,
+    /// Root-level counters of the decomposition (directory accesses and
+    /// clip prunes the subtasks must not re-count).
+    base: JoinResult,
+    work: HotWork<D>,
+}
+
+/// One unit on the shared dynamic queue.
+enum Task {
+    /// A whole (cold) tile: build trees and join, as in PR 1.
+    Tile(usize),
+    /// One STT node-pair seed of a hot tile.
+    SttSeed { hot: usize, seed: usize },
+    /// One probe chunk of a hot INLJ tile.
+    InljChunk { hot: usize, lo: usize, hi: usize },
+}
+
+/// Build the decomposed form of one hot tile.
+fn build_hot<const D: usize, P: Partitioner<D>>(
+    plan: &JoinPlan<D, P>,
+    tile: usize,
+    left: &[Rect<D>],
+    left_ids: &[u32],
+    right: &[Rect<D>],
+    right_ids: &[u32],
+) -> HotTile<D> {
+    let rtree = build_tile_tree(right, right_ids, plan.tree, plan.clip, plan.use_clips);
+    match plan.algo {
+        JoinAlgo::Stt => {
+            let ltree = build_tile_tree(left, left_ids, plan.tree, plan.clip, plan.use_clips);
+            let (base, seeds) = stt_tasks(&ltree, &rtree, plan.use_clips);
+            HotTile {
+                tile,
+                base,
+                work: HotWork::Stt {
+                    left: ltree,
+                    right: rtree,
+                    seeds,
+                },
+            }
+        }
+        JoinAlgo::Inlj => {
+            let probes: Vec<Rect<D>> = left_ids.iter().map(|&i| left[i as usize]).collect();
+            // Aim for a few chunks per worker so the queue can rebalance.
+            let chunk = probes.len().div_ceil((plan.workers * 4).max(1)).max(1);
+            HotTile {
+                tile,
+                base: JoinResult::default(),
+                work: HotWork::Inlj {
+                    right: rtree,
+                    probes,
+                    chunk,
+                },
+            }
+        }
+    }
+}
+
 /// Run the partitioned parallel join of `left ⋈ right` under `plan`.
 ///
 /// Returns the merged counters; `pairs` equals the sequential
-/// `stt`/`inlj` (and brute-force) pair count exactly.
-pub fn partitioned_join<const D: usize>(
-    plan: &JoinPlan<D>,
+/// `stt`/`inlj` (and brute-force) pair count exactly, for every
+/// partitioner and split policy.
+pub fn partitioned_join<const D: usize, P: Partitioner<D>>(
+    plan: &JoinPlan<D, P>,
     left: &[Rect<D>],
     right: &[Rect<D>],
 ) -> JoinResult {
-    let left_assign = plan.grid.assign(left);
-    let right_assign = plan.grid.assign(right);
+    let left_assign = plan.partitioner.assign(left);
+    let right_assign = plan.partitioner.assign(right);
     // Only tiles where both sides are populated can produce pairs.
-    let tiles: Vec<usize> = (0..plan.grid.tile_count())
+    let mut tiles: Vec<usize> = (0..plan.partitioner.tile_count())
         .filter(|&t| !left_assign[t].is_empty() && !right_assign[t].is_empty())
         .collect();
+    let weight =
+        |t: usize| (left_assign[t].len() as u64).saturating_mul(right_assign[t].len() as u64);
+    let total = tiles
+        .iter()
+        .fold(0u64, |acc, &t| acc.saturating_add(weight(t)));
+    // Heaviest first (LPT): stragglers start before the queue drains.
+    tiles.sort_by_key(|&t| std::cmp::Reverse(weight(t)));
+    let (hot_tiles, cold_tiles): (Vec<usize>, Vec<usize>) =
+        match plan.split.threshold(total, plan.workers) {
+            Some(thr) => tiles.into_iter().partition(|&t| weight(t) > thr),
+            None => (Vec::new(), tiles),
+        };
 
-    let parts = fold_dynamic(
+    // Level 1: build hot tiles' trees in parallel and decompose them.
+    let hot: Vec<HotTile<D>> = map_chunked(plan.workers, &hot_tiles, |_, chunk| {
+        chunk
+            .iter()
+            .map(|&t| build_hot(plan, t, left, &left_assign[t], right, &right_assign[t]))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+
+    // Level 2: one shared dynamic queue over hot subtasks (first — they
+    // belong to the heaviest tiles) and whole cold tiles.
+    let mut tasks: Vec<Task> = Vec::new();
+    for (h, ht) in hot.iter().enumerate() {
+        match &ht.work {
+            HotWork::Stt { seeds, .. } => {
+                tasks.extend((0..seeds.len()).map(|seed| Task::SttSeed { hot: h, seed }));
+            }
+            HotWork::Inlj { probes, chunk, .. } => {
+                let mut lo = 0;
+                while lo < probes.len() {
+                    let hi = (lo + chunk).min(probes.len());
+                    tasks.push(Task::InljChunk { hot: h, lo, hi });
+                    lo = hi;
+                }
+            }
+        }
+    }
+    tasks.extend(cold_tiles.iter().map(|&t| Task::Tile(t)));
+
+    let parts = fold_dynamic_tasks(
         plan.workers,
-        tiles.len(),
+        &tasks,
         JoinResult::default,
-        |i, acc: &mut JoinResult| {
-            let t = tiles[i];
-            *acc += join_tile(plan, t, left, &left_assign[t], right, &right_assign[t]);
+        |task, acc: &mut JoinResult| match *task {
+            Task::Tile(t) => {
+                *acc += join_tile(plan, t, left, &left_assign[t], right, &right_assign[t]);
+            }
+            Task::SttSeed { hot: h, seed } => {
+                let ht = &hot[h];
+                let HotWork::Stt {
+                    left: ltree,
+                    right: rtree,
+                    seeds,
+                } = &ht.work
+                else {
+                    unreachable!("STT seed on a non-STT tile");
+                };
+                let (lid, rid) = seeds[seed];
+                *acc += stt_filtered_from(ltree, lid, rtree, rid, plan.use_clips, |a, b| {
+                    plan.partitioner.owns(ht.tile, &reference_point(a, b))
+                });
+            }
+            Task::InljChunk { hot: h, lo, hi } => {
+                let ht = &hot[h];
+                let HotWork::Inlj {
+                    right: rtree,
+                    probes,
+                    ..
+                } = &ht.work
+                else {
+                    unreachable!("INLJ chunk on a non-INLJ tile");
+                };
+                *acc += inlj_filtered(&probes[lo..hi], rtree, plan.use_clips, |probe, id| {
+                    plan.partitioner
+                        .owns(ht.tile, &reference_point(probe, &right[id.0 as usize]))
+                });
+            }
         },
     );
-    parts.into_iter().sum()
+    let mut result: JoinResult = parts.into_iter().sum();
+    for ht in &hot {
+        result += ht.base;
+    }
+    result
 }
 
-/// Join one tile: build both side trees and run the planned strategy with
-/// the reference-point ownership filter.
-fn join_tile<const D: usize>(
-    plan: &JoinPlan<D>,
+/// Join one whole tile: build both side trees and run the planned
+/// strategy with the reference-point ownership filter.
+fn join_tile<const D: usize, P: Partitioner<D>>(
+    plan: &JoinPlan<D, P>,
     tile: usize,
     left: &[Rect<D>],
     left_ids: &[u32],
@@ -148,13 +354,13 @@ fn join_tile<const D: usize>(
         JoinAlgo::Stt => {
             let ltree = build_tile_tree(left, left_ids, plan.tree, plan.clip, plan.use_clips);
             stt_filtered(&ltree, &rtree, plan.use_clips, |a, b| {
-                plan.grid.owns(tile, &reference_point(a, b))
+                plan.partitioner.owns(tile, &reference_point(a, b))
             })
         }
         JoinAlgo::Inlj => {
             let probes: Vec<Rect<D>> = left_ids.iter().map(|&i| left[i as usize]).collect();
             inlj_filtered(&probes, &rtree, plan.use_clips, |probe, id| {
-                plan.grid
+                plan.partitioner
                     .owns(tile, &reference_point(probe, &right[id.0 as usize]))
             })
         }
@@ -164,8 +370,8 @@ fn join_tile<const D: usize>(
 /// Sequential baseline with the same per-tile index configuration: one
 /// global tree per side, one thread, no partitioning. Used by benches and
 /// tests as the ground truth the partitioned join must reproduce.
-pub fn sequential_join<const D: usize>(
-    plan: &JoinPlan<D>,
+pub fn sequential_join<const D: usize, P>(
+    plan: &JoinPlan<D, P>,
     left: &[Rect<D>],
     right: &[Rect<D>],
 ) -> JoinResult {
@@ -184,7 +390,9 @@ pub fn sequential_join<const D: usize>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cbb_core::ClipMethod;
+    use crate::adaptive::AdaptiveGrid;
+    use crate::quadtree::QuadtreePartitioner;
+    use cbb_core::{ClipConfig, ClipMethod};
     use cbb_geom::{Point, SplitMix64};
     use cbb_joins::brute_force_pairs;
     use cbb_rtree::Variant;
@@ -202,6 +410,28 @@ mod tests {
                 let w = rng.gen_range(0.5, max_side);
                 let h = rng.gen_range(0.5, max_side);
                 r2(x, y, x + w, y + h)
+            })
+            .collect()
+    }
+
+    /// ~70 % of objects in one corner blob: guarantees a hot tile.
+    fn clustered_boxes(n: usize, seed: u64) -> Vec<Rect<2>> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| {
+                let (cx, cy, s) = if rng.gen_range(0.0, 1.0) < 0.7 {
+                    (60.0, 60.0, 30.0)
+                } else {
+                    (250.0, 250.0, 240.0)
+                };
+                let x = (cx + rng.gen_range(-s, s)).clamp(0.0, 480.0);
+                let y = (cy + rng.gen_range(-s, s)).clamp(0.0, 480.0);
+                r2(
+                    x,
+                    y,
+                    x + rng.gen_range(0.5, 15.0),
+                    y + rng.gen_range(0.5, 15.0),
+                )
             })
             .collect()
     }
@@ -276,5 +506,85 @@ mod tests {
                 "{algo:?}"
             );
         }
+    }
+
+    #[test]
+    fn decomposition_is_counter_exact() {
+        // The two-level scheduler must not change *any* counter relative
+        // to whole-tile execution — same trees, same traversals, only the
+        // work order differs.
+        let a = clustered_boxes(500, 10);
+        let b = clustered_boxes(550, 11);
+        for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+            for workers in [2, 4] {
+                let never = plan2(4, workers)
+                    .with_algo(algo)
+                    .with_split(SplitPolicy::Never);
+                let auto = never.with_split(SplitPolicy::Auto);
+                let eager = never.with_split(SplitPolicy::Above(0));
+                let base = partitioned_join(&never, &a, &b);
+                assert_eq!(partitioned_join(&auto, &a, &b), base, "{algo:?} auto");
+                assert_eq!(partitioned_join(&eager, &a, &b), base, "{algo:?} eager");
+            }
+        }
+    }
+
+    #[test]
+    fn eager_split_decomposes_every_tile() {
+        // Above(0) forces every non-empty tile through the decomposition
+        // path; pair counts must still be exact.
+        let a = boxes(200, 12, 40.0);
+        let b = boxes(200, 13, 40.0);
+        let expected = brute_force_pairs(&a, &b);
+        for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+            let plan = plan2(3, 4)
+                .with_algo(algo)
+                .with_split(SplitPolicy::Above(0));
+            assert_eq!(partitioned_join(&plan, &a, &b).pairs, expected, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn adaptive_and_quadtree_partitioners_join_exactly() {
+        let a = clustered_boxes(400, 14);
+        let b = clustered_boxes(450, 15);
+        let expected = brute_force_pairs(&a, &b);
+        let domain = r2(0.0, 0.0, 500.0, 500.0);
+        let adaptive = AdaptiveGrid::from_sample(domain, [4, 4], &a);
+        let quadtree = QuadtreePartitioner::build(domain, &a, 120);
+        for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+            let plan = JoinPlan::new(
+                adaptive.clone(),
+                TreeConfig::tiny(Variant::RStar),
+                ClipConfig::paper_default::<2>(ClipMethod::Stairline),
+                3,
+            )
+            .with_algo(algo);
+            assert_eq!(
+                partitioned_join(&plan, &a, &b).pairs,
+                expected,
+                "adaptive {algo:?}"
+            );
+            let plan = JoinPlan::new(
+                quadtree.clone(),
+                TreeConfig::tiny(Variant::RStar),
+                ClipConfig::paper_default::<2>(ClipMethod::Stairline),
+                3,
+            )
+            .with_algo(algo);
+            assert_eq!(
+                partitioned_join(&plan, &a, &b).pairs,
+                expected,
+                "quadtree {algo:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_policy_thresholds() {
+        assert_eq!(SplitPolicy::Never.threshold(1_000, 8), None);
+        assert_eq!(SplitPolicy::Auto.threshold(1_000, 1), None);
+        assert_eq!(SplitPolicy::Auto.threshold(1_000, 4), Some(125));
+        assert_eq!(SplitPolicy::Above(7).threshold(1_000, 1), Some(7));
     }
 }

@@ -41,11 +41,15 @@
 //! assert_eq!(partitioned_join(&plan, &left, &right).pairs, 2);
 //! ```
 
+pub mod adaptive;
 pub mod batch;
 pub mod join;
 pub mod partition;
 pub mod pool;
+pub mod quadtree;
 
-pub use batch::{parallel_range_queries, BatchOutcome};
-pub use join::{partitioned_join, sequential_join, JoinAlgo, JoinPlan};
-pub use partition::UniformGrid;
+pub use adaptive::AdaptiveGrid;
+pub use batch::{parallel_range_queries, BatchExecutor, BatchOutcome};
+pub use join::{partitioned_join, sequential_join, JoinAlgo, JoinPlan, SplitPolicy};
+pub use partition::{load_imbalance, Partitioner, UniformGrid};
+pub use quadtree::QuadtreePartitioner;

@@ -1,19 +1,160 @@
-//! Uniform-grid spatial partitioning (PBSM-style).
+//! Spatial partitioning: the [`Partitioner`] contract and the PBSM-style
+//! [`UniformGrid`].
 //!
 //! Rectangles are assigned to every tile they overlap
 //! (*multi-assignment*), so each tile can be processed independently.
 //! Exactness of global pair counts is restored by *reference-point
 //! duplicate elimination*: every point of space is **owned** by exactly
-//! one tile ([`UniformGrid::owns`]), a candidate pair is attributed to the
+//! one tile ([`Partitioner::owns`]), a candidate pair is attributed to the
 //! tile owning the lower corner of its intersection
 //! ([`cbb_joins::reference_point`]), and that tile is guaranteed to have
 //! both rectangles assigned — so each pair is counted exactly once.
 //!
-//! Points outside the grid's domain are clamped to the border tiles;
+//! Points outside a partitioner's domain are clamped to the border tiles;
 //! objects sticking out of the domain therefore still land in (border)
 //! tiles and joins stay exact even for out-of-domain data.
+//!
+//! Three implementations ship with the engine:
+//!
+//! | partitioner | boundaries | best for |
+//! |---|---|---|
+//! | [`UniformGrid`] | equal-width | uniform data, zero build cost |
+//! | [`crate::AdaptiveGrid`] | per-axis data quantiles | skewed data, grid-shaped tiles |
+//! | [`crate::QuadtreePartitioner`] | recursive region splits | heavily clustered data |
 
 use cbb_geom::{Point, Rect};
+
+/// The contract a spatial partitioner must honour for the engine's
+/// reference-point duplicate elimination to stay exact:
+///
+/// 1. **Total ownership** — [`Self::tile_of`] maps *every* point (even
+///    out-of-domain ones) to exactly one tile in `0..tile_count()`.
+/// 2. **Covering consistency** — for any rectangle `r`,
+///    [`Self::covering_tiles`] contains `tile_of(p)` for every point
+///    `p ∈ r`. Since the reference point of an intersecting pair lies in
+///    both rectangles, the owning tile then sees both sides.
+///
+/// Both properties are exercised by the engine's property tests for every
+/// implementation (`crates/engine/tests/partition_props.rs`).
+pub trait Partitioner<const D: usize>: Sync {
+    /// Total number of tiles.
+    fn tile_count(&self) -> usize;
+
+    /// The unique tile owning point `p` (reference-point semantics).
+    fn tile_of(&self, p: &Point<D>) -> usize;
+
+    /// All tiles `r` overlaps (multi-assignment set). Must be a superset
+    /// of the tiles owning any point of `r`.
+    fn covering_tiles(&self, r: &Rect<D>) -> Vec<usize>;
+
+    /// Geometric bounds of a tile (closed rectangle; adjacent tiles share
+    /// faces — ownership of the shared face is resolved by [`Self::owns`]).
+    fn tile_rect(&self, tile: usize) -> Rect<D>;
+
+    /// Whether tile `tile` owns point `p`. Exactly one tile owns any
+    /// point, which is what makes reference-point dedup exact.
+    fn owns(&self, tile: usize, p: &Point<D>) -> bool {
+        self.tile_of(p) == tile
+    }
+
+    /// Multi-assign every rectangle to the tiles it overlaps. Returns one
+    /// index list per tile, preserving input order within a tile; indices
+    /// are `u32` (the same id space as `cbb_rtree::DataId`).
+    fn assign(&self, rects: &[Rect<D>]) -> Vec<Vec<u32>> {
+        assert!(
+            rects.len() <= u32::MAX as usize,
+            "object count exceeds the u32 id space"
+        );
+        let mut per_tile = vec![Vec::new(); self.tile_count()];
+        for (i, r) in rects.iter().enumerate() {
+            for t in self.covering_tiles(r) {
+                per_tile[t].push(i as u32);
+            }
+        }
+        per_tile
+    }
+}
+
+/// Row-major tile index of a cell coordinate under per-axis cell counts.
+pub(crate) fn row_major_index<const D: usize>(cell: [usize; D], dims: [usize; D]) -> usize {
+    let mut idx = 0;
+    for (c, n) in cell.into_iter().zip(dims) {
+        debug_assert!(c < n);
+        idx = idx * n + c;
+    }
+    idx
+}
+
+/// Decompose a row-major tile index back into cell coordinates.
+pub(crate) fn row_major_cell<const D: usize>(tile: usize, dims: [usize; D]) -> [usize; D] {
+    let mut cell = [0usize; D];
+    let mut rest = tile;
+    for i in (0..D).rev() {
+        cell[i] = rest % dims[i];
+        rest /= dims[i];
+    }
+    cell
+}
+
+/// Row-major indices of every cell in the box `lo_cell..=hi_cell`
+/// (odometer enumeration, the multi-assignment set of a rectangle).
+pub(crate) fn cell_box_tiles<const D: usize>(
+    lo_cell: [usize; D],
+    hi_cell: [usize; D],
+    dims: [usize; D],
+) -> Vec<usize> {
+    let mut tiles = Vec::with_capacity(
+        (0..D)
+            .map(|i| hi_cell[i] - lo_cell[i] + 1)
+            .product::<usize>(),
+    );
+    let mut cell = lo_cell;
+    loop {
+        tiles.push(row_major_index(cell, dims));
+        // Odometer increment over the cell box.
+        let mut axis = D;
+        loop {
+            if axis == 0 {
+                return tiles;
+            }
+            axis -= 1;
+            if cell[axis] < hi_cell[axis] {
+                cell[axis] += 1;
+                break;
+            }
+            cell[axis] = lo_cell[axis];
+        }
+    }
+}
+
+/// Load-imbalance metric of a partitioning for a join workload: estimated
+/// per-tile work is `|left assigned| × |right assigned|` (the size of the
+/// candidate cross product), and the imbalance is **max / mean** over the
+/// tiles that can produce pairs. `1.0` is a perfect balance; a single hot
+/// tile holding half the work of a 64-tile grid scores ≈ 32.
+///
+/// This is the metric `BENCH_skew.json` reports for uniform vs adaptive
+/// partitioning.
+pub fn load_imbalance<const D: usize, P: Partitioner<D>>(
+    partitioner: &P,
+    left: &[Rect<D>],
+    right: &[Rect<D>],
+) -> f64 {
+    let la = partitioner.assign(left);
+    let ra = partitioner.assign(right);
+    let weights: Vec<f64> = la
+        .iter()
+        .zip(&ra)
+        .map(|(l, r)| l.len() as f64 * r.len() as f64)
+        .filter(|&w| w > 0.0)
+        .collect();
+    if weights.is_empty() {
+        return 1.0;
+    }
+    let max = weights.iter().cloned().fold(0.0f64, f64::max);
+    let mean = weights.iter().sum::<f64>() / weights.len() as f64;
+    max / mean
+}
 
 /// A uniform grid over a rectangular domain with `dims[i]` tiles along
 /// axis `i`, tiles indexed row-major in `0..tile_count()`.
@@ -57,15 +198,23 @@ impl<const D: usize> UniformGrid<D> {
     /// The cell coordinate containing `p` along each axis, clamped into
     /// the grid (so out-of-domain points map to border cells and the
     /// domain's upper face belongs to the last cell).
+    ///
+    /// A zero-extent axis has zero cell width; dividing by it would poison
+    /// the index with NaN/∞, so such an axis clamps to cell 0 — the whole
+    /// (degenerate) axis is one cell regardless of `dims`.
     pub fn cell_of(&self, p: &Point<D>) -> [usize; D] {
         let mut cell = [0usize; D];
         for i in 0..D {
             let extent = self.domain.extent(i);
-            if extent <= 0.0 {
+            if extent.is_nan() || extent <= 0.0 {
+                // Zero-extent (or, defensively, NaN-extent) axis: clamp
+                // instead of dividing by the zero cell width.
                 continue;
             }
             let frac = (p[i] - self.domain.lo[i]) / extent;
             let scaled = (frac * self.dims[i] as f64).floor();
+            // `f64::max` returns the non-NaN operand, so a NaN `scaled`
+            // (e.g. NaN input coordinate) becomes 0.0 here — in range.
             cell[i] = (scaled.max(0.0) as usize).min(self.dims[i] - 1);
         }
         cell
@@ -73,12 +222,7 @@ impl<const D: usize> UniformGrid<D> {
 
     /// Row-major tile index of a cell coordinate.
     pub fn tile_index(&self, cell: [usize; D]) -> usize {
-        let mut idx = 0;
-        for (c, n) in cell.into_iter().zip(self.dims) {
-            debug_assert!(c < n);
-            idx = idx * n + c;
-        }
-        idx
+        row_major_index(cell, self.dims)
     }
 
     /// The unique tile owning point `p` (reference-point semantics).
@@ -86,23 +230,15 @@ impl<const D: usize> UniformGrid<D> {
         self.tile_index(self.cell_of(p))
     }
 
-    /// Whether tile `tile` owns point `p`. Exactly one tile owns any
-    /// point, which is what makes reference-point dedup exact.
+    /// Whether tile `tile` owns point `p`.
     pub fn owns(&self, tile: usize, p: &Point<D>) -> bool {
         self.tile_of(p) == tile
     }
 
-    /// Geometric bounds of a tile (closed rectangle; adjacent tiles share
-    /// faces — ownership of the shared face is resolved by [`Self::owns`]).
+    /// Geometric bounds of a tile.
     pub fn tile_rect(&self, tile: usize) -> Rect<D> {
         assert!(tile < self.tile_count(), "tile out of range");
-        // Decompose the row-major index back into cell coordinates.
-        let mut cell = [0usize; D];
-        let mut rest = tile;
-        for i in (0..D).rev() {
-            cell[i] = rest % self.dims[i];
-            rest /= self.dims[i];
-        }
+        let cell = row_major_cell(tile, self.dims);
         let mut lo = [0.0; D];
         let mut hi = [0.0; D];
         for i in 0..D {
@@ -120,47 +256,30 @@ impl<const D: usize> UniformGrid<D> {
     /// All tiles `r` overlaps (multi-assignment set): the row-major
     /// indices of the cell box spanned by `r`'s corners.
     pub fn covering_tiles(&self, r: &Rect<D>) -> Vec<usize> {
-        let lo_cell = self.cell_of(&r.lo);
-        let hi_cell = self.cell_of(&r.hi);
-        let mut tiles = Vec::with_capacity(
-            (0..D)
-                .map(|i| hi_cell[i] - lo_cell[i] + 1)
-                .product::<usize>(),
-        );
-        let mut cell = lo_cell;
-        loop {
-            tiles.push(self.tile_index(cell));
-            // Odometer increment over the cell box.
-            let mut axis = D;
-            loop {
-                if axis == 0 {
-                    return tiles;
-                }
-                axis -= 1;
-                if cell[axis] < hi_cell[axis] {
-                    cell[axis] += 1;
-                    break;
-                }
-                cell[axis] = lo_cell[axis];
-            }
-        }
+        cell_box_tiles(self.cell_of(&r.lo), self.cell_of(&r.hi), self.dims)
     }
 
-    /// Multi-assign every rectangle to the tiles it overlaps. Returns one
-    /// index list per tile, preserving input order within a tile; indices
-    /// are `u32` (the same id space as `cbb_rtree::DataId`).
+    /// Multi-assign every rectangle to the tiles it overlaps.
     pub fn assign(&self, rects: &[Rect<D>]) -> Vec<Vec<u32>> {
-        assert!(
-            rects.len() <= u32::MAX as usize,
-            "object count exceeds the u32 id space"
-        );
-        let mut per_tile = vec![Vec::new(); self.tile_count()];
-        for (i, r) in rects.iter().enumerate() {
-            for t in self.covering_tiles(r) {
-                per_tile[t].push(i as u32);
-            }
-        }
-        per_tile
+        Partitioner::assign(self, rects)
+    }
+}
+
+impl<const D: usize> Partitioner<D> for UniformGrid<D> {
+    fn tile_count(&self) -> usize {
+        UniformGrid::tile_count(self)
+    }
+
+    fn tile_of(&self, p: &Point<D>) -> usize {
+        UniformGrid::tile_of(self, p)
+    }
+
+    fn covering_tiles(&self, r: &Rect<D>) -> Vec<usize> {
+        UniformGrid::covering_tiles(self, r)
+    }
+
+    fn tile_rect(&self, tile: usize) -> Rect<D> {
+        UniformGrid::tile_rect(self, tile)
     }
 }
 
@@ -273,6 +392,45 @@ mod tests {
     }
 
     #[test]
+    fn zero_extent_domain_axis_clamps_instead_of_dividing() {
+        // Regression: all data on the line y = 5 → the domain MBB has
+        // zero extent in y. cell_of must not divide by the zero cell
+        // width; the y axis collapses to a single cell and the x axis
+        // still partitions normally.
+        let g = UniformGrid::with_dims(r2(0.0, 5.0, 100.0, 5.0), [4, 4]);
+        for (p, want) in [
+            (Point([10.0, 5.0]), [0usize, 0usize]),
+            (Point([99.0, 5.0]), [3, 0]),
+            // Off-line and out-of-domain points still clamp to a cell.
+            (Point([50.0, 7.0]), [2, 0]),
+            (Point([-3.0, -9.0]), [0, 0]),
+        ] {
+            let cell = g.cell_of(&p);
+            assert!(cell.iter().zip(g.dims()).all(|(&c, n)| c < n));
+            assert_eq!(cell, want, "point {p:?}");
+        }
+        // Exactly-one-owner still holds on and off the degenerate axis.
+        let mut rng = SplitMix64::new(77);
+        for _ in 0..500 {
+            let p = Point([rng.gen_range(-10.0, 110.0), rng.gen_range(0.0, 10.0)]);
+            let owners = (0..g.tile_count()).filter(|&t| g.owns(t, &p)).count();
+            assert_eq!(owners, 1, "point {p:?}");
+        }
+        // covering_tiles stays consistent with ownership for rects that
+        // cross (and stick out of) the degenerate axis.
+        let r = r2(20.0, 4.0, 80.0, 6.0);
+        let covered = g.covering_tiles(&r);
+        for &p in &[Point([20.0, 5.0]), Point([50.0, 5.0]), Point([80.0, 5.0])] {
+            assert!(covered.contains(&g.tile_of(&p)), "missing owner of {p:?}");
+        }
+        // Fully degenerate domain (a single point) still works.
+        let point_grid = UniformGrid::with_dims(r2(3.0, 3.0, 3.0, 3.0), [8, 8]);
+        assert_eq!(point_grid.tile_of(&Point([3.0, 3.0])), 0);
+        assert_eq!(point_grid.tile_of(&Point([100.0, -100.0])), 0);
+        assert_eq!(point_grid.covering_tiles(&r2(0.0, 0.0, 9.0, 9.0)), vec![0]);
+    }
+
+    #[test]
     fn reference_point_ownership_is_covered_by_both_sides() {
         // The invariant the join's exactness rests on: for any
         // intersecting pair, the tile owning the reference point is in
@@ -340,5 +498,26 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn load_imbalance_flags_hot_tiles() {
+        let g = UniformGrid::new(r2(0.0, 0.0, 100.0, 100.0), 2);
+        // Perfectly spread: one object per tile on each side.
+        let spread: Vec<Rect<2>> = (0..4)
+            .map(|t| {
+                let c = g.tile_rect(t).center();
+                Rect::new(c, c)
+            })
+            .collect();
+        assert!((load_imbalance(&g, &spread, &spread) - 1.0).abs() < 1e-9);
+        // Eight objects clumped into tile 0 plus the spread baseline:
+        // tile 0 outweighs the rest 9:1.
+        let mut clumped = spread.clone();
+        clumped.extend((0..8).map(|_| r2(1.0, 1.0, 2.0, 2.0)));
+        let imb = load_imbalance(&g, &clumped, &spread);
+        assert!((imb - 3.0).abs() < 1e-9, "imbalance {imb}");
+        // Empty side: defined as balanced.
+        assert_eq!(load_imbalance(&g, &[], &spread), 1.0);
     }
 }

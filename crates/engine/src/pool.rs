@@ -8,6 +8,12 @@
 //!   costs are skewed (join tiles over clustered data), since fast
 //!   workers steal the remaining items. Output order is per-worker, so
 //!   use it for *commutative* accumulation (counter merging).
+//! * [`fold_dynamic_tasks`] — the same discipline over a materialised
+//!   task slice. This is the shared queue of the join's *two-level*
+//!   scheduler: whole cold tiles and the node-pair / probe-chunk
+//!   subtasks of decomposed hot tiles interleave on one queue, ordered
+//!   heaviest-first (LPT) by the caller, so a fast worker steals a hot
+//!   tile's remaining subtasks instead of idling behind it.
 //! * [`map_chunked`] — items are split into one contiguous chunk per
 //!   worker and the per-chunk outputs come back in input order. Use it
 //!   when the result must be deterministic and position-addressed
@@ -63,6 +69,19 @@ where
             .map(|h| h.join().expect("engine worker panicked"))
             .collect()
     })
+}
+
+/// [`fold_dynamic`] over an explicit task slice: workers pull tasks from
+/// the shared queue front-to-back, so callers control priority by order
+/// (put the heaviest tasks first for LPT scheduling).
+pub fn fold_dynamic_tasks<T, A, I, F>(workers: usize, tasks: &[T], init: I, step: F) -> Vec<A>
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&T, &mut A) + Sync,
+{
+    fold_dynamic(workers, tasks.len(), init, |i, acc| step(&tasks[i], acc))
 }
 
 /// Split `items` into one contiguous chunk per worker, apply `f` to each
@@ -139,6 +158,21 @@ mod tests {
     fn fold_dynamic_zero_items() {
         let accs = fold_dynamic(4, 0, || 7u32, |_, _| unreachable!("no items"));
         assert_eq!(accs, vec![7]);
+    }
+
+    #[test]
+    fn fold_dynamic_tasks_folds_every_task() {
+        let tasks: Vec<u64> = (0..57).map(|i| i * 3).collect();
+        for workers in [1, 3, 8] {
+            let accs = fold_dynamic_tasks(workers, &tasks, || 0u64, |t, acc| *acc += *t);
+            assert_eq!(
+                accs.iter().sum::<u64>(),
+                tasks.iter().sum::<u64>(),
+                "workers = {workers}"
+            );
+        }
+        let none = fold_dynamic_tasks(4, &[] as &[u64], || 1u32, |_, _| unreachable!());
+        assert_eq!(none, vec![1]);
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //! degenerate 1×1 grid (pure overhead, no partitioning effect).
 
 use cbb_core::{ClipConfig, ClipMethod};
+use cbb_datasets::skew::clustered_with_layout;
 use cbb_engine::{
-    parallel_range_queries, partitioned_join, sequential_join, JoinAlgo, JoinPlan, UniformGrid,
+    load_imbalance, parallel_range_queries, partitioned_join, sequential_join, AdaptiveGrid,
+    JoinAlgo, JoinPlan, QuadtreePartitioner, SplitPolicy, UniformGrid,
 };
 use cbb_geom::{Point, Rect, SplitMix64};
 use cbb_joins::{brute_force_pairs, inlj, stt, JoinResult};
@@ -149,6 +151,125 @@ fn clipping_helps_inside_tiles() {
         rc.leaf_accesses_right <= ru.leaf_accesses_right,
         "clipping increased per-tile I/O"
     );
+}
+
+/// Shared-layout clustered sides: both concentrate at the same Zipf
+/// blobs, so a uniform grid goes hot exactly where the join pairs are.
+fn skewed_sides(n: usize, seed: u64) -> (Vec<Rect<2>>, Vec<Rect<2>>, Rect<2>) {
+    let left = clustered_with_layout::<2>(n, 6, 20_000.0, 0.1, seed, seed);
+    let right = clustered_with_layout::<2>(n, 6, 20_000.0, 0.1, seed, seed ^ 0xFACE);
+    let domain = left.domain.union(&right.domain);
+    (left.boxes, right.boxes, domain)
+}
+
+#[test]
+fn adaptive_partitioner_matches_oracles_on_all_variants() {
+    let (a, b, domain) = skewed_sides(320, 51);
+    let expected = brute_force_pairs(&a, &b);
+    let mut sample = a.clone();
+    sample.extend_from_slice(&b);
+    let adaptive = AdaptiveGrid::from_sample(domain, [4, 4], &sample);
+    for variant in Variant::ALL {
+        for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+            let p = JoinPlan::new(
+                adaptive.clone(),
+                TreeConfig::tiny(variant),
+                ClipConfig::paper_default::<2>(ClipMethod::Stairline),
+                3,
+            )
+            .with_algo(algo);
+            assert_eq!(
+                partitioned_join(&p, &a, &b).pairs,
+                expected,
+                "{variant:?}/{algo:?} adaptive"
+            );
+            assert_eq!(
+                sequential_join(&p, &a, &b).pairs,
+                expected,
+                "{variant:?}/{algo:?} sequential baseline"
+            );
+        }
+    }
+}
+
+#[test]
+fn quadtree_partitioner_matches_oracles_on_all_variants() {
+    let (a, b, domain) = skewed_sides(320, 52);
+    let expected = brute_force_pairs(&a, &b);
+    let mut sample = a.clone();
+    sample.extend_from_slice(&b);
+    let quadtree = QuadtreePartitioner::build(domain, &sample, 80);
+    for variant in Variant::ALL {
+        for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+            let p = JoinPlan::new(
+                quadtree.clone(),
+                TreeConfig::tiny(variant),
+                ClipConfig::paper_default::<2>(ClipMethod::Stairline),
+                3,
+            )
+            .with_algo(algo);
+            assert_eq!(
+                partitioned_join(&p, &a, &b).pairs,
+                expected,
+                "{variant:?}/{algo:?} quadtree"
+            );
+            assert_eq!(
+                sequential_join(&p, &a, &b).pairs,
+                expected,
+                "{variant:?}/{algo:?} sequential baseline"
+            );
+        }
+    }
+}
+
+#[test]
+fn two_level_scheduling_stays_exact_under_skew() {
+    // The intra-tile decomposition (hot tiles → node-pair / probe-chunk
+    // subtasks) must not change any counter for any partitioner.
+    let (a, b, domain) = skewed_sides(400, 53);
+    let mut sample = a.clone();
+    sample.extend_from_slice(&b);
+    let uniform = UniformGrid::new(domain, 4);
+    let adaptive = AdaptiveGrid::from_sample(domain, [4, 4], &sample);
+    let tree = TreeConfig::tiny(Variant::RStar);
+    let clip = ClipConfig::paper_default::<2>(ClipMethod::Stairline);
+    for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+        let base = JoinPlan::new(uniform, tree, clip, 3)
+            .with_algo(algo)
+            .with_split(SplitPolicy::Never);
+        let split = base.with_split(SplitPolicy::Above(0));
+        assert_eq!(
+            partitioned_join(&base, &a, &b),
+            partitioned_join(&split, &a, &b),
+            "uniform {algo:?}"
+        );
+        let base = JoinPlan::new(adaptive.clone(), tree, clip, 3)
+            .with_algo(algo)
+            .with_split(SplitPolicy::Never);
+        let split = base.clone().with_split(SplitPolicy::Above(0));
+        assert_eq!(
+            partitioned_join(&base, &a, &b),
+            partitioned_join(&split, &a, &b),
+            "adaptive {algo:?}"
+        );
+    }
+}
+
+#[test]
+fn adaptive_partitioners_reduce_imbalance_on_clustered_data() {
+    // The acceptance bar BENCH_skew.json demonstrates at scale, asserted
+    // here on a small deterministic workload.
+    let (a, b, domain) = skewed_sides(2_000, 54);
+    let mut sample = a.clone();
+    sample.extend_from_slice(&b);
+    let uniform = UniformGrid::new(domain, 6);
+    let adaptive = AdaptiveGrid::from_sample(domain, [6, 6], &sample);
+    let quadtree = QuadtreePartitioner::build(domain, &sample, 2 * 2_000 / 36);
+    let ui = load_imbalance(&uniform, &a, &b);
+    let ai = load_imbalance(&adaptive, &a, &b);
+    let qi = load_imbalance(&quadtree, &a, &b);
+    assert!(ai < ui, "adaptive {ai:.2} not below uniform {ui:.2}");
+    assert!(qi < ui, "quadtree {qi:.2} not below uniform {ui:.2}");
 }
 
 #[test]

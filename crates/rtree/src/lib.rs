@@ -1,7 +1,7 @@
 //! # cbb-rtree — disk-style R-tree framework with four variants
 //!
 //! Re-implementation of the index substrate the paper evaluates on
-//! (the C benchmark of Beckmann & Seeger [33]): a paged R-tree with the
+//! (the C benchmark of Beckmann & Seeger \[33\]): a paged R-tree with the
 //! four variants of §V-A —
 //!
 //! * **QR-tree** — Guttman's original with quadratic split;

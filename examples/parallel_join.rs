@@ -22,6 +22,8 @@ fn main() {
         parcels.len(),
     );
 
+    // Any `Partitioner` fits here — see examples/skewed_join.rs for the
+    // adaptive and quadtree alternatives on skewed data.
     let grid = UniformGrid::new(streets.domain.union(&parcels.domain), 8);
     let base_plan = JoinPlan::new(
         grid,

@@ -61,7 +61,8 @@ pub use cbb_storage as storage;
 pub mod prelude {
     pub use cbb_core::{Cbb, ClipConfig, ClipMethod, ClipPoint};
     pub use cbb_engine::{
-        parallel_range_queries, partitioned_join, BatchOutcome, JoinAlgo, JoinPlan, UniformGrid,
+        parallel_range_queries, partitioned_join, AdaptiveGrid, BatchExecutor, BatchOutcome,
+        JoinAlgo, JoinPlan, Partitioner, QuadtreePartitioner, SplitPolicy, UniformGrid,
     };
     pub use cbb_geom::{CornerMask, Point, Rect};
     pub use cbb_joins::JoinResult;

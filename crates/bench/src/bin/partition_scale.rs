@@ -6,10 +6,13 @@
 //! ```text
 //! cargo run --release -p cbb-bench --bin partition_scale [--exact N] [--queries N] [--seed N]
 //! ```
+//!
+//! `CBB_BENCH_SMOKE=1` shrinks the default workload to CI-smoke scale
+//! (explicit flags still override).
 
 use std::time::Instant;
 
-use cbb_bench::{header, row};
+use cbb_bench::{header, row, smoke_mode};
 use cbb_core::{ClipConfig, ClipMethod};
 use cbb_datasets::{dataset2, generate_queries, QueryProfile, Scale};
 use cbb_engine::{
@@ -22,9 +25,13 @@ const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn main() {
     // Defaults sized for the acceptance bar (≥ 50 k objects per side);
-    // `--exact` / `--queries` / `--seed` override.
-    let mut n = 60_000usize;
-    let mut n_queries = 4_000usize;
+    // smoke mode shrinks them, `--exact` / `--queries` / `--seed`
+    // override either way.
+    let (mut n, mut n_queries) = if smoke_mode() {
+        (8_000usize, 500usize)
+    } else {
+        (60_000usize, 4_000usize)
+    };
     let mut seed = 0xCBBu64;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {

@@ -1,0 +1,229 @@
+//! Serving experiment: open-loop latency/throughput of the `cbb-serve`
+//! query service under a bursty request stream, across micro-batching
+//! configurations. Emits `BENCH_serve.json` with per-config throughput,
+//! p50/p99 latency, batch shape, and join-tree-cache counters.
+//!
+//! ```text
+//! cargo run --release -p cbb-bench --bin serve_scale \
+//!     [--exact N] [--requests N] [--rate HZ] [--seed N]
+//! ```
+//!
+//! Open loop: requests are submitted at the stream's scheduled arrival
+//! times regardless of completions (the "millions of users" model — the
+//! world does not slow down because the service is busy), so queue wait
+//! shows up in the latency percentiles instead of being hidden by a
+//! closed feedback loop. `CBB_BENCH_SMOKE=1` shrinks the default
+//! workload to CI-smoke scale (explicit flags still override).
+
+use std::time::{Duration, Instant};
+
+use cbb_bench::{header, row, smoke_mode};
+use cbb_core::{ClipConfig, ClipMethod};
+use cbb_datasets::skew::clustered_with_layout;
+use cbb_datasets::stream::{query_stream, StreamKind, StreamProfile};
+use cbb_engine::{AdaptiveGrid, JoinAlgo};
+use cbb_rtree::{TreeConfig, Variant};
+use cbb_serve::{QueryService, Request, ServiceConfig};
+
+struct ConfigRow {
+    name: &'static str,
+    config: ServiceConfig,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    assert!(!sorted_ms.is_empty());
+    let idx = (p / 100.0 * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx]
+}
+
+fn main() {
+    let (mut n, mut requests, mut rate) = if smoke_mode() {
+        (4_000usize, 800usize, 1_500.0f64)
+    } else {
+        (30_000usize, 6_000usize, 3_000.0f64)
+    };
+    let mut seed = 0xCBBu64;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next_usize = |flag: &str| -> usize {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{flag} needs a numeric argument"))
+        };
+        match a.as_str() {
+            "--exact" => n = next_usize("--exact"),
+            "--requests" => requests = next_usize("--requests"),
+            "--rate" => {
+                rate = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|r| *r > 0.0)
+                    .unwrap_or_else(|| panic!("--rate needs a positive numeric argument"));
+            }
+            "--seed" => seed = next_usize("--seed") as u64,
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let data = clustered_with_layout::<2>(n, 8, 20_000.0, 0.1, seed, seed);
+    let partitioner = AdaptiveGrid::from_sample(data.domain, [6, 6], &data.boxes);
+    let tree = TreeConfig::paper_default(Variant::RStar);
+    let clip = ClipConfig::paper_default::<2>(ClipMethod::Stairline);
+    let profile = StreamProfile {
+        mean_rate_hz: rate,
+        burstiness: 4.0,
+        knn_fraction: 0.2,
+        knn_k: 10,
+        extent_frac: 0.02,
+    };
+    let stream = query_stream(&data, requests, &profile, seed);
+    let join_probes: Vec<_> = data
+        .boxes
+        .iter()
+        .step_by((n / 200).max(1))
+        .copied()
+        .collect();
+    println!(
+        "workload: clu02 ({n} boxes), {requests} requests at {rate:.0} Hz \
+         (burstiness 4, 20% kNN), adaptive 6×6 grid, R*-tree + CSTA",
+    );
+
+    let configs = [
+        ConfigRow {
+            name: "unbatched",
+            config: ServiceConfig {
+                exec_workers: 4,
+                ..ServiceConfig::unbatched()
+            },
+        },
+        ConfigRow {
+            name: "batch32_1ms",
+            config: ServiceConfig {
+                batch_max: 32,
+                batch_deadline: Duration::from_millis(1),
+                exec_workers: 4,
+                ..ServiceConfig::default()
+            },
+        },
+        ConfigRow {
+            name: "batch128_3ms",
+            config: ServiceConfig {
+                batch_max: 128,
+                batch_deadline: Duration::from_millis(3),
+                exec_workers: 4,
+                ..ServiceConfig::default()
+            },
+        },
+    ];
+
+    header(
+        "open-loop service scan",
+        "config",
+        &["done", "rps", "p50 ms", "p99 ms", "mean batch"],
+    );
+    let mut rows = Vec::new();
+    for ConfigRow { name, config } in configs {
+        let config = ServiceConfig {
+            queue_capacity: requests.max(1),
+            ..config
+        };
+        let service =
+            QueryService::start(config, partitioner.clone(), data.boxes.clone(), tree, clip);
+
+        // Replay the stream open-loop, then collect every completion.
+        let started = Instant::now();
+        let mut handles = Vec::with_capacity(stream.len());
+        for q in &stream {
+            let scheduled = started + Duration::from_secs_f64(q.at_ms / 1_000.0);
+            if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            let request = match &q.kind {
+                StreamKind::Range(rect) => Request::Range {
+                    query: *rect,
+                    use_clips: true,
+                },
+                StreamKind::Knn(center, k) => Request::Knn {
+                    center: *center,
+                    k: *k,
+                },
+            };
+            handles.push(service.submit(request).expect("service is open"));
+        }
+        let mut latencies_ms: Vec<f64> = handles
+            .into_iter()
+            .map(|h| h.wait().expect("request served").latency().as_secs_f64() * 1e3)
+            .collect();
+        let wall = started.elapsed().as_secs_f64();
+        latencies_ms.sort_by(|a, b| a.total_cmp(b));
+
+        // Repeat joins on the warm service: the version-keyed cache must
+        // serve them all from the single start-time forest build.
+        for _ in 0..3 {
+            let result = service
+                .submit(Request::Join {
+                    probes: join_probes.clone(),
+                    algo: JoinAlgo::Stt,
+                    use_clips: true,
+                })
+                .expect("service is open")
+                .wait()
+                .expect("join served")
+                .response
+                .into_join();
+            assert!(result.pairs > 0, "join probes were drawn from the data");
+        }
+        let report = service.shutdown();
+        assert_eq!(report.completed, report.submitted, "shutdown drains");
+        assert_eq!(
+            report.forest_builds, 1,
+            "repeat joins must not rebuild tile trees"
+        );
+        assert!(report.forest_hits >= 3);
+
+        let rps = latencies_ms.len() as f64 / wall;
+        let p50 = percentile(&latencies_ms, 50.0);
+        let p99 = percentile(&latencies_ms, 99.0);
+        println!(
+            "{}",
+            row(
+                name,
+                &[
+                    report.completed.to_string(),
+                    format!("{rps:.0}"),
+                    format!("{p50:.3}"),
+                    format!("{p99:.3}"),
+                    format!("{:.2}", report.mean_batch),
+                ],
+            )
+        );
+        rows.push(format!(
+            "{{\"config\": \"{name}\", \"batch_max\": {}, \"deadline_ms\": {:.3}, \
+             \"dispatchers\": {}, \"exec_workers\": {}, \"requests\": {}, \
+             \"throughput_rps\": {rps:.1}, \"p50_ms\": {p50:.4}, \"p99_ms\": {p99:.4}, \
+             \"mean_batch\": {:.3}, \"max_batch\": {}, \"batches\": {}, \
+             \"forest_builds\": {}, \"forest_hits\": {}}}",
+            config.batch_max,
+            config.batch_deadline.as_secs_f64() * 1e3,
+            config.dispatchers,
+            config.exec_workers,
+            report.completed,
+            report.mean_batch,
+            report.max_batch,
+            report.batches,
+            report.forest_builds,
+            report.forest_hits,
+        ));
+    }
+    assert!(rows.len() >= 2, "the scan must compare batching configs");
+
+    let json = format!(
+        "{{\n  \"workload\": {{\"dataset\": \"clu02\", \"objects\": {n}, \
+         \"requests\": {requests}, \"rate_hz\": {rate:.1}, \"burstiness\": 4.0, \
+         \"knn_fraction\": 0.2, \"grid\": [6, 6], \"variant\": \"R*-tree\", \
+         \"clip\": \"CSTA\"}},\n  \"rows\": [\n    {}\n  ]\n}}\n",
+        rows.join(",\n    "),
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json ({} configs)", rows.len());
+}

@@ -8,13 +8,16 @@
 //!     [--exact N] [--grid N] [--budget N] [--workers N] [--seed N]
 //! ```
 //!
+//! `CBB_BENCH_SMOKE=1` shrinks the default workload to CI-smoke scale
+//! (explicit flags still override).
+//!
 //! The run aborts if any configuration disagrees on the pair count, or if
 //! the adaptive grid fails to reduce imbalance vs the uniform grid — the
 //! acceptance bar this experiment exists to demonstrate.
 
 use std::time::Instant;
 
-use cbb_bench::{header, row};
+use cbb_bench::{header, row, smoke_mode};
 use cbb_core::{ClipConfig, ClipMethod};
 use cbb_datasets::skew::clustered_with_layout;
 use cbb_engine::{
@@ -24,7 +27,11 @@ use cbb_engine::{
 use cbb_rtree::{TreeConfig, Variant};
 
 fn main() {
-    let mut n = 30_000usize;
+    let mut n = if smoke_mode() {
+        6_000usize
+    } else {
+        30_000usize
+    };
     let mut grid = 8usize;
     let mut budget = 0usize; // 0 = derive from n and the tile count
     let mut workers = 4usize;

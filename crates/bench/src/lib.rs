@@ -31,6 +31,17 @@ impl Default for Args {
     }
 }
 
+/// True when the `CBB_BENCH_SMOKE` environment variable requests the
+/// reduced CI workload (any value except empty or `0`). Bench bins apply
+/// their smoke defaults *before* CLI parsing, so explicit flags still
+/// override — the workflow sets one env var instead of duplicating size
+/// constants per bin.
+pub fn smoke_mode() -> bool {
+    std::env::var("CBB_BENCH_SMOKE")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
 /// Parse `--full`, `--scale N`, `--exact N`, `--queries N`, `--seed N`.
 pub fn parse_args() -> Args {
     let mut args = Args::default();

@@ -1,0 +1,277 @@
+//! Timed query streams: open-loop request workloads with arrival-time
+//! skew, for driving a serving layer the way real traffic would.
+//!
+//! Tzirita Zacharatou et al. (*The Case for Distance-Bounded Spatial
+//! Approximations*) argue index quality must be measured under realistic
+//! query streams, not isolated batches; a serving layer additionally
+//! cares *when* requests arrive, because micro-batching feeds on
+//! temporal clustering. The generator models a two-state modulated
+//! Poisson process: arrivals alternate between **bursts** (rate ×
+//! `burstiness`) and **lulls** (rate ÷ `burstiness`), with geometrically
+//! distributed run lengths — `burstiness = 1` degenerates to a plain
+//! Poisson stream. Query centres follow the *data* (a random object's
+//! centre plus jitter), so the stream hits populated regions the way
+//! user traffic does.
+
+use cbb_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+
+/// Mean requests per burst/lull phase (geometric run length).
+const MEAN_PHASE_LEN: f64 = 24.0;
+
+/// One request of a timed stream.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StreamKind<const D: usize> {
+    /// A range query window.
+    Range(Rect<D>),
+    /// A k-nearest-neighbour probe.
+    Knn(Point<D>, usize),
+}
+
+/// A request plus its scheduled arrival offset from stream start.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedQuery<const D: usize> {
+    /// Arrival time in milliseconds since the stream began
+    /// (non-decreasing along the stream).
+    pub at_ms: f64,
+    /// The request payload.
+    pub kind: StreamKind<D>,
+}
+
+/// Stream shape parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamProfile {
+    /// Long-run average arrival rate (requests/second) the inter-arrival
+    /// draws are scaled to.
+    pub mean_rate_hz: f64,
+    /// Arrival-time skew: ≥ 1. Bursts run `burstiness`× faster than the
+    /// mean, lulls `burstiness`× slower; `1.0` is a uniform Poisson
+    /// stream.
+    pub burstiness: f64,
+    /// Fraction of requests that are kNN probes (the rest are ranges).
+    pub knn_fraction: f64,
+    /// `k` for every kNN probe.
+    pub knn_k: usize,
+    /// Range query side length as a fraction of the domain extent
+    /// (per-query jittered ×[0.25, 1.75]).
+    pub extent_frac: f64,
+}
+
+impl Default for StreamProfile {
+    fn default() -> Self {
+        StreamProfile {
+            mean_rate_hz: 2_000.0,
+            burstiness: 4.0,
+            knn_fraction: 0.2,
+            knn_k: 10,
+            extent_frac: 0.02,
+        }
+    }
+}
+
+/// Generate `n` timed queries over `data` under `profile`,
+/// deterministically per `seed`.
+pub fn query_stream<const D: usize>(
+    data: &Dataset<D>,
+    n: usize,
+    profile: &StreamProfile,
+    seed: u64,
+) -> Vec<TimedQuery<D>> {
+    assert!(!data.is_empty(), "a stream needs data to aim queries at");
+    assert!(profile.mean_rate_hz > 0.0, "rate must be positive");
+    assert!(profile.burstiness >= 1.0, "burstiness is ≥ 1");
+    assert!(
+        (0.0..=1.0).contains(&profile.knn_fraction),
+        "knn_fraction is a fraction"
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x57AE_A11B_0057_AE4D);
+    // Requests split evenly between phases, so the raw mean gap would be
+    // base × (b + 1/b)/2; normalise so the configured rate is the
+    // long-run average at every burstiness.
+    let phase_norm = (profile.burstiness + 1.0 / profile.burstiness) / 2.0;
+    let mean_gap_ms = 1_000.0 / profile.mean_rate_hz / phase_norm;
+    let mut burst = true;
+    let mut clock_ms = 0.0f64;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Geometric phase switching, then an exponential inter-arrival
+        // at the phase's rate.
+        if rng.gen_range(0.0..1.0) < 1.0 / MEAN_PHASE_LEN {
+            burst = !burst;
+        }
+        let phase_gap = if burst {
+            mean_gap_ms / profile.burstiness
+        } else {
+            mean_gap_ms * profile.burstiness
+        };
+        // Inverse-CDF exponential; clamp the uniform away from 0 so the
+        // log stays finite.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        clock_ms += -u.ln() * phase_gap;
+        // Aim at the data: a random object's centre plus jitter of one
+        // query extent.
+        let anchor = data.boxes[rng.gen_range(0..data.len())].center();
+        let kind = if rng.gen_range(0.0..1.0) < profile.knn_fraction {
+            StreamKind::Knn(anchor, profile.knn_k)
+        } else {
+            let mut lo = [0.0; D];
+            let mut hi = [0.0; D];
+            for i in 0..D {
+                let side = data.domain.extent(i) * profile.extent_frac * rng.gen_range(0.25..1.75);
+                // A degenerate axis (zero domain extent, or
+                // extent_frac = 0 for point queries) collapses to a
+                // point query on that axis — an empty f64 range would
+                // panic the sampler.
+                let jitter = if side > 0.0 {
+                    rng.gen_range(-side..side)
+                } else {
+                    0.0
+                };
+                lo[i] = anchor[i] + jitter - side / 2.0;
+                hi[i] = anchor[i] + jitter + side / 2.0;
+            }
+            StreamKind::Range(Rect::new(Point(lo), Point(hi)))
+        };
+        out.push(TimedQuery {
+            at_ms: clock_ms,
+            kind,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skew::clustered;
+
+    fn stream(n: usize, burstiness: f64, seed: u64) -> Vec<TimedQuery<2>> {
+        let data = clustered::<2>(2_000, 6, 20_000.0, 0.1, 5);
+        let profile = StreamProfile {
+            burstiness,
+            ..StreamProfile::default()
+        };
+        query_stream(&data, n, &profile, seed)
+    }
+
+    /// Coefficient of variation of the inter-arrival gaps.
+    fn gap_cv(s: &[TimedQuery<2>]) -> f64 {
+        let gaps: Vec<f64> = s.windows(2).map(|w| w[1].at_ms - w[0].at_ms).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        var.sqrt() / mean
+    }
+
+    #[test]
+    fn deterministic_sorted_and_sized() {
+        let a = stream(500, 4.0, 11);
+        assert_eq!(a.len(), 500);
+        assert_eq!(a, stream(500, 4.0, 11));
+        assert_ne!(a, stream(500, 4.0, 12));
+        assert!(
+            a.windows(2).all(|w| w[0].at_ms <= w[1].at_ms),
+            "arrival times are non-decreasing"
+        );
+        assert!(a[0].at_ms > 0.0);
+    }
+
+    #[test]
+    fn mean_rate_is_roughly_honoured() {
+        // The rate normalisation must hold at every burstiness, not
+        // just for the plain Poisson stream.
+        for burstiness in [1.0, 4.0, 8.0] {
+            let s = stream(4_000, burstiness, 21);
+            let span_s = s.last().unwrap().at_ms / 1_000.0;
+            let rate = 4_000.0 / span_s;
+            // Sampling noise on 4k arrivals stays well within ±30 %.
+            assert!(
+                (1_400.0..2_600.0).contains(&rate),
+                "measured {rate:.0} Hz vs configured 2000 Hz at burstiness {burstiness}"
+            );
+        }
+    }
+
+    #[test]
+    fn burstiness_increases_arrival_skew() {
+        let smooth = gap_cv(&stream(4_000, 1.0, 31));
+        let bursty = gap_cv(&stream(4_000, 6.0, 31));
+        // Exponential gaps have CV ≈ 1; modulation pushes it well up.
+        assert!(
+            (0.8..1.3).contains(&smooth),
+            "Poisson stream CV was {smooth:.2}"
+        );
+        assert!(
+            bursty > smooth + 0.5,
+            "burstiness 6 must skew arrivals (CV {bursty:.2} vs {smooth:.2})"
+        );
+    }
+
+    #[test]
+    fn kinds_follow_the_fraction() {
+        let data = clustered::<2>(1_000, 4, 20_000.0, 0.1, 9);
+        let profile = StreamProfile {
+            knn_fraction: 0.5,
+            knn_k: 7,
+            ..StreamProfile::default()
+        };
+        let s = query_stream(&data, 2_000, &profile, 13);
+        let knn = s
+            .iter()
+            .filter(|q| matches!(q.kind, StreamKind::Knn(_, 7)))
+            .count();
+        assert!(
+            (800..1_200).contains(&knn),
+            "knn share {knn}/2000 is far from the configured half"
+        );
+        // All-range and all-knn extremes work too.
+        let all_range = query_stream(
+            &data,
+            50,
+            &StreamProfile {
+                knn_fraction: 0.0,
+                ..profile
+            },
+            13,
+        );
+        assert!(all_range
+            .iter()
+            .all(|q| matches!(q.kind, StreamKind::Range(_))));
+    }
+
+    #[test]
+    fn degenerate_extents_yield_point_queries() {
+        // extent_frac = 0 (point queries) and a zero-extent domain axis
+        // (all data on a line) must not panic the jitter sampler.
+        let data = clustered::<2>(200, 3, 20_000.0, 0.1, 9);
+        let profile = StreamProfile {
+            knn_fraction: 0.0,
+            extent_frac: 0.0,
+            ..StreamProfile::default()
+        };
+        let s = query_stream(&data, 30, &profile, 17);
+        assert!(s.iter().all(|q| match &q.kind {
+            StreamKind::Range(r) => r.extent(0) == 0.0 && r.extent(1) == 0.0,
+            StreamKind::Knn(..) => false,
+        }));
+
+        let mut line = data.clone();
+        // Collapse the domain (and the boxes) onto the line y = 5.
+        line.domain = Rect::new(
+            Point([line.domain.lo[0], 5.0]),
+            Point([line.domain.hi[0], 5.0]),
+        );
+        for b in &mut line.boxes {
+            *b = Rect::new(Point([b.lo[0], 5.0]), Point([b.hi[0], 5.0]));
+        }
+        let s = query_stream(&line, 30, &StreamProfile::default(), 19);
+        assert_eq!(s.len(), 30);
+        for q in &s {
+            if let StreamKind::Range(r) = &q.kind {
+                assert_eq!(r.extent(1), 0.0, "degenerate axis stays a point");
+            }
+        }
+    }
+}

@@ -1,20 +1,97 @@
-//! Batched range-query execution: one shared clipped tree
+//! Batched range/kNN-query execution: one shared clipped tree
 //! ([`parallel_range_queries`]) or a reusable partitioned executor
-//! ([`BatchExecutor`]).
+//! ([`BatchExecutor`]) over a [`TileForest`].
 //!
 //! A query workload is split into contiguous shards, each shard runs on
 //! its own worker against read-only indexes (the index types are `Sync`),
 //! and the per-worker [`AccessStats`] are merged. Results come back **in
 //! workload order** regardless of the worker count, so callers can line
 //! answers up with their queries.
+//!
+//! The [`TileForest`] — one clipped R-tree per non-empty tile of a
+//! [`Partitioner`] — is the unit the serving layer caches across
+//! requests: an executor borrows a forest (`Arc`-shared), and the same
+//! forest doubles as the prebuilt indexed side of repeated joins
+//! ([`crate::join::partitioned_join_with`]), keyed by
+//! [`crate::partition::DataVersion`] in a [`crate::join::ForestCache`].
+
+use std::sync::Arc;
 
 use cbb_core::ClipConfig;
-use cbb_geom::Rect;
+use cbb_geom::{Point, Rect};
 use cbb_joins::reference_point;
-use cbb_rtree::{AccessStats, ClippedRTree, DataId, RTree, TreeConfig};
+use cbb_rtree::{push_neighbor, AccessStats, ClippedRTree, DataId, Neighbor, RTree, TreeConfig};
 
 use crate::partition::Partitioner;
 use crate::pool::map_chunked;
+
+/// One clipped R-tree per non-empty tile of a partitioner — the shared
+/// index substrate of [`BatchExecutor`] and forest-reusing joins.
+///
+/// Trees are always built *with* clip tables, so every consumer can
+/// choose clipped or unclipped probing per call (an unused clip table
+/// changes no traversal counter). Ids stored in the trees are global
+/// [`DataId`]s into the object slice the forest was built from.
+pub struct TileForest<const D: usize> {
+    /// One tree per tile; `None` for empty tiles.
+    trees: Vec<Option<ClippedRTree<D>>>,
+}
+
+impl<const D: usize> TileForest<D> {
+    /// Multi-assign `objects` to `partitioner`'s tiles and bulk-load one
+    /// clipped tree per non-empty tile on `workers` threads.
+    pub fn build<P: Partitioner<D>>(
+        partitioner: &P,
+        objects: &[Rect<D>],
+        tree: TreeConfig<D>,
+        clip: ClipConfig,
+        workers: usize,
+    ) -> Self {
+        let assign = partitioner.assign(objects);
+        let built = map_chunked(workers, &assign, |_, chunk| {
+            chunk
+                .iter()
+                .map(|ids| {
+                    if ids.is_empty() {
+                        return None;
+                    }
+                    let items: Vec<(Rect<D>, DataId)> = ids
+                        .iter()
+                        .map(|&i| (objects[i as usize], DataId(i)))
+                        .collect();
+                    Some(ClippedRTree::from_tree(
+                        RTree::bulk_load(tree, &items),
+                        clip,
+                    ))
+                })
+                .collect::<Vec<_>>()
+        });
+        TileForest {
+            trees: built.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Total number of tiles (matches the partitioner's `tile_count`).
+    pub fn tile_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The tree of tile `t`, `None` when the tile is empty.
+    pub fn tree(&self, t: usize) -> Option<&ClippedRTree<D>> {
+        self.trees[t].as_ref()
+    }
+
+    /// Number of non-empty tiles (built trees).
+    pub fn built_tree_count(&self) -> usize {
+        self.trees.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Total objects over all tile trees (≥ the dataset size: spanning
+    /// objects are multi-assigned).
+    pub fn total_indexed(&self) -> usize {
+        self.trees.iter().flatten().map(|t| t.tree.len()).sum()
+    }
+}
 
 /// Merged outcome of a batched query run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -64,14 +141,26 @@ pub fn parallel_range_queries<const D: usize>(
     outcome
 }
 
+/// Merged outcome of a batched kNN run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct KnnOutcome {
+    /// Neighbour lists per probe, in workload order; each list sorted by
+    /// `(squared distance, id)`.
+    pub results: Vec<Vec<Neighbor>>,
+    /// Access counters summed over all workers.
+    pub stats: AccessStats,
+}
+
 /// A reusable partitioned batch executor: the dataset is multi-assigned
 /// to the tiles of any [`Partitioner`], one clipped R-tree is built per
-/// non-empty tile **once**, and query batches are then served against the
-/// per-tile trees for the lifetime of the executor (per-tile tree reuse —
-/// no rebuilding per batch).
+/// non-empty tile **once** (the [`TileForest`]), and query batches are
+/// then served against the per-tile trees for the lifetime of the
+/// executor (per-tile tree reuse — no rebuilding per batch). The forest
+/// is `Arc`-shared, so a serving layer can hand the *same* trees to the
+/// join path and to later executors for unchanged data.
 ///
-/// A query is probed against every tile it covers; an object found in
-/// several tiles is reported once, by the tile owning the query/object
+/// A range query is probed against every tile it covers; an object found
+/// in several tiles is reported once, by the tile owning the query/object
 /// reference point (the same duplicate-elimination rule the join uses).
 /// Results come back in workload order; the id order *within* one query's
 /// result list follows per-tile traversal order and is deterministic for
@@ -79,9 +168,7 @@ pub fn parallel_range_queries<const D: usize>(
 pub struct BatchExecutor<const D: usize, P> {
     partitioner: P,
     objects: Vec<Rect<D>>,
-    /// One clipped tree per tile; `None` for empty tiles. Ids are global
-    /// [`DataId`]s into `objects`.
-    tiles: Vec<Option<ClippedRTree<D>>>,
+    forest: Arc<TileForest<D>>,
 }
 
 impl<const D: usize, P: Partitioner<D>> BatchExecutor<D, P> {
@@ -95,29 +182,34 @@ impl<const D: usize, P: Partitioner<D>> BatchExecutor<D, P> {
         clip: ClipConfig,
         workers: usize,
     ) -> Self {
-        let assign = partitioner.assign(objects);
-        let built = map_chunked(workers, &assign, |_, chunk| {
-            chunk
-                .iter()
-                .map(|ids| {
-                    if ids.is_empty() {
-                        return None;
-                    }
-                    let items: Vec<(Rect<D>, DataId)> = ids
-                        .iter()
-                        .map(|&i| (objects[i as usize], DataId(i)))
-                        .collect();
-                    Some(ClippedRTree::from_tree(
-                        RTree::bulk_load(tree, &items),
-                        clip,
-                    ))
-                })
-                .collect::<Vec<_>>()
-        });
+        let forest = Arc::new(TileForest::build(
+            &partitioner,
+            objects,
+            tree,
+            clip,
+            workers,
+        ));
         BatchExecutor {
             partitioner,
             objects: objects.to_vec(),
-            tiles: built.into_iter().flatten().collect(),
+            forest,
+        }
+    }
+
+    /// Wrap an existing (cached) forest instead of building one. The
+    /// forest must have been built from `objects` under `partitioner` —
+    /// the tile count is checked, the content correspondence is the
+    /// caller's contract.
+    pub fn with_forest(partitioner: P, objects: Vec<Rect<D>>, forest: Arc<TileForest<D>>) -> Self {
+        assert_eq!(
+            forest.tile_count(),
+            partitioner.tile_count(),
+            "forest was built under a different partitioning"
+        );
+        BatchExecutor {
+            partitioner,
+            objects,
+            forest,
         }
     }
 
@@ -126,9 +218,20 @@ impl<const D: usize, P: Partitioner<D>> BatchExecutor<D, P> {
         &self.partitioner
     }
 
+    /// The objects the executor serves (global [`DataId`] id space).
+    pub fn objects(&self) -> &[Rect<D>] {
+        &self.objects
+    }
+
+    /// The shared per-tile trees (clone the `Arc` to reuse them in a
+    /// join or a successor executor).
+    pub fn forest(&self) -> &Arc<TileForest<D>> {
+        &self.forest
+    }
+
     /// Number of non-empty tiles (built trees).
     pub fn tile_tree_count(&self) -> usize {
-        self.tiles.iter().filter(|t| t.is_some()).count()
+        self.forest.built_tree_count()
     }
 
     /// Answer one query: probe every covered tile, keep each object only
@@ -138,7 +241,7 @@ impl<const D: usize, P: Partitioner<D>> BatchExecutor<D, P> {
         tiles.sort_unstable();
         let mut out = Vec::new();
         for t in tiles {
-            let Some(tree) = &self.tiles[t] else {
+            let Some(tree) = self.forest.tree(t) else {
                 continue;
             };
             let found = if use_clips {
@@ -154,6 +257,44 @@ impl<const D: usize, P: Partitioner<D>> BatchExecutor<D, P> {
         out
     }
 
+    /// Answer one kNN probe: visit tile trees in ascending MINDIST of
+    /// their *root MBB* (not the tile rectangle — border tiles own
+    /// clamped out-of-domain objects that can stick out of their tile),
+    /// merge per-tile k-nearest sets with id-dedup (spanning objects
+    /// appear in several trees), and stop once the next tree's MINDIST
+    /// exceeds the current k-th best distance.
+    ///
+    /// Exact: an object of the global k-nearest set is, in every tile
+    /// containing it, also in that tile's k-nearest set, and the root
+    /// MBB lower-bounds the distance of every object in the tile.
+    fn knn_one(&self, center: &Point<D>, k: usize, stats: &mut AccessStats) -> Vec<Neighbor> {
+        let mut best: Vec<Neighbor> = Vec::new();
+        if k == 0 {
+            return best;
+        }
+        let mut tiles: Vec<(f64, usize)> = (0..self.forest.tile_count())
+            .filter_map(|t| {
+                let tree = self.forest.tree(t)?;
+                let mbb = tree.tree.bounds().expect("forest trees are non-empty");
+                Some((mbb.min_dist_sq(center), t))
+            })
+            .collect();
+        tiles.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        for (tile_dist, t) in tiles {
+            if best.len() == k && tile_dist > best[k - 1].1 {
+                break;
+            }
+            let tree = self.forest.tree(t).expect("listed tiles are built");
+            for (id, dist) in tree.tree.knn_stats(center, k, stats) {
+                if best.iter().any(|&(bid, _)| bid == id) {
+                    continue; // multi-assigned object already merged
+                }
+                push_neighbor(&mut best, k, id, dist);
+            }
+        }
+        best
+    }
+
     /// Execute `queries` on `workers` threads. With `use_clips = false`
     /// the probes run on the base trees (the unclipped baseline on the
     /// same indexes).
@@ -167,6 +308,27 @@ impl<const D: usize, P: Partitioner<D>> BatchExecutor<D, P> {
             (results, stats)
         });
         let mut outcome = BatchOutcome::default();
+        for (results, stats) in shards {
+            outcome.results.extend(results);
+            outcome.stats += stats;
+        }
+        outcome
+    }
+
+    /// Execute the kNN probes `(center, k)` on `workers` threads.
+    /// Results come back in workload order and are independent of the
+    /// worker count. kNN always runs on the base trees (clip tables are
+    /// window-pruning structures; MINDIST ordering does not use them).
+    pub fn run_knn(&self, probes: &[(Point<D>, usize)], workers: usize) -> KnnOutcome {
+        let shards = map_chunked(workers, probes, |_offset, chunk| {
+            let mut stats = AccessStats::new();
+            let results: Vec<Vec<Neighbor>> = chunk
+                .iter()
+                .map(|(center, k)| self.knn_one(center, *k, &mut stats))
+                .collect();
+            (results, stats)
+        });
+        let mut outcome = KnnOutcome::default();
         for (results, stats) in shards {
             outcome.results.extend(results);
             outcome.stats += stats;
@@ -381,6 +543,114 @@ mod tests {
             }
             assert_eq!(unclipped.stats.clip_prunes, 0);
             assert!(base.stats.clip_prunes > 0);
+        }
+
+        /// Brute-force kNN oracle over raw objects: sort by (dist², id).
+        fn brute_knn(objects: &[Rect<2>], center: &Point<2>, k: usize) -> Vec<(DataId, f64)> {
+            let mut all: Vec<(DataId, f64)> = objects
+                .iter()
+                .enumerate()
+                .map(|(i, o)| (DataId(i as u32), o.min_dist_sq(center)))
+                .collect();
+            all.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+            all.truncate(k);
+            all
+        }
+
+        #[test]
+        fn partitioned_knn_matches_brute_force() {
+            let (mut objects, _) = objects_and_queries();
+            // Out-of-domain objects land in clamped border tiles whose
+            // tile rect does NOT contain them — the case that forces the
+            // executor to bound tiles by root MBB, not tile geometry.
+            objects.push(r2(-250.0, -250.0, -240.0, -240.0));
+            objects.push(r2(1_500.0, 400.0, 1_510.0, 410.0));
+            let domain = r2(0.0, 0.0, 1000.0, 1000.0);
+            let clip = ClipConfig::paper_default::<2>(ClipMethod::Stairline);
+            let tree = TreeConfig::tiny(Variant::RStar);
+            let uniform =
+                BatchExecutor::build(UniformGrid::new(domain, 4), &objects, tree, clip, 2);
+            let quad = BatchExecutor::build(
+                QuadtreePartitioner::build(domain, &objects, 300),
+                &objects,
+                tree,
+                clip,
+                2,
+            );
+            let mut rng = SplitMix64::new(99);
+            let mut probes: Vec<(Point<2>, usize)> = (0..60)
+                .map(|i| {
+                    let p = Point([rng.gen_range(-300.0, 1300.0), rng.gen_range(-300.0, 1300.0)]);
+                    (p, [1, 3, 10, 64][i % 4])
+                })
+                .collect();
+            // Probe right at the out-of-domain stragglers too.
+            probes.push((Point([-245.0, -245.0]), 2));
+            probes.push((Point([1_505.0, 405.0]), 5));
+            let out = uniform.run_knn(&probes, 3);
+            for (i, (p, k)) in probes.iter().enumerate() {
+                assert_eq!(
+                    out.results[i],
+                    brute_knn(&objects, p, *k),
+                    "uniform probe {i}"
+                );
+            }
+            // Worker-count independence.
+            let again = uniform.run_knn(&probes, 7);
+            assert_eq!(again.results, out.results);
+            assert_eq!(again.stats, out.stats);
+            let out = quad.run_knn(&probes, 2);
+            for (i, (p, k)) in probes.iter().enumerate() {
+                assert_eq!(
+                    out.results[i],
+                    brute_knn(&objects, p, *k),
+                    "quadtree probe {i}"
+                );
+            }
+        }
+
+        #[test]
+        fn forest_is_shareable_across_executors() {
+            let (objects, queries) = objects_and_queries();
+            let domain = r2(0.0, 0.0, 1000.0, 1000.0);
+            let grid = UniformGrid::new(domain, 4);
+            let built = BatchExecutor::build(
+                grid,
+                &objects,
+                TreeConfig::tiny(Variant::RStar),
+                ClipConfig::paper_default::<2>(ClipMethod::Stairline),
+                2,
+            );
+            assert_eq!(built.forest().tile_count(), grid.tile_count());
+            assert!(built.forest().total_indexed() >= objects.len());
+            // A second executor over the same Arc answers identically
+            // without building anything.
+            let shared =
+                BatchExecutor::with_forest(grid, built.objects().to_vec(), built.forest().clone());
+            assert_eq!(
+                shared.run(&queries, 2, true).results,
+                built.run(&queries, 2, true).results
+            );
+            assert_eq!(std::sync::Arc::strong_count(built.forest()), 2);
+        }
+
+        #[test]
+        #[should_panic(expected = "different partitioning")]
+        fn with_forest_rejects_mismatched_tiling() {
+            let (objects, _) = objects_and_queries();
+            let domain = r2(0.0, 0.0, 1000.0, 1000.0);
+            let built = BatchExecutor::build(
+                UniformGrid::new(domain, 4),
+                &objects,
+                TreeConfig::tiny(Variant::RStar),
+                ClipConfig::paper_default::<2>(ClipMethod::Stairline),
+                2,
+            );
+            let _ = BatchExecutor::with_forest(
+                UniformGrid::new(domain, 5),
+                objects,
+                built.forest().clone(),
+            );
         }
     }
 }

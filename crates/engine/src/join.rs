@@ -22,6 +22,20 @@
 //! I/O counters are summed over tiles. They are comparable across runs of
 //! the same plan (the paper's join I/O metric per tile), but not directly
 //! to a single global-tree join: per-tile trees are smaller and shallower.
+//!
+//! **Tree reuse across joins.** [`partitioned_join`] builds the per-tile
+//! trees of *both* sides per call. A serving layer joining many probe
+//! sets against one slowly-changing dataset should instead build a
+//! [`TileForest`] over the indexed side once and call
+//! [`partitioned_join_with`] per request — only the probe side is
+//! (re)built, and the [`ForestCache`] keys the forest by
+//! [`DataVersion`] so a data change (and nothing else) triggers a
+//! rebuild. Counters and pair counts are identical to the build-per-call
+//! path: the same `bulk_load` runs over the same per-tile id lists, and
+//! a clip table that is present but unused changes no traversal.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use cbb_core::ClipConfig;
 use cbb_geom::Rect;
@@ -30,7 +44,8 @@ use cbb_joins::{
 };
 use cbb_rtree::{ClippedRTree, DataId, NodeId, RTree, TreeConfig};
 
-use crate::partition::{Partitioner, UniformGrid};
+use crate::batch::TileForest;
+use crate::partition::{DataVersion, Partitioner, UniformGrid};
 use crate::pool::{fold_dynamic_tasks, map_chunked};
 
 /// Which per-tile join strategy to run.
@@ -154,31 +169,48 @@ fn build_tile_tree<const D: usize>(
     }
 }
 
-/// A decomposed (hot) tile: its trees are built once up front, then its
-/// subtasks interleave with whole tiles on the shared queue.
-enum HotWork<const D: usize> {
+/// Where a tile's right-side (indexed) tree comes from: built for this
+/// call, or borrowed from a cached [`TileForest`].
+enum RightTile<'f, const D: usize> {
+    Owned(ClippedRTree<D>),
+    Cached(&'f ClippedRTree<D>),
+}
+
+impl<const D: usize> RightTile<'_, D> {
+    fn get(&self) -> &ClippedRTree<D> {
+        match self {
+            RightTile::Owned(t) => t,
+            RightTile::Cached(t) => t,
+        }
+    }
+}
+
+/// A decomposed (hot) tile: its trees are built (or borrowed) once up
+/// front, then its subtasks interleave with whole tiles on the shared
+/// queue.
+enum HotWork<'f, const D: usize> {
     /// STT: both sides indexed; `seeds` are the root-level node pairs
     /// from [`stt_tasks`].
     Stt {
         left: ClippedRTree<D>,
-        right: ClippedRTree<D>,
+        right: RightTile<'f, D>,
         seeds: Vec<(NodeId, NodeId)>,
     },
     /// INLJ: the right side indexed, the probe list cut into `chunk`-size
     /// subtasks.
     Inlj {
-        right: ClippedRTree<D>,
+        right: RightTile<'f, D>,
         probes: Vec<Rect<D>>,
         chunk: usize,
     },
 }
 
-struct HotTile<const D: usize> {
+struct HotTile<'f, const D: usize> {
     tile: usize,
     /// Root-level counters of the decomposition (directory accesses and
     /// clip prunes the subtasks must not re-count).
     base: JoinResult,
-    work: HotWork<D>,
+    work: HotWork<'f, D>,
 }
 
 /// One unit on the shared dynamic queue.
@@ -192,19 +224,17 @@ enum Task {
 }
 
 /// Build the decomposed form of one hot tile.
-fn build_hot<const D: usize, P: Partitioner<D>>(
+fn build_hot<'f, const D: usize, P: Partitioner<D>>(
     plan: &JoinPlan<D, P>,
     tile: usize,
     left: &[Rect<D>],
     left_ids: &[u32],
-    right: &[Rect<D>],
-    right_ids: &[u32],
-) -> HotTile<D> {
-    let rtree = build_tile_tree(right, right_ids, plan.tree, plan.clip, plan.use_clips);
+    rtree: RightTile<'f, D>,
+) -> HotTile<'f, D> {
     match plan.algo {
         JoinAlgo::Stt => {
             let ltree = build_tile_tree(left, left_ids, plan.tree, plan.clip, plan.use_clips);
-            let (base, seeds) = stt_tasks(&ltree, &rtree, plan.use_clips);
+            let (base, seeds) = stt_tasks(&ltree, rtree.get(), plan.use_clips);
             HotTile {
                 tile,
                 base,
@@ -242,14 +272,93 @@ pub fn partitioned_join<const D: usize, P: Partitioner<D>>(
     left: &[Rect<D>],
     right: &[Rect<D>],
 ) -> JoinResult {
+    partitioned_join_impl(plan, left, right, None)
+}
+
+/// [`partitioned_join`] with the right (indexed) side's per-tile trees
+/// taken from a prebuilt [`TileForest`] instead of being rebuilt — the
+/// repeat-join fast path. The forest must have been built over `right`
+/// under `plan.partitioner` with `plan.tree`/`plan.clip` (tile counts
+/// are checked; content correspondence is the caller's contract — a
+/// [`ForestCache`] keyed by [`DataVersion`] maintains it).
+///
+/// Every counter of the returned [`JoinResult`] equals the build-per-call
+/// path exactly; only the right-side build work (assignment + bulk
+/// loading) is skipped.
+pub fn partitioned_join_with<const D: usize, P: Partitioner<D>>(
+    plan: &JoinPlan<D, P>,
+    left: &[Rect<D>],
+    right: &[Rect<D>],
+    forest: &TileForest<D>,
+) -> JoinResult {
+    assert_eq!(
+        forest.tile_count(),
+        plan.partitioner.tile_count(),
+        "forest was built under a different partitioning"
+    );
+    partitioned_join_impl(plan, left, right, Some(forest))
+}
+
+/// Where a join's whole right side comes from: a prebuilt (cached)
+/// forest, or a fresh per-call assignment to build tile trees from. The
+/// enum carries exactly one source, so per-tile lookups cannot
+/// desynchronise from the setup path.
+enum RightSource<'f, const D: usize> {
+    Forest(&'f TileForest<D>),
+    Assign(Vec<Vec<u32>>),
+}
+
+impl<const D: usize> RightSource<'_, D> {
+    /// Right-side population of tile `t` (0 for empty tiles).
+    fn count(&self, t: usize) -> usize {
+        match self {
+            RightSource::Forest(f) => f.tree(t).map_or(0, |tree| tree.tree.len()),
+            RightSource::Assign(assign) => assign[t].len(),
+        }
+    }
+
+    /// The right-side tree of a populated tile `t`: borrowed from the
+    /// forest, or built from the assignment for this call.
+    fn tile<'s, P: Partitioner<D>>(
+        &'s self,
+        plan: &JoinPlan<D, P>,
+        right: &[Rect<D>],
+        t: usize,
+    ) -> RightTile<'s, D> {
+        match self {
+            RightSource::Forest(f) => {
+                RightTile::Cached(f.tree(t).expect("populated tile has a tree"))
+            }
+            RightSource::Assign(assign) => RightTile::Owned(build_tile_tree(
+                right,
+                &assign[t],
+                plan.tree,
+                plan.clip,
+                plan.use_clips,
+            )),
+        }
+    }
+}
+
+fn partitioned_join_impl<const D: usize, P: Partitioner<D>>(
+    plan: &JoinPlan<D, P>,
+    left: &[Rect<D>],
+    right: &[Rect<D>],
+    forest: Option<&TileForest<D>>,
+) -> JoinResult {
     let left_assign = plan.partitioner.assign(left);
-    let right_assign = plan.partitioner.assign(right);
+    // The right side's per-tile population comes from the forest when
+    // given (its trees hold exactly the assigned ids), otherwise from
+    // assigning now.
+    let source = match forest {
+        Some(f) => RightSource::Forest(f),
+        None => RightSource::Assign(plan.partitioner.assign(right)),
+    };
     // Only tiles where both sides are populated can produce pairs.
     let mut tiles: Vec<usize> = (0..plan.partitioner.tile_count())
-        .filter(|&t| !left_assign[t].is_empty() && !right_assign[t].is_empty())
+        .filter(|&t| !left_assign[t].is_empty() && source.count(t) > 0)
         .collect();
-    let weight =
-        |t: usize| (left_assign[t].len() as u64).saturating_mul(right_assign[t].len() as u64);
+    let weight = |t: usize| (left_assign[t].len() as u64).saturating_mul(source.count(t) as u64);
     let total = tiles
         .iter()
         .fold(0u64, |acc, &t| acc.saturating_add(weight(t)));
@@ -261,11 +370,13 @@ pub fn partitioned_join<const D: usize, P: Partitioner<D>>(
             None => (Vec::new(), tiles),
         };
 
+    let right_tile = |t: usize| source.tile(plan, right, t);
+
     // Level 1: build hot tiles' trees in parallel and decompose them.
     let hot: Vec<HotTile<D>> = map_chunked(plan.workers, &hot_tiles, |_, chunk| {
         chunk
             .iter()
-            .map(|&t| build_hot(plan, t, left, &left_assign[t], right, &right_assign[t]))
+            .map(|&t| build_hot(plan, t, left, &left_assign[t], right_tile(t)))
             .collect::<Vec<_>>()
     })
     .into_iter()
@@ -298,7 +409,7 @@ pub fn partitioned_join<const D: usize, P: Partitioner<D>>(
         JoinResult::default,
         |task, acc: &mut JoinResult| match *task {
             Task::Tile(t) => {
-                *acc += join_tile(plan, t, left, &left_assign[t], right, &right_assign[t]);
+                *acc += join_tile(plan, t, left, &left_assign[t], right, right_tile(t).get());
             }
             Task::SttSeed { hot: h, seed } => {
                 let ht = &hot[h];
@@ -311,7 +422,7 @@ pub fn partitioned_join<const D: usize, P: Partitioner<D>>(
                     unreachable!("STT seed on a non-STT tile");
                 };
                 let (lid, rid) = seeds[seed];
-                *acc += stt_filtered_from(ltree, lid, rtree, rid, plan.use_clips, |a, b| {
+                *acc += stt_filtered_from(ltree, lid, rtree.get(), rid, plan.use_clips, |a, b| {
                     plan.partitioner.owns(ht.tile, &reference_point(a, b))
                 });
             }
@@ -325,7 +436,7 @@ pub fn partitioned_join<const D: usize, P: Partitioner<D>>(
                 else {
                     unreachable!("INLJ chunk on a non-INLJ tile");
                 };
-                *acc += inlj_filtered(&probes[lo..hi], rtree, plan.use_clips, |probe, id| {
+                *acc += inlj_filtered(&probes[lo..hi], rtree.get(), plan.use_clips, |probe, id| {
                     plan.partitioner
                         .owns(ht.tile, &reference_point(probe, &right[id.0 as usize]))
                 });
@@ -339,31 +450,95 @@ pub fn partitioned_join<const D: usize, P: Partitioner<D>>(
     result
 }
 
-/// Join one whole tile: build both side trees and run the planned
-/// strategy with the reference-point ownership filter.
+/// Join one whole tile: build the probe-side tree as needed and run the
+/// planned strategy with the reference-point ownership filter. The
+/// right-side tree comes from the caller (built for this call or
+/// borrowed from a cached forest).
 fn join_tile<const D: usize, P: Partitioner<D>>(
     plan: &JoinPlan<D, P>,
     tile: usize,
     left: &[Rect<D>],
     left_ids: &[u32],
     right: &[Rect<D>],
-    right_ids: &[u32],
+    rtree: &ClippedRTree<D>,
 ) -> JoinResult {
-    let rtree = build_tile_tree(right, right_ids, plan.tree, plan.clip, plan.use_clips);
     match plan.algo {
         JoinAlgo::Stt => {
             let ltree = build_tile_tree(left, left_ids, plan.tree, plan.clip, plan.use_clips);
-            stt_filtered(&ltree, &rtree, plan.use_clips, |a, b| {
+            stt_filtered(&ltree, rtree, plan.use_clips, |a, b| {
                 plan.partitioner.owns(tile, &reference_point(a, b))
             })
         }
         JoinAlgo::Inlj => {
             let probes: Vec<Rect<D>> = left_ids.iter().map(|&i| left[i as usize]).collect();
-            inlj_filtered(&probes, &rtree, plan.use_clips, |probe, id| {
+            inlj_filtered(&probes, rtree, plan.use_clips, |probe, id| {
                 plan.partitioner
                     .owns(tile, &reference_point(probe, &right[id.0 as usize]))
             })
         }
+    }
+}
+
+/// A single-slot [`TileForest`] cache keyed by [`DataVersion`]: the
+/// closing piece of the ROADMAP's "cache keyed by data version" item.
+///
+/// A serving layer calls [`ForestCache::get_or_build`] with the current
+/// version of its dataset on every request that needs per-tile trees.
+/// While the version is unchanged the cached `Arc` is returned (a *hit*
+/// — no assignment, no bulk loading); when the data mutates and its
+/// version bumps, the next request builds a fresh forest and replaces
+/// the slot. Interior mutability (mutex + atomic counters) lets many
+/// executor threads share one cache behind an `Arc` or a read lock.
+#[derive(Default)]
+pub struct ForestCache<const D: usize> {
+    slot: Mutex<Option<(DataVersion, Arc<TileForest<D>>)>>,
+    builds: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl<const D: usize> ForestCache<D> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The forest for `version`: the cached one when the version
+    /// matches, otherwise `build()` (stored, replacing any older
+    /// version). The build runs under the slot lock — concurrent
+    /// requesters of the same version wait and then hit.
+    pub fn get_or_build(
+        &self,
+        version: DataVersion,
+        build: impl FnOnce() -> TileForest<D>,
+    ) -> Arc<TileForest<D>> {
+        let mut slot = self.slot.lock().expect("forest cache poisoned");
+        if let Some((v, forest)) = slot.as_ref() {
+            if *v == version {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return forest.clone();
+            }
+        }
+        let forest = Arc::new(build());
+        *slot = Some((version, forest.clone()));
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        forest
+    }
+
+    /// Number of forest builds performed (misses), over the cache's
+    /// lifetime. The "trees were NOT rebuilt" assertion of cache tests.
+    pub fn builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Number of cache hits (requests served without building).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Drop the cached forest (next request builds regardless of
+    /// version).
+    pub fn invalidate(&self) {
+        *self.slot.lock().expect("forest cache poisoned") = None;
     }
 }
 
@@ -578,6 +753,87 @@ mod tests {
                 "quadtree {algo:?}"
             );
         }
+    }
+
+    #[test]
+    fn forest_join_is_counter_exact() {
+        // Joining against a prebuilt forest must reproduce EVERY counter
+        // of the build-per-call path, for both algorithms, clipped and
+        // not, across split policies — same trees, same traversals.
+        let a = clustered_boxes(400, 20);
+        let b = clustered_boxes(450, 21);
+        let base_plan = plan2(4, 3);
+        let forest = TileForest::build(
+            &base_plan.partitioner,
+            &b,
+            base_plan.tree,
+            base_plan.clip,
+            3,
+        );
+        for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+            for use_clips in [true, false] {
+                for split in [SplitPolicy::Never, SplitPolicy::Auto, SplitPolicy::Above(0)] {
+                    let plan = base_plan
+                        .with_algo(algo)
+                        .with_clips(use_clips)
+                        .with_split(split);
+                    let direct = partitioned_join(&plan, &a, &b);
+                    let cached = partitioned_join_with(&plan, &a, &b, &forest);
+                    assert_eq!(cached, direct, "{algo:?} clips={use_clips} {split:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forest_join_handles_empty_probe_side() {
+        let b = boxes(120, 22, 25.0);
+        let plan = plan2(3, 2);
+        let forest = TileForest::build(&plan.partitioner, &b, plan.tree, plan.clip, 2);
+        assert_eq!(
+            partitioned_join_with(&plan, &[], &b, &forest),
+            JoinResult::default()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different partitioning")]
+    fn forest_join_rejects_mismatched_tiling() {
+        let b = boxes(50, 23, 20.0);
+        let plan = plan2(4, 2);
+        let forest = TileForest::build(&plan.partitioner, &b, plan.tree, plan.clip, 2);
+        let other = plan2(5, 2);
+        let _ = partitioned_join_with(&other, &b, &b, &forest);
+    }
+
+    #[test]
+    fn forest_cache_hits_and_invalidates_by_version() {
+        let a = boxes(150, 24, 25.0);
+        let b = boxes(180, 25, 25.0);
+        let plan = plan2(4, 2);
+        let cache: ForestCache<2> = ForestCache::new();
+        let mut version = DataVersion::initial();
+        let build =
+            |data: &[Rect<2>]| TileForest::build(&plan.partitioner, data, plan.tree, plan.clip, 2);
+        // Three joins on one version: one build, two hits, stable result.
+        let r1 = partitioned_join_with(&plan, &a, &b, &cache.get_or_build(version, || build(&b)));
+        let r2 = partitioned_join_with(&plan, &a, &b, &cache.get_or_build(version, || build(&b)));
+        let r3 = partitioned_join_with(&plan, &a, &b, &cache.get_or_build(version, || build(&b)));
+        assert_eq!((cache.builds(), cache.hits()), (1, 2));
+        assert_eq!(r1, r2);
+        assert_eq!(r1, r3);
+        assert_eq!(r1.pairs, brute_force_pairs(&a, &b));
+        // Version bump: rebuild once, then hit again.
+        version.bump();
+        let r4 = partitioned_join_with(&plan, &a, &b, &cache.get_or_build(version, || build(&b)));
+        assert_eq!((cache.builds(), cache.hits()), (2, 2));
+        assert_eq!(r4, r1, "same data under a new version joins identically");
+        let _ = cache.get_or_build(version, || build(&b));
+        assert_eq!((cache.builds(), cache.hits()), (2, 3));
+        // Explicit invalidation forces a rebuild of the same version.
+        cache.invalidate();
+        let _ = cache.get_or_build(version, || build(&b));
+        assert_eq!(cache.builds(), 3);
     }
 
     #[test]

@@ -49,7 +49,10 @@ pub mod pool;
 pub mod quadtree;
 
 pub use adaptive::AdaptiveGrid;
-pub use batch::{parallel_range_queries, BatchExecutor, BatchOutcome};
-pub use join::{partitioned_join, sequential_join, JoinAlgo, JoinPlan, SplitPolicy};
-pub use partition::{load_imbalance, Partitioner, UniformGrid};
+pub use batch::{parallel_range_queries, BatchExecutor, BatchOutcome, KnnOutcome, TileForest};
+pub use join::{
+    partitioned_join, partitioned_join_with, sequential_join, ForestCache, JoinAlgo, JoinPlan,
+    SplitPolicy,
+};
+pub use partition::{load_imbalance, DataVersion, Partitioner, UniformGrid};
 pub use quadtree::QuadtreePartitioner;

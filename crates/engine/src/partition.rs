@@ -24,6 +24,31 @@
 
 use cbb_geom::{Point, Rect};
 
+/// Monotone version counter of a dataset. Everything derived from the
+/// data — per-tile trees above all — is keyed by the version it was
+/// built from, so caches (see [`crate::join::ForestCache`]) can serve
+/// repeat requests without rebuilding and invalidate exactly when the
+/// data changes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DataVersion(pub u64);
+
+impl DataVersion {
+    /// The initial version of a freshly loaded dataset.
+    pub fn initial() -> Self {
+        DataVersion(0)
+    }
+
+    /// Advance to the next version (call on every data mutation).
+    pub fn bump(&mut self) {
+        self.0 += 1;
+    }
+
+    /// The version after this one.
+    pub fn next(self) -> Self {
+        DataVersion(self.0 + 1)
+    }
+}
+
 /// The contract a spatial partitioner must honour for the engine's
 /// reference-point duplicate elimination to stay exact:
 ///
@@ -498,6 +523,17 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn data_version_is_monotone() {
+        let mut v = DataVersion::initial();
+        assert_eq!(v, DataVersion(0));
+        assert_eq!(v.next(), DataVersion(1));
+        v.bump();
+        v.bump();
+        assert_eq!(v, DataVersion(2));
+        assert!(DataVersion(1) < DataVersion(2));
     }
 
     #[test]

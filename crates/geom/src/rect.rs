@@ -168,6 +168,24 @@ impl<const D: usize> Rect<D> {
         self.center().distance_sq(&other.center())
     }
 
+    /// Squared minimum Euclidean distance from `p` to this rectangle
+    /// (`0` when `p` lies inside) — the MINDIST bound of the kNN
+    /// literature: no point of the rectangle is closer to `p` than this.
+    pub fn min_dist_sq(&self, p: &Point<D>) -> Coord {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let d = if p[i] < self.lo[i] {
+                self.lo[i] - p[i]
+            } else if p[i] > self.hi[i] {
+                p[i] - self.hi[i]
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+
     /// True when all coordinates are finite.
     pub fn is_finite(&self) -> bool {
         self.lo.is_finite() && self.hi.is_finite()
@@ -268,5 +286,22 @@ mod tests {
         assert_eq!(r.volume(), 24.0);
         assert_eq!(r.margin(), 9.0);
         assert_eq!(r.corner(CornerMask::new(0b101)), Point([2.0, 0.0, 4.0]));
+    }
+
+    #[test]
+    fn min_dist_sq_cases() {
+        let r = r2(1.0, 1.0, 3.0, 3.0);
+        // Inside and on the border: zero.
+        assert_eq!(r.min_dist_sq(&Point([2.0, 2.0])), 0.0);
+        assert_eq!(r.min_dist_sq(&Point([1.0, 3.0])), 0.0);
+        // Face-adjacent: one axis contributes.
+        assert_eq!(r.min_dist_sq(&Point([0.0, 2.0])), 1.0);
+        assert_eq!(r.min_dist_sq(&Point([2.0, 5.0])), 4.0);
+        // Corner-adjacent: both axes contribute.
+        assert_eq!(r.min_dist_sq(&Point([0.0, 0.0])), 2.0);
+        assert_eq!(r.min_dist_sq(&Point([5.0, 6.0])), 13.0);
+        // Degenerate (point) rectangle: plain squared distance.
+        let p = Rect::point(Point([1.0, 2.0]));
+        assert_eq!(p.min_dist_sq(&Point([4.0, 6.0])), 25.0);
     }
 }

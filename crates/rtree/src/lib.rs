@@ -33,6 +33,7 @@ pub mod variants;
 pub use clipped::ClippedRTree;
 pub use config::{TreeConfig, Variant};
 pub use node::{Child, DataId, Entry, Node, NodeId};
+pub use query::{push_neighbor, Neighbor};
 pub use stats::AccessStats;
 pub use tree::RTree;
 

@@ -1,10 +1,100 @@
-//! Instrumented range queries over the base (unclipped) tree.
+//! Instrumented range and k-nearest-neighbour queries over the base
+//! (unclipped) tree.
+//!
+//! kNN is the classic best-first (MINDIST-ordered) search of Hjaltason &
+//! Samet: a priority queue holds nodes and objects keyed by their squared
+//! minimum distance to the query point, and the search stops once the
+//! next queue entry is farther than the current k-th best. Clip tables
+//! are window-pruning structures and do not apply here, so kNN always
+//! runs on the base tree.
 
-use cbb_geom::Rect;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use cbb_geom::{Point, Rect};
 
 use crate::node::{Child, DataId, NodeId};
 use crate::stats::AccessStats;
 use crate::tree::RTree;
+
+/// A kNN answer entry: the object and its squared minimum distance to
+/// the query point (squared to stay exact — no square root is taken
+/// anywhere in the search).
+pub type Neighbor = (DataId, f64);
+
+/// What a best-first queue entry points at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Target {
+    Node(NodeId),
+    Object(DataId),
+}
+
+/// Best-first queue entry ordered by (distance, target) — the target
+/// tie-break makes the pop order (and therefore the access counters)
+/// deterministic even among equidistant entries.
+#[derive(Clone, Copy, Debug)]
+struct QueueEntry {
+    dist: f64,
+    target: Target,
+}
+
+impl QueueEntry {
+    /// Sort key: distance first, then objects before nodes, then id —
+    /// a total order (distances come from finite MBBs).
+    fn key(&self) -> (f64, u8, u32) {
+        match self.target {
+            Target::Object(id) => (self.dist, 0, id.0),
+            Target::Node(id) => (self.dist, 1, id.0),
+        }
+    }
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for QueueEntry {}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, the search wants min-first.
+        let (a, b) = (self.key(), other.key());
+        b.0.total_cmp(&a.0)
+            .then_with(|| b.1.cmp(&a.1))
+            .then_with(|| b.2.cmp(&a.2))
+    }
+}
+
+/// Insert `(id, dist)` into `best`, kept sorted by `(dist, id)` and
+/// truncated to `k` entries — the running k-nearest set. Shared by the
+/// tree-level search here and by merging layers above it (the engine's
+/// per-tile kNN), so the tie-break order cannot diverge between them.
+pub fn push_neighbor(best: &mut Vec<Neighbor>, k: usize, id: DataId, dist: f64) {
+    let pos =
+        best.partition_point(|&(bid, bd)| bd.total_cmp(&dist).then_with(|| bid.cmp(&id)).is_lt());
+    if pos < k {
+        best.insert(pos, (id, dist));
+        best.truncate(k);
+    }
+}
+
+/// The current pruning radius: the k-th best distance once `best` is
+/// full, +∞ before that.
+fn prune_radius(best: &[Neighbor], k: usize) -> f64 {
+    if best.len() == k {
+        best[k - 1].1
+    } else {
+        f64::INFINITY
+    }
+}
 
 impl<const D: usize> RTree<D> {
     /// All objects whose MBBs intersect `q` (closed-interval semantics).
@@ -49,6 +139,63 @@ impl<const D: usize> RTree<D> {
                 }
             }
         }
+    }
+
+    /// The `k` objects nearest to `p` (by minimum distance between `p`
+    /// and the object MBB), sorted by `(squared distance, id)`. Ties at
+    /// the k-th place resolve to the smaller id, so the answer set is
+    /// uniquely defined.
+    pub fn knn(&self, p: &Point<D>, k: usize) -> Vec<Neighbor> {
+        let mut stats = AccessStats::new();
+        self.knn_stats(p, k, &mut stats)
+    }
+
+    /// [`Self::knn`] collecting access statistics. Best-first search:
+    /// only nodes whose MINDIST beats the current k-th best are opened,
+    /// so leaf accesses stay near the optimum for the tree layout.
+    pub fn knn_stats(&self, p: &Point<D>, k: usize, stats: &mut AccessStats) -> Vec<Neighbor> {
+        let mut best: Vec<Neighbor> = Vec::new();
+        if k == 0 || self.is_empty() {
+            return best;
+        }
+        let mut queue = BinaryHeap::new();
+        queue.push(QueueEntry {
+            dist: 0.0,
+            target: Target::Node(self.root_id()),
+        });
+        while let Some(entry) = queue.pop() {
+            // Strict: equidistant entries are still explored so the
+            // (dist, id) tie-break stays exact at the k-th place.
+            if entry.dist > prune_radius(&best, k) {
+                break;
+            }
+            match entry.target {
+                Target::Object(id) => push_neighbor(&mut best, k, id, entry.dist),
+                Target::Node(id) => {
+                    let node = self.node(id);
+                    if node.is_leaf() {
+                        stats.leaf_accesses += 1;
+                    } else {
+                        stats.internal_accesses += 1;
+                    }
+                    for e in &node.entries {
+                        let dist = e.mbb.min_dist_sq(p);
+                        // The radius only shrinks, so pruning against
+                        // the current one is safe at push time too.
+                        if dist > prune_radius(&best, k) {
+                            continue;
+                        }
+                        let target = match e.child {
+                            Child::Node(n) => Target::Node(n),
+                            Child::Data(d) => Target::Object(d),
+                        };
+                        queue.push(QueueEntry { dist, target });
+                    }
+                }
+            }
+        }
+        stats.results += best.len() as u64;
+        best
     }
 
     /// Collect every `(mbb, id)` stored in the tree (test/debug helper).
@@ -128,6 +275,67 @@ mod tests {
         let q = Rect::new(Point([1.0, 0.0]), Point([1.5, 0.5]));
         let res = tree.range_query(&q);
         assert!(res.contains(&DataId(0)));
+    }
+
+    /// Brute-force kNN oracle: sort all objects by (dist², id), take k.
+    fn brute_knn(tree: &RTree<2>, p: &Point<2>, k: usize) -> Vec<Neighbor> {
+        let mut all: Vec<Neighbor> = tree
+            .all_objects()
+            .into_iter()
+            .map(|(mbb, id)| (id, mbb.min_dist_sq(p)))
+            .collect();
+        all.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn knn_matches_brute_force_all_variants() {
+        for variant in Variant::ALL {
+            let tree = grid_tree(variant);
+            for (px, py) in [(0.0, 0.0), (9.7, 9.7), (25.0, 3.0), (-4.0, 40.0)] {
+                let p = Point([px, py]);
+                for k in [1, 3, 10, 100, 150] {
+                    let got = tree.knn(&p, k);
+                    assert_eq!(got, brute_knn(&tree, &p, k), "{variant:?} k={k} p={p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_ties_resolve_by_id() {
+        // The query point is equidistant from the four cells around it;
+        // the k-th place must go to the smaller ids.
+        let tree = grid_tree(Variant::RStar);
+        let p = Point([1.5, 1.5]); // between cells (0,0), (0,1), (1,0), (1,1)
+        let got = tree.knn(&p, 2);
+        assert_eq!(got, brute_knn(&tree, &p, 2));
+        assert_eq!(got[0].0, DataId(0));
+        assert_eq!(got[1].0, DataId(1));
+        assert_eq!(got[0].1, got[1].1, "all four cells are equidistant");
+    }
+
+    #[test]
+    fn knn_edge_cases_and_stats() {
+        let tree = grid_tree(Variant::Quadratic);
+        let p = Point([5.0, 5.0]);
+        assert!(tree.knn(&p, 0).is_empty());
+        let empty = RTree::<2>::new(TreeConfig::tiny(Variant::RStar));
+        assert!(empty.knn(&p, 3).is_empty());
+        // Inside an object: distance zero comes first.
+        let inside = Point([0.5, 0.5]);
+        assert_eq!(tree.knn(&inside, 1), vec![(DataId(0), 0.0)]);
+        // Best-first reads fewer leaves than exhausting the tree.
+        let mut stats = AccessStats::new();
+        let got = tree.knn_stats(&p, 3, &mut stats);
+        assert_eq!(got.len(), 3);
+        assert_eq!(stats.results, 3);
+        assert!(stats.leaf_accesses >= 1);
+        assert!(
+            stats.leaf_accesses < tree.leaf_count() as u64,
+            "best-first search must not scan every leaf"
+        );
     }
 
     #[test]

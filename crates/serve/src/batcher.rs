@@ -1,0 +1,179 @@
+//! Micro-batch formation and execution: the bridge between the request
+//! queue and the engine's batched executor.
+//!
+//! A dispatcher blocks for the first request, then keeps the batch open
+//! until it holds `batch_max` requests or `batch_deadline` has passed
+//! since the batch opened — the classic group-commit trade: a bounded
+//! dash of added latency buys amortised dispatch over the executor.
+//! Execution groups the batch by request kind (clipped ranges, baseline
+//! ranges, kNN probes, joins) so each group rides one executor call.
+
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use cbb_engine::{partitioned_join_with, BatchExecutor, JoinPlan, Partitioner, SplitPolicy};
+use cbb_geom::{Point, Rect};
+
+use crate::queue::{Bounded, Popped};
+use crate::request::{Completion, Request, Response};
+use crate::service::{Envelope, SharedState};
+
+/// Pull one micro-batch off the queue: block for the first request,
+/// then fill until `batch_max` or `deadline_after` the batch opened.
+/// `None` means the queue is closed and drained — the dispatcher's exit
+/// signal. A batch is never empty.
+pub(crate) fn collect_batch<T>(
+    queue: &Bounded<T>,
+    batch_max: usize,
+    deadline_after: Duration,
+) -> Option<Vec<T>> {
+    let first = queue.pop()?;
+    let mut batch = vec![first];
+    if batch_max > 1 {
+        let deadline = Instant::now() + deadline_after;
+        while batch.len() < batch_max {
+            match queue.pop_until(deadline) {
+                Popped::Item(item) => batch.push(item),
+                Popped::TimedOut | Popped::Closed => break,
+            }
+        }
+    }
+    Some(batch)
+}
+
+/// Execute one micro-batch against the shared engine state and fulfil
+/// every completion handle. Answers are identical to issuing each
+/// request alone: per-query results never depend on what else shares
+/// the batch (the oracle tests pin this).
+pub(crate) fn run_batch<const D: usize, P>(shared: &SharedState<D, P>, batch: Vec<Envelope<D>>)
+where
+    P: Partitioner<D> + Clone,
+{
+    let picked_up = Instant::now();
+    let size = batch.len();
+    let state = shared.state.read().expect("service state poisoned");
+    let executor: &BatchExecutor<D, P> = &state.executor;
+    let workers = shared.config.exec_workers;
+
+    // Group by kind, remembering each request's slot in the batch.
+    let mut responses: Vec<Option<Response>> = std::iter::repeat_with(|| None).take(size).collect();
+    let mut clipped: Vec<(usize, Rect<D>)> = Vec::new();
+    let mut baseline: Vec<(usize, Rect<D>)> = Vec::new();
+    let mut knns: Vec<(usize, (Point<D>, usize))> = Vec::new();
+    for (slot, env) in batch.iter().enumerate() {
+        match &env.request {
+            Request::Range { query, use_clips } => {
+                if *use_clips {
+                    clipped.push((slot, *query));
+                } else {
+                    baseline.push((slot, *query));
+                }
+            }
+            Request::Knn { center, k } => knns.push((slot, (*center, *k))),
+            Request::Join {
+                probes,
+                algo,
+                use_clips,
+            } => {
+                // Joins run per request against the executor's forest —
+                // the version-keyed trees built once per data version —
+                // so repeat joins on an unchanged version rebuild
+                // nothing and touch no lock beyond the state read lock
+                // already held.
+                let plan = JoinPlan {
+                    partitioner: executor.partitioner().clone(),
+                    tree: shared.tree,
+                    clip: shared.clip,
+                    use_clips: *use_clips,
+                    algo: *algo,
+                    workers,
+                    split: SplitPolicy::Auto,
+                };
+                let result =
+                    partitioned_join_with(&plan, probes, executor.objects(), executor.forest());
+                shared.stats.forest_hits.fetch_add(1, Ordering::Relaxed);
+                responses[slot] = Some(Response::Join(result));
+            }
+        }
+    }
+    for (group, use_clips) in [(&clipped, true), (&baseline, false)] {
+        if group.is_empty() {
+            continue;
+        }
+        let queries: Vec<Rect<D>> = group.iter().map(|(_, q)| *q).collect();
+        let outcome = executor.run(&queries, workers, use_clips);
+        for ((slot, _), ids) in group.iter().zip(outcome.results) {
+            responses[*slot] = Some(Response::Range(ids));
+        }
+    }
+    if !knns.is_empty() {
+        let probes: Vec<(Point<D>, usize)> = knns.iter().map(|(_, p)| *p).collect();
+        let outcome = executor.run_knn(&probes, workers);
+        for ((slot, _), nn) in knns.iter().zip(outcome.results) {
+            responses[*slot] = Some(Response::Knn(nn));
+        }
+    }
+    drop(state);
+
+    let serviced = picked_up.elapsed();
+    for (env, response) in batch.into_iter().zip(responses) {
+        env.promise.fulfill(Completion {
+            response: response.expect("every slot answered"),
+            queued: picked_up.duration_since(env.enqueued),
+            serviced,
+            batch_size: size,
+        });
+    }
+    shared.stats.record_batch(size);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn collect_respects_batch_max() {
+        let q = Bounded::new(16);
+        for i in 0..10 {
+            q.push(i).unwrap();
+        }
+        let batch = collect_batch(&q, 4, Duration::from_millis(50)).unwrap();
+        assert_eq!(batch, vec![0, 1, 2, 3]);
+        assert_eq!(q.len(), 6);
+    }
+
+    #[test]
+    fn collect_flushes_on_deadline() {
+        let q: Bounded<u32> = Bounded::new(16);
+        q.push(9).unwrap();
+        let t = Instant::now();
+        let batch = collect_batch(&q, 64, Duration::from_millis(10)).unwrap();
+        assert_eq!(batch, vec![9]);
+        assert!(t.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn collect_is_immediate_when_unbatched() {
+        let q: Bounded<u32> = Bounded::new(16);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        // batch_max = 1 never waits on the deadline.
+        let t = Instant::now();
+        let batch = collect_batch(&q, 1, Duration::from_secs(60)).unwrap();
+        assert_eq!(batch, vec![1]);
+        assert!(t.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn collect_drains_then_signals_closed() {
+        let q: Bounded<u32> = Bounded::new(16);
+        q.push(5).unwrap();
+        q.close();
+        assert_eq!(
+            collect_batch(&q, 8, Duration::from_millis(5)),
+            Some(vec![5])
+        );
+        assert_eq!(collect_batch(&q, 8, Duration::from_millis(5)), None);
+    }
+}

@@ -1,0 +1,96 @@
+//! # cbb-serve — async query service over the partitioned engine
+//!
+//! The paper's clipping and the engine's partitioned execution cut the
+//! cost of one *batch*; this crate turns the batch API into a
+//! **long-running service**: requests (range / kNN / join) are admitted
+//! onto a bounded MPMC queue, dispatcher threads coalesce them into
+//! micro-batches (flush on size or deadline), batches execute on the
+//! engine's [`cbb_engine::BatchExecutor`] over any
+//! [`cbb_engine::Partitioner`], and each caller waits on a per-request
+//! [`CompletionHandle`]. Aji et al. (*Effective Spatial Data
+//! Partitioning for Scalable Query Processing*) make the case that
+//! partitioned execution pays off only under a scheduler that keeps
+//! tiles busy across requests — this is that scheduler, in miniature.
+//!
+//! ```text
+//!  clients                       service                     engine
+//!  ───────┐
+//!  submit ├─▶ bounded MPMC ─▶ dispatcher: micro-batch ─▶ BatchExecutor
+//!  submit │      queue          (batch_max | deadline)     + TileForest
+//!  submit ├─◀ completion ◀──── fulfil handles ◀─────────  (version-keyed
+//!  ───────┘    handles                                      ForestCache)
+//! ```
+//!
+//! Three properties the tests pin down:
+//!
+//! * **Transparency** — a batched answer is byte-identical to calling
+//!   the executor directly with the same request; batching changes
+//!   *when* work runs, never *what* it computes.
+//! * **Graceful shutdown** — [`QueryService::shutdown`] closes
+//!   admission, then answers everything already accepted before the
+//!   dispatchers exit; no request is dropped, no waiter hangs.
+//! * **Version-keyed reuse** — per-tile trees are built once per
+//!   [`cbb_engine::DataVersion`] and served from the
+//!   [`cbb_engine::ForestCache`] across requests; repeated joins on
+//!   unchanged data rebuild nothing, and
+//!   [`QueryService::swap_data`] is the only invalidation point.
+//!
+//! Everything is `std`: scoped threads, `Mutex`/`Condvar` queues and
+//! one-shots — no async runtime, in keeping with the workspace's
+//! zero-dependency rule.
+
+pub mod batcher;
+pub mod handle;
+pub mod queue;
+pub mod request;
+pub mod service;
+pub mod stats;
+
+pub use handle::{Canceled, CompletionHandle};
+pub use queue::{Closed, TryPushError};
+pub use request::{Completion, Request, Response};
+pub use service::{QueryService, ServiceConfig};
+pub use stats::ServiceReport;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbb_core::{ClipConfig, ClipMethod};
+    use cbb_engine::UniformGrid;
+    use cbb_geom::{Point, Rect};
+    use cbb_rtree::{TreeConfig, Variant};
+
+    #[test]
+    fn end_to_end_smoke() {
+        let r = |x: f64, y: f64| Rect::new(Point([x, y]), Point([x + 2.0, y + 2.0]));
+        let objects = vec![r(0.0, 0.0), r(5.0, 5.0), r(9.0, 9.0)];
+        let service = QueryService::start(
+            ServiceConfig::default(),
+            UniformGrid::new(Rect::new(Point([0.0, 0.0]), Point([12.0, 12.0])), 2),
+            objects,
+            TreeConfig::tiny(Variant::RStar),
+            ClipConfig::paper_default::<2>(ClipMethod::Stairline),
+        );
+        let range = service
+            .submit(Request::Range {
+                query: r(4.0, 4.0),
+                use_clips: true,
+            })
+            .unwrap();
+        let knn = service
+            .submit(Request::Knn {
+                center: Point([9.5, 9.5]),
+                k: 2,
+            })
+            .unwrap();
+        let ids = range.wait().unwrap().response.into_range();
+        assert_eq!(ids.len(), 1);
+        let nn = knn.wait().unwrap().response.into_knn();
+        assert_eq!(nn.len(), 2);
+        assert_eq!(nn[0].1, 0.0, "the query point is inside the nearest box");
+        let report = service.shutdown();
+        assert_eq!(report.submitted, 2);
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.forest_builds, 1);
+    }
+}

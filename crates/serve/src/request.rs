@@ -1,0 +1,85 @@
+//! The service's wire types: requests, responses, and per-request
+//! timing.
+
+use std::time::Duration;
+
+use cbb_engine::JoinAlgo;
+use cbb_geom::{Point, Rect};
+use cbb_joins::JoinResult;
+use cbb_rtree::{DataId, Neighbor};
+
+/// One query against the service's dataset.
+#[derive(Clone, Debug)]
+pub enum Request<const D: usize> {
+    /// All objects intersecting `query`. `use_clips` selects clipped
+    /// (paper Algorithm 2) or baseline probing of the same trees.
+    Range { query: Rect<D>, use_clips: bool },
+    /// The `k` objects nearest to `center` (MINDIST order, ties by id).
+    Knn { center: Point<D>, k: usize },
+    /// Join `probes ⋈ dataset`: every intersecting (probe, object)
+    /// pair, counted via the partitioned join with the dataset side's
+    /// per-tile trees served from the version-keyed cache.
+    Join {
+        probes: Vec<Rect<D>>,
+        algo: JoinAlgo,
+        use_clips: bool,
+    },
+}
+
+/// The answer to one [`Request`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Ids of matching objects, in the executor's deterministic order.
+    Range(Vec<DataId>),
+    /// Neighbours sorted by `(squared distance, id)`.
+    Knn(Vec<Neighbor>),
+    /// Join counters (pair count and I/O metrics).
+    Join(JoinResult),
+}
+
+impl Response {
+    /// The range ids, panicking on other variants (test/demo helper).
+    pub fn into_range(self) -> Vec<DataId> {
+        match self {
+            Response::Range(ids) => ids,
+            other => panic!("expected a range response, got {other:?}"),
+        }
+    }
+
+    /// The neighbour list, panicking on other variants.
+    pub fn into_knn(self) -> Vec<Neighbor> {
+        match self {
+            Response::Knn(nn) => nn,
+            other => panic!("expected a kNN response, got {other:?}"),
+        }
+    }
+
+    /// The join counters, panicking on other variants.
+    pub fn into_join(self) -> JoinResult {
+        match self {
+            Response::Join(r) => r,
+            other => panic!("expected a join response, got {other:?}"),
+        }
+    }
+}
+
+/// A fulfilled request: the response plus its per-request timing.
+#[derive(Clone, Debug)]
+pub struct Completion {
+    /// The answer.
+    pub response: Response,
+    /// Time spent queued before a dispatcher picked the request up.
+    pub queued: Duration,
+    /// Wall-clock of the batch execution that served the request.
+    pub serviced: Duration,
+    /// How many requests shared that batch (≥ 1).
+    pub batch_size: usize,
+}
+
+impl Completion {
+    /// Queue wait + execution: the latency the client observed from
+    /// admission to completion.
+    pub fn latency(&self) -> Duration {
+        self.queued + self.serviced
+    }
+}

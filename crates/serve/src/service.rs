@@ -1,0 +1,300 @@
+//! The long-running query service: admission queue, dispatcher pool,
+//! versioned engine state, graceful shutdown.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cbb_core::ClipConfig;
+use cbb_engine::{BatchExecutor, DataVersion, ForestCache, Partitioner, TileForest};
+use cbb_geom::Rect;
+use cbb_rtree::TreeConfig;
+
+use crate::batcher::{collect_batch, run_batch};
+use crate::handle::{completion_pair, CompletionHandle, Promise};
+use crate::queue::{Bounded, Closed, TryPushError};
+use crate::request::{Completion, Request};
+use crate::stats::{ServiceReport, ServiceStats};
+
+/// Service tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Admission bound: `submit` blocks (and `try_submit` fails) once
+    /// this many requests wait unserved.
+    pub queue_capacity: usize,
+    /// Flush a micro-batch at this many requests.
+    pub batch_max: usize,
+    /// Flush a micro-batch this long after it opened, full or not —
+    /// the latency bound batching is allowed to add.
+    pub batch_deadline: Duration,
+    /// Dispatcher (consumer) threads forming and executing batches.
+    pub dispatchers: usize,
+    /// Worker threads the executor uses *inside* one batch.
+    pub exec_workers: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 1024,
+            batch_max: 64,
+            batch_deadline: Duration::from_millis(2),
+            dispatchers: 1,
+            exec_workers: 4,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Per-request execution: every batch holds exactly one request.
+    /// The no-batching baseline `serve_scale` measures against.
+    pub fn unbatched() -> Self {
+        ServiceConfig {
+            batch_max: 1,
+            batch_deadline: Duration::ZERO,
+            ..Self::default()
+        }
+    }
+}
+
+/// One queued request: payload, completion promise, admission stamp.
+pub(crate) struct Envelope<const D: usize> {
+    pub(crate) request: Request<D>,
+    pub(crate) promise: Promise<Completion>,
+    pub(crate) enqueued: Instant,
+}
+
+/// Versioned engine state: the executor (with its `Arc`-shared tile
+/// forest) for the current data version.
+pub(crate) struct EngineState<const D: usize, P> {
+    pub(crate) version: DataVersion,
+    pub(crate) executor: BatchExecutor<D, P>,
+}
+
+/// Everything dispatchers share.
+pub(crate) struct SharedState<const D: usize, P> {
+    pub(crate) config: ServiceConfig,
+    pub(crate) queue: Bounded<Envelope<D>>,
+    pub(crate) state: RwLock<EngineState<D, P>>,
+    pub(crate) cache: ForestCache<D>,
+    pub(crate) stats: ServiceStats,
+    pub(crate) tree: TreeConfig<D>,
+    pub(crate) clip: ClipConfig,
+}
+
+/// A multi-threaded query service over one spatial dataset.
+///
+/// ```text
+///  submit()/try_submit()          dispatchers              engine
+///  ───────────────────▶ bounded ─▶ micro-batch ─▶ BatchExecutor / join
+///        handles ◀──────  MPMC  ◀─  (size or  ◀──  over the cached
+///   (wait per request)   queue      deadline)       TileForest
+/// ```
+///
+/// Construction partitions the dataset and bulk-loads the per-tile
+/// clipped trees once (through the [`ForestCache`], keyed by
+/// [`DataVersion`]); every range/kNN/join request is then served from
+/// those trees until [`QueryService::swap_data`] installs a new dataset
+/// and bumps the version. [`QueryService::shutdown`] closes admission,
+/// drains the queue — every accepted request is answered — and joins
+/// the dispatcher threads.
+pub struct QueryService<const D: usize, P> {
+    shared: Arc<SharedState<D, P>>,
+    dispatchers: Vec<JoinHandle<()>>,
+}
+
+impl<const D: usize, P> QueryService<D, P>
+where
+    P: Partitioner<D> + Clone + Send + Sync + 'static,
+{
+    /// Build the engine state for `objects` and start the dispatcher
+    /// pool. `tree`/`clip` configure every per-tile index, exactly as
+    /// they would a direct [`BatchExecutor::build`].
+    pub fn start(
+        config: ServiceConfig,
+        partitioner: P,
+        objects: Vec<Rect<D>>,
+        tree: TreeConfig<D>,
+        clip: ClipConfig,
+    ) -> Self {
+        assert!(config.dispatchers >= 1, "need at least one dispatcher");
+        assert!(config.batch_max >= 1, "a batch holds at least one request");
+        let cache = ForestCache::new();
+        let version = DataVersion::initial();
+        let forest = cache.get_or_build(version, || {
+            TileForest::build(&partitioner, &objects, tree, clip, config.exec_workers)
+        });
+        let executor = BatchExecutor::with_forest(partitioner, objects, forest);
+        let shared = Arc::new(SharedState {
+            config,
+            queue: Bounded::new(config.queue_capacity),
+            state: RwLock::new(EngineState { version, executor }),
+            cache,
+            stats: ServiceStats::default(),
+            tree,
+            clip,
+        });
+        let dispatchers = (0..config.dispatchers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("cbb-serve-{i}"))
+                    .spawn(move || {
+                        while let Some(batch) = collect_batch(
+                            &shared.queue,
+                            shared.config.batch_max,
+                            shared.config.batch_deadline,
+                        ) {
+                            run_batch(&shared, batch);
+                        }
+                    })
+                    .expect("spawn dispatcher")
+            })
+            .collect();
+        QueryService {
+            shared,
+            dispatchers,
+        }
+    }
+
+    /// Submit a request, blocking while the queue is full
+    /// (backpressure). The handle resolves once a dispatcher has
+    /// executed the batch carrying the request.
+    pub fn submit(
+        &self,
+        request: Request<D>,
+    ) -> Result<CompletionHandle<Completion>, Closed<Request<D>>> {
+        let (promise, handle) = completion_pair();
+        let envelope = Envelope {
+            request,
+            promise,
+            enqueued: Instant::now(),
+        };
+        // Count BEFORE the push: a dispatcher can pop and complete the
+        // envelope before this thread runs another instruction, and a
+        // concurrent report() must never see completed > submitted.
+        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        match self.shared.queue.push(envelope) {
+            Ok(()) => Ok(handle),
+            Err(Closed(envelope)) => {
+                self.shared.stats.submitted.fetch_sub(1, Ordering::Relaxed);
+                self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(Closed(envelope.request))
+            }
+        }
+    }
+
+    /// Submit without blocking: a full queue is an immediate
+    /// [`TryPushError::Full`] — the caller sheds the load instead of
+    /// queueing behind it.
+    pub fn try_submit(
+        &self,
+        request: Request<D>,
+    ) -> Result<CompletionHandle<Completion>, TryPushError<Request<D>>> {
+        let (promise, handle) = completion_pair();
+        let envelope = Envelope {
+            request,
+            promise,
+            enqueued: Instant::now(),
+        };
+        // Same ordering as `submit`: never let completed race ahead.
+        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        match self.shared.queue.try_push(envelope) {
+            Ok(()) => Ok(handle),
+            Err(err) => {
+                self.shared.stats.submitted.fetch_sub(1, Ordering::Relaxed);
+                self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(match err {
+                    TryPushError::Full(envelope) => TryPushError::Full(envelope.request),
+                    TryPushError::Closed(envelope) => TryPushError::Closed(envelope.request),
+                })
+            }
+        }
+    }
+
+    /// Replace the dataset: bumps the [`DataVersion`], rebuilds the tile
+    /// forest through the cache (in-flight batches finish on the old
+    /// trees first — the state lock serialises the switch), and installs
+    /// a fresh executor. Requests submitted after this call see the new
+    /// data.
+    ///
+    /// The existing partitioner is **kept as-is**. That is correct for
+    /// any tiling, but a data-fitted partitioner (an
+    /// [`cbb_engine::AdaptiveGrid`] sampled from the *old* data, say)
+    /// keeps its old boundaries — if the new data's distribution or
+    /// domain differs, load balance degrades silently even though
+    /// answers stay exact. Re-fit with [`Self::swap_data_with`] in that
+    /// case.
+    pub fn swap_data(&self, objects: Vec<Rect<D>>) {
+        let mut state = self.shared.state.write().expect("service state poisoned");
+        let partitioner = state.executor.partitioner().clone();
+        self.install(&mut state, partitioner, objects);
+    }
+
+    /// [`Self::swap_data`] with a replacement partitioner — the re-fit
+    /// path for data whose distribution moved (sample a fresh
+    /// [`cbb_engine::AdaptiveGrid`]/`QuadtreePartitioner` from the new
+    /// objects and pass it here).
+    pub fn swap_data_with(&self, partitioner: P, objects: Vec<Rect<D>>) {
+        let mut state = self.shared.state.write().expect("service state poisoned");
+        self.install(&mut state, partitioner, objects);
+    }
+
+    /// Bump the version and install a fresh forest + executor under the
+    /// held write lock.
+    fn install(&self, state: &mut EngineState<D, P>, partitioner: P, objects: Vec<Rect<D>>) {
+        state.version.bump();
+        let forest = self.shared.cache.get_or_build(state.version, || {
+            TileForest::build(
+                &partitioner,
+                &objects,
+                self.shared.tree,
+                self.shared.clip,
+                self.shared.config.exec_workers,
+            )
+        });
+        state.executor = BatchExecutor::with_forest(partitioner, objects, forest);
+    }
+
+    /// The data version requests are currently served from.
+    pub fn data_version(&self) -> DataVersion {
+        self.shared
+            .state
+            .read()
+            .expect("service state poisoned")
+            .version
+    }
+
+    /// Requests currently queued (admitted, not yet picked up).
+    pub fn queued_len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// A snapshot of the service counters.
+    pub fn report(&self) -> ServiceReport {
+        self.shared.stats.snapshot(self.shared.cache.builds())
+    }
+
+    /// Graceful shutdown: stop admission, let the dispatchers drain the
+    /// queue — every accepted request is answered — and join them. The
+    /// final counter snapshot is returned.
+    pub fn shutdown(mut self) -> ServiceReport {
+        self.shared.queue.close();
+        for handle in self.dispatchers.drain(..) {
+            handle.join().expect("dispatcher panicked");
+        }
+        self.report()
+    }
+}
+
+impl<const D: usize, P> Drop for QueryService<D, P> {
+    fn drop(&mut self) {
+        // Dropping without `shutdown()` still drains and joins — no
+        // detached threads, no abandoned (hanging) handles.
+        self.shared.queue.close();
+        for handle in self.dispatchers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

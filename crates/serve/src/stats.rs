@@ -1,0 +1,70 @@
+//! Steady-state service counters (atomics — dispatchers update them
+//! concurrently) and the snapshot type reports are read through.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters of a running service.
+#[derive(Default)]
+pub struct ServiceStats {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batched_requests: AtomicU64,
+    pub(crate) max_batch: AtomicU64,
+    /// Join requests served straight from the executor's version-keyed
+    /// forest (every join, unless it raced a `swap_data` rebuild —
+    /// lock-free, unlike the `ForestCache` hit counter).
+    pub(crate) forest_hits: AtomicU64,
+}
+
+impl ServiceStats {
+    pub(crate) fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
+        self.completed.fetch_add(size as u64, Ordering::Relaxed);
+        self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, forest_builds: u64) -> ServiceReport {
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched_requests.load(Ordering::Relaxed);
+        ServiceReport {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            batches,
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                batched as f64 / batches as f64
+            },
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            forest_builds,
+            forest_hits: self.forest_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time view of a service's counters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServiceReport {
+    /// Requests admitted to the queue.
+    pub submitted: u64,
+    /// Requests refused by `try_submit` backpressure or closure.
+    pub rejected: u64,
+    /// Requests answered (handles fulfilled).
+    pub completed: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Mean requests per batch (0 when no batch ran).
+    pub mean_batch: f64,
+    /// Largest batch executed.
+    pub max_batch: u64,
+    /// Tile-forest builds performed by the version-keyed cache
+    /// (one per data version installed).
+    pub forest_builds: u64,
+    /// Join requests served from the cached forest without any rebuild.
+    pub forest_hits: u64,
+}

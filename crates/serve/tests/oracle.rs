@@ -1,0 +1,242 @@
+//! Service oracle: every answer produced through the queue→batch
+//! pipeline is byte-identical to calling the engine directly with the
+//! same request. Batching changes scheduling, never results.
+
+use std::time::Duration;
+
+use cbb_core::{ClipConfig, ClipMethod};
+use cbb_datasets::skew::clustered_with_layout;
+use cbb_engine::{partitioned_join, AdaptiveGrid, BatchExecutor, JoinAlgo, JoinPlan, SplitPolicy};
+use cbb_geom::{Point, Rect, SplitMix64};
+use cbb_rtree::{TreeConfig, Variant};
+use cbb_serve::{QueryService, Request, ServiceConfig};
+
+const EXEC_WORKERS: usize = 3;
+
+struct Fixture {
+    objects: Vec<Rect<2>>,
+    partitioner: AdaptiveGrid<2>,
+    tree: TreeConfig<2>,
+    clip: ClipConfig,
+}
+
+fn fixture() -> Fixture {
+    let data = clustered_with_layout::<2>(2_500, 6, 30_000.0, 0.15, 7, 7);
+    let partitioner = AdaptiveGrid::from_sample(data.domain, [4, 4], &data.boxes);
+    Fixture {
+        objects: data.boxes,
+        partitioner,
+        tree: TreeConfig::tiny(Variant::RStar),
+        clip: ClipConfig::paper_default::<2>(ClipMethod::Stairline),
+    }
+}
+
+fn queries(n: usize, seed: u64) -> Vec<Rect<2>> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|i| {
+            let x = rng.gen_range(-20_000.0, 1_000_000.0);
+            let y = rng.gen_range(-20_000.0, 1_000_000.0);
+            // Every fourth query is far outside the data: empty answers
+            // must round-trip too.
+            let off = if i % 4 == 3 { 2_000_000.0 } else { 0.0 };
+            let s = rng.gen_range(1_000.0, 60_000.0);
+            Rect::new(Point([x + off, y + off]), Point([x + off + s, y + off + s]))
+        })
+        .collect()
+}
+
+/// Mixed workload through a batching service vs the direct engine —
+/// identical `Vec<DataId>` / neighbour lists / `JoinResult`s.
+#[test]
+fn batched_answers_equal_direct_executor_answers() {
+    let f = fixture();
+    let direct = BatchExecutor::build(
+        f.partitioner.clone(),
+        &f.objects,
+        f.tree,
+        f.clip,
+        EXEC_WORKERS,
+    );
+    let service = QueryService::start(
+        ServiceConfig {
+            batch_max: 16,
+            batch_deadline: Duration::from_millis(5),
+            exec_workers: EXEC_WORKERS,
+            ..ServiceConfig::default()
+        },
+        f.partitioner.clone(),
+        f.objects.clone(),
+        f.tree,
+        f.clip,
+    );
+
+    let range_qs = queries(60, 41);
+    let mut rng = SplitMix64::new(42);
+    let knn_probes: Vec<(Point<2>, usize)> = (0..40)
+        .map(|i| {
+            let p = Point([
+                rng.gen_range(-50_000.0, 1_050_000.0),
+                rng.gen_range(-50_000.0, 1_050_000.0),
+            ]);
+            (p, [0, 1, 5, 20][i % 4])
+        })
+        .collect();
+    let join_probes = queries(150, 43);
+
+    // Interleave kinds so real batches mix them.
+    let mut handles = Vec::new();
+    let mut expected = Vec::new();
+    for i in 0..60 {
+        let use_clips = i % 3 != 0;
+        let q = range_qs[i];
+        expected.push(cbb_serve::Response::Range(
+            direct.run(&[q], 1, use_clips).results.remove(0),
+        ));
+        handles.push(
+            service
+                .submit(Request::Range {
+                    query: q,
+                    use_clips,
+                })
+                .unwrap(),
+        );
+        if i < 40 {
+            let (center, k) = knn_probes[i];
+            expected.push(cbb_serve::Response::Knn(
+                direct.run_knn(&[(center, k)], 1).results.remove(0),
+            ));
+            handles.push(service.submit(Request::Knn { center, k }).unwrap());
+        }
+        if i % 20 == 0 {
+            for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+                let plan = JoinPlan {
+                    partitioner: f.partitioner.clone(),
+                    tree: f.tree,
+                    clip: f.clip,
+                    use_clips: true,
+                    algo,
+                    workers: EXEC_WORKERS,
+                    split: SplitPolicy::Auto,
+                };
+                expected.push(cbb_serve::Response::Join(partitioned_join(
+                    &plan,
+                    &join_probes,
+                    &f.objects,
+                )));
+                handles.push(
+                    service
+                        .submit(Request::Join {
+                            probes: join_probes.clone(),
+                            algo,
+                            use_clips: true,
+                        })
+                        .unwrap(),
+                );
+            }
+        }
+    }
+
+    let mut batched = 0u64;
+    for (i, (handle, want)) in handles.into_iter().zip(expected).enumerate() {
+        let completion = handle.wait().expect("request served");
+        assert_eq!(completion.response, want, "request {i}");
+        assert!(completion.batch_size >= 1);
+        if completion.batch_size > 1 {
+            batched += 1;
+        }
+    }
+    assert!(batched > 0, "the batching config must form real batches");
+    let report = service.shutdown();
+    assert_eq!(report.completed, report.submitted);
+    assert_eq!(report.forest_builds, 1, "one data version, one forest");
+}
+
+/// The same workload answered identically under wildly different
+/// batching configurations — batching is invisible in the results.
+#[test]
+fn batching_configuration_does_not_change_answers() {
+    let f = fixture();
+    let range_qs = queries(40, 77);
+    let configs = [
+        ServiceConfig::unbatched(),
+        ServiceConfig {
+            batch_max: 4,
+            batch_deadline: Duration::from_millis(1),
+            ..ServiceConfig::default()
+        },
+        ServiceConfig {
+            batch_max: 64,
+            batch_deadline: Duration::from_millis(20),
+            dispatchers: 2,
+            ..ServiceConfig::default()
+        },
+    ];
+    let mut all_answers: Vec<Vec<cbb_serve::Response>> = Vec::new();
+    for config in configs {
+        let service = QueryService::start(
+            config,
+            f.partitioner.clone(),
+            f.objects.clone(),
+            f.tree,
+            f.clip,
+        );
+        let handles: Vec<_> = range_qs
+            .iter()
+            .map(|q| {
+                service
+                    .submit(Request::Range {
+                        query: *q,
+                        use_clips: true,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        all_answers.push(
+            handles
+                .into_iter()
+                .map(|h| h.wait().unwrap().response)
+                .collect(),
+        );
+        service.shutdown();
+    }
+    assert_eq!(all_answers[0], all_answers[1]);
+    assert_eq!(all_answers[0], all_answers[2]);
+}
+
+/// Degenerate requests round-trip: k = 0, empty join probe sets, and a
+/// range query that matches nothing.
+#[test]
+fn degenerate_requests_are_served() {
+    let f = fixture();
+    let service = QueryService::start(
+        ServiceConfig::default(),
+        f.partitioner.clone(),
+        f.objects.clone(),
+        f.tree,
+        f.clip,
+    );
+    let knn = service
+        .submit(Request::Knn {
+            center: Point([0.0, 0.0]),
+            k: 0,
+        })
+        .unwrap();
+    let join = service
+        .submit(Request::Join {
+            probes: Vec::new(),
+            algo: JoinAlgo::Stt,
+            use_clips: true,
+        })
+        .unwrap();
+    let miss = service
+        .submit(Request::Range {
+            query: Rect::new(Point([-9e7, -9e7]), Point([-8e7, -8e7])),
+            use_clips: false,
+        })
+        .unwrap();
+    assert!(knn.wait().unwrap().response.into_knn().is_empty());
+    assert_eq!(join.wait().unwrap().response.into_join().pairs, 0);
+    assert!(miss.wait().unwrap().response.into_range().is_empty());
+    service.shutdown();
+}

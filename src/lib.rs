@@ -47,6 +47,7 @@
 //! | [`bounding`] | `cbb-bounding` | MBC / RMBB / k-corner / hull comparisons |
 //! | [`joins`] | `cbb-joins` | INLJ and STT spatial joins |
 //! | [`engine`] | `cbb-engine` | parallel partitioned join + batched query execution |
+//! | [`serve`] | `cbb-serve` | async query service: request queue → micro-batched executor |
 
 pub use cbb_bounding as bounding;
 pub use cbb_core as core;
@@ -55,16 +56,21 @@ pub use cbb_engine as engine;
 pub use cbb_geom as geom;
 pub use cbb_joins as joins;
 pub use cbb_rtree as rtree;
+pub use cbb_serve as serve;
 pub use cbb_storage as storage;
 
 /// The names almost every user of the library needs.
 pub mod prelude {
     pub use cbb_core::{Cbb, ClipConfig, ClipMethod, ClipPoint};
     pub use cbb_engine::{
-        parallel_range_queries, partitioned_join, AdaptiveGrid, BatchExecutor, BatchOutcome,
-        JoinAlgo, JoinPlan, Partitioner, QuadtreePartitioner, SplitPolicy, UniformGrid,
+        parallel_range_queries, partitioned_join, partitioned_join_with, AdaptiveGrid,
+        BatchExecutor, BatchOutcome, DataVersion, ForestCache, JoinAlgo, JoinPlan, KnnOutcome,
+        Partitioner, QuadtreePartitioner, SplitPolicy, TileForest, UniformGrid,
     };
     pub use cbb_geom::{CornerMask, Point, Rect};
     pub use cbb_joins::JoinResult;
-    pub use cbb_rtree::{AccessStats, ClippedRTree, DataId, NodeId, RTree, TreeConfig, Variant};
+    pub use cbb_rtree::{
+        AccessStats, ClippedRTree, DataId, Neighbor, NodeId, RTree, TreeConfig, Variant,
+    };
+    pub use cbb_serve::{QueryService, Request, Response, ServiceConfig};
 }

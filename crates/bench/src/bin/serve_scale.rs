@@ -75,6 +75,7 @@ fn main() {
         knn_fraction: 0.2,
         knn_k: 10,
         extent_frac: 0.02,
+        ..StreamProfile::default()
     };
     let stream = query_stream(&data, requests, &profile, seed);
     let join_probes: Vec<_> = data
@@ -147,6 +148,7 @@ fn main() {
                     center: *center,
                     k: *k,
                 },
+                other => unreachable!("read-only profile produced {other:?}"),
             };
             handles.push(service.submit(request).expect("service is open"));
         }

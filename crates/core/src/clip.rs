@@ -51,6 +51,68 @@ impl<const D: usize> ClipPoint<D> {
     }
 }
 
+/// Squared distance from `p[i]` to the closed interval `[lo, hi]`.
+fn axis_dist_sq(p: Coord, lo: Coord, hi: Coord) -> Coord {
+    let d = if p < lo {
+        lo - p
+    } else if p > hi {
+        p - hi
+    } else {
+        0.0
+    };
+    d * d
+}
+
+/// Clip-aware MINDIST: a lower bound on the squared distance from `p` to
+/// any *live* content of the CBB `(mbb, clips)`, at least as tight as
+/// the plain `mbb.min_dist_sq(p)`.
+///
+/// Validity (the all-strict dominance rule of §IV-C/D, maintained by
+/// construction and by the eager insertion test) guarantees no object
+/// has a point strictly inside a clip region in *every* dimension. So
+/// every point of every object lies, for each clip point `c`, in at
+/// least one *complement slab* `B_i(c)` — the MBB with axis `i`
+/// restricted to the part not strictly clipped toward the corner.
+/// Hence `dist(p, object) ≥ min_i dist(p, B_i(c))` for each `c`, and the
+/// max of those bounds (and the plain MINDIST) is still a lower bound.
+///
+/// The bound tightens exactly in the paper's corner regions: a query
+/// point whose nearest MBB point falls inside a clipped corner is pushed
+/// out to the live remainder, letting best-first kNN skip the node.
+pub fn clipped_min_dist_sq<const D: usize>(
+    mbb: &Rect<D>,
+    clips: &[ClipPoint<D>],
+    p: &Point<D>,
+) -> Coord {
+    let mut axis = [0.0; D];
+    let mut base = 0.0;
+    for i in 0..D {
+        axis[i] = axis_dist_sq(p[i], mbb.lo[i], mbb.hi[i]);
+        base += axis[i];
+    }
+    let mut best = base;
+    for c in clips {
+        let mut bound = Coord::INFINITY;
+        for i in 0..D {
+            // Complement slab along axis i: the corner-side boundary of
+            // the clip region is closed (objects may touch it).
+            let (lo, hi) = if c.mask.bit(i) {
+                (mbb.lo[i], c.coord[i])
+            } else {
+                (c.coord[i], mbb.hi[i])
+            };
+            let cand = base - axis[i] + axis_dist_sq(p[i], lo, hi);
+            if cand < bound {
+                bound = cand;
+            }
+        }
+        if bound > best {
+            best = bound;
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,6 +156,75 @@ mod tests {
         assert!(!touching.is_valid_for(&mbb, &objects)); // overlaps object 2
         let objects1 = [r2(0.0, 0.0, 5.0, 5.0)];
         assert!(touching.is_valid_for(&mbb, &objects1));
+    }
+
+    #[test]
+    fn clipped_min_dist_matches_plain_without_clips() {
+        let mbb = r2(0.0, 0.0, 10.0, 10.0);
+        for p in [
+            Point([5.0, 5.0]),
+            Point([-3.0, 4.0]),
+            Point([15.0, 15.0]),
+            Point([12.0, -2.0]),
+        ] {
+            assert_eq!(clipped_min_dist_sq(&mbb, &[], &p), mbb.min_dist_sq(&p));
+        }
+    }
+
+    #[test]
+    fn clipped_min_dist_tightens_corner_probes() {
+        let mbb = r2(0.0, 0.0, 10.0, 10.0);
+        // Top-right quarter above (6, 6) is dead space.
+        let clips = [ClipPoint::new(CornerMask::new(0b11), Point([6.0, 6.0]))];
+        // Probe beyond the clipped corner: the plain MINDIST reaches the
+        // corner (10, 10); the live region is only reachable at x ≤ 6 or
+        // y ≤ 6 → the bound grows.
+        let p = Point([14.0, 14.0]);
+        let plain = mbb.min_dist_sq(&p); // 4² + 4² = 32
+        let tight = clipped_min_dist_sq(&mbb, &clips, &p);
+        assert_eq!(plain, 32.0);
+        // Best complement slab: x ∈ [0, 6] → (14−6)² + (14−10)² = 80.
+        assert_eq!(tight, 80.0);
+        // The bound never undercuts the true distance to any valid
+        // object (one touching the clip boundary from live space).
+        let object = r2(5.0, 0.0, 6.0, 6.0);
+        assert!(tight <= object.min_dist_sq(&p));
+    }
+
+    #[test]
+    fn clipped_min_dist_never_exceeds_live_objects() {
+        // Randomised audit: for clip points valid for an object set, the
+        // bound lower-bounds the distance to every object.
+        let mbb = r2(0.0, 0.0, 100.0, 100.0);
+        let objects = [
+            r2(0.0, 0.0, 30.0, 40.0),
+            r2(60.0, 25.0, 100.0, 45.0),
+            r2(10.0, 70.0, 25.0, 100.0),
+        ];
+        let clips = [
+            ClipPoint::new(CornerMask::new(0b11), Point([25.0, 70.0])),
+            ClipPoint::new(CornerMask::new(0b01), Point([60.0, 20.0])),
+        ];
+        for c in &clips {
+            assert!(c.is_valid_for(&mbb, &objects));
+        }
+        let mut s = 0x9E37u64;
+        for _ in 0..500 {
+            // Cheap LCG probe points, inside and outside the MBB.
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let px = ((s >> 16) % 3000) as f64 / 10.0 - 100.0;
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let py = ((s >> 16) % 3000) as f64 / 10.0 - 100.0;
+            let p = Point([px, py]);
+            let bound = clipped_min_dist_sq(&mbb, &clips, &p);
+            assert!(bound >= mbb.min_dist_sq(&p));
+            for o in &objects {
+                assert!(
+                    bound <= o.min_dist_sq(&p) + 1e-9,
+                    "bound {bound} exceeds distance to {o:?} from {p:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod skyline;
 pub mod stairline;
 
 pub use cbb::Cbb;
-pub use clip::ClipPoint;
+pub use clip::{clipped_min_dist_sq, ClipPoint};
 pub use clipper::clip_node;
 pub use config::{ClipConfig, ClipMethod};
 pub use intersect::{cbb_intersection_test, insertion_keeps_clips_valid, query_intersects_cbb};

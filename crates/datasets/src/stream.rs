@@ -29,6 +29,14 @@ pub enum StreamKind<const D: usize> {
     Range(Rect<D>),
     /// A k-nearest-neighbour probe.
     Knn(Point<D>, usize),
+    /// A write: insert this object (sized like the data, aimed at a
+    /// populated region).
+    Insert(Rect<D>),
+    /// A write: delete the base dataset's object at this index. Each
+    /// index is issued at most once per stream, so replaying the stream
+    /// against a store seeded with the base dataset produces live
+    /// deletes (until the base runs out).
+    Delete(u32),
 }
 
 /// A request plus its scheduled arrival offset from stream start.
@@ -58,6 +66,14 @@ pub struct StreamProfile {
     /// Range query side length as a fraction of the domain extent
     /// (per-query jittered ×[0.25, 1.75]).
     pub extent_frac: f64,
+    /// Fraction of requests that are writes (`0.0` = the read-only
+    /// stream of earlier benches, byte-identical per seed). Writes
+    /// split between inserts and deletes per `delete_share`.
+    pub write_fraction: f64,
+    /// Fraction of writes that are deletes (the rest are inserts).
+    /// Deletes draw *distinct* base-dataset indices; once the base is
+    /// exhausted the stream falls back to inserts.
+    pub delete_share: f64,
 }
 
 impl Default for StreamProfile {
@@ -68,6 +84,8 @@ impl Default for StreamProfile {
             knn_fraction: 0.2,
             knn_k: 10,
             extent_frac: 0.02,
+            write_fraction: 0.0,
+            delete_share: 0.5,
         }
     }
 }
@@ -87,7 +105,18 @@ pub fn query_stream<const D: usize>(
         (0.0..=1.0).contains(&profile.knn_fraction),
         "knn_fraction is a fraction"
     );
+    assert!(
+        (0.0..=1.0).contains(&profile.write_fraction),
+        "write_fraction is a fraction"
+    );
+    assert!(
+        (0.0..=1.0).contains(&profile.delete_share),
+        "delete_share is a fraction"
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0x57AE_A11B_0057_AE4D);
+    // Undeleted base indices, consumed in shuffled order so every
+    // delete hits a distinct (initially live) object.
+    let mut deletable: Vec<u32> = (0..data.len() as u32).collect();
     // Requests split evenly between phases, so the raw mean gap would be
     // base × (b + 1/b)/2; normalise so the configured rate is the
     // long-run average at every burstiness.
@@ -114,7 +143,34 @@ pub fn query_stream<const D: usize>(
         // Aim at the data: a random object's centre plus jitter of one
         // query extent.
         let anchor = data.boxes[rng.gen_range(0..data.len())].center();
-        let kind = if rng.gen_range(0.0..1.0) < profile.knn_fraction {
+        // Writes are decided first; the `> 0.0` guard keeps read-only
+        // streams byte-identical per seed to the pre-write generator.
+        let is_write =
+            profile.write_fraction > 0.0 && rng.gen_range(0.0..1.0) < profile.write_fraction;
+        let kind = if is_write {
+            let want_delete = rng.gen_range(0.0..1.0) < profile.delete_share;
+            if want_delete && !deletable.is_empty() {
+                let pick = rng.gen_range(0..deletable.len());
+                StreamKind::Delete(deletable.swap_remove(pick))
+            } else {
+                // Insert an object shaped like a random existing one,
+                // dropped near the anchor (churn follows the data).
+                let template = data.boxes[rng.gen_range(0..data.len())];
+                let mut lo = [0.0; D];
+                let mut hi = [0.0; D];
+                for i in 0..D {
+                    let jig = data.domain.extent(i) * profile.extent_frac.max(0.01);
+                    let jitter = if jig > 0.0 {
+                        rng.gen_range(-jig..jig)
+                    } else {
+                        0.0
+                    };
+                    lo[i] = anchor[i] + jitter;
+                    hi[i] = lo[i] + template.extent(i);
+                }
+                StreamKind::Insert(Rect::new(Point(lo), Point(hi)))
+            }
+        } else if rng.gen_range(0.0..1.0) < profile.knn_fraction {
             StreamKind::Knn(anchor, profile.knn_k)
         } else {
             let mut lo = [0.0; D];
@@ -242,6 +298,82 @@ mod tests {
     }
 
     #[test]
+    fn write_fraction_mixes_inserts_and_deletes() {
+        let data = clustered::<2>(1_000, 4, 20_000.0, 0.1, 9);
+        let profile = StreamProfile {
+            write_fraction: 0.4,
+            delete_share: 0.5,
+            ..StreamProfile::default()
+        };
+        let s = query_stream(&data, 3_000, &profile, 23);
+        assert_eq!(s, query_stream(&data, 3_000, &profile, 23));
+        let inserts = s
+            .iter()
+            .filter(|q| matches!(q.kind, StreamKind::Insert(_)))
+            .count();
+        let deletes: Vec<u32> = s
+            .iter()
+            .filter_map(|q| match q.kind {
+                StreamKind::Delete(i) => Some(i),
+                _ => None,
+            })
+            .collect();
+        let writes = inserts + deletes.len();
+        assert!(
+            (900..1_500).contains(&writes),
+            "write share {writes}/3000 is far from the configured 40 %"
+        );
+        assert!(inserts > 200 && deletes.len() > 200, "both kinds present");
+        // Deletes are distinct, in range, so replays against a store
+        // seeded with `data` always hit live objects.
+        let mut seen = std::collections::HashSet::new();
+        for &d in &deletes {
+            assert!((d as usize) < data.len(), "delete {d} out of range");
+            assert!(seen.insert(d), "delete {d} issued twice");
+        }
+        // Inserted rects are finite and data-shaped.
+        for q in &s {
+            if let StreamKind::Insert(r) = &q.kind {
+                assert!(r.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn deletes_fall_back_to_inserts_when_base_is_exhausted() {
+        // 20 base objects, all-write all-delete stream: the first 20
+        // writes consume the base, the rest must become inserts.
+        let data = clustered::<2>(20, 2, 5_000.0, 0.1, 5);
+        let profile = StreamProfile {
+            write_fraction: 1.0,
+            delete_share: 1.0,
+            ..StreamProfile::default()
+        };
+        let s = query_stream(&data, 100, &profile, 3);
+        let deletes = s
+            .iter()
+            .filter(|q| matches!(q.kind, StreamKind::Delete(_)))
+            .count();
+        let inserts = s
+            .iter()
+            .filter(|q| matches!(q.kind, StreamKind::Insert(_)))
+            .count();
+        assert_eq!(deletes, 20, "every base object deleted exactly once");
+        assert_eq!(inserts, 80);
+    }
+
+    #[test]
+    fn zero_write_fraction_is_the_read_only_stream() {
+        // The write extension must not perturb existing read-only
+        // streams: with write_fraction = 0 no write ever appears and
+        // the generator stays deterministic per seed.
+        let s = stream(800, 4.0, 11);
+        assert!(s
+            .iter()
+            .all(|q| matches!(q.kind, StreamKind::Range(_) | StreamKind::Knn(..))));
+    }
+
+    #[test]
     fn degenerate_extents_yield_point_queries() {
         // extent_frac = 0 (point queries) and a zero-extent domain axis
         // (all data on a line) must not panic the jitter sampler.
@@ -254,7 +386,7 @@ mod tests {
         let s = query_stream(&data, 30, &profile, 17);
         assert!(s.iter().all(|q| match &q.kind {
             StreamKind::Range(r) => r.extent(0) == 0.0 && r.extent(1) == 0.0,
-            StreamKind::Knn(..) => false,
+            _ => false,
         }));
 
         let mut line = data.clone();

@@ -24,6 +24,7 @@ use cbb_rtree::{push_neighbor, AccessStats, ClippedRTree, DataId, Neighbor, RTre
 
 use crate::partition::Partitioner;
 use crate::pool::map_chunked;
+use crate::update::{Update, UpdateOutcome, UpdateResult};
 
 /// One clipped R-tree per non-empty tile of a partitioner — the shared
 /// index substrate of [`BatchExecutor`] and forest-reusing joins.
@@ -32,9 +33,17 @@ use crate::pool::map_chunked;
 /// choose clipped or unclipped probing per call (an unused clip table
 /// changes no traversal counter). Ids stored in the trees are global
 /// [`DataId`]s into the object slice the forest was built from.
+///
+/// Each tile tree sits behind its own `Arc`: cloning a forest is a
+/// per-tile refcount bump, and the mutable maintenance path
+/// ([`Self::insert_object`] / [`Self::delete_object`]) copy-on-writes
+/// only the tiles an update actually touches — the shared tiles of
+/// every older version stay intact, which is what makes epoch-based
+/// version bumps cheap.
+#[derive(Clone)]
 pub struct TileForest<const D: usize> {
     /// One tree per tile; `None` for empty tiles.
-    trees: Vec<Option<ClippedRTree<D>>>,
+    trees: Vec<Option<Arc<ClippedRTree<D>>>>,
 }
 
 impl<const D: usize> TileForest<D> {
@@ -47,22 +56,41 @@ impl<const D: usize> TileForest<D> {
         clip: ClipConfig,
         workers: usize,
     ) -> Self {
+        Self::build_where(partitioner, objects, None, tree, clip, workers)
+    }
+
+    /// [`Self::build`] over the live subset of a tombstoned object
+    /// arena: slot `i` is indexed iff `live[i]` (when a mask is given).
+    /// This is the wholesale-rebuild twin of the delta maintenance path
+    /// — the oracle tests and `update_scale` compare the two.
+    pub fn build_where<P: Partitioner<D>>(
+        partitioner: &P,
+        objects: &[Rect<D>],
+        live: Option<&[bool]>,
+        tree: TreeConfig<D>,
+        clip: ClipConfig,
+        workers: usize,
+    ) -> Self {
+        if let Some(mask) = live {
+            assert_eq!(mask.len(), objects.len(), "mask must cover every slot");
+        }
         let assign = partitioner.assign(objects);
         let built = map_chunked(workers, &assign, |_, chunk| {
             chunk
                 .iter()
                 .map(|ids| {
-                    if ids.is_empty() {
-                        return None;
-                    }
                     let items: Vec<(Rect<D>, DataId)> = ids
                         .iter()
+                        .filter(|&&i| live.is_none_or(|mask| mask[i as usize]))
                         .map(|&i| (objects[i as usize], DataId(i)))
                         .collect();
-                    Some(ClippedRTree::from_tree(
+                    if items.is_empty() {
+                        return None;
+                    }
+                    Some(Arc::new(ClippedRTree::from_tree(
                         RTree::bulk_load(tree, &items),
                         clip,
-                    ))
+                    )))
                 })
                 .collect::<Vec<_>>()
         });
@@ -78,7 +106,7 @@ impl<const D: usize> TileForest<D> {
 
     /// The tree of tile `t`, `None` when the tile is empty.
     pub fn tree(&self, t: usize) -> Option<&ClippedRTree<D>> {
-        self.trees[t].as_ref()
+        self.trees[t].as_deref()
     }
 
     /// Number of non-empty tiles (built trees).
@@ -90,6 +118,102 @@ impl<const D: usize> TileForest<D> {
     /// objects are multi-assigned).
     pub fn total_indexed(&self) -> usize {
         self.trees.iter().flatten().map(|t| t.tree.len()).sum()
+    }
+
+    /// Cumulative R-tree node constructions over all tile trees (the
+    /// structural build-work counter `BENCH_update.json` compares).
+    pub fn nodes_allocated(&self) -> u64 {
+        self.trees
+            .iter()
+            .flatten()
+            .map(|t| t.tree.nodes_allocated())
+            .sum()
+    }
+
+    /// Mutable access to tile `t`'s tree, copy-on-write: if the tree is
+    /// shared with another forest (an older version), it is cloned
+    /// first, so the sharer is never disturbed.
+    fn tile_mut(&mut self, t: usize) -> Option<&mut ClippedRTree<D>> {
+        self.trees[t].as_mut().map(Arc::make_mut)
+    }
+
+    /// Route one insert to every tile `rect` overlaps, maintaining clip
+    /// points through the eager §IV-D path; empty tiles get a fresh
+    /// incremental tree. Returns the number of R-tree nodes constructed
+    /// (plus whether any tree was created) for the maintenance
+    /// accounting.
+    ///
+    /// The caller owns the id space: `id` must be unique among live
+    /// objects (the [`BatchExecutor`] assigns arena slots).
+    pub fn insert_object<P: Partitioner<D>>(
+        &mut self,
+        partitioner: &P,
+        rect: Rect<D>,
+        id: DataId,
+        tree: TreeConfig<D>,
+        clip: ClipConfig,
+        touched: &mut [bool],
+    ) -> (u64, usize) {
+        let mut nodes = 0u64;
+        let mut created = 0usize;
+        for t in partitioner.covering_tiles(&rect) {
+            touched[t] = true;
+            match self.tile_mut(t) {
+                Some(tile) => {
+                    let before = tile.tree.nodes_allocated();
+                    tile.insert(rect, id);
+                    nodes += tile.tree.nodes_allocated() - before;
+                }
+                None => {
+                    let mut fresh = ClippedRTree::from_tree(RTree::new(tree), clip);
+                    fresh.insert(rect, id);
+                    nodes += fresh.tree.nodes_allocated();
+                    created += 1;
+                    self.trees[t] = Some(Arc::new(fresh));
+                }
+            }
+        }
+        (nodes, created)
+    }
+
+    /// Route one delete to every tile `rect` overlaps (the same
+    /// covering set the insert used — the partitioner must not have
+    /// changed in between, which version-bump rebuilds guarantee).
+    /// Deletions are lazy per §IV-D; a tile whose last object leaves is
+    /// dropped back to `None`. Returns whether the object was present,
+    /// plus the number of trees dropped.
+    pub fn delete_object<P: Partitioner<D>>(
+        &mut self,
+        partitioner: &P,
+        rect: Rect<D>,
+        id: DataId,
+        touched: &mut [bool],
+    ) -> (bool, usize) {
+        let mut found = None;
+        let mut dropped = 0usize;
+        for t in partitioner.covering_tiles(&rect) {
+            let removed = match self.tile_mut(t) {
+                Some(tile) => {
+                    touched[t] = true;
+                    let removed = tile.delete(&rect, id);
+                    if removed && tile.tree.is_empty() {
+                        self.trees[t] = None;
+                        dropped += 1;
+                    }
+                    removed
+                }
+                None => false,
+            };
+            // Multi-assignment is all-or-nothing: every covering tile
+            // holds the object or none does.
+            match found {
+                None => found = Some(removed),
+                Some(prev) => {
+                    debug_assert_eq!(prev, removed, "covering tiles disagree on {id:?}")
+                }
+            }
+        }
+        (found.unwrap_or(false), dropped)
     }
 }
 
@@ -167,7 +291,12 @@ pub struct KnnOutcome {
 /// a fixed partitioner, independent of the worker count.
 pub struct BatchExecutor<const D: usize, P> {
     partitioner: P,
+    /// Object arena: slot `i` is the rect of `DataId(i)`. Slots of
+    /// deleted objects stay in place as tombstones (their ids never
+    /// reappear in any tree), so live ids stay stable across updates.
     objects: Vec<Rect<D>>,
+    /// Liveness per arena slot (all-true until updates arrive).
+    live: Vec<bool>,
     forest: Arc<TileForest<D>>,
 }
 
@@ -192,6 +321,7 @@ impl<const D: usize, P: Partitioner<D>> BatchExecutor<D, P> {
         BatchExecutor {
             partitioner,
             objects: objects.to_vec(),
+            live: vec![true; objects.len()],
             forest,
         }
     }
@@ -199,16 +329,34 @@ impl<const D: usize, P: Partitioner<D>> BatchExecutor<D, P> {
     /// Wrap an existing (cached) forest instead of building one. The
     /// forest must have been built from `objects` under `partitioner` —
     /// the tile count is checked, the content correspondence is the
-    /// caller's contract.
+    /// caller's contract. Every slot is taken as live; a forest built
+    /// over a tombstoned arena ([`TileForest::build_where`] with a
+    /// mask) must come through [`Self::with_forest_where`] instead, or
+    /// the executor's liveness bookkeeping disagrees with its trees.
     pub fn with_forest(partitioner: P, objects: Vec<Rect<D>>, forest: Arc<TileForest<D>>) -> Self {
+        let live = vec![true; objects.len()];
+        Self::with_forest_where(partitioner, objects, live, forest)
+    }
+
+    /// [`Self::with_forest`] for a tombstoned arena: `live[i]` flags
+    /// slot `i`, and the forest must index exactly the live slots (a
+    /// [`TileForest::build_where`] over the same mask does).
+    pub fn with_forest_where(
+        partitioner: P,
+        objects: Vec<Rect<D>>,
+        live: Vec<bool>,
+        forest: Arc<TileForest<D>>,
+    ) -> Self {
         assert_eq!(
             forest.tile_count(),
             partitioner.tile_count(),
             "forest was built under a different partitioning"
         );
+        assert_eq!(live.len(), objects.len(), "mask must cover every slot");
         BatchExecutor {
             partitioner,
             objects,
+            live,
             forest,
         }
     }
@@ -218,9 +366,88 @@ impl<const D: usize, P: Partitioner<D>> BatchExecutor<D, P> {
         &self.partitioner
     }
 
-    /// The objects the executor serves (global [`DataId`] id space).
+    /// The objects the executor serves (global [`DataId`] id space,
+    /// including tombstoned slots of deleted objects).
     pub fn objects(&self) -> &[Rect<D>] {
         &self.objects
+    }
+
+    /// Liveness of every arena slot (parallel to [`Self::objects`]).
+    pub fn live(&self) -> &[bool] {
+        &self.live
+    }
+
+    /// Number of live (queryable) objects.
+    pub fn live_count(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// Apply an update batch *in order*, copy-on-write: the previous
+    /// forest (shared with any cache or in-flight reader via its `Arc`s)
+    /// is untouched; this executor ends up on a new [`TileForest`] that
+    /// shares every tile the batch did not reach. Inserts are assigned
+    /// fresh arena slots; deletes tombstone theirs. `tree`/`clip` only
+    /// configure trees for previously empty tiles.
+    ///
+    /// Answers afterwards are exactly those of a wholesale rebuild over
+    /// the surviving objects ([`TileForest::build_where`]) — the oracle
+    /// tests pin that — at a structural cost proportional to the batch,
+    /// which [`UpdateOutcome::nodes_allocated`] measures.
+    pub fn apply_updates(
+        &mut self,
+        updates: &[Update<D>],
+        tree: TreeConfig<D>,
+        clip: ClipConfig,
+    ) -> UpdateOutcome {
+        let mut forest = TileForest::clone(&self.forest);
+        let mut touched = vec![false; forest.tile_count()];
+        let mut outcome = UpdateOutcome::default();
+        for update in updates {
+            let result = match *update {
+                Update::Insert(rect) => {
+                    if !rect.is_finite() {
+                        UpdateResult::Rejected
+                    } else {
+                        assert!(
+                            self.objects.len() < u32::MAX as usize,
+                            "object arena exceeds the u32 id space"
+                        );
+                        let id = DataId(self.objects.len() as u32);
+                        self.objects.push(rect);
+                        self.live.push(true);
+                        let (nodes, created) = forest.insert_object(
+                            &self.partitioner,
+                            rect,
+                            id,
+                            tree,
+                            clip,
+                            &mut touched,
+                        );
+                        outcome.nodes_allocated += nodes;
+                        outcome.trees_created += created;
+                        UpdateResult::Inserted(id)
+                    }
+                }
+                Update::Delete(id) => {
+                    let slot = id.0 as usize;
+                    if slot >= self.objects.len() || !self.live[slot] {
+                        UpdateResult::Deleted(false)
+                    } else {
+                        let rect = self.objects[slot];
+                        let (removed, dropped) =
+                            forest.delete_object(&self.partitioner, rect, id, &mut touched);
+                        debug_assert!(removed, "live object must be indexed");
+                        self.live[slot] = false;
+                        outcome.trees_dropped += dropped;
+                        UpdateResult::Deleted(removed)
+                    }
+                }
+            };
+            outcome.results.push(result);
+        }
+        outcome.tiles_touched = touched.iter().filter(|&&t| t).count();
+        self.forest = Arc::new(forest);
+        outcome
     }
 
     /// The shared per-tile trees (clone the `Arc` to reuse them in a
@@ -285,7 +512,7 @@ impl<const D: usize, P: Partitioner<D>> BatchExecutor<D, P> {
                 break;
             }
             let tree = self.forest.tree(t).expect("listed tiles are built");
-            for (id, dist) in tree.tree.knn_stats(center, k, stats) {
+            for (id, dist) in tree.knn_stats(center, k, stats) {
                 if best.iter().any(|&(bid, _)| bid == id) {
                     continue; // multi-assigned object already merged
                 }
@@ -317,8 +544,10 @@ impl<const D: usize, P: Partitioner<D>> BatchExecutor<D, P> {
 
     /// Execute the kNN probes `(center, k)` on `workers` threads.
     /// Results come back in workload order and are independent of the
-    /// worker count. kNN always runs on the base trees (clip tables are
-    /// window-pruning structures; MINDIST ordering does not use them).
+    /// worker count. Per-tile searches run the clip-aware kNN
+    /// ([`ClippedRTree::knn_stats`]): clip points tighten node MINDISTs
+    /// for probes near clipped corners, with answers identical to the
+    /// base-tree search.
     pub fn run_knn(&self, probes: &[(Point<D>, usize)], workers: usize) -> KnnOutcome {
         let shards = map_chunked(workers, probes, |_offset, chunk| {
             let mut stats = AccessStats::new();
@@ -632,6 +861,169 @@ mod tests {
                 built.run(&queries, 2, true).results
             );
             assert_eq!(std::sync::Arc::strong_count(built.forest()), 2);
+        }
+
+        #[test]
+        fn apply_updates_matches_wholesale_rebuild() {
+            use crate::update::{Update, UpdateResult};
+            let (objects, queries) = objects_and_queries();
+            let domain = r2(0.0, 0.0, 1000.0, 1000.0);
+            let grid = UniformGrid::new(domain, 4);
+            let tree = TreeConfig::tiny(Variant::RStar);
+            let clip = ClipConfig::paper_default::<2>(ClipMethod::Stairline);
+            let mut exec = BatchExecutor::build(grid, &objects, tree, clip, 2);
+            let before_forest = exec.forest().clone();
+            let before_answers = exec.run(&queries, 2, true);
+
+            // A mixed batch: deletes across the id range (including a
+            // spanning-object-rich low range), fresh inserts (one
+            // spanning many tiles, one out-of-domain), a dead delete, a
+            // delete of a just-inserted object, and a rejected insert.
+            let mut rng = SplitMix64::new(77);
+            let mut updates: Vec<Update<2>> = (0..200)
+                .map(|_| Update::Delete(DataId(rng.gen_range(0.0, 1_500.0) as u32)))
+                .collect();
+            for _ in 0..150 {
+                let x = rng.gen_range(-30.0, 950.0);
+                let y = rng.gen_range(-30.0, 950.0);
+                updates.push(Update::Insert(r2(
+                    x,
+                    y,
+                    x + rng.gen_range(0.0, 80.0),
+                    y + rng.gen_range(0.0, 80.0),
+                )));
+            }
+            updates.push(Update::Insert(r2(-100.0, 400.0, 1_200.0, 460.0)));
+            updates.push(Update::Insert(r2(1_500.0, 1_500.0, 1_600.0, 1_600.0)));
+            updates.push(Update::Delete(DataId(1_500))); // first insert above
+            updates.push(Update::Delete(DataId(999_999)));
+            updates.push(Update::Insert(Rect::new(
+                Point([0.0, 0.0]),
+                Point([f64::INFINITY, 1.0]),
+            )));
+            let outcome = exec.apply_updates(&updates, tree, clip);
+            assert_eq!(outcome.results.len(), updates.len());
+            assert!(outcome.nodes_allocated > 0);
+            assert!(outcome.tiles_touched > 0);
+            assert!(matches!(
+                outcome.results[updates.len() - 3],
+                UpdateResult::Deleted(true)
+            ));
+            assert_eq!(
+                outcome.results[updates.len() - 2],
+                UpdateResult::Deleted(false)
+            );
+            assert_eq!(outcome.results.last(), Some(&UpdateResult::Rejected));
+
+            // Oracle: a wholesale rebuild over the surviving arena
+            // answers identically (kNN byte-equal, ranges as sets —
+            // traversal order differs between built and grown trees).
+            let rebuilt_forest = Arc::new(TileForest::build_where(
+                exec.partitioner(),
+                exec.objects(),
+                Some(exec.live()),
+                tree,
+                clip,
+                2,
+            ));
+            let rebuilt = BatchExecutor::with_forest_where(
+                *exec.partitioner(),
+                exec.objects().to_vec(),
+                exec.live().to_vec(),
+                rebuilt_forest,
+            );
+            let delta_out = exec.run(&queries, 2, true);
+            let rebuilt_out = rebuilt.run(&queries, 2, true);
+            for (i, (d, r)) in delta_out
+                .results
+                .iter()
+                .zip(&rebuilt_out.results)
+                .enumerate()
+            {
+                assert_eq!(sorted(d.clone()), sorted(r.clone()), "query {i}");
+            }
+            let probes: Vec<(Point<2>, usize)> =
+                queries.iter().take(60).map(|q| (q.center(), 7)).collect();
+            assert_eq!(
+                exec.run_knn(&probes, 2).results,
+                rebuilt.run_knn(&probes, 2).results,
+                "kNN answers are canonical and must match exactly"
+            );
+
+            // Copy-on-write: the pre-update forest still answers the
+            // original dataset — shared tiles were never disturbed.
+            let old = BatchExecutor::with_forest(
+                *exec.partitioner(),
+                objects.clone(),
+                before_forest.clone(),
+            );
+            assert_eq!(old.run(&queries, 2, true).results, before_answers.results);
+        }
+
+        #[test]
+        fn delta_apply_shares_untouched_tiles() {
+            use crate::update::Update;
+            let (objects, _) = objects_and_queries();
+            let domain = r2(0.0, 0.0, 1000.0, 1000.0);
+            let grid = UniformGrid::new(domain, 4);
+            let tree = TreeConfig::tiny(Variant::RStar);
+            let clip = ClipConfig::paper_default::<2>(ClipMethod::Stairline);
+            let mut exec = BatchExecutor::build(grid, &objects, tree, clip, 2);
+            let before = exec.forest().clone();
+            // One tiny insert confined to a single tile.
+            let outcome =
+                exec.apply_updates(&[Update::Insert(r2(10.0, 10.0, 12.0, 12.0))], tree, clip);
+            assert_eq!(outcome.tiles_touched, 1);
+            let shared = (0..before.tile_count())
+                .filter(
+                    |&t| match (before.trees[t].as_ref(), exec.forest().trees[t].as_ref()) {
+                        (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                        _ => false,
+                    },
+                )
+                .count();
+            assert_eq!(
+                shared,
+                before.built_tree_count() - 1,
+                "only the touched tile may be copied"
+            );
+        }
+
+        #[test]
+        fn incremental_inserts_from_empty_executor() {
+            use crate::update::Update;
+            let domain = r2(0.0, 0.0, 100.0, 100.0);
+            let grid = UniformGrid::new(domain, 2);
+            let tree = TreeConfig::tiny(Variant::Quadratic);
+            let clip = ClipConfig::paper_default::<2>(ClipMethod::Stairline);
+            let mut exec = BatchExecutor::build(grid, &[], tree, clip, 1);
+            assert_eq!(exec.tile_tree_count(), 0);
+            let updates: Vec<Update<2>> = (0..40)
+                .map(|i| {
+                    let t = (i % 10) as f64 * 9.0;
+                    Update::Insert(r2(t, t, t + 8.0, t + 8.0))
+                })
+                .collect();
+            let outcome = exec.apply_updates(&updates, tree, clip);
+            assert_eq!(outcome.inserted_ids().len(), 40);
+            assert!(outcome.trees_created >= 1);
+            assert_eq!(exec.live_count(), 40);
+            let q = r2(0.0, 0.0, 100.0, 100.0);
+            assert_eq!(exec.run(&[q], 1, true).results[0].len(), 40);
+            // Delete everything again: trees drop, answers empty.
+            let deletes: Vec<Update<2>> = (0..40).map(|i| Update::Delete(DataId(i))).collect();
+            let outcome = exec.apply_updates(&deletes, tree, clip);
+            assert_eq!(outcome.deletes_applied(), 40);
+            assert!(outcome.trees_dropped >= 1);
+            assert_eq!(exec.live_count(), 0);
+            assert_eq!(exec.tile_tree_count(), 0);
+            assert!(exec.run(&[q], 1, true).results[0].is_empty());
+            // Double delete reports false.
+            let again = exec.apply_updates(&[Update::<2>::Delete(DataId(3))], tree, clip);
+            assert_eq!(
+                again.results,
+                vec![crate::update::UpdateResult::Deleted(false)]
+            );
         }
 
         #[test]

@@ -479,49 +479,108 @@ fn join_tile<const D: usize, P: Partitioner<D>>(
     }
 }
 
-/// A single-slot [`TileForest`] cache keyed by [`DataVersion`]: the
-/// closing piece of the ROADMAP's "cache keyed by data version" item.
+/// A bounded LRU [`TileForest`] cache keyed by [`DataVersion`]: the
+/// closing piece of the ROADMAP's "cache keyed by data version" item,
+/// grown a capacity bound for the mutable-store era.
 ///
 /// A serving layer calls [`ForestCache::get_or_build`] with the current
 /// version of its dataset on every request that needs per-tile trees.
-/// While the version is unchanged the cached `Arc` is returned (a *hit*
-/// — no assignment, no bulk loading); when the data mutates and its
-/// version bumps, the next request builds a fresh forest and replaces
-/// the slot. Interior mutability (mutex + atomic counters) lets many
-/// executor threads share one cache behind an `Arc` or a read lock.
-#[derive(Default)]
+/// While a version stays cached its `Arc` is returned (a *hit* — no
+/// assignment, no bulk loading); a miss builds, stores, and evicts the
+/// least-recently-used version beyond [`ForestCache::capacity`]. Delta
+/// maintenance installs its freshly derived forests with
+/// [`ForestCache::insert`] — those count as neither build nor hit,
+/// which is exactly the point: an update batch produces a new version
+/// *without* a rebuild.
+///
+/// The capacity bound is what keeps a long-running service with
+/// frequent version bumps from retaining every forest it ever served:
+/// per-tile `Arc` sharing makes consecutive versions cheap, but a
+/// thousand epochs of unshared tiles are not. Interior mutability
+/// (mutex + atomic counters) lets many executor threads share one cache
+/// behind an `Arc` or a read lock.
 pub struct ForestCache<const D: usize> {
-    slot: Mutex<Option<(DataVersion, Arc<TileForest<D>>)>>,
+    /// Most-recently-used first.
+    slots: Mutex<Vec<(DataVersion, Arc<TileForest<D>>)>>,
+    capacity: usize,
     builds: AtomicU64,
     hits: AtomicU64,
 }
 
+/// Versions retained by default: the live one plus a few predecessors
+/// still referenced by in-flight batches.
+const DEFAULT_FOREST_CACHE_CAPACITY: usize = 4;
+
+impl<const D: usize> Default for ForestCache<D> {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_FOREST_CACHE_CAPACITY)
+    }
+}
+
 impl<const D: usize> ForestCache<D> {
-    /// An empty cache.
+    /// An empty cache with the default capacity.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// The forest for `version`: the cached one when the version
-    /// matches, otherwise `build()` (stored, replacing any older
-    /// version). The build runs under the slot lock — concurrent
-    /// requesters of the same version wait and then hit.
+    /// An empty cache retaining at most `capacity` versions (≥ 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "a cache needs room for one forest");
+        ForestCache {
+            slots: Mutex::new(Vec::new()),
+            capacity,
+            builds: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of retained versions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of versions currently retained.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("forest cache poisoned").len()
+    }
+
+    /// Whether no version is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The forest for `version`: the cached one when present (refreshed
+    /// to most-recently-used), otherwise `build()` (stored, evicting the
+    /// LRU version over capacity). The build runs under the cache lock —
+    /// concurrent requesters of the same version wait and then hit.
     pub fn get_or_build(
         &self,
         version: DataVersion,
         build: impl FnOnce() -> TileForest<D>,
     ) -> Arc<TileForest<D>> {
-        let mut slot = self.slot.lock().expect("forest cache poisoned");
-        if let Some((v, forest)) = slot.as_ref() {
-            if *v == version {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return forest.clone();
-            }
+        let mut slots = self.slots.lock().expect("forest cache poisoned");
+        if let Some(pos) = slots.iter().position(|(v, _)| *v == version) {
+            let hit = slots.remove(pos);
+            let forest = hit.1.clone();
+            slots.insert(0, hit);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return forest;
         }
         let forest = Arc::new(build());
-        *slot = Some((version, forest.clone()));
+        slots.insert(0, (version, forest.clone()));
+        slots.truncate(self.capacity);
         self.builds.fetch_add(1, Ordering::Relaxed);
         forest
+    }
+
+    /// Store an externally produced forest (a delta-applied one) as the
+    /// most-recently-used entry for `version`, evicting over capacity.
+    /// Counts as neither a build nor a hit.
+    pub fn insert(&self, version: DataVersion, forest: Arc<TileForest<D>>) {
+        let mut slots = self.slots.lock().expect("forest cache poisoned");
+        slots.retain(|(v, _)| *v != version);
+        slots.insert(0, (version, forest));
+        slots.truncate(self.capacity);
     }
 
     /// Number of forest builds performed (misses), over the cache's
@@ -535,10 +594,10 @@ impl<const D: usize> ForestCache<D> {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Drop the cached forest (next request builds regardless of
+    /// Drop every cached forest (next requests build regardless of
     /// version).
     pub fn invalidate(&self) {
-        *self.slot.lock().expect("forest cache poisoned") = None;
+        self.slots.lock().expect("forest cache poisoned").clear();
     }
 }
 
@@ -834,6 +893,49 @@ mod tests {
         cache.invalidate();
         let _ = cache.get_or_build(version, || build(&b));
         assert_eq!(cache.builds(), 3);
+    }
+
+    #[test]
+    fn forest_cache_lru_caps_retained_versions() {
+        let b = boxes(120, 26, 25.0);
+        let plan = plan2(3, 2);
+        let build =
+            |data: &[Rect<2>]| TileForest::build(&plan.partitioner, data, plan.tree, plan.clip, 2);
+        let cache: ForestCache<2> = ForestCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        assert!(cache.is_empty());
+        // Three distinct versions through a capacity-2 cache: the
+        // oldest is evicted, memory stays bounded.
+        for v in 0..3 {
+            let _ = cache.get_or_build(DataVersion(v), || build(&b));
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.builds(), 3);
+        // v0 was evicted: requesting it again is a miss (a rebuild).
+        let _ = cache.get_or_build(DataVersion(0), || build(&b));
+        assert_eq!(cache.builds(), 4);
+        // v2 was refreshed by nothing — v1 is now LRU and got evicted
+        // by v0's reinsertion; v2 is still a hit.
+        let _ = cache.get_or_build(DataVersion(2), || build(&b));
+        assert_eq!((cache.builds(), cache.hits()), (4, 1));
+        // A hit refreshes recency: touch v0, insert a new version, and
+        // v2 (not v0) is the one gone.
+        let _ = cache.get_or_build(DataVersion(0), || build(&b));
+        let _ = cache.get_or_build(DataVersion(9), || build(&b));
+        assert_eq!(cache.len(), 2);
+        let _ = cache.get_or_build(DataVersion(0), || build(&b));
+        assert_eq!(cache.builds(), 5, "v0 must still be resident");
+        // `insert` (the delta path) stores without counting a build and
+        // still respects the cap; re-inserting a version replaces it.
+        cache.insert(DataVersion(50), Arc::new(build(&b)));
+        cache.insert(DataVersion(50), Arc::new(build(&b)));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.builds(), 5);
+        let _ = cache.get_or_build(DataVersion(50), || build(&b));
+        assert_eq!(cache.builds(), 5, "inserted version is a hit");
+        assert!(!cache.is_empty());
+        cache.invalidate();
+        assert!(cache.is_empty());
     }
 
     #[test]

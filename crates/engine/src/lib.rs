@@ -19,6 +19,12 @@
 //!   ([`parallel_range_queries`]): a query workload sharded across
 //!   workers against one shared [`cbb_rtree::ClippedRTree`], answers in
 //!   workload order, [`cbb_rtree::AccessStats`] merged.
+//! * [`update`] — the write side: [`Update`] batches applied through
+//!   [`BatchExecutor::apply_updates`] route each object to its covering
+//!   tiles, maintain the per-tile clipped trees incrementally (§IV-D),
+//!   and share untouched tiles copy-on-write with the previous
+//!   [`TileForest`] — a versioned store instead of a rebuild-per-change
+//!   snapshot.
 //!
 //! Everything runs on `std::thread::scope` — no runtime, no work queues
 //! outlive a call, no external dependencies.
@@ -47,6 +53,7 @@ pub mod join;
 pub mod partition;
 pub mod pool;
 pub mod quadtree;
+pub mod update;
 
 pub use adaptive::AdaptiveGrid;
 pub use batch::{parallel_range_queries, BatchExecutor, BatchOutcome, KnnOutcome, TileForest};
@@ -56,3 +63,4 @@ pub use join::{
 };
 pub use partition::{load_imbalance, DataVersion, Partitioner, UniformGrid};
 pub use quadtree::QuadtreePartitioner;
+pub use update::{Update, UpdateOutcome, UpdateResult};

@@ -1,18 +1,27 @@
 //! Instrumented range and k-nearest-neighbour queries over the base
-//! (unclipped) tree.
+//! tree, plus the clip-aware kNN of [`ClippedRTree`].
 //!
 //! kNN is the classic best-first (MINDIST-ordered) search of Hjaltason &
 //! Samet: a priority queue holds nodes and objects keyed by their squared
 //! minimum distance to the query point, and the search stops once the
-//! next queue entry is farther than the current k-th best. Clip tables
-//! are window-pruning structures and do not apply here, so kNN always
-//! runs on the base tree.
+//! next queue entry is farther than the current k-th best.
+//!
+//! Clip points tighten that search: the clip regions are dead space, so
+//! a node's MINDIST can be raised from the distance to its MBB to the
+//! distance to its *live* remainder
+//! ([`cbb_core::clipped_min_dist_sq`]). This matters exactly in corner
+//! regions — a probe outside a clipped corner sees the node pushed away
+//! and skips it once k candidates are closer. Answers are identical to
+//! the base-tree search (the bound is a true lower bound); only the
+//! visit order and the access counters improve.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use cbb_core::clipped_min_dist_sq;
 use cbb_geom::{Point, Rect};
 
+use crate::clipped::ClippedRTree;
 use crate::node::{Child, DataId, NodeId};
 use crate::stats::AccessStats;
 use crate::tree::RTree;
@@ -197,7 +206,94 @@ impl<const D: usize> RTree<D> {
         stats.results += best.len() as u64;
         best
     }
+}
 
+impl<const D: usize> ClippedRTree<D> {
+    /// Clip-aware exact kNN: identical answers to [`RTree::knn`], with
+    /// clip points tightening node MINDISTs (see the module docs).
+    pub fn knn(&self, p: &Point<D>, k: usize) -> Vec<Neighbor> {
+        let mut stats = AccessStats::new();
+        self.knn_stats(p, k, &mut stats)
+    }
+
+    /// [`Self::knn`] collecting access statistics. `clip_tests` counts
+    /// bound evaluations; `clip_prunes` counts children whose plain
+    /// MINDIST would have been enqueued but whose clip-tightened bound
+    /// already exceeded the pruning radius.
+    pub fn knn_stats(&self, p: &Point<D>, k: usize, stats: &mut AccessStats) -> Vec<Neighbor> {
+        let mut best: Vec<Neighbor> = Vec::new();
+        if k == 0 || self.tree.is_empty() {
+            return best;
+        }
+        let root = self.tree.root_id();
+        let root_clips = self.clips_of(root);
+        stats.clip_tests += root_clips.len() as u64;
+        let mut queue = BinaryHeap::new();
+        queue.push(QueueEntry {
+            dist: clipped_min_dist_sq(&self.tree.node(root).mbb, root_clips, p),
+            target: Target::Node(root),
+        });
+        while let Some(entry) = queue.pop() {
+            if entry.dist > prune_radius(&best, k) {
+                // The search is over: everything still queued is at
+                // least this far. Attribute the nodes the *plain*
+                // MINDIST would have opened — skipped only thanks to
+                // their clip-tightened keys — to `clip_prunes`.
+                let radius = prune_radius(&best, k);
+                for e in std::iter::once(entry).chain(queue.drain()) {
+                    if let Target::Node(id) = e.target {
+                        if self.tree.node(id).mbb.min_dist_sq(p) <= radius {
+                            stats.clip_prunes += 1;
+                        }
+                    }
+                }
+                break;
+            }
+            match entry.target {
+                Target::Object(id) => push_neighbor(&mut best, k, id, entry.dist),
+                Target::Node(id) => {
+                    let node = self.tree.node(id);
+                    if node.is_leaf() {
+                        stats.leaf_accesses += 1;
+                    } else {
+                        stats.internal_accesses += 1;
+                    }
+                    for e in &node.entries {
+                        let plain = e.mbb.min_dist_sq(p);
+                        if plain > prune_radius(&best, k) {
+                            continue;
+                        }
+                        match e.child {
+                            Child::Data(d) => queue.push(QueueEntry {
+                                dist: plain,
+                                target: Target::Object(d),
+                            }),
+                            Child::Node(n) => {
+                                let clips = self.clips_of(n);
+                                stats.clip_tests += clips.len() as u64;
+                                let dist = clipped_min_dist_sq(&e.mbb, clips, p);
+                                if dist > prune_radius(&best, k) {
+                                    // The plain bound admitted this child;
+                                    // only the clip points excluded it.
+                                    stats.clip_prunes += 1;
+                                    continue;
+                                }
+                                queue.push(QueueEntry {
+                                    dist,
+                                    target: Target::Node(n),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        stats.results += best.len() as u64;
+        best
+    }
+}
+
+impl<const D: usize> RTree<D> {
     /// Collect every `(mbb, id)` stored in the tree (test/debug helper).
     pub fn all_objects(&self) -> Vec<(Rect<D>, DataId)> {
         let mut out = Vec::with_capacity(self.len());
@@ -336,6 +432,101 @@ mod tests {
             stats.leaf_accesses < tree.leaf_count() as u64,
             "best-first search must not scan every leaf"
         );
+    }
+
+    /// Diagonal data: every node's MBB is a square around a stretch of
+    /// the diagonal, so both off-diagonal corners are dead space — the
+    /// layout clip-aware kNN exists for.
+    fn diagonal_clipped(variant: Variant) -> crate::ClippedRTree<2> {
+        use cbb_core::{ClipConfig, ClipMethod};
+        let mut tree = RTree::new(TreeConfig::tiny(variant));
+        for i in 0..150 {
+            let t = i as f64 * 15.0;
+            let r = Rect::new(Point([t, t]), Point([t + 10.0, t + 10.0]));
+            tree.insert(r, DataId(i));
+        }
+        crate::ClippedRTree::from_tree(tree, ClipConfig::paper_default::<2>(ClipMethod::Stairline))
+    }
+
+    #[test]
+    fn clipped_knn_matches_base_tree_exactly() {
+        for variant in Variant::ALL {
+            let clipped = diagonal_clipped(variant);
+            // Dense probe sweep: on the diagonal, off in both corner
+            // directions, and far outside the data.
+            for t in [-150.0, 0.0, 400.0, 1_100.0, 2_400.0] {
+                for off in [0.0, 35.0, 220.0, 900.0] {
+                    for p in [Point([t + off, t - off]), Point([t - off, t + off])] {
+                        for k in [1, 4, 17, 80, 200] {
+                            assert_eq!(
+                                clipped.knn(&p, k),
+                                clipped.tree.knn(&p, k),
+                                "{variant:?} p={p:?} k={k}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clipped_knn_prunes_corner_probes() {
+        // Aggregate over off-diagonal probes: the clip-tightened bound
+        // must cut node accesses, never add any, and actually fire.
+        let clipped = diagonal_clipped(Variant::RStar);
+        let mut base_stats = AccessStats::new();
+        let mut clip_stats = AccessStats::new();
+        for i in 0..60 {
+            // Probes sitting in the dead corners beside the diagonal.
+            let t = 30.0 * i as f64;
+            let off = 80.0 + 9.0 * (i % 7) as f64;
+            let p = Point([t + off, t - off]);
+            for k in [1, 3, 8] {
+                let base = clipped.tree.knn_stats(&p, k, &mut base_stats);
+                let clip = clipped.knn_stats(&p, k, &mut clip_stats);
+                assert_eq!(base, clip);
+            }
+        }
+        let base_accesses = base_stats.leaf_accesses + base_stats.internal_accesses;
+        let clip_accesses = clip_stats.leaf_accesses + clip_stats.internal_accesses;
+        assert!(
+            clip_accesses <= base_accesses,
+            "clip-aware kNN added accesses ({clip_accesses} vs {base_accesses})"
+        );
+        assert!(
+            clip_accesses < base_accesses,
+            "corner probes must save accesses ({clip_accesses} vs {base_accesses})"
+        );
+        assert!(clip_stats.clip_prunes > 0, "the bound never fired");
+        assert!(clip_stats.clip_tests > 0);
+        assert_eq!(base_stats.results, clip_stats.results);
+    }
+
+    #[test]
+    fn unclipped_wrapper_knn_equals_base_with_same_stats() {
+        let tree = grid_tree(Variant::Quadratic);
+        let wrapped = crate::ClippedRTree::unclipped(tree);
+        let p = Point([7.3, 11.9]);
+        let mut s1 = AccessStats::new();
+        let mut s2 = AccessStats::new();
+        let a = wrapped.tree.knn_stats(&p, 6, &mut s1);
+        let b = wrapped.knn_stats(&p, 6, &mut s2);
+        assert_eq!(a, b);
+        assert_eq!(s1, s2, "an empty clip table changes nothing");
+        assert_eq!(s2.clip_prunes, 0);
+    }
+
+    #[test]
+    fn clipped_knn_edge_cases() {
+        let clipped = diagonal_clipped(Variant::RRStar);
+        let p = Point([200.0, 200.0]);
+        assert!(clipped.knn(&p, 0).is_empty());
+        let empty =
+            crate::ClippedRTree::unclipped(RTree::<2>::new(TreeConfig::tiny(Variant::RStar)));
+        assert!(empty.knn(&p, 5).is_empty());
+        // k beyond the population returns everything, base-identical.
+        assert_eq!(clipped.knn(&p, 10_000), clipped.tree.knn(&p, 10_000));
     }
 
     #[test]

@@ -80,6 +80,8 @@ pub struct RTree<const D: usize> {
     len: usize,
     /// World bounds for Hilbert keys: fixed from config or grown from data.
     world: Option<Rect<D>>,
+    /// Cumulative node constructions (see [`Self::nodes_allocated`]).
+    allocated: u64,
 }
 
 impl<const D: usize> RTree<D> {
@@ -93,7 +95,18 @@ impl<const D: usize> RTree<D> {
             config,
             len: 0,
             world,
+            allocated: 1,
         }
+    }
+
+    /// Cumulative count of node constructions over the tree's lifetime
+    /// (bulk-load packing, splits, new roots — recycled arena slots
+    /// included). Never decreases; the difference across an update batch
+    /// is a machine-independent measure of structural build work, which
+    /// is what `BENCH_update.json` compares between delta-apply and
+    /// rebuild-per-batch.
+    pub fn nodes_allocated(&self) -> u64 {
+        self.allocated
     }
 
     /// Number of indexed objects.
@@ -156,6 +169,7 @@ impl<const D: usize> RTree<D> {
     }
 
     fn alloc(&mut self, node: Node<D>) -> NodeId {
+        self.allocated += 1;
         if let Some(id) = self.free_list.pop() {
             self.nodes[id.0 as usize] = node;
             id

@@ -5,17 +5,26 @@
 //! until it holds `batch_max` requests or `batch_deadline` has passed
 //! since the batch opened — the classic group-commit trade: a bounded
 //! dash of added latency buys amortised dispatch over the executor.
-//! Execution groups the batch by request kind (clipped ranges, baseline
-//! ranges, kNN probes, joins) so each group rides one executor call.
+//!
+//! Writes in the batch run **first**: every `Insert`/`Delete`/
+//! `UpdateBatch` is coalesced into one ordered engine apply under the
+//! state write lock with a *single* version bump (group commit for
+//! index maintenance), and the delta-derived forest is installed into
+//! the version cache without any rebuild. The batch's reads then
+//! execute under the read lock, observing the batch's own writes.
+//! Reads are grouped by kind (clipped ranges, baseline ranges, kNN
+//! probes, joins) so each group rides one executor call.
 
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
-use cbb_engine::{partitioned_join_with, BatchExecutor, JoinPlan, Partitioner, SplitPolicy};
+use cbb_engine::{
+    partitioned_join_with, BatchExecutor, JoinPlan, Partitioner, SplitPolicy, Update, UpdateResult,
+};
 use cbb_geom::{Point, Rect};
 
 use crate::queue::{Bounded, Popped};
-use crate::request::{Completion, Request, Response};
+use crate::request::{Completion, Request, Response, UpdateSummary};
 use crate::service::{Envelope, SharedState};
 
 /// Pull one micro-batch off the queue: block for the first request,
@@ -51,12 +60,83 @@ where
 {
     let picked_up = Instant::now();
     let size = batch.len();
+    let workers = shared.config.exec_workers;
+    let mut responses: Vec<Option<Response>> = std::iter::repeat_with(|| None).take(size).collect();
+
+    // ── Writes first: coalesce every write of the micro-batch into one
+    // ordered engine apply — one write lock, one version bump, one
+    // delta-derived forest installed into the cache (no rebuild).
+    let mut ops: Vec<Update<D>> = Vec::new();
+    let mut write_slots: Vec<(usize, usize, usize)> = Vec::new(); // (slot, lo, hi) into `ops`
+    for (slot, env) in batch.iter().enumerate() {
+        let lo = ops.len();
+        match &env.request {
+            Request::Insert { rect } => ops.push(Update::Insert(*rect)),
+            Request::Delete { id } => ops.push(Update::Delete(*id)),
+            Request::UpdateBatch { updates } => ops.extend(updates.iter().copied()),
+            _ => continue,
+        }
+        write_slots.push((slot, lo, ops.len()));
+    }
+    if !write_slots.is_empty() {
+        let (version, results) = if ops.is_empty() {
+            // Only empty UpdateBatch requests: nothing to apply, no bump.
+            let state = shared.state.read().expect("service state poisoned");
+            (state.version, Vec::new())
+        } else {
+            let mut state = shared.state.write().expect("service state poisoned");
+            let outcome = state.executor.apply_updates(&ops, shared.tree, shared.clip);
+            // A batch whose writes all turned out to be no-ops (dead-id
+            // deletes, rejected inserts) changed nothing: no version
+            // bump, no cache install, no applied-update accounting —
+            // retry storms must not churn versions or evict cached
+            // forests.
+            let applied = outcome
+                .results
+                .iter()
+                .filter(|r| matches!(r, UpdateResult::Inserted(_) | UpdateResult::Deleted(true)))
+                .count() as u64;
+            if applied > 0 {
+                state.version.bump();
+                shared
+                    .cache
+                    .insert(state.version, state.executor.forest().clone());
+            }
+            let version = state.version;
+            drop(state);
+            if applied > 0 {
+                shared
+                    .stats
+                    .record_write_batch(applied, outcome.nodes_allocated);
+            }
+            (version, outcome.results)
+        };
+        for (slot, lo, hi) in write_slots {
+            responses[slot] = Some(match &batch[slot].request {
+                Request::Insert { .. } => Response::Inserted(match results[lo] {
+                    UpdateResult::Inserted(id) => Some(id),
+                    UpdateResult::Rejected => None,
+                    UpdateResult::Deleted(_) => unreachable!("insert answered as delete"),
+                }),
+                Request::Delete { .. } => Response::Deleted(match results[lo] {
+                    UpdateResult::Deleted(ok) => ok,
+                    _ => unreachable!("delete answered as insert"),
+                }),
+                Request::UpdateBatch { .. } => Response::Updated(UpdateSummary {
+                    version,
+                    results: results[lo..hi].to_vec(),
+                }),
+                _ => unreachable!("write slot holds a read"),
+            });
+        }
+    }
+
+    // ── Reads under the read lock, acquired after the writes: the
+    // batch's reads observe the batch's writes.
     let state = shared.state.read().expect("service state poisoned");
     let executor: &BatchExecutor<D, P> = &state.executor;
-    let workers = shared.config.exec_workers;
 
     // Group by kind, remembering each request's slot in the batch.
-    let mut responses: Vec<Option<Response>> = std::iter::repeat_with(|| None).take(size).collect();
     let mut clipped: Vec<(usize, Rect<D>)> = Vec::new();
     let mut baseline: Vec<(usize, Rect<D>)> = Vec::new();
     let mut knns: Vec<(usize, (Point<D>, usize))> = Vec::new();
@@ -94,6 +174,8 @@ where
                 shared.stats.forest_hits.fetch_add(1, Ordering::Relaxed);
                 responses[slot] = Some(Response::Join(result));
             }
+            // Writes were already applied and answered above.
+            Request::Insert { .. } | Request::Delete { .. } | Request::UpdateBatch { .. } => {}
         }
     }
     for (group, use_clips) in [(&clipped, true), (&baseline, false)] {

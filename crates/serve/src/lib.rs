@@ -21,7 +21,7 @@
 //!  ───────┘    handles                                      ForestCache)
 //! ```
 //!
-//! Three properties the tests pin down:
+//! Four properties the tests pin down:
 //!
 //! * **Transparency** — a batched answer is byte-identical to calling
 //!   the executor directly with the same request; batching changes
@@ -32,8 +32,13 @@
 //! * **Version-keyed reuse** — per-tile trees are built once per
 //!   [`cbb_engine::DataVersion`] and served from the
 //!   [`cbb_engine::ForestCache`] across requests; repeated joins on
-//!   unchanged data rebuild nothing, and
-//!   [`QueryService::swap_data`] is the only invalidation point.
+//!   unchanged data rebuild nothing.
+//! * **Mutability without rebuilds** — `Insert`/`Delete`/`UpdateBatch`
+//!   requests are coalesced per micro-batch into one atomic
+//!   delta-apply (a single version bump, copy-on-write tile sharing);
+//!   answers afterwards equal a wholesale `swap_data` with the same
+//!   surviving objects, and a request admitted after a write completes
+//!   observes that write.
 //!
 //! Everything is `std`: scoped threads, `Mutex`/`Condvar` queues and
 //! one-shots — no async runtime, in keeping with the workspace's
@@ -46,9 +51,10 @@ pub mod request;
 pub mod service;
 pub mod stats;
 
+pub use cbb_engine::{Update, UpdateResult};
 pub use handle::{Canceled, CompletionHandle};
 pub use queue::{Closed, TryPushError};
-pub use request::{Completion, Request, Response};
+pub use request::{Completion, Request, Response, UpdateSummary};
 pub use service::{QueryService, ServiceConfig};
 pub use stats::ServiceReport;
 

@@ -1,14 +1,22 @@
-//! The service's wire types: requests, responses, and per-request
-//! timing.
+//! The service's wire types: requests (reads *and* writes), responses,
+//! and per-request timing.
 
 use std::time::Duration;
 
-use cbb_engine::JoinAlgo;
+use cbb_engine::{DataVersion, JoinAlgo, Update, UpdateResult};
 use cbb_geom::{Point, Rect};
 use cbb_joins::JoinResult;
 use cbb_rtree::{DataId, Neighbor};
 
-/// One query against the service's dataset.
+/// One request against the service's dataset — a query or a mutation.
+///
+/// Writes flow through the same queue and micro-batcher as reads: all
+/// writes sharing a micro-batch are coalesced into **one** atomic
+/// engine apply with a **single** [`DataVersion`] bump (none at all
+/// when every write turns out to be a no-op), then the batch's reads
+/// run against the updated store. A request admitted after a write's
+/// completion handle resolves is guaranteed to observe that write
+/// (read-your-writes).
 #[derive(Clone, Debug)]
 pub enum Request<const D: usize> {
     /// All objects intersecting `query`. `use_clips` selects clipped
@@ -24,6 +32,34 @@ pub enum Request<const D: usize> {
         algo: JoinAlgo,
         use_clips: bool,
     },
+    /// Insert one object; the store assigns and returns its [`DataId`].
+    Insert { rect: Rect<D> },
+    /// Delete one object by id (answers `false` for dead/unknown ids).
+    Delete { id: DataId },
+    /// A pre-grouped write batch, applied atomically in order under the
+    /// same single version bump as the rest of its micro-batch.
+    UpdateBatch { updates: Vec<Update<D>> },
+}
+
+impl<const D: usize> Request<D> {
+    /// Whether this request mutates the dataset.
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            Request::Insert { .. } | Request::Delete { .. } | Request::UpdateBatch { .. }
+        )
+    }
+}
+
+/// The answer to an [`Request::UpdateBatch`]: per-update results plus
+/// the version the batch's bump produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UpdateSummary {
+    /// The data version installed by the micro-batch that carried this
+    /// request (shared by every write in the batch).
+    pub version: DataVersion,
+    /// One result per submitted update, in order.
+    pub results: Vec<UpdateResult>,
 }
 
 /// The answer to one [`Request`].
@@ -35,6 +71,13 @@ pub enum Response {
     Knn(Vec<Neighbor>),
     /// Join counters (pair count and I/O metrics).
     Join(JoinResult),
+    /// The id assigned to an applied [`Request::Insert`], or `None`
+    /// when the rectangle was rejected (non-finite).
+    Inserted(Option<DataId>),
+    /// Whether the [`Request::Delete`]'s object was live and removed.
+    Deleted(bool),
+    /// Per-update results of an [`Request::UpdateBatch`].
+    Updated(UpdateSummary),
 }
 
 impl Response {
@@ -59,6 +102,30 @@ impl Response {
         match self {
             Response::Join(r) => r,
             other => panic!("expected a join response, got {other:?}"),
+        }
+    }
+
+    /// The assigned insert id, panicking on other variants.
+    pub fn into_inserted(self) -> Option<DataId> {
+        match self {
+            Response::Inserted(id) => id,
+            other => panic!("expected an insert response, got {other:?}"),
+        }
+    }
+
+    /// The delete flag, panicking on other variants.
+    pub fn into_deleted(self) -> bool {
+        match self {
+            Response::Deleted(ok) => ok,
+            other => panic!("expected a delete response, got {other:?}"),
+        }
+    }
+
+    /// The update summary, panicking on other variants.
+    pub fn into_updated(self) -> UpdateSummary {
+        match self {
+            Response::Updated(summary) => summary,
+            other => panic!("expected an update response, got {other:?}"),
         }
     }
 }

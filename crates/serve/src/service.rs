@@ -95,10 +95,16 @@ pub(crate) struct SharedState<const D: usize, P> {
 /// Construction partitions the dataset and bulk-loads the per-tile
 /// clipped trees once (through the [`ForestCache`], keyed by
 /// [`DataVersion`]); every range/kNN/join request is then served from
-/// those trees until [`QueryService::swap_data`] installs a new dataset
-/// and bumps the version. [`QueryService::shutdown`] closes admission,
-/// drains the queue — every accepted request is answered — and joins
-/// the dispatcher threads.
+/// those trees. The store is **mutable**: `Insert`/`Delete`/
+/// `UpdateBatch` requests ride the same queue, are coalesced per
+/// micro-batch into one atomic delta-apply with a single version bump
+/// (untouched tiles shared copy-on-write with the previous version —
+/// no rebuild), and requests admitted after a write completes observe
+/// it. [`QueryService::swap_data`] remains the wholesale path: it
+/// replaces the dataset, re-keys the id space, and rebuilds through
+/// the cache. [`QueryService::shutdown`] closes admission, drains the
+/// queue — every accepted request is answered — and joins the
+/// dispatcher threads.
 pub struct QueryService<const D: usize, P> {
     shared: Arc<SharedState<D, P>>,
     dispatchers: Vec<JoinHandle<()>>,
@@ -257,13 +263,25 @@ where
         state.executor = BatchExecutor::with_forest(partitioner, objects, forest);
     }
 
-    /// The data version requests are currently served from.
+    /// The data version requests are currently served from. Advances by
+    /// one per `swap_data`/`swap_data_with` call and per micro-batch
+    /// that applied writes (all writes sharing a batch ride one bump).
     pub fn data_version(&self) -> DataVersion {
         self.shared
             .state
             .read()
             .expect("service state poisoned")
             .version
+    }
+
+    /// Number of live (queryable) objects in the store.
+    pub fn live_object_count(&self) -> usize {
+        self.shared
+            .state
+            .read()
+            .expect("service state poisoned")
+            .executor
+            .live_count()
     }
 
     /// Requests currently queued (admitted, not yet picked up).

@@ -16,6 +16,14 @@ pub struct ServiceStats {
     /// forest (every join, unless it raced a `swap_data` rebuild —
     /// lock-free, unlike the `ForestCache` hit counter).
     pub(crate) forest_hits: AtomicU64,
+    /// Micro-batches that carried at least one applied write (each such
+    /// batch bumps the data version exactly once).
+    pub(crate) write_batches: AtomicU64,
+    /// Individual updates applied across all write batches.
+    pub(crate) updates_applied: AtomicU64,
+    /// R-tree nodes constructed by delta maintenance (the rebuild-free
+    /// structural cost of the write path).
+    pub(crate) delta_nodes_allocated: AtomicU64,
 }
 
 impl ServiceStats {
@@ -25,6 +33,13 @@ impl ServiceStats {
             .fetch_add(size as u64, Ordering::Relaxed);
         self.completed.fetch_add(size as u64, Ordering::Relaxed);
         self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_write_batch(&self, updates: u64, nodes_allocated: u64) {
+        self.write_batches.fetch_add(1, Ordering::Relaxed);
+        self.updates_applied.fetch_add(updates, Ordering::Relaxed);
+        self.delta_nodes_allocated
+            .fetch_add(nodes_allocated, Ordering::Relaxed);
     }
 
     pub(crate) fn snapshot(&self, forest_builds: u64) -> ServiceReport {
@@ -43,6 +58,9 @@ impl ServiceStats {
             max_batch: self.max_batch.load(Ordering::Relaxed),
             forest_builds,
             forest_hits: self.forest_hits.load(Ordering::Relaxed),
+            write_batches: self.write_batches.load(Ordering::Relaxed),
+            updates_applied: self.updates_applied.load(Ordering::Relaxed),
+            delta_nodes_allocated: self.delta_nodes_allocated.load(Ordering::Relaxed),
         }
     }
 }
@@ -62,9 +80,21 @@ pub struct ServiceReport {
     pub mean_batch: f64,
     /// Largest batch executed.
     pub max_batch: u64,
-    /// Tile-forest builds performed by the version-keyed cache
-    /// (one per data version installed).
+    /// Tile-forest builds performed by the version-keyed cache. Only
+    /// wholesale (re)builds count — versions produced by delta-applied
+    /// write batches install without one.
     pub forest_builds: u64,
     /// Join requests served from the cached forest without any rebuild.
     pub forest_hits: u64,
+    /// Micro-batches that applied at least one write (= version bumps
+    /// from the write path; each coalesces every write sharing the
+    /// batch, and all-no-op batches bump nothing).
+    pub write_batches: u64,
+    /// Individual updates *applied* across all write batches (no-op
+    /// deletes of dead ids and rejected inserts are not counted).
+    pub updates_applied: u64,
+    /// R-tree nodes constructed by delta maintenance — compare against
+    /// the node count of one wholesale rebuild to see what batching
+    /// plus delta-apply saved.
+    pub delta_nodes_allocated: u64,
 }

@@ -65,12 +65,13 @@ pub mod prelude {
     pub use cbb_engine::{
         parallel_range_queries, partitioned_join, partitioned_join_with, AdaptiveGrid,
         BatchExecutor, BatchOutcome, DataVersion, ForestCache, JoinAlgo, JoinPlan, KnnOutcome,
-        Partitioner, QuadtreePartitioner, SplitPolicy, TileForest, UniformGrid,
+        Partitioner, QuadtreePartitioner, SplitPolicy, TileForest, UniformGrid, Update,
+        UpdateOutcome, UpdateResult,
     };
     pub use cbb_geom::{CornerMask, Point, Rect};
     pub use cbb_joins::JoinResult;
     pub use cbb_rtree::{
         AccessStats, ClippedRTree, DataId, Neighbor, NodeId, RTree, TreeConfig, Variant,
     };
-    pub use cbb_serve::{QueryService, Request, Response, ServiceConfig};
+    pub use cbb_serve::{QueryService, Request, Response, ServiceConfig, UpdateSummary};
 }

@@ -21,9 +21,9 @@ use cbb_bench::{header, row, smoke_mode};
 use cbb_core::{ClipConfig, ClipMethod};
 use cbb_datasets::skew::clustered_with_layout;
 use cbb_datasets::stream::{query_stream, StreamKind, StreamProfile};
-use cbb_engine::{AdaptiveGrid, JoinAlgo};
+use cbb_engine::{AdaptiveGrid, BatchExecutor, JoinAlgo};
 use cbb_rtree::{TreeConfig, Variant};
-use cbb_serve::{QueryService, Request, ServiceConfig};
+use cbb_serve::{Completion, QueryService, Request, Response, ServiceConfig};
 
 struct ConfigRow {
     name: &'static str,
@@ -89,6 +89,13 @@ fn main() {
          (burstiness 4, 20% kNN), adaptive 6×6 grid, R*-tree + CSTA",
     );
 
+    // The pre-catalog single-store oracle: a direct `BatchExecutor`
+    // over the same data. The catalog-routed service must answer a
+    // sample of the stream identically, so the bench numbers stay
+    // comparable across the refactor.
+    let direct = BatchExecutor::build(partitioner.clone(), &data.boxes, tree, clip, 4);
+    let verify = stream.len().min(64);
+
     let configs = [
         ConfigRow {
             name: "unbatched",
@@ -130,6 +137,7 @@ fn main() {
         };
         let service =
             QueryService::start(config, partitioner.clone(), data.boxes.clone(), tree, clip);
+        let dataset = service.default_dataset();
 
         // Replay the stream open-loop, then collect every completion.
         let started = Instant::now();
@@ -141,10 +149,12 @@ fn main() {
             }
             let request = match &q.kind {
                 StreamKind::Range(rect) => Request::Range {
+                    dataset,
                     query: *rect,
                     use_clips: true,
                 },
                 StreamKind::Knn(center, k) => Request::Knn {
+                    dataset,
                     center: *center,
                     k: *k,
                 },
@@ -152,11 +162,36 @@ fn main() {
             };
             handles.push(service.submit(request).expect("service is open"));
         }
-        let mut latencies_ms: Vec<f64> = handles
+        let completions: Vec<Completion> = handles
             .into_iter()
-            .map(|h| h.wait().expect("request served").latency().as_secs_f64() * 1e3)
+            .map(|h| h.wait().expect("request served"))
             .collect();
         let wall = started.elapsed().as_secs_f64();
+
+        // Catalog path ≡ pre-catalog single store: the sampled answers
+        // must be identical to the direct executor's.
+        for (q, completion) in stream.iter().zip(&completions).take(verify) {
+            match (&q.kind, &completion.response) {
+                (StreamKind::Range(rect), Response::Range(ids)) => {
+                    let want = direct.run(&[*rect], 1, true).results.remove(0);
+                    assert_eq!(ids, &want, "catalog range diverged from single store");
+                }
+                (StreamKind::Knn(center, k), Response::Knn(nn)) => {
+                    let want = direct.run_knn(&[(*center, *k)], 1).results.remove(0);
+                    assert_eq!(nn, &want, "catalog kNN diverged from single store");
+                }
+                (kind, response) => unreachable!("{kind:?} answered with {response:?}"),
+            }
+        }
+        assert_eq!(
+            service.data_version(),
+            service.dataset_version(dataset).unwrap()
+        );
+
+        let mut latencies_ms: Vec<f64> = completions
+            .iter()
+            .map(|c| c.latency().as_secs_f64() * 1e3)
+            .collect();
         latencies_ms.sort_by(|a, b| a.total_cmp(b));
 
         // Repeat joins on the warm service: the version-keyed cache must
@@ -164,6 +199,7 @@ fn main() {
         for _ in 0..3 {
             let result = service
                 .submit(Request::Join {
+                    dataset,
                     probes: join_probes.clone(),
                     algo: JoinAlgo::Stt,
                     use_clips: true,

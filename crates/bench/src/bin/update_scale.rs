@@ -25,7 +25,7 @@ use cbb_bench::{header, row, smoke_mode};
 use cbb_core::{ClipConfig, ClipMethod};
 use cbb_datasets::skew::clustered_with_layout;
 use cbb_datasets::stream::{query_stream, StreamKind, StreamProfile};
-use cbb_engine::{AdaptiveGrid, BatchExecutor, TileForest, Update};
+use cbb_engine::{AdaptiveGrid, BatchExecutor, CompactionPolicy, TileForest, Update};
 use cbb_geom::{Point, Rect, SplitMix64};
 use cbb_rtree::{DataId, TreeConfig, Variant};
 use cbb_serve::{QueryService, Request, ServiceConfig};
@@ -98,8 +98,13 @@ fn main() {
     );
 
     // ── Delta-apply: one build, then per-tile incremental maintenance.
+    // Compaction is disabled on every mode: the rebuild oracle below
+    // mirrors the arena append-only, and the pre/post-catalog node
+    // numbers stay directly comparable (slot reuse would not change
+    // them, but determinism beats trusting that).
     let started = Instant::now();
     let mut exec = BatchExecutor::build(partitioner.clone(), &data.boxes, tree, clip, workers);
+    exec.store_mut().set_compaction(CompactionPolicy::never());
     let initial_build_nodes = exec.forest().nodes_allocated();
     let mut delta_nodes = 0u64;
     let mut delta_tiles = 0usize;
@@ -166,6 +171,7 @@ fn main() {
     let service = QueryService::start(
         ServiceConfig {
             exec_workers: workers,
+            compaction: CompactionPolicy::never(),
             ..ServiceConfig::default()
         },
         partitioner.clone(),
@@ -173,9 +179,11 @@ fn main() {
         tree,
         clip,
     );
+    let dataset = service.default_dataset();
     for ops in script.chunks(ops_per_batch) {
         let summary = service
             .submit(Request::UpdateBatch {
+                dataset,
                 updates: ops.to_vec(),
             })
             .expect("service is open")
@@ -188,10 +196,40 @@ fn main() {
     let serve_wall = started.elapsed().as_secs_f64() * 1e3;
     assert_eq!(service.live_object_count(), exec.live_count());
     assert_eq!(service.data_version().0, batches as u64);
+    assert_eq!(
+        service.data_version(),
+        service.dataset_version(dataset).unwrap(),
+        "the single-store shim reads the default catalog dataset"
+    );
+    // Catalog path ≡ pre-catalog single store: the served answers must
+    // be identical to the directly maintained executor's.
+    for (i, q) in queries.iter().enumerate() {
+        let served = service
+            .submit(Request::Range {
+                dataset,
+                query: *q,
+                use_clips: true,
+            })
+            .expect("service is open")
+            .wait()
+            .expect("query served")
+            .response
+            .into_range();
+        assert_eq!(
+            sorted(served),
+            sorted(delta_answers.results[i].clone()),
+            "catalog answer diverged from the single-store executor on query {i}"
+        );
+    }
     let report = service.shutdown();
     assert_eq!(report.forest_builds, 1, "the write path must not rebuild");
     assert_eq!(report.write_batches, batches as u64);
     assert_eq!(report.delta_nodes_allocated, delta_nodes);
+    let ds_row = report
+        .dataset(dataset)
+        .expect("default dataset is in the report");
+    assert_eq!(ds_row.write_batches, batches as u64);
+    assert_eq!(ds_row.delta_nodes_allocated, delta_nodes);
 
     // The point of the exercise, enforced: delta maintenance builds
     // measurably less structure than rebuild-per-batch.

@@ -23,6 +23,7 @@
 //! (≈1 / ≈10 / ≈100 results).
 
 pub mod dataset;
+pub mod multi;
 pub mod neuro;
 pub mod par;
 pub mod queries;
@@ -32,6 +33,7 @@ pub mod skew;
 pub mod stream;
 
 pub use dataset::Dataset;
+pub use multi::{layers, LayerKind, LayerSpec, NamedLayer};
 pub use queries::{generate_queries, QueryProfile};
 pub use registry::{dataset2, dataset3, Scale, DATASETS_2D, DATASETS_3D};
 pub use skew::{clustered, clustered_with_layout, zipfian};

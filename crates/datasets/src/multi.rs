@@ -1,0 +1,171 @@
+//! Multi-layer catalog workloads: several **named** datasets over one
+//! shared domain, each with its own spatial character.
+//!
+//! Production spatial catalogs (SATO-style — Aji et al., *Effective
+//! Spatial Data Partitioning for Scalable Query Processing*) hold many
+//! layers side by side: roads, buildings, points of interest — drawn
+//! from *different* distributions but co-located, because cross-layer
+//! joins ("which POIs touch which roads") are the workload that
+//! matters. [`layers`] generates that shape deterministically: every
+//! layer shares the `1 000 000`-unit domain and, for the clustered
+//! kinds, a common blob layout (`layout_seed`), so the layers overlap
+//! where real layers overlap — in the cities — and cross-layer joins
+//! produce pairs instead of near-disjoint noise.
+
+use crate::dataset::Dataset;
+use crate::skew::{clustered_with_layout, zipfian};
+
+/// The spatial character of one catalog layer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LayerKind {
+    /// Zipf-populated blobs over a sparse background
+    /// ([`clustered_with_layout`]); blob centres come from the shared
+    /// layout seed, so every clustered layer clusters in the *same*
+    /// places.
+    Clustered {
+        /// Number of blobs.
+        clusters: usize,
+        /// Blob half-width.
+        spread: f64,
+        /// Uniform background fraction (0..1).
+        background: f64,
+    },
+    /// Smooth heavy-tailed density without distinct blobs
+    /// ([`zipfian`]).
+    Zipfian {
+        /// Zipf-ranked cells per axis.
+        cells: usize,
+    },
+}
+
+/// One layer request: its catalog name, distribution, and size.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LayerSpec {
+    /// The name the layer will be served under.
+    pub name: &'static str,
+    /// Its distribution.
+    pub kind: LayerKind,
+    /// Objects to generate.
+    pub n: usize,
+}
+
+impl LayerSpec {
+    /// A clustered layer with the bench-default blob shape.
+    pub fn clustered(name: &'static str, n: usize) -> Self {
+        LayerSpec {
+            name,
+            kind: LayerKind::Clustered {
+                clusters: 6,
+                spread: 30_000.0,
+                background: 0.15,
+            },
+            n,
+        }
+    }
+
+    /// A Zipfian layer with the bench-default cell count.
+    pub fn zipfian(name: &'static str, n: usize) -> Self {
+        LayerSpec {
+            name,
+            kind: LayerKind::Zipfian { cells: 8 },
+            n,
+        }
+    }
+}
+
+/// One generated catalog layer: the name to register it under and its
+/// objects.
+#[derive(Clone, Debug)]
+pub struct NamedLayer<const D: usize> {
+    /// Catalog name.
+    pub name: &'static str,
+    /// The layer's objects and shared domain.
+    pub dataset: Dataset<D>,
+}
+
+/// Generate every requested layer over one shared domain. Clustered
+/// layers share `layout_seed` (same blob centres — co-located layers),
+/// while each layer's object draws are seeded independently
+/// (`seed ^ index`), so layers are correlated in *place* but not in
+/// *content*. Deterministic per `(specs, layout_seed, seed)`.
+pub fn layers<const D: usize>(
+    specs: &[LayerSpec],
+    layout_seed: u64,
+    seed: u64,
+) -> Vec<NamedLayer<D>> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let layer_seed = seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut dataset = match spec.kind {
+                LayerKind::Clustered {
+                    clusters,
+                    spread,
+                    background,
+                } => clustered_with_layout::<D>(
+                    spec.n,
+                    clusters,
+                    spread,
+                    background,
+                    layout_seed,
+                    layer_seed,
+                ),
+                LayerKind::Zipfian { cells } => zipfian::<D>(spec.n, cells, layer_seed),
+            };
+            dataset.name = spec.name.to_string();
+            NamedLayer {
+                name: spec.name,
+                dataset,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layers_are_deterministic_named_and_share_the_domain() {
+        let specs = [
+            LayerSpec::clustered("roads", 500),
+            LayerSpec::clustered("pois", 300),
+            LayerSpec::zipfian("sensors", 400),
+        ];
+        let a = layers::<2>(&specs, 7, 42);
+        let b = layers::<2>(&specs, 7, 42);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.dataset.boxes, y.dataset.boxes, "deterministic per seed");
+        }
+        assert_eq!(a[0].dataset.name, "roads");
+        assert_eq!(a[0].dataset.boxes.len(), 500);
+        assert_eq!(a[2].dataset.boxes.len(), 400);
+        // Shared domain across layers.
+        assert_eq!(a[0].dataset.domain, a[1].dataset.domain);
+        assert_eq!(a[0].dataset.domain, a[2].dataset.domain);
+        // Different content per layer despite the shared layout.
+        assert_ne!(a[0].dataset.boxes[..100], a[1].dataset.boxes[..100]);
+    }
+
+    #[test]
+    fn clustered_layers_colocate_for_cross_layer_joins() {
+        // Same layout seed ⇒ blobs in the same places ⇒ a cross-layer
+        // join finds pairs far beyond what independent scatter would.
+        let specs = [
+            LayerSpec::clustered("a", 800),
+            LayerSpec::clustered("b", 800),
+        ];
+        let l = layers::<2>(&specs, 5, 1);
+        let pairs = cbb_joins::brute_force_pairs(&l[0].dataset.boxes, &l[1].dataset.boxes);
+        assert!(
+            pairs > 0,
+            "co-located clustered layers must intersect somewhere"
+        );
+        // A different object seed keeps the layout: still co-located.
+        let m = layers::<2>(&specs, 5, 2);
+        assert_ne!(l[0].dataset.boxes, m[0].dataset.boxes);
+    }
+}

@@ -19,12 +19,12 @@ use std::sync::Arc;
 
 use cbb_core::ClipConfig;
 use cbb_geom::{Point, Rect};
-use cbb_joins::reference_point;
-use cbb_rtree::{push_neighbor, AccessStats, ClippedRTree, DataId, Neighbor, RTree, TreeConfig};
+use cbb_rtree::{AccessStats, ClippedRTree, DataId, Neighbor, RTree, TreeConfig};
 
+use crate::catalog::DatasetStore;
 use crate::partition::Partitioner;
 use crate::pool::map_chunked;
-use crate::update::{Update, UpdateOutcome, UpdateResult};
+use crate::update::{Update, UpdateOutcome};
 
 /// One clipped R-tree per non-empty tile of a partitioner — the shared
 /// index substrate of [`BatchExecutor`] and forest-reusing joins.
@@ -128,6 +128,26 @@ impl<const D: usize> TileForest<D> {
             .flatten()
             .map(|t| t.tree.nodes_allocated())
             .sum()
+    }
+
+    /// Max-tile / mean-tile indexed objects over the non-empty tiles:
+    /// `1.0` is perfect balance (and the empty-forest value). Under
+    /// churn a data-fitted partitioner drifts away from its sample;
+    /// this is the per-dataset observability metric serve reports so
+    /// the drift is visible before a re-fit is triggered.
+    pub fn load_imbalance(&self) -> f64 {
+        let loads: Vec<f64> = self
+            .trees
+            .iter()
+            .flatten()
+            .map(|t| t.tree.len() as f64)
+            .collect();
+        if loads.is_empty() {
+            return 1.0;
+        }
+        let max = loads.iter().cloned().fold(0.0f64, f64::max);
+        let mean = loads.iter().sum::<f64>() / loads.len() as f64;
+        max / mean
     }
 
     /// Mutable access to tile `t`'s tree, copy-on-write: if the tree is
@@ -283,6 +303,14 @@ pub struct KnnOutcome {
 /// is `Arc`-shared, so a serving layer can hand the *same* trees to the
 /// join path and to later executors for unchanged data.
 ///
+/// Since the catalog refactor the executor is a thin façade over one
+/// [`DatasetStore`] — the arena / liveness / partitioner / forest state
+/// now lives there, where a [`crate::Catalog`] can own many of them
+/// side by side. The executor remains the convenient single-dataset
+/// handle (and the pre-catalog API surface the benches compare
+/// against); [`Self::store`] exposes the store for versioning,
+/// compaction policy, and catalog interop.
+///
 /// A range query is probed against every tile it covers; an object found
 /// in several tiles is reported once, by the tile owning the query/object
 /// reference point (the same duplicate-elimination rule the join uses).
@@ -290,14 +318,7 @@ pub struct KnnOutcome {
 /// result list follows per-tile traversal order and is deterministic for
 /// a fixed partitioner, independent of the worker count.
 pub struct BatchExecutor<const D: usize, P> {
-    partitioner: P,
-    /// Object arena: slot `i` is the rect of `DataId(i)`. Slots of
-    /// deleted objects stay in place as tombstones (their ids never
-    /// reappear in any tree), so live ids stay stable across updates.
-    objects: Vec<Rect<D>>,
-    /// Liveness per arena slot (all-true until updates arrive).
-    live: Vec<bool>,
-    forest: Arc<TileForest<D>>,
+    store: DatasetStore<D, P>,
 }
 
 impl<const D: usize, P: Partitioner<D>> BatchExecutor<D, P> {
@@ -311,18 +332,8 @@ impl<const D: usize, P: Partitioner<D>> BatchExecutor<D, P> {
         clip: ClipConfig,
         workers: usize,
     ) -> Self {
-        let forest = Arc::new(TileForest::build(
-            &partitioner,
-            objects,
-            tree,
-            clip,
-            workers,
-        ));
         BatchExecutor {
-            partitioner,
-            objects: objects.to_vec(),
-            live: vec![true; objects.len()],
-            forest,
+            store: DatasetStore::build(partitioner, objects, tree, clip, workers),
         }
     }
 
@@ -334,8 +345,9 @@ impl<const D: usize, P: Partitioner<D>> BatchExecutor<D, P> {
     /// mask) must come through [`Self::with_forest_where`] instead, or
     /// the executor's liveness bookkeeping disagrees with its trees.
     pub fn with_forest(partitioner: P, objects: Vec<Rect<D>>, forest: Arc<TileForest<D>>) -> Self {
-        let live = vec![true; objects.len()];
-        Self::with_forest_where(partitioner, objects, live, forest)
+        BatchExecutor {
+            store: DatasetStore::with_forest(partitioner, objects, forest),
+        }
     }
 
     /// [`Self::with_forest`] for a tombstoned arena: `live[i]` flags
@@ -347,199 +359,82 @@ impl<const D: usize, P: Partitioner<D>> BatchExecutor<D, P> {
         live: Vec<bool>,
         forest: Arc<TileForest<D>>,
     ) -> Self {
-        assert_eq!(
-            forest.tile_count(),
-            partitioner.tile_count(),
-            "forest was built under a different partitioning"
-        );
-        assert_eq!(live.len(), objects.len(), "mask must cover every slot");
         BatchExecutor {
-            partitioner,
-            objects,
-            live,
-            forest,
+            store: DatasetStore::with_forest_where(partitioner, objects, live, forest),
         }
+    }
+
+    /// Wrap an existing store (the catalog interop path).
+    pub fn from_store(store: DatasetStore<D, P>) -> Self {
+        BatchExecutor { store }
+    }
+
+    /// The underlying dataset store.
+    pub fn store(&self) -> &DatasetStore<D, P> {
+        &self.store
+    }
+
+    /// Mutable access to the underlying store (version, compaction
+    /// policy, swaps).
+    pub fn store_mut(&mut self) -> &mut DatasetStore<D, P> {
+        &mut self.store
+    }
+
+    /// Unwrap into the dataset store (for handing to a catalog).
+    pub fn into_store(self) -> DatasetStore<D, P> {
+        self.store
     }
 
     /// The partitioner the executor was built over.
     pub fn partitioner(&self) -> &P {
-        &self.partitioner
+        self.store.partitioner()
     }
 
     /// The objects the executor serves (global [`DataId`] id space,
     /// including tombstoned slots of deleted objects).
     pub fn objects(&self) -> &[Rect<D>] {
-        &self.objects
+        self.store.objects()
     }
 
     /// Liveness of every arena slot (parallel to [`Self::objects`]).
     pub fn live(&self) -> &[bool] {
-        &self.live
+        self.store.live()
     }
 
     /// Number of live (queryable) objects.
     pub fn live_count(&self) -> usize {
-        self.live.iter().filter(|&&l| l).count()
+        self.store.live_count()
     }
 
-    /// Apply an update batch *in order*, copy-on-write: the previous
-    /// forest (shared with any cache or in-flight reader via its `Arc`s)
-    /// is untouched; this executor ends up on a new [`TileForest`] that
-    /// shares every tile the batch did not reach. Inserts are assigned
-    /// fresh arena slots; deletes tombstone theirs. `tree`/`clip` only
-    /// configure trees for previously empty tiles.
-    ///
-    /// Answers afterwards are exactly those of a wholesale rebuild over
-    /// the surviving objects ([`TileForest::build_where`]) — the oracle
-    /// tests pin that — at a structural cost proportional to the batch,
-    /// which [`UpdateOutcome::nodes_allocated`] measures.
+    /// Apply an update batch *in order*, copy-on-write — see
+    /// [`DatasetStore::apply_updates`], which this delegates to
+    /// (including the version bump per applied batch and the
+    /// threshold-driven compaction sweep).
     pub fn apply_updates(
         &mut self,
         updates: &[Update<D>],
         tree: TreeConfig<D>,
         clip: ClipConfig,
     ) -> UpdateOutcome {
-        let mut forest = TileForest::clone(&self.forest);
-        let mut touched = vec![false; forest.tile_count()];
-        let mut outcome = UpdateOutcome::default();
-        for update in updates {
-            let result = match *update {
-                Update::Insert(rect) => {
-                    if !rect.is_finite() {
-                        UpdateResult::Rejected
-                    } else {
-                        assert!(
-                            self.objects.len() < u32::MAX as usize,
-                            "object arena exceeds the u32 id space"
-                        );
-                        let id = DataId(self.objects.len() as u32);
-                        self.objects.push(rect);
-                        self.live.push(true);
-                        let (nodes, created) = forest.insert_object(
-                            &self.partitioner,
-                            rect,
-                            id,
-                            tree,
-                            clip,
-                            &mut touched,
-                        );
-                        outcome.nodes_allocated += nodes;
-                        outcome.trees_created += created;
-                        UpdateResult::Inserted(id)
-                    }
-                }
-                Update::Delete(id) => {
-                    let slot = id.0 as usize;
-                    if slot >= self.objects.len() || !self.live[slot] {
-                        UpdateResult::Deleted(false)
-                    } else {
-                        let rect = self.objects[slot];
-                        let (removed, dropped) =
-                            forest.delete_object(&self.partitioner, rect, id, &mut touched);
-                        debug_assert!(removed, "live object must be indexed");
-                        self.live[slot] = false;
-                        outcome.trees_dropped += dropped;
-                        UpdateResult::Deleted(removed)
-                    }
-                }
-            };
-            outcome.results.push(result);
-        }
-        outcome.tiles_touched = touched.iter().filter(|&&t| t).count();
-        self.forest = Arc::new(forest);
-        outcome
+        self.store.apply_updates(updates, tree, clip)
     }
 
     /// The shared per-tile trees (clone the `Arc` to reuse them in a
     /// join or a successor executor).
     pub fn forest(&self) -> &Arc<TileForest<D>> {
-        &self.forest
+        self.store.forest()
     }
 
     /// Number of non-empty tiles (built trees).
     pub fn tile_tree_count(&self) -> usize {
-        self.forest.built_tree_count()
-    }
-
-    /// Answer one query: probe every covered tile, keep each object only
-    /// in the tile owning the query/object reference point.
-    fn query_one(&self, q: &Rect<D>, use_clips: bool, stats: &mut AccessStats) -> Vec<DataId> {
-        let mut tiles = self.partitioner.covering_tiles(q);
-        tiles.sort_unstable();
-        let mut out = Vec::new();
-        for t in tiles {
-            let Some(tree) = self.forest.tree(t) else {
-                continue;
-            };
-            let found = if use_clips {
-                tree.range_query_stats(q, stats)
-            } else {
-                tree.tree.range_query_stats(q, stats)
-            };
-            out.extend(found.into_iter().filter(|id| {
-                self.partitioner
-                    .owns(t, &reference_point(q, &self.objects[id.0 as usize]))
-            }));
-        }
-        out
-    }
-
-    /// Answer one kNN probe: visit tile trees in ascending MINDIST of
-    /// their *root MBB* (not the tile rectangle — border tiles own
-    /// clamped out-of-domain objects that can stick out of their tile),
-    /// merge per-tile k-nearest sets with id-dedup (spanning objects
-    /// appear in several trees), and stop once the next tree's MINDIST
-    /// exceeds the current k-th best distance.
-    ///
-    /// Exact: an object of the global k-nearest set is, in every tile
-    /// containing it, also in that tile's k-nearest set, and the root
-    /// MBB lower-bounds the distance of every object in the tile.
-    fn knn_one(&self, center: &Point<D>, k: usize, stats: &mut AccessStats) -> Vec<Neighbor> {
-        let mut best: Vec<Neighbor> = Vec::new();
-        if k == 0 {
-            return best;
-        }
-        let mut tiles: Vec<(f64, usize)> = (0..self.forest.tile_count())
-            .filter_map(|t| {
-                let tree = self.forest.tree(t)?;
-                let mbb = tree.tree.bounds().expect("forest trees are non-empty");
-                Some((mbb.min_dist_sq(center), t))
-            })
-            .collect();
-        tiles.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
-        for (tile_dist, t) in tiles {
-            if best.len() == k && tile_dist > best[k - 1].1 {
-                break;
-            }
-            let tree = self.forest.tree(t).expect("listed tiles are built");
-            for (id, dist) in tree.knn_stats(center, k, stats) {
-                if best.iter().any(|&(bid, _)| bid == id) {
-                    continue; // multi-assigned object already merged
-                }
-                push_neighbor(&mut best, k, id, dist);
-            }
-        }
-        best
+        self.store.tile_tree_count()
     }
 
     /// Execute `queries` on `workers` threads. With `use_clips = false`
     /// the probes run on the base trees (the unclipped baseline on the
     /// same indexes).
     pub fn run(&self, queries: &[Rect<D>], workers: usize, use_clips: bool) -> BatchOutcome {
-        let shards = map_chunked(workers, queries, |_offset, chunk| {
-            let mut stats = AccessStats::new();
-            let results: Vec<Vec<DataId>> = chunk
-                .iter()
-                .map(|q| self.query_one(q, use_clips, &mut stats))
-                .collect();
-            (results, stats)
-        });
-        let mut outcome = BatchOutcome::default();
-        for (results, stats) in shards {
-            outcome.results.extend(results);
-            outcome.stats += stats;
-        }
-        outcome
+        self.store.run(queries, workers, use_clips)
     }
 
     /// Execute the kNN probes `(center, k)` on `workers` threads.
@@ -549,20 +444,7 @@ impl<const D: usize, P: Partitioner<D>> BatchExecutor<D, P> {
     /// for probes near clipped corners, with answers identical to the
     /// base-tree search.
     pub fn run_knn(&self, probes: &[(Point<D>, usize)], workers: usize) -> KnnOutcome {
-        let shards = map_chunked(workers, probes, |_offset, chunk| {
-            let mut stats = AccessStats::new();
-            let results: Vec<Vec<Neighbor>> = chunk
-                .iter()
-                .map(|(center, k)| self.knn_one(center, *k, &mut stats))
-                .collect();
-            (results, stats)
-        });
-        let mut outcome = KnnOutcome::default();
-        for (results, stats) in shards {
-            outcome.results.extend(results);
-            outcome.stats += stats;
-        }
-        outcome
+        self.store.run_knn(probes, workers)
     }
 }
 

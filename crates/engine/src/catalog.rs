@@ -1,0 +1,879 @@
+//! The multi-dataset layer: a [`DatasetStore`] per named dataset and
+//! the [`Catalog`] that owns them.
+//!
+//! Production spatial systems are *catalogs of layers* joined against
+//! each other — SATO-style systems partition and serve many named
+//! layers side by side (Aji et al., *Effective Spatial Data
+//! Partitioning for Scalable Query Processing*), and parallel in-memory
+//! spatial joins are defined across two independently indexed inputs
+//! (Tsitsigkos & Mamoulis, *Parallel In-Memory Evaluation of Spatial
+//! Joins*). This module promotes the engine's single implicit dataset
+//! to that model:
+//!
+//! * [`DatasetStore`] — the mutable versioned store extracted from the
+//!   former `BatchExecutor` internals: object arena, liveness mask,
+//!   free-slot list, partitioner, [`TileForest`], and a per-dataset
+//!   [`DataVersion`]. It owns the read path (range/kNN batches), the
+//!   write path ([`DatasetStore::apply_updates`], with threshold-driven
+//!   arena compaction), and wholesale replacement
+//!   ([`DatasetStore::swap`]).
+//! * [`Catalog`] — a concurrent map `DatasetId -> DatasetStore`, each
+//!   store behind its own `RwLock` so writes to dataset A never
+//!   serialize reads of dataset B. Ids are never reused, which keeps
+//!   `(DatasetId, DataVersion)` cache keys unambiguous forever.
+//!
+//! Each dataset carries its **own** partitioner instance (and, through
+//! [`crate::AnyPartitioner`], its own partitioner *kind*), fitted to
+//! its data; cross-dataset joins re-partition the probe side onto the
+//! indexed side's tiling (see [`crate::join::partitioned_join_forests`]).
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use cbb_core::ClipConfig;
+use cbb_geom::{Point, Rect};
+use cbb_joins::reference_point;
+use cbb_rtree::{push_neighbor, AccessStats, DataId, Neighbor, TreeConfig};
+
+use crate::batch::{BatchOutcome, KnnOutcome, TileForest};
+use crate::partition::{DataVersion, Partitioner};
+use crate::pool::map_chunked;
+use crate::update::{Update, UpdateOutcome, UpdateResult};
+
+/// Identity of a dataset in a [`Catalog`]. Ids are assigned by the
+/// catalog at creation, are unique over the catalog's lifetime, and are
+/// **never reused** after a drop — so a `(DatasetId, DataVersion)` pair
+/// (the [`crate::ForestCache`] key) can never alias a different
+/// dataset's trees.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DatasetId(pub u32);
+
+/// When a [`DatasetStore`] reclaims tombstoned arena slots.
+///
+/// Deletes tombstone their slot (the id never reappears in any tree,
+/// live ids stay stable), but an append-only arena grows without bound
+/// under churn. Compaction sweeps the tombstoned slots into a free list
+/// once their fraction of the arena exceeds `dead_fraction`; later
+/// inserts reuse freed slots (smallest id first) instead of growing the
+/// arena. Live ids are untouched — only dead ids are recycled.
+///
+/// **Id-reuse caveat:** once a dead slot is reclaimed and reassigned,
+/// a *stale* delete of the old id (a client retrying a delete whose
+/// response was lost) targets the new occupant — [`DataId`]s carry no
+/// generation tag to tell the difference, so applied deletes are not
+/// idempotent across a sweep. At-least-once clients that retry deletes
+/// should run with [`CompactionPolicy::never`] (the pre-catalog
+/// append-only behaviour, where retrying an applied delete is a
+/// guaranteed no-op) or dedup delete retries on their side.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompactionPolicy {
+    /// Sweep once `tombstoned / arena_len` exceeds this fraction.
+    /// `f64::INFINITY` disables compaction (the pre-catalog, append-only
+    /// behaviour).
+    pub dead_fraction: f64,
+}
+
+impl CompactionPolicy {
+    /// Never reclaim slots (append-only arena, compaction on swap only).
+    pub fn never() -> Self {
+        CompactionPolicy {
+            dead_fraction: f64::INFINITY,
+        }
+    }
+}
+
+/// Sweep once more than 30 % of the arena is tombstoned: rare enough
+/// that id assignment stays append-like under light churn, early enough
+/// that a delete-heavy stream cannot triple the arena.
+pub const DEFAULT_COMPACT_DEAD_FRACTION: f64 = 0.3;
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            dead_fraction: DEFAULT_COMPACT_DEAD_FRACTION,
+        }
+    }
+}
+
+/// One mutable versioned spatial dataset: the arena / liveness /
+/// partitioner / forest state every executor and serving layer shares.
+///
+/// The store is the unit a [`Catalog`] maps a [`DatasetId`] to. It is
+/// deliberately lock-free itself — the catalog wraps each store in an
+/// `RwLock`, and a single-dataset [`crate::BatchExecutor`] owns one
+/// directly.
+///
+/// Object ids ([`DataId`]) are arena slots: live ids are stable across
+/// every update *and* every compaction; deleted ids are recycled only
+/// per the [`CompactionPolicy`].
+pub struct DatasetStore<const D: usize, P> {
+    partitioner: P,
+    /// Object arena: slot `i` is the rect of `DataId(i)`. Slots of
+    /// deleted objects stay in place as tombstones until a compaction
+    /// sweep moves them to `free` for reuse.
+    objects: Vec<Rect<D>>,
+    /// Liveness per arena slot.
+    live: Vec<bool>,
+    /// Dead slots available for reuse, sorted descending so `pop()`
+    /// yields the smallest id — deterministic reassignment order.
+    free: Vec<u32>,
+    /// Dead slots *not* yet in `free` (what compaction can reclaim).
+    tombstones: usize,
+    forest: Arc<TileForest<D>>,
+    version: DataVersion,
+    compaction: CompactionPolicy,
+    // Per-dataset maintenance counters (mutated under the catalog's
+    // write lock, read for per-dataset reports).
+    compactions: u64,
+    write_batches: u64,
+    updates_applied: u64,
+    delta_nodes_allocated: u64,
+}
+
+impl<const D: usize, P: Partitioner<D>> DatasetStore<D, P> {
+    /// Partition `objects` and bulk-load the per-tile trees on `workers`
+    /// threads. Trees are always built with clip tables so every batch
+    /// can choose clipped or unclipped probing.
+    pub fn build(
+        partitioner: P,
+        objects: &[Rect<D>],
+        tree: TreeConfig<D>,
+        clip: ClipConfig,
+        workers: usize,
+    ) -> Self {
+        let forest = Arc::new(TileForest::build(
+            &partitioner,
+            objects,
+            tree,
+            clip,
+            workers,
+        ));
+        Self::with_forest(partitioner, objects.to_vec(), forest)
+    }
+
+    /// Wrap an existing (cached) forest instead of building one. The
+    /// forest must have been built from `objects` under `partitioner` —
+    /// the tile count is checked, the content correspondence is the
+    /// caller's contract. Every slot is taken as live; a forest built
+    /// over a tombstoned arena ([`TileForest::build_where`] with a
+    /// mask) must come through [`Self::with_forest_where`] instead.
+    pub fn with_forest(partitioner: P, objects: Vec<Rect<D>>, forest: Arc<TileForest<D>>) -> Self {
+        let live = vec![true; objects.len()];
+        Self::with_forest_where(partitioner, objects, live, forest)
+    }
+
+    /// [`Self::with_forest`] for a tombstoned arena: `live[i]` flags
+    /// slot `i`, and the forest must index exactly the live slots (a
+    /// [`TileForest::build_where`] over the same mask does).
+    pub fn with_forest_where(
+        partitioner: P,
+        objects: Vec<Rect<D>>,
+        live: Vec<bool>,
+        forest: Arc<TileForest<D>>,
+    ) -> Self {
+        assert_eq!(
+            forest.tile_count(),
+            partitioner.tile_count(),
+            "forest was built under a different partitioning"
+        );
+        assert_eq!(live.len(), objects.len(), "mask must cover every slot");
+        let tombstones = live.iter().filter(|&&l| !l).count();
+        DatasetStore {
+            partitioner,
+            objects,
+            live,
+            free: Vec::new(),
+            tombstones,
+            forest,
+            version: DataVersion::initial(),
+            compaction: CompactionPolicy::default(),
+            compactions: 0,
+            write_batches: 0,
+            updates_applied: 0,
+            delta_nodes_allocated: 0,
+        }
+    }
+
+    /// Replace the slot-reclamation policy (builder style).
+    pub fn with_compaction(mut self, policy: CompactionPolicy) -> Self {
+        self.compaction = policy;
+        self
+    }
+
+    /// Change the slot-reclamation policy in place.
+    pub fn set_compaction(&mut self, policy: CompactionPolicy) {
+        self.compaction = policy;
+    }
+
+    /// The partitioner the store was built over.
+    pub fn partitioner(&self) -> &P {
+        &self.partitioner
+    }
+
+    /// The objects the store serves (global [`DataId`] id space,
+    /// including tombstoned slots of deleted objects).
+    pub fn objects(&self) -> &[Rect<D>] {
+        &self.objects
+    }
+
+    /// Liveness of every arena slot (parallel to [`Self::objects`]).
+    pub fn live(&self) -> &[bool] {
+        &self.live
+    }
+
+    /// Number of live (queryable) objects.
+    pub fn live_count(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// The live objects, in arena order — the probe side a cross-dataset
+    /// join streams against another dataset's indexed forest.
+    pub fn live_rects(&self) -> Vec<Rect<D>> {
+        self.objects
+            .iter()
+            .zip(&self.live)
+            .filter(|(_, l)| **l)
+            .map(|(r, _)| *r)
+            .collect()
+    }
+
+    /// Total arena slots (live + tombstoned + free).
+    pub fn arena_len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Dead slots currently available for id reuse.
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Compaction sweeps performed over the store's lifetime.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Write batches that applied at least one update (each bumped the
+    /// version exactly once).
+    pub fn write_batches(&self) -> u64 {
+        self.write_batches
+    }
+
+    /// Individual updates applied across all write batches.
+    pub fn updates_applied(&self) -> u64 {
+        self.updates_applied
+    }
+
+    /// R-tree nodes constructed by delta maintenance on this store.
+    pub fn delta_nodes_allocated(&self) -> u64 {
+        self.delta_nodes_allocated
+    }
+
+    /// The data version queries are currently answered from. Bumps once
+    /// per applied write batch and once per [`Self::swap`].
+    pub fn version(&self) -> DataVersion {
+        self.version
+    }
+
+    /// The shared per-tile trees (clone the `Arc` to reuse them in a
+    /// join, a cache, or a successor store).
+    pub fn forest(&self) -> &Arc<TileForest<D>> {
+        &self.forest
+    }
+
+    /// Number of non-empty tiles (built trees).
+    pub fn tile_tree_count(&self) -> usize {
+        self.forest.built_tree_count()
+    }
+
+    /// Max-tile / mean-tile **live** objects over the non-empty tiles —
+    /// the churn-drift observability metric surfaced per dataset in
+    /// serve reports. `1.0` is perfect balance (and the empty-forest
+    /// value); a data-fitted partitioner whose data moved under churn
+    /// shows up here before any re-fit mechanism needs to exist.
+    pub fn load_imbalance(&self) -> f64 {
+        self.forest.load_imbalance()
+    }
+
+    /// Replace the dataset wholesale: new arena (all slots live), a
+    /// forest built over it (tile counts checked), and a version bump.
+    /// The partitioner is kept; use [`Self::swap_with`] to re-fit it.
+    pub fn swap(&mut self, objects: Vec<Rect<D>>, forest: Arc<TileForest<D>>) {
+        assert_eq!(
+            forest.tile_count(),
+            self.partitioner.tile_count(),
+            "forest was built under a different partitioning"
+        );
+        self.live = vec![true; objects.len()];
+        self.objects = objects;
+        self.free.clear();
+        self.tombstones = 0;
+        self.forest = forest;
+        self.version.bump();
+    }
+
+    /// [`Self::swap`] with a replacement partitioner — the re-fit path
+    /// for data whose distribution moved.
+    pub fn swap_with(&mut self, partitioner: P, objects: Vec<Rect<D>>, forest: Arc<TileForest<D>>) {
+        assert_eq!(
+            forest.tile_count(),
+            partitioner.tile_count(),
+            "forest was built under a different partitioning"
+        );
+        self.partitioner = partitioner;
+        self.live = vec![true; objects.len()];
+        self.objects = objects;
+        self.free.clear();
+        self.tombstones = 0;
+        self.forest = forest;
+        self.version.bump();
+    }
+
+    /// Apply an update batch *in order*, copy-on-write: the previous
+    /// forest (shared with any cache or in-flight reader via its `Arc`s)
+    /// is untouched; this store ends up on a new [`TileForest`] that
+    /// shares every tile the batch did not reach. Inserts take the
+    /// smallest reclaimed slot when one is free, else a fresh arena
+    /// slot; deletes tombstone theirs. `tree`/`clip` only configure
+    /// trees for previously empty tiles.
+    ///
+    /// A batch that applied at least one update bumps the version
+    /// exactly once; an all-no-op batch (dead-id deletes, rejected
+    /// inserts) changes nothing and bumps nothing. After the batch, a
+    /// compaction sweep runs when the [`CompactionPolicy`] threshold is
+    /// exceeded — live ids are never moved by it
+    /// ([`UpdateOutcome::slots_reclaimed`] counts what it freed).
+    ///
+    /// Answers afterwards are exactly those of a wholesale rebuild over
+    /// the surviving objects ([`TileForest::build_where`]) — the oracle
+    /// tests pin that — at a structural cost proportional to the batch,
+    /// which [`UpdateOutcome::nodes_allocated`] measures.
+    pub fn apply_updates(
+        &mut self,
+        updates: &[Update<D>],
+        tree: TreeConfig<D>,
+        clip: ClipConfig,
+    ) -> UpdateOutcome {
+        let mut forest = TileForest::clone(&self.forest);
+        let mut touched = vec![false; forest.tile_count()];
+        let mut outcome = UpdateOutcome::default();
+        for update in updates {
+            let result = match *update {
+                Update::Insert(rect) => {
+                    if !rect.is_finite() {
+                        UpdateResult::Rejected
+                    } else {
+                        let id = match self.free.pop() {
+                            Some(slot) => {
+                                self.objects[slot as usize] = rect;
+                                self.live[slot as usize] = true;
+                                DataId(slot)
+                            }
+                            None => {
+                                assert!(
+                                    self.objects.len() < u32::MAX as usize,
+                                    "object arena exceeds the u32 id space"
+                                );
+                                let id = DataId(self.objects.len() as u32);
+                                self.objects.push(rect);
+                                self.live.push(true);
+                                id
+                            }
+                        };
+                        let (nodes, created) = forest.insert_object(
+                            &self.partitioner,
+                            rect,
+                            id,
+                            tree,
+                            clip,
+                            &mut touched,
+                        );
+                        outcome.nodes_allocated += nodes;
+                        outcome.trees_created += created;
+                        UpdateResult::Inserted(id)
+                    }
+                }
+                Update::Delete(id) => {
+                    let slot = id.0 as usize;
+                    if slot >= self.objects.len() || !self.live[slot] {
+                        UpdateResult::Deleted(false)
+                    } else {
+                        let rect = self.objects[slot];
+                        let (removed, dropped) =
+                            forest.delete_object(&self.partitioner, rect, id, &mut touched);
+                        debug_assert!(removed, "live object must be indexed");
+                        self.live[slot] = false;
+                        self.tombstones += 1;
+                        outcome.trees_dropped += dropped;
+                        UpdateResult::Deleted(removed)
+                    }
+                }
+            };
+            outcome.results.push(result);
+        }
+        outcome.tiles_touched = touched.iter().filter(|&&t| t).count();
+        self.forest = Arc::new(forest);
+        let applied = outcome.applied();
+        if applied > 0 {
+            self.version.bump();
+            self.write_batches += 1;
+            self.updates_applied += applied;
+            self.delta_nodes_allocated += outcome.nodes_allocated;
+        }
+        // Compaction sweep: once the tombstoned fraction crosses the
+        // policy threshold, every dead slot becomes reusable. Live ids
+        // are untouched; the arena stops growing under churn.
+        if self.tombstones as f64 > self.compaction.dead_fraction * self.objects.len() as f64 {
+            outcome.slots_reclaimed = self.tombstones;
+            self.free = (0..self.objects.len() as u32)
+                .rev()
+                .filter(|&s| !self.live[s as usize])
+                .collect();
+            self.tombstones = 0;
+            self.compactions += 1;
+        }
+        outcome
+    }
+
+    /// Answer one query: probe every covered tile, keep each object only
+    /// in the tile owning the query/object reference point.
+    fn query_one(&self, q: &Rect<D>, use_clips: bool, stats: &mut AccessStats) -> Vec<DataId> {
+        let mut tiles = self.partitioner.covering_tiles(q);
+        tiles.sort_unstable();
+        let mut out = Vec::new();
+        for t in tiles {
+            let Some(tree) = self.forest.tree(t) else {
+                continue;
+            };
+            let found = if use_clips {
+                tree.range_query_stats(q, stats)
+            } else {
+                tree.tree.range_query_stats(q, stats)
+            };
+            out.extend(found.into_iter().filter(|id| {
+                self.partitioner
+                    .owns(t, &reference_point(q, &self.objects[id.0 as usize]))
+            }));
+        }
+        out
+    }
+
+    /// Answer one kNN probe: visit tile trees in ascending MINDIST of
+    /// their *root MBB* (not the tile rectangle — border tiles own
+    /// clamped out-of-domain objects that can stick out of their tile),
+    /// merge per-tile k-nearest sets with id-dedup (spanning objects
+    /// appear in several trees), and stop once the next tree's MINDIST
+    /// exceeds the current k-th best distance.
+    ///
+    /// Exact: an object of the global k-nearest set is, in every tile
+    /// containing it, also in that tile's k-nearest set, and the root
+    /// MBB lower-bounds the distance of every object in the tile.
+    fn knn_one(&self, center: &Point<D>, k: usize, stats: &mut AccessStats) -> Vec<Neighbor> {
+        let mut best: Vec<Neighbor> = Vec::new();
+        if k == 0 {
+            return best;
+        }
+        let mut tiles: Vec<(f64, usize)> = (0..self.forest.tile_count())
+            .filter_map(|t| {
+                let tree = self.forest.tree(t)?;
+                let mbb = tree.tree.bounds().expect("forest trees are non-empty");
+                Some((mbb.min_dist_sq(center), t))
+            })
+            .collect();
+        tiles.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        for (tile_dist, t) in tiles {
+            if best.len() == k && tile_dist > best[k - 1].1 {
+                break;
+            }
+            let tree = self.forest.tree(t).expect("listed tiles are built");
+            for (id, dist) in tree.knn_stats(center, k, stats) {
+                if best.iter().any(|&(bid, _)| bid == id) {
+                    continue; // multi-assigned object already merged
+                }
+                push_neighbor(&mut best, k, id, dist);
+            }
+        }
+        best
+    }
+
+    /// Execute `queries` on `workers` threads. With `use_clips = false`
+    /// the probes run on the base trees (the unclipped baseline on the
+    /// same indexes).
+    pub fn run(&self, queries: &[Rect<D>], workers: usize, use_clips: bool) -> BatchOutcome {
+        let shards = map_chunked(workers, queries, |_offset, chunk| {
+            let mut stats = AccessStats::new();
+            let results: Vec<Vec<DataId>> = chunk
+                .iter()
+                .map(|q| self.query_one(q, use_clips, &mut stats))
+                .collect();
+            (results, stats)
+        });
+        let mut outcome = BatchOutcome::default();
+        for (results, stats) in shards {
+            outcome.results.extend(results);
+            outcome.stats += stats;
+        }
+        outcome
+    }
+
+    /// Execute the kNN probes `(center, k)` on `workers` threads.
+    /// Results come back in workload order and are independent of the
+    /// worker count. Per-tile searches run the clip-aware kNN
+    /// ([`cbb_rtree::ClippedRTree::knn_stats`]): clip points tighten
+    /// node MINDISTs for probes near clipped corners, with answers
+    /// identical to the base-tree search.
+    pub fn run_knn(&self, probes: &[(Point<D>, usize)], workers: usize) -> KnnOutcome {
+        let shards = map_chunked(workers, probes, |_offset, chunk| {
+            let mut stats = AccessStats::new();
+            let results: Vec<Vec<Neighbor>> = chunk
+                .iter()
+                .map(|(center, k)| self.knn_one(center, *k, &mut stats))
+                .collect();
+            (results, stats)
+        });
+        let mut outcome = KnnOutcome::default();
+        for (results, stats) in shards {
+            outcome.results.extend(results);
+            outcome.stats += stats;
+        }
+        outcome
+    }
+}
+
+/// Why a catalog operation was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CatalogError {
+    /// A dataset of this name already exists.
+    NameTaken(String),
+    /// No dataset with this id (never created, or dropped).
+    UnknownDataset(DatasetId),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::NameTaken(name) => write!(f, "dataset name {name:?} is taken"),
+            CatalogError::UnknownDataset(id) => write!(f, "unknown dataset {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// One catalog entry: a named dataset behind its own `RwLock`.
+///
+/// The lock granularity is the whole point — every dataset can be read
+/// and written independently, so a write batch draining into dataset A
+/// never blocks a query batch reading dataset B.
+pub struct Dataset<const D: usize, P> {
+    id: DatasetId,
+    name: String,
+    store: RwLock<DatasetStore<D, P>>,
+}
+
+impl<const D: usize, P> Dataset<D, P> {
+    /// The catalog-assigned id.
+    pub fn id(&self) -> DatasetId {
+        self.id
+    }
+
+    /// The name the dataset was created under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The store lock. Readers take `read()`, the write path `write()`;
+    /// multi-dataset operations must acquire locks in ascending
+    /// [`DatasetId`] order to stay deadlock-free.
+    pub fn store(&self) -> &RwLock<DatasetStore<D, P>> {
+        &self.store
+    }
+}
+
+struct CatalogInner<const D: usize, P> {
+    /// Slot `i` holds the dataset with id `i`; dropped datasets leave a
+    /// permanent `None` (ids are never reused).
+    entries: Vec<Option<Arc<Dataset<D, P>>>>,
+    by_name: HashMap<String, DatasetId>,
+}
+
+/// A concurrent map of named datasets: `DatasetId -> DatasetStore`,
+/// per-dataset versioning and locking.
+///
+/// The catalog's own lock guards only the *map* (create / drop /
+/// resolve); every returned [`Dataset`] is an `Arc`, so lookups release
+/// the map lock immediately and in-flight readers keep a dropped
+/// dataset alive until they finish.
+pub struct Catalog<const D: usize, P> {
+    inner: RwLock<CatalogInner<D, P>>,
+}
+
+impl<const D: usize, P> Default for Catalog<D, P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const D: usize, P> Catalog<D, P> {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog {
+            inner: RwLock::new(CatalogInner {
+                entries: Vec::new(),
+                by_name: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Register `store` under `name`, assigning the next [`DatasetId`].
+    /// Fails without side effects when the name is taken.
+    pub fn create(&self, name: &str, store: DatasetStore<D, P>) -> Result<DatasetId, CatalogError> {
+        let mut inner = self.inner.write().expect("catalog poisoned");
+        if inner.by_name.contains_key(name) {
+            return Err(CatalogError::NameTaken(name.to_string()));
+        }
+        let id = DatasetId(inner.entries.len() as u32);
+        inner.entries.push(Some(Arc::new(Dataset {
+            id,
+            name: name.to_string(),
+            store: RwLock::new(store),
+        })));
+        inner.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Remove a dataset, returning its entry (callers holding the `Arc`
+    /// finish their work; the id is never reassigned). `None` for
+    /// unknown/already-dropped ids.
+    pub fn drop_dataset(&self, id: DatasetId) -> Option<Arc<Dataset<D, P>>> {
+        let mut inner = self.inner.write().expect("catalog poisoned");
+        let entry = inner.entries.get_mut(id.0 as usize)?.take()?;
+        inner.by_name.remove(entry.name());
+        Some(entry)
+    }
+
+    /// The dataset with this id, if it exists.
+    pub fn get(&self, id: DatasetId) -> Option<Arc<Dataset<D, P>>> {
+        self.inner
+            .read()
+            .expect("catalog poisoned")
+            .entries
+            .get(id.0 as usize)?
+            .clone()
+    }
+
+    /// Resolve a dataset name to its id.
+    pub fn resolve(&self, name: &str) -> Option<DatasetId> {
+        self.inner
+            .read()
+            .expect("catalog poisoned")
+            .by_name
+            .get(name)
+            .copied()
+    }
+
+    /// Ids of every live dataset, ascending.
+    pub fn ids(&self) -> Vec<DatasetId> {
+        self.inner
+            .read()
+            .expect("catalog poisoned")
+            .entries
+            .iter()
+            .flatten()
+            .map(|d| d.id)
+            .collect()
+    }
+
+    /// Number of live datasets.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("catalog poisoned").by_name.len()
+    }
+
+    /// Whether the catalog holds no dataset.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::UniformGrid;
+    use cbb_core::{ClipConfig, ClipMethod};
+    use cbb_geom::SplitMix64;
+    use cbb_rtree::Variant;
+
+    fn r2(lx: f64, ly: f64, hx: f64, hy: f64) -> Rect<2> {
+        Rect::new(Point([lx, ly]), Point([hx, hy]))
+    }
+
+    fn boxes(n: usize, seed: u64) -> Vec<Rect<2>> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| {
+                let x = rng.gen_range(0.0, 90.0);
+                let y = rng.gen_range(0.0, 90.0);
+                r2(
+                    x,
+                    y,
+                    x + rng.gen_range(0.5, 8.0),
+                    y + rng.gen_range(0.5, 8.0),
+                )
+            })
+            .collect()
+    }
+
+    fn store(n: usize, seed: u64) -> DatasetStore<2, UniformGrid<2>> {
+        DatasetStore::build(
+            UniformGrid::new(r2(0.0, 0.0, 100.0, 100.0), 3),
+            &boxes(n, seed),
+            TreeConfig::tiny(Variant::RStar),
+            ClipConfig::paper_default::<2>(ClipMethod::Stairline),
+            2,
+        )
+    }
+
+    #[test]
+    fn catalog_creates_resolves_and_drops() {
+        let catalog: Catalog<2, UniformGrid<2>> = Catalog::new();
+        assert!(catalog.is_empty());
+        let a = catalog.create("roads", store(40, 1)).unwrap();
+        let b = catalog.create("pois", store(30, 2)).unwrap();
+        assert_eq!((a, b), (DatasetId(0), DatasetId(1)));
+        assert_eq!(catalog.len(), 2);
+        assert_eq!(catalog.resolve("roads"), Some(a));
+        assert_eq!(catalog.resolve("nope"), None);
+        assert_eq!(
+            catalog.create("roads", store(5, 3)),
+            Err(CatalogError::NameTaken("roads".into()))
+        );
+        assert_eq!(catalog.get(a).unwrap().name(), "roads");
+        assert_eq!(catalog.ids(), vec![a, b]);
+
+        // Drop: the name frees up, the id never comes back.
+        let dropped = catalog.drop_dataset(a).expect("roads existed");
+        assert_eq!(dropped.id(), a);
+        assert!(catalog.get(a).is_none());
+        assert!(catalog.drop_dataset(a).is_none());
+        assert_eq!(catalog.resolve("roads"), None);
+        let c = catalog.create("roads", store(10, 4)).unwrap();
+        assert_eq!(c, DatasetId(2), "ids are never reused");
+        assert_eq!(catalog.ids(), vec![b, c]);
+        assert!(catalog.drop_dataset(DatasetId(99)).is_none());
+    }
+
+    #[test]
+    fn store_versions_bump_per_applied_batch_only() {
+        let mut s = store(50, 7);
+        assert_eq!(s.version(), DataVersion(0));
+        let tree = TreeConfig::tiny(Variant::RStar);
+        let clip = ClipConfig::paper_default::<2>(ClipMethod::Stairline);
+        let out = s.apply_updates(
+            &[
+                Update::Insert(r2(1.0, 1.0, 2.0, 2.0)),
+                Update::Delete(DataId(0)),
+            ],
+            tree,
+            clip,
+        );
+        assert_eq!(out.applied(), 2);
+        assert_eq!(s.version(), DataVersion(1));
+        assert_eq!((s.write_batches(), s.updates_applied()), (1, 2));
+        // All-no-op batch: nothing bumps.
+        let out = s.apply_updates(&[Update::<2>::Delete(DataId(999))], tree, clip);
+        assert_eq!(out.applied(), 0);
+        assert_eq!(s.version(), DataVersion(1));
+        assert_eq!(s.write_batches(), 1);
+        // Swap bumps and resets the arena.
+        let objs = boxes(9, 9);
+        let forest = Arc::new(TileForest::build(s.partitioner(), &objs, tree, clip, 1));
+        s.swap(objs, forest);
+        assert_eq!(s.version(), DataVersion(2));
+        assert_eq!(s.live_count(), 9);
+        assert_eq!(s.free_slots(), 0);
+    }
+
+    /// The compaction satellite's regression test: a sweep reclaims
+    /// tombstoned slots for reuse while every live id keeps answering
+    /// exactly as before, and the arena stops growing.
+    #[test]
+    fn compaction_reclaims_slots_with_stable_live_ids() {
+        let tree = TreeConfig::tiny(Variant::RStar);
+        let clip = ClipConfig::paper_default::<2>(ClipMethod::Stairline);
+        let mut s = store(100, 11).with_compaction(CompactionPolicy { dead_fraction: 0.2 });
+        let everything = r2(-10.0, -10.0, 200.0, 200.0);
+        let before: Vec<DataId> = {
+            let mut ids = s.run(&[everything], 1, true).results.remove(0);
+            ids.sort();
+            ids
+        };
+        assert_eq!(before.len(), 100);
+
+        // Delete 30 of 100: 30 % dead > 20 % threshold → sweep.
+        let deletes: Vec<Update<2>> = (0..30).map(|i| Update::Delete(DataId(i * 3))).collect();
+        let out = s.apply_updates(&deletes, tree, clip);
+        assert_eq!(out.slots_reclaimed, 30, "sweep reclaimed every tombstone");
+        assert_eq!(s.compactions(), 1);
+        assert_eq!(s.free_slots(), 30);
+        assert_eq!(s.arena_len(), 100);
+
+        // Live ids are stable across the compaction: the survivors
+        // answer under exactly their old ids.
+        let survivors: Vec<DataId> = {
+            let mut ids = s.run(&[everything], 1, true).results.remove(0);
+            ids.sort();
+            ids
+        };
+        let expected: Vec<DataId> = before
+            .iter()
+            .copied()
+            .filter(|id| id.0 % 3 != 0 || id.0 >= 90)
+            .collect();
+        assert_eq!(survivors, expected);
+
+        // Inserts reuse the reclaimed slots, smallest id first; the
+        // arena does not grow until the free list is exhausted.
+        let out = s.apply_updates(
+            &[
+                Update::Insert(r2(50.0, 50.0, 51.0, 51.0)),
+                Update::Insert(r2(60.0, 60.0, 61.0, 61.0)),
+            ],
+            tree,
+            clip,
+        );
+        assert_eq!(
+            out.inserted_ids(),
+            vec![DataId(0), DataId(3)],
+            "smallest reclaimed slots are reused first"
+        );
+        assert_eq!(s.arena_len(), 100, "reuse does not grow the arena");
+        assert_eq!(s.free_slots(), 28);
+        let found = s
+            .run(&[r2(49.0, 49.0, 52.0, 52.0)], 1, true)
+            .results
+            .remove(0);
+        assert!(found.contains(&DataId(0)), "reused id is queryable");
+
+        // 31 inserts: 28 reuses, then 3 appends.
+        let inserts: Vec<Update<2>> = (0..31)
+            .map(|i| Update::Insert(r2(i as f64, 0.0, i as f64 + 0.5, 0.5)))
+            .collect();
+        s.apply_updates(&inserts, tree, clip);
+        assert_eq!(s.arena_len(), 103);
+        assert_eq!(s.free_slots(), 0);
+        assert_eq!(s.live_count(), 103);
+    }
+
+    #[test]
+    fn never_policy_keeps_the_arena_append_only() {
+        let tree = TreeConfig::tiny(Variant::RStar);
+        let clip = ClipConfig::paper_default::<2>(ClipMethod::Stairline);
+        let mut s = store(10, 13).with_compaction(CompactionPolicy::never());
+        let deletes: Vec<Update<2>> = (0..10).map(|i| Update::Delete(DataId(i))).collect();
+        let out = s.apply_updates(&deletes, tree, clip);
+        assert_eq!(out.slots_reclaimed, 0);
+        assert_eq!(s.compactions(), 0);
+        let out = s.apply_updates(&[Update::Insert(r2(1.0, 1.0, 2.0, 2.0))], tree, clip);
+        assert_eq!(out.inserted_ids(), vec![DataId(10)], "append, not reuse");
+        assert_eq!(s.arena_len(), 11);
+    }
+}

@@ -45,6 +45,7 @@ use cbb_joins::{
 use cbb_rtree::{ClippedRTree, DataId, NodeId, RTree, TreeConfig};
 
 use crate::batch::TileForest;
+use crate::catalog::DatasetId;
 use crate::partition::{DataVersion, Partitioner, UniformGrid};
 use crate::pool::{fold_dynamic_tasks, map_chunked};
 
@@ -169,21 +170,25 @@ fn build_tile_tree<const D: usize>(
     }
 }
 
-/// Where a tile's right-side (indexed) tree comes from: built for this
-/// call, or borrowed from a cached [`TileForest`].
-enum RightTile<'f, const D: usize> {
+/// Where a tile's tree (either side) comes from: built for this call,
+/// or borrowed from a cached [`TileForest`].
+enum TileTree<'f, const D: usize> {
     Owned(ClippedRTree<D>),
     Cached(&'f ClippedRTree<D>),
 }
 
-impl<const D: usize> RightTile<'_, D> {
+impl<const D: usize> TileTree<'_, D> {
     fn get(&self) -> &ClippedRTree<D> {
         match self {
-            RightTile::Owned(t) => t,
-            RightTile::Cached(t) => t,
+            TileTree::Owned(t) => t,
+            TileTree::Cached(t) => t,
         }
     }
 }
+
+/// The right-side tree source of one tile (kept as a named alias — the
+/// setup paths below read better with the side spelled out).
+type RightTile<'f, const D: usize> = TileTree<'f, D>;
 
 /// A decomposed (hot) tile: its trees are built (or borrowed) once up
 /// front, then its subtasks interleave with whole tiles on the shared
@@ -192,7 +197,7 @@ enum HotWork<'f, const D: usize> {
     /// STT: both sides indexed; `seeds` are the root-level node pairs
     /// from [`stt_tasks`].
     Stt {
-        left: ClippedRTree<D>,
+        left: TileTree<'f, D>,
         right: RightTile<'f, D>,
         seeds: Vec<(NodeId, NodeId)>,
     },
@@ -228,13 +233,13 @@ fn build_hot<'f, const D: usize, P: Partitioner<D>>(
     plan: &JoinPlan<D, P>,
     tile: usize,
     left: &[Rect<D>],
-    left_ids: &[u32],
+    lsource: &'f LeftSource<'f, D>,
     rtree: RightTile<'f, D>,
 ) -> HotTile<'f, D> {
     match plan.algo {
         JoinAlgo::Stt => {
-            let ltree = build_tile_tree(left, left_ids, plan.tree, plan.clip, plan.use_clips);
-            let (base, seeds) = stt_tasks(&ltree, rtree.get(), plan.use_clips);
+            let ltree = lsource.tile(plan, left, tile);
+            let (base, seeds) = stt_tasks(ltree.get(), rtree.get(), plan.use_clips);
             HotTile {
                 tile,
                 base,
@@ -246,7 +251,7 @@ fn build_hot<'f, const D: usize, P: Partitioner<D>>(
             }
         }
         JoinAlgo::Inlj => {
-            let probes: Vec<Rect<D>> = left_ids.iter().map(|&i| left[i as usize]).collect();
+            let probes = lsource.probes(left, tile);
             // Aim for a few chunks per worker so the queue can rebalance.
             let chunk = probes.len().div_ceil((plan.workers * 4).max(1)).max(1);
             HotTile {
@@ -272,7 +277,7 @@ pub fn partitioned_join<const D: usize, P: Partitioner<D>>(
     left: &[Rect<D>],
     right: &[Rect<D>],
 ) -> JoinResult {
-    partitioned_join_impl(plan, left, right, None)
+    partitioned_join_impl(plan, left, right, None, None)
 }
 
 /// [`partitioned_join`] with the right (indexed) side's per-tile trees
@@ -296,46 +301,102 @@ pub fn partitioned_join_with<const D: usize, P: Partitioner<D>>(
         plan.partitioner.tile_count(),
         "forest was built under a different partitioning"
     );
-    partitioned_join_impl(plan, left, right, Some(forest))
+    partitioned_join_impl(plan, left, right, None, Some(forest))
 }
 
-/// Where a join's whole right side comes from: a prebuilt (cached)
+/// The cross-dataset STT fast path: **both** sides' per-tile trees come
+/// from prebuilt [`TileForest`]s — nothing is assigned, nothing is bulk
+/// loaded. This is what a catalog-serving layer runs for a cross-dataset
+/// join of two datasets that share a tiling: the probe dataset's cached
+/// forest *is* the per-tile left side a [`partitioned_join`] would have
+/// built, so every counter of the returned [`JoinResult`] equals the
+/// build-per-call path exactly (rect-identical trees traverse
+/// identically; id values play no part in traversal or reference-point
+/// dedup).
+///
+/// Both forests must be tiled by `plan.partitioner` (tile counts are
+/// checked; content correspondence is the caller's contract — a
+/// [`ForestCache`] keyed by `(DatasetId, DataVersion)` maintains it).
+/// STT only: INLJ streams raw probe rectangles, which a forest does not
+/// store — when the partitioners differ or the plan is INLJ, the serve
+/// layer re-partitions the probe side with [`partitioned_join_with`]
+/// instead.
+///
+/// `right` is the indexed side's object arena (tombstoned slots
+/// included — only ids present in the forest's trees are ever looked
+/// up).
+pub fn partitioned_join_forests<const D: usize, P: Partitioner<D>>(
+    plan: &JoinPlan<D, P>,
+    left_forest: &TileForest<D>,
+    right: &[Rect<D>],
+    right_forest: &TileForest<D>,
+) -> JoinResult {
+    assert!(
+        matches!(plan.algo, JoinAlgo::Stt),
+        "INLJ probes are streamed, not forest-borrowed; use partitioned_join_with"
+    );
+    for (side, forest) in [("left", left_forest), ("right", right_forest)] {
+        assert_eq!(
+            forest.tile_count(),
+            plan.partitioner.tile_count(),
+            "{side} forest was built under a different partitioning"
+        );
+    }
+    partitioned_join_impl(plan, &[], right, Some(left_forest), Some(right_forest))
+}
+
+/// Where a join side's per-tile trees come from: a prebuilt (cached)
 /// forest, or a fresh per-call assignment to build tile trees from. The
 /// enum carries exactly one source, so per-tile lookups cannot
 /// desynchronise from the setup path.
-enum RightSource<'f, const D: usize> {
+enum TileSource<'f, const D: usize> {
     Forest(&'f TileForest<D>),
     Assign(Vec<Vec<u32>>),
 }
 
-impl<const D: usize> RightSource<'_, D> {
-    /// Right-side population of tile `t` (0 for empty tiles).
+/// The two sides read the same source type; the aliases keep the setup
+/// paths legible.
+type LeftSource<'f, const D: usize> = TileSource<'f, D>;
+type RightSource<'f, const D: usize> = TileSource<'f, D>;
+
+impl<const D: usize> TileSource<'_, D> {
+    /// Population of tile `t` on this side (0 for empty tiles).
     fn count(&self, t: usize) -> usize {
         match self {
-            RightSource::Forest(f) => f.tree(t).map_or(0, |tree| tree.tree.len()),
-            RightSource::Assign(assign) => assign[t].len(),
+            TileSource::Forest(f) => f.tree(t).map_or(0, |tree| tree.tree.len()),
+            TileSource::Assign(assign) => assign[t].len(),
         }
     }
 
-    /// The right-side tree of a populated tile `t`: borrowed from the
-    /// forest, or built from the assignment for this call.
+    /// The tree of a populated tile `t`: borrowed from the forest, or
+    /// built from the assignment for this call.
     fn tile<'s, P: Partitioner<D>>(
         &'s self,
         plan: &JoinPlan<D, P>,
-        right: &[Rect<D>],
+        objects: &[Rect<D>],
         t: usize,
-    ) -> RightTile<'s, D> {
+    ) -> TileTree<'s, D> {
         match self {
-            RightSource::Forest(f) => {
-                RightTile::Cached(f.tree(t).expect("populated tile has a tree"))
+            TileSource::Forest(f) => {
+                TileTree::Cached(f.tree(t).expect("populated tile has a tree"))
             }
-            RightSource::Assign(assign) => RightTile::Owned(build_tile_tree(
-                right,
+            TileSource::Assign(assign) => TileTree::Owned(build_tile_tree(
+                objects,
                 &assign[t],
                 plan.tree,
                 plan.clip,
                 plan.use_clips,
             )),
+        }
+    }
+
+    /// The raw probe rectangles of tile `t` (INLJ left side). Forests
+    /// hold trees, not probe lists — the public entry points keep INLJ
+    /// on the assignment path.
+    fn probes(&self, objects: &[Rect<D>], t: usize) -> Vec<Rect<D>> {
+        match self {
+            TileSource::Forest(_) => unreachable!("INLJ probes are never forest-sourced"),
+            TileSource::Assign(assign) => assign[t].iter().map(|&i| objects[i as usize]).collect(),
         }
     }
 }
@@ -344,21 +405,25 @@ fn partitioned_join_impl<const D: usize, P: Partitioner<D>>(
     plan: &JoinPlan<D, P>,
     left: &[Rect<D>],
     right: &[Rect<D>],
-    forest: Option<&TileForest<D>>,
+    left_forest: Option<&TileForest<D>>,
+    right_forest: Option<&TileForest<D>>,
 ) -> JoinResult {
-    let left_assign = plan.partitioner.assign(left);
-    // The right side's per-tile population comes from the forest when
-    // given (its trees hold exactly the assigned ids), otherwise from
+    // Each side's per-tile population comes from its forest when given
+    // (the trees hold exactly the assigned ids), otherwise from
     // assigning now.
-    let source = match forest {
+    let lsource = match left_forest {
+        Some(f) => LeftSource::Forest(f),
+        None => LeftSource::Assign(plan.partitioner.assign(left)),
+    };
+    let source = match right_forest {
         Some(f) => RightSource::Forest(f),
         None => RightSource::Assign(plan.partitioner.assign(right)),
     };
     // Only tiles where both sides are populated can produce pairs.
     let mut tiles: Vec<usize> = (0..plan.partitioner.tile_count())
-        .filter(|&t| !left_assign[t].is_empty() && source.count(t) > 0)
+        .filter(|&t| lsource.count(t) > 0 && source.count(t) > 0)
         .collect();
-    let weight = |t: usize| (left_assign[t].len() as u64).saturating_mul(source.count(t) as u64);
+    let weight = |t: usize| (lsource.count(t) as u64).saturating_mul(source.count(t) as u64);
     let total = tiles
         .iter()
         .fold(0u64, |acc, &t| acc.saturating_add(weight(t)));
@@ -376,7 +441,7 @@ fn partitioned_join_impl<const D: usize, P: Partitioner<D>>(
     let hot: Vec<HotTile<D>> = map_chunked(plan.workers, &hot_tiles, |_, chunk| {
         chunk
             .iter()
-            .map(|&t| build_hot(plan, t, left, &left_assign[t], right_tile(t)))
+            .map(|&t| build_hot(plan, t, left, &lsource, right_tile(t)))
             .collect::<Vec<_>>()
     })
     .into_iter()
@@ -409,7 +474,7 @@ fn partitioned_join_impl<const D: usize, P: Partitioner<D>>(
         JoinResult::default,
         |task, acc: &mut JoinResult| match *task {
             Task::Tile(t) => {
-                *acc += join_tile(plan, t, left, &left_assign[t], right, right_tile(t).get());
+                *acc += join_tile(plan, t, left, &lsource, right, right_tile(t).get());
             }
             Task::SttSeed { hot: h, seed } => {
                 let ht = &hot[h];
@@ -422,9 +487,14 @@ fn partitioned_join_impl<const D: usize, P: Partitioner<D>>(
                     unreachable!("STT seed on a non-STT tile");
                 };
                 let (lid, rid) = seeds[seed];
-                *acc += stt_filtered_from(ltree, lid, rtree.get(), rid, plan.use_clips, |a, b| {
-                    plan.partitioner.owns(ht.tile, &reference_point(a, b))
-                });
+                *acc += stt_filtered_from(
+                    ltree.get(),
+                    lid,
+                    rtree.get(),
+                    rid,
+                    plan.use_clips,
+                    |a, b| plan.partitioner.owns(ht.tile, &reference_point(a, b)),
+                );
             }
             Task::InljChunk { hot: h, lo, hi } => {
                 let ht = &hot[h];
@@ -450,27 +520,27 @@ fn partitioned_join_impl<const D: usize, P: Partitioner<D>>(
     result
 }
 
-/// Join one whole tile: build the probe-side tree as needed and run the
-/// planned strategy with the reference-point ownership filter. The
-/// right-side tree comes from the caller (built for this call or
-/// borrowed from a cached forest).
+/// Join one whole tile: source the probe-side tree/list as planned and
+/// run the strategy with the reference-point ownership filter. Both
+/// sides' trees come from the caller (built for this call or borrowed
+/// from cached forests).
 fn join_tile<const D: usize, P: Partitioner<D>>(
     plan: &JoinPlan<D, P>,
     tile: usize,
     left: &[Rect<D>],
-    left_ids: &[u32],
+    lsource: &LeftSource<'_, D>,
     right: &[Rect<D>],
     rtree: &ClippedRTree<D>,
 ) -> JoinResult {
     match plan.algo {
         JoinAlgo::Stt => {
-            let ltree = build_tile_tree(left, left_ids, plan.tree, plan.clip, plan.use_clips);
-            stt_filtered(&ltree, rtree, plan.use_clips, |a, b| {
+            let ltree = lsource.tile(plan, left, tile);
+            stt_filtered(ltree.get(), rtree, plan.use_clips, |a, b| {
                 plan.partitioner.owns(tile, &reference_point(a, b))
             })
         }
         JoinAlgo::Inlj => {
-            let probes: Vec<Rect<D>> = left_ids.iter().map(|&i| left[i as usize]).collect();
+            let probes = lsource.probes(left, tile);
             inlj_filtered(&probes, rtree, plan.use_clips, |probe, id| {
                 plan.partitioner
                     .owns(tile, &reference_point(probe, &right[id.0 as usize]))
@@ -479,29 +549,39 @@ fn join_tile<const D: usize, P: Partitioner<D>>(
     }
 }
 
-/// A bounded LRU [`TileForest`] cache keyed by [`DataVersion`]: the
-/// closing piece of the ROADMAP's "cache keyed by data version" item,
-/// grown a capacity bound for the mutable-store era.
+/// The key a cached forest is filed under: *which* dataset, at *which*
+/// version. Dataset ids are catalog-unique forever (never reused after
+/// a drop), so a key can never alias another dataset's trees.
+pub type ForestKey = (DatasetId, DataVersion);
+
+/// A bounded LRU [`TileForest`] cache keyed by `(DatasetId,
+/// DataVersion)`: the closing piece of the ROADMAP's "cache keyed by
+/// data version" item, grown a capacity bound for the mutable-store era
+/// and a dataset dimension for the catalog era.
 ///
-/// A serving layer calls [`ForestCache::get_or_build`] with the current
-/// version of its dataset on every request that needs per-tile trees.
-/// While a version stays cached its `Arc` is returned (a *hit* — no
+/// A serving layer calls [`ForestCache::get_or_build`] with a dataset's
+/// id and current version on every request that needs per-tile trees.
+/// While a key stays cached its `Arc` is returned (a *hit* — no
 /// assignment, no bulk loading); a miss builds, stores, and evicts the
-/// least-recently-used version beyond [`ForestCache::capacity`]. Delta
+/// least-recently-used key beyond [`ForestCache::capacity`]. Delta
 /// maintenance installs its freshly derived forests with
 /// [`ForestCache::insert`] — those count as neither build nor hit,
 /// which is exactly the point: an update batch produces a new version
-/// *without* a rebuild.
+/// *without* a rebuild. Dropping a dataset calls
+/// [`ForestCache::evict_dataset`] so dead layers stop occupying slots.
 ///
-/// The capacity bound is what keeps a long-running service with
-/// frequent version bumps from retaining every forest it ever served:
-/// per-tile `Arc` sharing makes consecutive versions cheap, but a
-/// thousand epochs of unshared tiles are not. Interior mutability
-/// (mutex + atomic counters) lets many executor threads share one cache
-/// behind an `Arc` or a read lock.
+/// Capacity is accounted **per key**: two hot datasets each pinning a
+/// version or two coexist in a capacity-4 cache without thrashing each
+/// other, because recency is tracked per `(dataset, version)` entry,
+/// not per dataset. The capacity bound is what keeps a long-running
+/// service with frequent version bumps from retaining every forest it
+/// ever served: per-tile `Arc` sharing makes consecutive versions
+/// cheap, but a thousand epochs of unshared tiles are not. Interior
+/// mutability (mutex + atomic counters) lets many executor threads
+/// share one cache behind an `Arc` or a read lock.
 pub struct ForestCache<const D: usize> {
     /// Most-recently-used first.
-    slots: Mutex<Vec<(DataVersion, Arc<TileForest<D>>)>>,
+    slots: Mutex<Vec<(ForestKey, Arc<TileForest<D>>)>>,
     capacity: usize,
     builds: AtomicU64,
     hits: AtomicU64,
@@ -549,17 +629,17 @@ impl<const D: usize> ForestCache<D> {
         self.len() == 0
     }
 
-    /// The forest for `version`: the cached one when present (refreshed
-    /// to most-recently-used), otherwise `build()` (stored, evicting the
-    /// LRU version over capacity). The build runs under the cache lock —
-    /// concurrent requesters of the same version wait and then hit.
+    /// The forest for `key`: the cached one when present (refreshed to
+    /// most-recently-used), otherwise `build()` (stored, evicting the
+    /// LRU key over capacity). The build runs under the cache lock —
+    /// concurrent requesters of the same key wait and then hit.
     pub fn get_or_build(
         &self,
-        version: DataVersion,
+        key: ForestKey,
         build: impl FnOnce() -> TileForest<D>,
     ) -> Arc<TileForest<D>> {
         let mut slots = self.slots.lock().expect("forest cache poisoned");
-        if let Some(pos) = slots.iter().position(|(v, _)| *v == version) {
+        if let Some(pos) = slots.iter().position(|(k, _)| *k == key) {
             let hit = slots.remove(pos);
             let forest = hit.1.clone();
             slots.insert(0, hit);
@@ -567,20 +647,29 @@ impl<const D: usize> ForestCache<D> {
             return forest;
         }
         let forest = Arc::new(build());
-        slots.insert(0, (version, forest.clone()));
+        slots.insert(0, (key, forest.clone()));
         slots.truncate(self.capacity);
         self.builds.fetch_add(1, Ordering::Relaxed);
         forest
     }
 
     /// Store an externally produced forest (a delta-applied one) as the
-    /// most-recently-used entry for `version`, evicting over capacity.
+    /// most-recently-used entry for `key`, evicting over capacity.
     /// Counts as neither a build nor a hit.
-    pub fn insert(&self, version: DataVersion, forest: Arc<TileForest<D>>) {
+    pub fn insert(&self, key: ForestKey, forest: Arc<TileForest<D>>) {
         let mut slots = self.slots.lock().expect("forest cache poisoned");
-        slots.retain(|(v, _)| *v != version);
-        slots.insert(0, (version, forest));
+        slots.retain(|(k, _)| *k != key);
+        slots.insert(0, (key, forest));
         slots.truncate(self.capacity);
+    }
+
+    /// Drop every cached version of one dataset (the `DropDataset`
+    /// companion — a dead layer must not occupy LRU slots).
+    pub fn evict_dataset(&self, dataset: DatasetId) {
+        self.slots
+            .lock()
+            .expect("forest cache poisoned")
+            .retain(|((d, _), _)| *d != dataset);
     }
 
     /// Number of forest builds performed (misses), over the cache's
@@ -866,33 +955,108 @@ mod tests {
     }
 
     #[test]
+    fn forests_join_is_counter_exact_for_both_sides_cached() {
+        // The cross-dataset STT fast path: BOTH sides served from
+        // prebuilt forests must reproduce EVERY counter of the
+        // build-per-call join, clipped and not, across split policies.
+        let a = clustered_boxes(380, 30);
+        let b = clustered_boxes(420, 31);
+        let base_plan = plan2(4, 3);
+        let left_forest = TileForest::build(
+            &base_plan.partitioner,
+            &a,
+            base_plan.tree,
+            base_plan.clip,
+            3,
+        );
+        let right_forest = TileForest::build(
+            &base_plan.partitioner,
+            &b,
+            base_plan.tree,
+            base_plan.clip,
+            3,
+        );
+        for use_clips in [true, false] {
+            for split in [SplitPolicy::Never, SplitPolicy::Auto, SplitPolicy::Above(0)] {
+                let plan = base_plan.with_clips(use_clips).with_split(split);
+                let direct = partitioned_join(&plan, &a, &b);
+                let cached = partitioned_join_forests(&plan, &left_forest, &b, &right_forest);
+                assert_eq!(cached, direct, "clips={use_clips} {split:?}");
+            }
+        }
+        assert_eq!(
+            partitioned_join_forests(&base_plan, &left_forest, &b, &right_forest).pairs,
+            brute_force_pairs(&a, &b)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "INLJ probes are streamed")]
+    fn forests_join_rejects_inlj() {
+        let b = boxes(40, 32, 20.0);
+        let plan = plan2(3, 1).with_algo(JoinAlgo::Inlj);
+        let forest = TileForest::build(&plan.partitioner, &b, plan.tree, plan.clip, 1);
+        let _ = partitioned_join_forests(&plan, &forest, &b, &forest);
+    }
+
+    /// Key helper: dataset `d` at version `v`.
+    fn key(d: u32, v: u64) -> ForestKey {
+        (DatasetId(d), DataVersion(v))
+    }
+
+    #[test]
     fn forest_cache_hits_and_invalidates_by_version() {
         let a = boxes(150, 24, 25.0);
         let b = boxes(180, 25, 25.0);
         let plan = plan2(4, 2);
         let cache: ForestCache<2> = ForestCache::new();
+        let ds = DatasetId(7);
         let mut version = DataVersion::initial();
         let build =
             |data: &[Rect<2>]| TileForest::build(&plan.partitioner, data, plan.tree, plan.clip, 2);
         // Three joins on one version: one build, two hits, stable result.
-        let r1 = partitioned_join_with(&plan, &a, &b, &cache.get_or_build(version, || build(&b)));
-        let r2 = partitioned_join_with(&plan, &a, &b, &cache.get_or_build(version, || build(&b)));
-        let r3 = partitioned_join_with(&plan, &a, &b, &cache.get_or_build(version, || build(&b)));
+        let r1 = partitioned_join_with(
+            &plan,
+            &a,
+            &b,
+            &cache.get_or_build((ds, version), || build(&b)),
+        );
+        let r2 = partitioned_join_with(
+            &plan,
+            &a,
+            &b,
+            &cache.get_or_build((ds, version), || build(&b)),
+        );
+        let r3 = partitioned_join_with(
+            &plan,
+            &a,
+            &b,
+            &cache.get_or_build((ds, version), || build(&b)),
+        );
         assert_eq!((cache.builds(), cache.hits()), (1, 2));
         assert_eq!(r1, r2);
         assert_eq!(r1, r3);
         assert_eq!(r1.pairs, brute_force_pairs(&a, &b));
         // Version bump: rebuild once, then hit again.
         version.bump();
-        let r4 = partitioned_join_with(&plan, &a, &b, &cache.get_or_build(version, || build(&b)));
+        let r4 = partitioned_join_with(
+            &plan,
+            &a,
+            &b,
+            &cache.get_or_build((ds, version), || build(&b)),
+        );
         assert_eq!((cache.builds(), cache.hits()), (2, 2));
         assert_eq!(r4, r1, "same data under a new version joins identically");
-        let _ = cache.get_or_build(version, || build(&b));
+        let _ = cache.get_or_build((ds, version), || build(&b));
         assert_eq!((cache.builds(), cache.hits()), (2, 3));
-        // Explicit invalidation forces a rebuild of the same version.
+        // The same version under a DIFFERENT dataset id is a different
+        // key: a miss, not a hit.
+        let _ = cache.get_or_build((DatasetId(8), version), || build(&b));
+        assert_eq!((cache.builds(), cache.hits()), (3, 3));
+        // Explicit invalidation forces a rebuild of the same key.
         cache.invalidate();
-        let _ = cache.get_or_build(version, || build(&b));
-        assert_eq!(cache.builds(), 3);
+        let _ = cache.get_or_build((ds, version), || build(&b));
+        assert_eq!(cache.builds(), 4);
     }
 
     #[test]
@@ -907,35 +1071,90 @@ mod tests {
         // Three distinct versions through a capacity-2 cache: the
         // oldest is evicted, memory stays bounded.
         for v in 0..3 {
-            let _ = cache.get_or_build(DataVersion(v), || build(&b));
+            let _ = cache.get_or_build(key(0, v), || build(&b));
         }
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.builds(), 3);
         // v0 was evicted: requesting it again is a miss (a rebuild).
-        let _ = cache.get_or_build(DataVersion(0), || build(&b));
+        let _ = cache.get_or_build(key(0, 0), || build(&b));
         assert_eq!(cache.builds(), 4);
         // v2 was refreshed by nothing — v1 is now LRU and got evicted
         // by v0's reinsertion; v2 is still a hit.
-        let _ = cache.get_or_build(DataVersion(2), || build(&b));
+        let _ = cache.get_or_build(key(0, 2), || build(&b));
         assert_eq!((cache.builds(), cache.hits()), (4, 1));
         // A hit refreshes recency: touch v0, insert a new version, and
         // v2 (not v0) is the one gone.
-        let _ = cache.get_or_build(DataVersion(0), || build(&b));
-        let _ = cache.get_or_build(DataVersion(9), || build(&b));
+        let _ = cache.get_or_build(key(0, 0), || build(&b));
+        let _ = cache.get_or_build(key(0, 9), || build(&b));
         assert_eq!(cache.len(), 2);
-        let _ = cache.get_or_build(DataVersion(0), || build(&b));
+        let _ = cache.get_or_build(key(0, 0), || build(&b));
         assert_eq!(cache.builds(), 5, "v0 must still be resident");
         // `insert` (the delta path) stores without counting a build and
-        // still respects the cap; re-inserting a version replaces it.
-        cache.insert(DataVersion(50), Arc::new(build(&b)));
-        cache.insert(DataVersion(50), Arc::new(build(&b)));
+        // still respects the cap; re-inserting a key replaces it.
+        cache.insert(key(0, 50), Arc::new(build(&b)));
+        cache.insert(key(0, 50), Arc::new(build(&b)));
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.builds(), 5);
-        let _ = cache.get_or_build(DataVersion(50), || build(&b));
+        let _ = cache.get_or_build(key(0, 50), || build(&b));
         assert_eq!(cache.builds(), 5, "inserted version is a hit");
         assert!(!cache.is_empty());
         cache.invalidate();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn forest_cache_two_hot_datasets_do_not_thrash() {
+        // The multi-dataset LRU satellite: two datasets, each pinning
+        // two live versions, interleaved hard against a capacity-4
+        // cache — after the four initial builds every access is a hit;
+        // neither dataset can push the other's forests out.
+        let b = boxes(100, 27, 25.0);
+        let plan = plan2(3, 2);
+        let build =
+            |data: &[Rect<2>]| TileForest::build(&plan.partitioner, data, plan.tree, plan.clip, 2);
+        let cache: ForestCache<2> = ForestCache::with_capacity(4);
+        let hot = [key(0, 0), key(1, 0), key(0, 1), key(1, 1)];
+        for round in 0..6 {
+            // Vary the interleaving order per round: A,B,A,B then
+            // B,A,B,A — recency churn across datasets, same working set.
+            let order: Vec<ForestKey> = if round % 2 == 0 {
+                hot.to_vec()
+            } else {
+                hot.iter().rev().copied().collect()
+            };
+            for k in order {
+                let _ = cache.get_or_build(k, || build(&b));
+            }
+        }
+        assert_eq!(
+            (cache.builds(), cache.hits()),
+            (4, 20),
+            "a capacity-4 working set of 4 keys never rebuilds"
+        );
+        assert_eq!(cache.len(), 4);
+
+        // A fifth key evicts exactly the LRU entry. After the last
+        // round the access order (old→new) was (1,1),(0,1),(1,0),(0,0)
+        // — so (1,1) is the LRU victim.
+        let _ = cache.get_or_build(key(2, 0), || build(&b));
+        assert_eq!(cache.builds(), 5);
+        let _ = cache.get_or_build(key(1, 1), || build(&b));
+        assert_eq!(cache.builds(), 6, "(1,1) was the evicted LRU entry");
+        // ... which in turn displaced (0,1), the next-oldest; dataset
+        // 0's most recent version is still resident.
+        let _ = cache.get_or_build(key(0, 0), || build(&b));
+        assert_eq!(cache.builds(), 6, "(0,0) survived both evictions");
+        let _ = cache.get_or_build(key(0, 1), || build(&b));
+        assert_eq!(cache.builds(), 7, "(0,1) was displaced second");
+
+        // evict_dataset drops only that dataset's keys.
+        let before = cache.len();
+        cache.evict_dataset(DatasetId(0));
+        assert!(cache.len() < before);
+        let _ = cache.get_or_build(key(1, 1), || build(&b));
+        assert_eq!(cache.builds(), 7, "dataset 1 untouched by the eviction");
+        let _ = cache.get_or_build(key(0, 1), || build(&b));
+        assert_eq!(cache.builds(), 8, "dataset 0 keys are gone");
     }
 
     #[test]

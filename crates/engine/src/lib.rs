@@ -20,11 +20,18 @@
 //!   workers against one shared [`cbb_rtree::ClippedRTree`], answers in
 //!   workload order, [`cbb_rtree::AccessStats`] merged.
 //! * [`update`] — the write side: [`Update`] batches applied through
-//!   [`BatchExecutor::apply_updates`] route each object to its covering
+//!   [`DatasetStore::apply_updates`] route each object to its covering
 //!   tiles, maintain the per-tile clipped trees incrementally (§IV-D),
 //!   and share untouched tiles copy-on-write with the previous
 //!   [`TileForest`] — a versioned store instead of a rebuild-per-change
 //!   snapshot.
+//! * [`catalog`] — the multi-dataset layer: the mutable versioned
+//!   [`DatasetStore`] (arena, liveness, free-slot compaction,
+//!   per-dataset [`DataVersion`]) and the [`Catalog`] mapping
+//!   [`DatasetId`]s to independently locked stores, each with its own
+//!   partitioner ([`AnyPartitioner`] mixes kinds in one catalog).
+//!   Cross-dataset joins borrow both sides' cached forests
+//!   ([`partitioned_join_forests`]).
 //!
 //! Everything runs on `std::thread::scope` — no runtime, no work queues
 //! outlive a call, no external dependencies.
@@ -49,6 +56,7 @@
 
 pub mod adaptive;
 pub mod batch;
+pub mod catalog;
 pub mod join;
 pub mod partition;
 pub mod pool;
@@ -57,10 +65,14 @@ pub mod update;
 
 pub use adaptive::AdaptiveGrid;
 pub use batch::{parallel_range_queries, BatchExecutor, BatchOutcome, KnnOutcome, TileForest};
-pub use join::{
-    partitioned_join, partitioned_join_with, sequential_join, ForestCache, JoinAlgo, JoinPlan,
-    SplitPolicy,
+pub use catalog::{
+    Catalog, CatalogError, CompactionPolicy, Dataset, DatasetId, DatasetStore,
+    DEFAULT_COMPACT_DEAD_FRACTION,
 };
-pub use partition::{load_imbalance, DataVersion, Partitioner, UniformGrid};
+pub use join::{
+    partitioned_join, partitioned_join_forests, partitioned_join_with, sequential_join,
+    ForestCache, ForestKey, JoinAlgo, JoinPlan, SplitPolicy,
+};
+pub use partition::{load_imbalance, AnyPartitioner, DataVersion, Partitioner, UniformGrid};
 pub use quadtree::QuadtreePartitioner;
 pub use update::{Update, UpdateOutcome, UpdateResult};

@@ -181,6 +181,80 @@ pub fn load_imbalance<const D: usize, P: Partitioner<D>>(
     max / mean
 }
 
+/// Any of the engine's three partitioners behind one concrete type —
+/// what lets a single catalog serve datasets with **different
+/// partitioner kinds** side by side (a uniform grid for a uniform
+/// layer, a quadtree for a heavily clustered one) while everything
+/// downstream stays generic over one `P`.
+///
+/// Dispatch is a `match` per call; the partitioner contract (total
+/// ownership, covering consistency) is inherited unchanged from the
+/// wrapped implementation, so joins and reference-point dedup stay
+/// exact. Equality (used by the serve layer to decide whether a
+/// cross-dataset join can borrow the probe side's cached forest)
+/// compares kind *and* fitted boundaries.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AnyPartitioner<const D: usize> {
+    /// An equal-width [`UniformGrid`].
+    Uniform(UniformGrid<D>),
+    /// A sample-quantile [`crate::AdaptiveGrid`].
+    Adaptive(crate::AdaptiveGrid<D>),
+    /// A budget-driven [`crate::QuadtreePartitioner`].
+    Quadtree(crate::QuadtreePartitioner<D>),
+}
+
+impl<const D: usize> From<UniformGrid<D>> for AnyPartitioner<D> {
+    fn from(p: UniformGrid<D>) -> Self {
+        AnyPartitioner::Uniform(p)
+    }
+}
+
+impl<const D: usize> From<crate::AdaptiveGrid<D>> for AnyPartitioner<D> {
+    fn from(p: crate::AdaptiveGrid<D>) -> Self {
+        AnyPartitioner::Adaptive(p)
+    }
+}
+
+impl<const D: usize> From<crate::QuadtreePartitioner<D>> for AnyPartitioner<D> {
+    fn from(p: crate::QuadtreePartitioner<D>) -> Self {
+        AnyPartitioner::Quadtree(p)
+    }
+}
+
+impl<const D: usize> Partitioner<D> for AnyPartitioner<D> {
+    fn tile_count(&self) -> usize {
+        match self {
+            AnyPartitioner::Uniform(p) => Partitioner::tile_count(p),
+            AnyPartitioner::Adaptive(p) => Partitioner::tile_count(p),
+            AnyPartitioner::Quadtree(p) => Partitioner::tile_count(p),
+        }
+    }
+
+    fn tile_of(&self, p: &Point<D>) -> usize {
+        match self {
+            AnyPartitioner::Uniform(g) => Partitioner::tile_of(g, p),
+            AnyPartitioner::Adaptive(g) => Partitioner::tile_of(g, p),
+            AnyPartitioner::Quadtree(g) => Partitioner::tile_of(g, p),
+        }
+    }
+
+    fn covering_tiles(&self, r: &Rect<D>) -> Vec<usize> {
+        match self {
+            AnyPartitioner::Uniform(p) => Partitioner::covering_tiles(p, r),
+            AnyPartitioner::Adaptive(p) => Partitioner::covering_tiles(p, r),
+            AnyPartitioner::Quadtree(p) => Partitioner::covering_tiles(p, r),
+        }
+    }
+
+    fn tile_rect(&self, tile: usize) -> Rect<D> {
+        match self {
+            AnyPartitioner::Uniform(p) => Partitioner::tile_rect(p, tile),
+            AnyPartitioner::Adaptive(p) => Partitioner::tile_rect(p, tile),
+            AnyPartitioner::Quadtree(p) => Partitioner::tile_rect(p, tile),
+        }
+    }
+}
+
 /// A uniform grid over a rectangular domain with `dims[i]` tiles along
 /// axis `i`, tiles indexed row-major in `0..tile_count()`.
 #[derive(Clone, Copy, Debug, PartialEq)]

@@ -59,6 +59,11 @@ pub struct UpdateOutcome {
     /// roots, fresh tile roots). Machine-independent: the delta-apply
     /// vs rebuild-per-batch comparison `BENCH_update.json` reports.
     pub nodes_allocated: u64,
+    /// Tombstoned arena slots swept into the free list by the
+    /// compaction pass that ran after this batch (0 when the
+    /// [`crate::CompactionPolicy`] threshold was not crossed). Reclaimed
+    /// slots are reused by later inserts; live ids never move.
+    pub slots_reclaimed: usize,
 }
 
 impl UpdateOutcome {
@@ -79,6 +84,16 @@ impl UpdateOutcome {
             .iter()
             .filter(|r| matches!(r, UpdateResult::Deleted(true)))
             .count()
+    }
+
+    /// Updates that changed the store (applied inserts + applied
+    /// deletes). A batch with `applied() == 0` bumps no version and
+    /// must invalidate no cache.
+    pub fn applied(&self) -> u64 {
+        self.results
+            .iter()
+            .filter(|r| matches!(r, UpdateResult::Inserted(_) | UpdateResult::Deleted(true)))
+            .count() as u64
     }
 }
 

@@ -82,7 +82,13 @@ fn arb_script(max_len: usize) -> impl Strategy<Value = Vec<ScriptOp>> {
 }
 
 /// Apply a script through the executor in per-batch chunks, mirroring
-/// the arena in plain vectors for the oracle.
+/// the arena in plain vectors for the oracle — including the store's
+/// documented slot-reclamation semantics: deletes tombstone their slot,
+/// a post-batch sweep frees every dead slot once tombstones exceed
+/// [`cbb_engine::DEFAULT_COMPACT_DEAD_FRACTION`] of the arena, and
+/// later inserts reuse freed slots smallest-id-first before appending.
+/// The adversarial delete-heavy scripts cross the threshold routinely,
+/// so the mirror exercises compaction on most cases.
 fn run_script<P: Partitioner<2> + Clone>(
     partitioner: P,
     initial: &[Rect<2>],
@@ -94,6 +100,10 @@ fn run_script<P: Partitioner<2> + Clone>(
     let mut exec = BatchExecutor::build(partitioner, initial, tree, clip, 2);
     let mut arena: Vec<Rect<2>> = initial.to_vec();
     let mut live = vec![true; initial.len()];
+    // Free slots sorted descending: `pop()` reuses the smallest id,
+    // exactly as the store does.
+    let mut free: Vec<u32> = Vec::new();
+    let mut tombstones = 0usize;
     for ops in script.chunks(chunk.max(1)) {
         let batch: Vec<Update<2>> = ops
             .iter()
@@ -105,17 +115,32 @@ fn run_script<P: Partitioner<2> + Clone>(
         // Mirror the batch on the oracle arena.
         for u in &batch {
             match u {
-                Update::Insert(r) => {
-                    arena.push(*r);
-                    live.push(true);
-                }
+                Update::Insert(r) => match free.pop() {
+                    Some(slot) => {
+                        arena[slot as usize] = *r;
+                        live[slot as usize] = true;
+                    }
+                    None => {
+                        arena.push(*r);
+                        live.push(true);
+                    }
+                },
                 Update::Delete(id) => {
                     let slot = id.0 as usize;
-                    if slot < live.len() {
+                    if slot < live.len() && live[slot] {
                         live[slot] = false;
+                        tombstones += 1;
                     }
                 }
             }
+        }
+        // Mirror the post-batch compaction sweep.
+        if tombstones as f64 > cbb_engine::DEFAULT_COMPACT_DEAD_FRACTION * arena.len() as f64 {
+            free = (0..arena.len() as u32)
+                .rev()
+                .filter(|&s| !live[s as usize])
+                .collect();
+            tombstones = 0;
         }
         exec.apply_updates(&batch, tree, clip);
     }

@@ -1,30 +1,45 @@
 //! Micro-batch formation and execution: the bridge between the request
-//! queue and the engine's batched executor.
+//! queue and the catalog's per-dataset stores.
 //!
 //! A dispatcher blocks for the first request, then keeps the batch open
 //! until it holds `batch_max` requests or `batch_deadline` has passed
 //! since the batch opened — the classic group-commit trade: a bounded
 //! dash of added latency buys amortised dispatch over the executor.
 //!
-//! Writes in the batch run **first**: every `Insert`/`Delete`/
-//! `UpdateBatch` is coalesced into one ordered engine apply under the
-//! state write lock with a *single* version bump (group commit for
-//! index maintenance), and the delta-derived forest is installed into
-//! the version cache without any rebuild. The batch's reads then
-//! execute under the read lock, observing the batch's own writes.
-//! Reads are grouped by kind (clipped ranges, baseline ranges, kNN
-//! probes, joins) so each group rides one executor call.
+//! Execution order inside one micro-batch:
+//!
+//! 1. **Mutations in queue order, writes coalesced per dataset**:
+//!    every `Insert`/`Delete`/`UpdateBatch` targeting dataset X is
+//!    coalesced into one ordered engine apply under X's write lock
+//!    with a *single* version bump of X (group commit for index
+//!    maintenance), and the delta-derived forest is installed into the
+//!    `(DatasetId, DataVersion)` cache without any rebuild. An admin
+//!    op (`CreateDataset` / `DropDataset` / `SwapData`) is a
+//!    **barrier**: pending write groups flush before it runs, so the
+//!    final state is exactly what strict queue-order execution would
+//!    produce (an insert enqueued before a swap is swapped away; one
+//!    enqueued after it survives). Locks are taken one dataset at a
+//!    time and released before the next — a write burst into A never
+//!    holds B.
+//! 2. **Reads, grouped per dataset** under that dataset's read lock
+//!    (kind-grouped: clipped ranges, baseline ranges, kNN probes,
+//!    joins ride one executor call each), observing the batch's own
+//!    writes. Cross-dataset joins acquire their two read locks in
+//!    ascending id order — the global lock-ordering rule that keeps
+//!    the dispatcher pool deadlock-free.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 use cbb_engine::{
-    partitioned_join_with, BatchExecutor, JoinPlan, Partitioner, SplitPolicy, Update, UpdateResult,
+    partitioned_join_forests, partitioned_join_with, Dataset, DatasetId, JoinAlgo, JoinPlan,
+    Partitioner, SplitPolicy, Update, UpdateResult,
 };
 use cbb_geom::{Point, Rect};
 
 use crate::queue::{Bounded, Popped};
-use crate::request::{Completion, Request, Response, UpdateSummary};
+use crate::request::{Completion, Request, RequestError, Response, UpdateSummary};
 use crate::service::{Envelope, SharedState};
 
 /// Pull one micro-batch off the queue: block for the first request,
@@ -50,60 +65,70 @@ pub(crate) fn collect_batch<T>(
     Some(batch)
 }
 
-/// Execute one micro-batch against the shared engine state and fulfil
-/// every completion handle. Answers are identical to issuing each
-/// request alone: per-query results never depend on what else shares
-/// the batch (the oracle tests pin this).
-pub(crate) fn run_batch<const D: usize, P>(shared: &SharedState<D, P>, batch: Vec<Envelope<D>>)
-where
+/// Reads of one dataset, grouped by kind so each group rides one
+/// executor call; `slot` indexes the micro-batch.
+#[derive(Default)]
+struct ReadGroup<const D: usize> {
+    clipped: Vec<(usize, Rect<D>)>,
+    baseline: Vec<(usize, Rect<D>)>,
+    knns: Vec<(usize, (Point<D>, usize))>,
+    joins: Vec<(usize, Vec<Rect<D>>, JoinAlgo, bool)>,
+}
+
+/// Which write request a coalesced slot came from (decides its
+/// response shape once the group's results are back).
+#[derive(Clone, Copy)]
+enum WriteKind {
+    Insert,
+    Delete,
+    UpdateBatch,
+}
+
+/// Pending coalesced writes: per dataset, the ordered ops plus each
+/// contributing request's `(slot, lo, hi, kind)` range into them.
+type WriteGroups<const D: usize> = BTreeMap<DatasetId, (Vec<Update<D>>, Vec<WriteSlot>)>;
+type WriteSlot = (usize, usize, usize, WriteKind);
+
+/// Apply (and answer) every pending write group: per dataset, one
+/// write lock, one ordered engine apply, one version bump, one
+/// delta-derived forest installed into the cache (no rebuild). Locks
+/// are taken one dataset at a time and released before the next — a
+/// write burst into A never holds B. Called between admin-op barriers
+/// and once at the end of the mutation pass.
+fn flush_writes<const D: usize, P>(
+    shared: &SharedState<D, P>,
+    groups: &mut WriteGroups<D>,
+    responses: &mut [Option<Response>],
+) where
     P: Partitioner<D> + Clone,
 {
-    let picked_up = Instant::now();
-    let size = batch.len();
-    let workers = shared.config.exec_workers;
-    let mut responses: Vec<Option<Response>> = std::iter::repeat_with(|| None).take(size).collect();
-
-    // ── Writes first: coalesce every write of the micro-batch into one
-    // ordered engine apply — one write lock, one version bump, one
-    // delta-derived forest installed into the cache (no rebuild).
-    let mut ops: Vec<Update<D>> = Vec::new();
-    let mut write_slots: Vec<(usize, usize, usize)> = Vec::new(); // (slot, lo, hi) into `ops`
-    for (slot, env) in batch.iter().enumerate() {
-        let lo = ops.len();
-        match &env.request {
-            Request::Insert { rect } => ops.push(Update::Insert(*rect)),
-            Request::Delete { id } => ops.push(Update::Delete(*id)),
-            Request::UpdateBatch { updates } => ops.extend(updates.iter().copied()),
-            _ => continue,
-        }
-        write_slots.push((slot, lo, ops.len()));
-    }
-    if !write_slots.is_empty() {
+    for (dataset, (ops, write_slots)) in std::mem::take(groups) {
+        let Some(entry) = shared.catalog.get(dataset) else {
+            for (slot, ..) in write_slots {
+                responses[slot] = Some(Response::Failed(RequestError::UnknownDataset(dataset)));
+            }
+            continue;
+        };
         let (version, results) = if ops.is_empty() {
             // Only empty UpdateBatch requests: nothing to apply, no bump.
-            let state = shared.state.read().expect("service state poisoned");
-            (state.version, Vec::new())
+            let store = entry.store().read().expect("dataset store poisoned");
+            (store.version(), Vec::new())
         } else {
-            let mut state = shared.state.write().expect("service state poisoned");
-            let outcome = state.executor.apply_updates(&ops, shared.tree, shared.clip);
+            let mut store = entry.store().write().expect("dataset store poisoned");
+            let outcome = store.apply_updates(&ops, shared.tree, shared.clip);
             // A batch whose writes all turned out to be no-ops (dead-id
-            // deletes, rejected inserts) changed nothing: no version
-            // bump, no cache install, no applied-update accounting —
-            // retry storms must not churn versions or evict cached
+            // deletes, rejected inserts) changed nothing: the store
+            // bumped no version, so install nothing and account nothing
+            // — retry storms must not churn versions or evict cached
             // forests.
-            let applied = outcome
-                .results
-                .iter()
-                .filter(|r| matches!(r, UpdateResult::Inserted(_) | UpdateResult::Deleted(true)))
-                .count() as u64;
+            let applied = outcome.applied();
             if applied > 0 {
-                state.version.bump();
                 shared
                     .cache
-                    .insert(state.version, state.executor.forest().clone());
+                    .insert((dataset, store.version()), store.forest().clone());
             }
-            let version = state.version;
-            drop(state);
+            let version = store.version();
+            drop(store);
             if applied > 0 {
                 shared
                     .stats
@@ -111,91 +136,210 @@ where
             }
             (version, outcome.results)
         };
-        for (slot, lo, hi) in write_slots {
-            responses[slot] = Some(match &batch[slot].request {
-                Request::Insert { .. } => Response::Inserted(match results[lo] {
+        for (slot, lo, hi, kind) in write_slots {
+            responses[slot] = Some(match kind {
+                WriteKind::Insert => Response::Inserted(match results[lo] {
                     UpdateResult::Inserted(id) => Some(id),
                     UpdateResult::Rejected => None,
                     UpdateResult::Deleted(_) => unreachable!("insert answered as delete"),
                 }),
-                Request::Delete { .. } => Response::Deleted(match results[lo] {
+                WriteKind::Delete => Response::Deleted(match results[lo] {
                     UpdateResult::Deleted(ok) => ok,
                     _ => unreachable!("delete answered as insert"),
                 }),
-                Request::UpdateBatch { .. } => Response::Updated(UpdateSummary {
+                WriteKind::UpdateBatch => Response::Updated(UpdateSummary {
                     version,
                     results: results[lo..hi].to_vec(),
                 }),
-                _ => unreachable!("write slot holds a read"),
             });
         }
     }
+}
 
-    // ── Reads under the read lock, acquired after the writes: the
-    // batch's reads observe the batch's writes.
-    let state = shared.state.read().expect("service state poisoned");
-    let executor: &BatchExecutor<D, P> = &state.executor;
+/// Execute one micro-batch against the catalog and fulfil every
+/// completion handle. Answers are identical to issuing each request
+/// alone: per-query results never depend on what else shares the batch
+/// (the oracle tests pin this).
+pub(crate) fn run_batch<const D: usize, P>(
+    shared: &SharedState<D, P>,
+    mut batch: Vec<Envelope<D, P>>,
+) where
+    P: Partitioner<D> + Clone + PartialEq,
+{
+    let picked_up = Instant::now();
+    let size = batch.len();
+    let workers = shared.config.exec_workers;
+    let mut responses: Vec<Option<Response>> = std::iter::repeat_with(|| None).take(size).collect();
 
-    // Group by kind, remembering each request's slot in the batch.
-    let mut clipped: Vec<(usize, Rect<D>)> = Vec::new();
-    let mut baseline: Vec<(usize, Rect<D>)> = Vec::new();
-    let mut knns: Vec<(usize, (Point<D>, usize))> = Vec::new();
-    for (slot, env) in batch.iter().enumerate() {
-        match &env.request {
-            Request::Range { query, use_clips } => {
+    // ── 1. Mutations (writes + admin ops), in queue order with
+    // per-dataset group commit: consecutive writes are coalesced per
+    // dataset, and an admin op is a **barrier** — every pending write
+    // group flushes before it runs. An Insert enqueued before a
+    // SwapData of its dataset is therefore really applied before the
+    // swap (and discarded by it), and a write enqueued after a
+    // DropDataset fails — exactly the final state queue-order
+    // execution would produce. Payloads are taken out of the envelope
+    // (the request is never revisited).
+    let mut write_groups: WriteGroups<D> = BTreeMap::new();
+    for (slot, env) in batch.iter_mut().enumerate() {
+        match &mut env.request {
+            Request::CreateDataset {
+                name,
+                partitioner,
+                objects,
+            } => {
+                flush_writes(shared, &mut write_groups, &mut responses);
+                let response = match shared.create_dataset_now(
+                    name,
+                    partitioner.clone(),
+                    std::mem::take(objects),
+                ) {
+                    Ok(id) => Response::Created(id),
+                    Err(err) => Response::Failed(err),
+                };
+                responses[slot] = Some(response);
+            }
+            Request::DropDataset { dataset } => {
+                flush_writes(shared, &mut write_groups, &mut responses);
+                responses[slot] = Some(Response::Dropped(shared.drop_dataset_now(*dataset)));
+            }
+            Request::SwapData {
+                dataset,
+                objects,
+                partitioner,
+            } => {
+                flush_writes(shared, &mut write_groups, &mut responses);
+                let response =
+                    match shared.swap_now(*dataset, std::mem::take(objects), partitioner.take()) {
+                        Ok(version) => Response::Swapped(version),
+                        Err(err) => Response::Failed(err),
+                    };
+                responses[slot] = Some(response);
+            }
+            Request::Insert { dataset, rect } => {
+                let (ops, slots) = write_groups.entry(*dataset).or_default();
+                slots.push((slot, ops.len(), ops.len() + 1, WriteKind::Insert));
+                ops.push(Update::Insert(*rect));
+            }
+            Request::Delete { dataset, id } => {
+                let (ops, slots) = write_groups.entry(*dataset).or_default();
+                slots.push((slot, ops.len(), ops.len() + 1, WriteKind::Delete));
+                ops.push(Update::Delete(*id));
+            }
+            Request::UpdateBatch { dataset, updates } => {
+                let (ops, slots) = write_groups.entry(*dataset).or_default();
+                let lo = ops.len();
+                ops.extend(updates.iter().copied());
+                slots.push((slot, lo, ops.len(), WriteKind::UpdateBatch));
+            }
+            _ => {}
+        }
+    }
+    flush_writes(shared, &mut write_groups, &mut responses);
+
+    // ── 3. Reads, grouped per dataset; each group runs under that
+    // dataset's read lock, acquired after its writes: the batch's reads
+    // observe the batch's writes.
+    let mut read_groups: BTreeMap<DatasetId, ReadGroup<D>> = BTreeMap::new();
+    let mut cross_joins: Vec<(usize, DatasetId, DatasetId, JoinAlgo, bool)> = Vec::new();
+    for (slot, env) in batch.iter_mut().enumerate() {
+        match &mut env.request {
+            Request::Range {
+                dataset,
+                query,
+                use_clips,
+            } => {
+                let group = read_groups.entry(*dataset).or_default();
                 if *use_clips {
-                    clipped.push((slot, *query));
+                    group.clipped.push((slot, *query));
                 } else {
-                    baseline.push((slot, *query));
+                    group.baseline.push((slot, *query));
                 }
             }
-            Request::Knn { center, k } => knns.push((slot, (*center, *k))),
+            Request::Knn { dataset, center, k } => {
+                read_groups
+                    .entry(*dataset)
+                    .or_default()
+                    .knns
+                    .push((slot, (*center, *k)));
+            }
             Request::Join {
+                dataset,
                 probes,
                 algo,
                 use_clips,
             } => {
-                // Joins run per request against the executor's forest —
-                // the version-keyed trees built once per data version —
-                // so repeat joins on an unchanged version rebuild
-                // nothing and touch no lock beyond the state read lock
-                // already held.
-                let plan = JoinPlan {
-                    partitioner: executor.partitioner().clone(),
-                    tree: shared.tree,
-                    clip: shared.clip,
-                    use_clips: *use_clips,
-                    algo: *algo,
-                    workers,
-                    split: SplitPolicy::Auto,
-                };
-                let result =
-                    partitioned_join_with(&plan, probes, executor.objects(), executor.forest());
-                shared.stats.forest_hits.fetch_add(1, Ordering::Relaxed);
-                responses[slot] = Some(Response::Join(result));
+                read_groups.entry(*dataset).or_default().joins.push((
+                    slot,
+                    std::mem::take(probes),
+                    *algo,
+                    *use_clips,
+                ));
             }
-            // Writes were already applied and answered above.
-            Request::Insert { .. } | Request::Delete { .. } | Request::UpdateBatch { .. } => {}
+            Request::CrossJoin {
+                left,
+                right,
+                algo,
+                use_clips,
+            } => cross_joins.push((slot, *left, *right, *algo, *use_clips)),
+            // Writes and admin ops were already applied and answered.
+            _ => {}
         }
     }
-    for (group, use_clips) in [(&clipped, true), (&baseline, false)] {
-        if group.is_empty() {
+    for (dataset, group) in read_groups {
+        let Some(entry) = shared.catalog.get(dataset) else {
+            let fail = || Some(Response::Failed(RequestError::UnknownDataset(dataset)));
+            for (slot, _) in group.clipped.iter().chain(&group.baseline) {
+                responses[*slot] = fail();
+            }
+            for (slot, _) in &group.knns {
+                responses[*slot] = fail();
+            }
+            for (slot, ..) in &group.joins {
+                responses[*slot] = fail();
+            }
             continue;
+        };
+        let store = entry.store().read().expect("dataset store poisoned");
+        for (group, use_clips) in [(&group.clipped, true), (&group.baseline, false)] {
+            if group.is_empty() {
+                continue;
+            }
+            let queries: Vec<Rect<D>> = group.iter().map(|(_, q)| *q).collect();
+            let outcome = store.run(&queries, workers, use_clips);
+            for ((slot, _), ids) in group.iter().zip(outcome.results) {
+                responses[*slot] = Some(Response::Range(ids));
+            }
         }
-        let queries: Vec<Rect<D>> = group.iter().map(|(_, q)| *q).collect();
-        let outcome = executor.run(&queries, workers, use_clips);
-        for ((slot, _), ids) in group.iter().zip(outcome.results) {
-            responses[*slot] = Some(Response::Range(ids));
+        if !group.knns.is_empty() {
+            let probes: Vec<(Point<D>, usize)> = group.knns.iter().map(|(_, p)| *p).collect();
+            let outcome = store.run_knn(&probes, workers);
+            for ((slot, _), nn) in group.knns.iter().zip(outcome.results) {
+                responses[*slot] = Some(Response::Knn(nn));
+            }
+        }
+        for (slot, probes, algo, use_clips) in group.joins {
+            // Joins run per request against the store's forest — the
+            // version-keyed trees built once per data version — so
+            // repeat joins on an unchanged version rebuild nothing and
+            // touch no lock beyond the read lock already held.
+            let plan = JoinPlan {
+                partitioner: store.partitioner().clone(),
+                tree: shared.tree,
+                clip: shared.clip,
+                use_clips,
+                algo,
+                workers,
+                split: SplitPolicy::Auto,
+            };
+            let result = partitioned_join_with(&plan, &probes, store.objects(), store.forest());
+            shared.stats.forest_hits.fetch_add(1, Ordering::Relaxed);
+            responses[slot] = Some(Response::Join(result));
         }
     }
-    if !knns.is_empty() {
-        let probes: Vec<(Point<D>, usize)> = knns.iter().map(|(_, p)| *p).collect();
-        let outcome = executor.run_knn(&probes, workers);
-        for ((slot, _), nn) in knns.iter().zip(outcome.results) {
-            responses[*slot] = Some(Response::Knn(nn));
-        }
+    for (slot, left, right, algo, use_clips) in cross_joins {
+        responses[slot] = Some(run_cross_join(shared, left, right, algo, use_clips));
     }
-    drop(state);
 
     let serviced = picked_up.elapsed();
     for (env, response) in batch.into_iter().zip(responses) {
@@ -207,6 +351,94 @@ where
         });
     }
     shared.stats.record_batch(size);
+}
+
+/// Join the live objects of two served datasets: `left ⋈ right`, tiled
+/// by the **right** (indexed) side's partitioner. The right forest is
+/// always served from its store; when the tilings are equal and the
+/// strategy is STT the left forest is borrowed too
+/// ([`partitioned_join_forests`] — nothing is assigned or bulk-loaded
+/// at all), otherwise the left side's live rectangles are
+/// re-partitioned onto the right tiling by [`partitioned_join_with`].
+fn run_cross_join<const D: usize, P>(
+    shared: &SharedState<D, P>,
+    left: DatasetId,
+    right: DatasetId,
+    algo: JoinAlgo,
+    use_clips: bool,
+) -> Response
+where
+    P: Partitioner<D> + Clone + PartialEq,
+{
+    let resolve = |id: DatasetId| -> Result<std::sync::Arc<Dataset<D, P>>, Response> {
+        shared
+            .catalog
+            .get(id)
+            .ok_or(Response::Failed(RequestError::UnknownDataset(id)))
+    };
+    let lentry = match resolve(left) {
+        Ok(e) => e,
+        Err(fail) => return fail,
+    };
+    let rentry = match resolve(right) {
+        Ok(e) => e,
+        Err(fail) => return fail,
+    };
+    shared.stats.cross_joins.fetch_add(1, Ordering::Relaxed);
+
+    let plan_for = |partitioner: P| JoinPlan {
+        partitioner,
+        tree: shared.tree,
+        clip: shared.clip,
+        use_clips,
+        algo,
+        workers: shared.config.exec_workers,
+        split: SplitPolicy::Auto,
+    };
+
+    // Self-join: one read lock, the live set joined against itself.
+    if left == right {
+        let store = rentry.store().read().expect("dataset store poisoned");
+        let plan = plan_for(store.partitioner().clone());
+        let probes = store.live_rects();
+        shared.stats.forest_hits.fetch_add(1, Ordering::Relaxed);
+        return Response::Join(partitioned_join_with(
+            &plan,
+            &probes,
+            store.objects(),
+            store.forest(),
+        ));
+    }
+
+    // Two datasets: read locks in ascending id order (writers hold one
+    // lock at a time, every multi-lock reader orders by id — no cycle).
+    let (first, second) = if left < right {
+        (&lentry, &rentry)
+    } else {
+        (&rentry, &lentry)
+    };
+    let first_guard = first.store().read().expect("dataset store poisoned");
+    let second_guard = second.store().read().expect("dataset store poisoned");
+    let (lstore, rstore) = if left < right {
+        (&first_guard, &second_guard)
+    } else {
+        (&second_guard, &first_guard)
+    };
+
+    let plan = plan_for(rstore.partitioner().clone());
+    let result = if matches!(algo, JoinAlgo::Stt) && lstore.partitioner() == rstore.partitioner() {
+        // Shared tiling: the probe side's cached forest IS the per-tile
+        // left side a fresh partitioned join would build — borrow both.
+        shared.stats.forest_hits.fetch_add(2, Ordering::Relaxed);
+        partitioned_join_forests(&plan, lstore.forest(), rstore.objects(), rstore.forest())
+    } else {
+        // Different tilings (or INLJ probes): re-partition the probe
+        // side's live objects onto the indexed side's tiles.
+        shared.stats.forest_hits.fetch_add(1, Ordering::Relaxed);
+        let probes = lstore.live_rects();
+        partitioned_join_with(&plan, &probes, rstore.objects(), rstore.forest())
+    };
+    Response::Join(result)
 }
 
 #[cfg(test)]

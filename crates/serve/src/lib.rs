@@ -1,44 +1,54 @@
-//! # cbb-serve — async query service over the partitioned engine
+//! # cbb-serve — async query service over a catalog of datasets
 //!
 //! The paper's clipping and the engine's partitioned execution cut the
 //! cost of one *batch*; this crate turns the batch API into a
-//! **long-running service**: requests (range / kNN / join) are admitted
-//! onto a bounded MPMC queue, dispatcher threads coalesce them into
-//! micro-batches (flush on size or deadline), batches execute on the
-//! engine's [`cbb_engine::BatchExecutor`] over any
-//! [`cbb_engine::Partitioner`], and each caller waits on a per-request
+//! **long-running service over a catalog of named datasets**: requests
+//! (range / kNN / join / cross-dataset join / writes / admin) are
+//! admitted onto a bounded MPMC queue, dispatcher threads coalesce them
+//! into micro-batches, batches execute against per-dataset
+//! [`cbb_engine::DatasetStore`]s (each behind its own lock, each with
+//! its own [`cbb_engine::Partitioner`] and
+//! [`cbb_engine::DataVersion`]), and each caller waits on a per-request
 //! [`CompletionHandle`]. Aji et al. (*Effective Spatial Data
-//! Partitioning for Scalable Query Processing*) make the case that
-//! partitioned execution pays off only under a scheduler that keeps
-//! tiles busy across requests — this is that scheduler, in miniature.
+//! Partitioning for Scalable Query Processing*) make the case that a
+//! partitioned spatial system is a catalog of layers served side by
+//! side; Tsitsigkos & Mamoulis (*Parallel In-Memory Evaluation of
+//! Spatial Joins*) define the join across two independently indexed
+//! inputs — [`Request::CrossJoin`] is that join over two *served*
+//! datasets, both sides' tile forests reused from the
+//! `(DatasetId, DataVersion)`-keyed cache.
 //!
 //! ```text
-//!  clients                       service                     engine
+//!  clients                     service                        catalog
 //!  ───────┐
-//!  submit ├─▶ bounded MPMC ─▶ dispatcher: micro-batch ─▶ BatchExecutor
-//!  submit │      queue          (batch_max | deadline)     + TileForest
-//!  submit ├─◀ completion ◀──── fulfil handles ◀─────────  (version-keyed
-//!  ───────┘    handles                                      ForestCache)
+//!  submit ├─▶ bounded MPMC ─▶ dispatcher: micro-batch ─▶ "roads" store (v3)
+//!  submit │      queue         coalesced PER DATASET   ─▶ "pois"  store (v17)
+//!  submit ├─◀ completion ◀─── fulfil handles ◀────────── ForestCache keyed
+//!  ───────┘    handles                                   (DatasetId, version)
 //! ```
 //!
-//! Four properties the tests pin down:
+//! Properties the tests pin down:
 //!
 //! * **Transparency** — a batched answer is byte-identical to calling
 //!   the executor directly with the same request; batching changes
 //!   *when* work runs, never *what* it computes.
+//! * **Isolation** — writes to dataset A bump only A's version and
+//!   invalidate only A's cache keys; concurrent reads of dataset B
+//!   never block on them and observe no change.
 //! * **Graceful shutdown** — [`QueryService::shutdown`] closes
-//!   admission, then answers everything already accepted before the
-//!   dispatchers exit; no request is dropped, no waiter hangs.
+//!   admission, then answers everything already accepted (admin ops
+//!   included) before the dispatchers exit; no request is dropped, no
+//!   waiter hangs.
 //! * **Version-keyed reuse** — per-tile trees are built once per
-//!   [`cbb_engine::DataVersion`] and served from the
-//!   [`cbb_engine::ForestCache`] across requests; repeated joins on
-//!   unchanged data rebuild nothing.
-//! * **Mutability without rebuilds** — `Insert`/`Delete`/`UpdateBatch`
-//!   requests are coalesced per micro-batch into one atomic
-//!   delta-apply (a single version bump, copy-on-write tile sharing);
-//!   answers afterwards equal a wholesale `swap_data` with the same
-//!   surviving objects, and a request admitted after a write completes
-//!   observes that write.
+//!   `(dataset, version)` and served from the
+//!   [`cbb_engine::ForestCache`] across requests; repeated (cross-)
+//!   joins on unchanged data rebuild nothing.
+//! * **Mutability without rebuilds** — writes are coalesced per
+//!   dataset per micro-batch into one atomic delta-apply (a single
+//!   version bump, copy-on-write tile sharing, threshold-driven arena
+//!   compaction with stable live ids); answers afterwards equal a
+//!   wholesale swap with the same surviving objects, and a request
+//!   admitted after a write completes observes that write.
 //!
 //! Everything is `std`: scoped threads, `Mutex`/`Condvar` queues and
 //! one-shots — no async runtime, in keeping with the workspace's
@@ -51,12 +61,12 @@ pub mod request;
 pub mod service;
 pub mod stats;
 
-pub use cbb_engine::{Update, UpdateResult};
+pub use cbb_engine::{AnyPartitioner, CompactionPolicy, DatasetId, Update, UpdateResult};
 pub use handle::{Canceled, CompletionHandle};
 pub use queue::{Closed, TryPushError};
-pub use request::{Completion, Request, Response, UpdateSummary};
-pub use service::{QueryService, ServiceConfig};
-pub use stats::ServiceReport;
+pub use request::{Completion, Request, RequestError, Response, UpdateSummary};
+pub use service::{QueryService, ServiceConfig, DEFAULT_DATASET};
+pub use stats::{DatasetReport, ServiceReport};
 
 #[cfg(test)]
 mod tests {
@@ -77,14 +87,18 @@ mod tests {
             TreeConfig::tiny(Variant::RStar),
             ClipConfig::paper_default::<2>(ClipMethod::Stairline),
         );
+        let dataset = service.default_dataset();
+        assert_eq!(service.dataset_id(DEFAULT_DATASET), Some(dataset));
         let range = service
             .submit(Request::Range {
+                dataset,
                 query: r(4.0, 4.0),
                 use_clips: true,
             })
             .unwrap();
         let knn = service
             .submit(Request::Knn {
+                dataset,
                 center: Point([9.5, 9.5]),
                 k: 2,
             })
@@ -98,5 +112,8 @@ mod tests {
         assert_eq!(report.submitted, 2);
         assert_eq!(report.completed, 2);
         assert_eq!(report.forest_builds, 1);
+        assert_eq!(report.datasets.len(), 1);
+        assert_eq!(report.datasets[0].name, DEFAULT_DATASET);
+        assert_eq!(report.datasets[0].live_objects, 3);
     }
 }

@@ -1,62 +1,208 @@
-//! The service's wire types: requests (reads *and* writes), responses,
-//! and per-request timing.
+//! The service's wire types: requests (reads, writes, *and* catalog
+//! administration), responses, and per-request timing.
 
 use std::time::Duration;
 
-use cbb_engine::{DataVersion, JoinAlgo, Update, UpdateResult};
+use cbb_engine::{DataVersion, DatasetId, JoinAlgo, Update, UpdateResult};
 use cbb_geom::{Point, Rect};
 use cbb_joins::JoinResult;
 use cbb_rtree::{DataId, Neighbor};
 
-/// One request against the service's dataset — a query or a mutation.
+/// One request against the service's **catalog** — a query or mutation
+/// of one named dataset, a join across two, or an admin operation.
 ///
-/// Writes flow through the same queue and micro-batcher as reads: all
-/// writes sharing a micro-batch are coalesced into **one** atomic
-/// engine apply with a **single** [`DataVersion`] bump (none at all
-/// when every write turns out to be a no-op), then the batch's reads
-/// run against the updated store. A request admitted after a write's
+/// Every data request names its target [`DatasetId`]; the batcher
+/// coalesces *per dataset*, so writes draining into dataset A never
+/// serialize reads of dataset B. Writes sharing a micro-batch against
+/// the same dataset are coalesced into **one** atomic engine apply with
+/// a **single** [`DataVersion`] bump of that dataset (none at all when
+/// every write turns out to be a no-op), then the batch's reads run
+/// against the updated stores. A request admitted after a write's
 /// completion handle resolves is guaranteed to observe that write
-/// (read-your-writes).
+/// (read-your-writes). Admin operations ride the same queue — a
+/// graceful shutdown drains them like any other request.
+///
+/// The `P` parameter is the service's partitioner type (it only
+/// appears in [`Request::CreateDataset`]; use
+/// [`cbb_engine::AnyPartitioner`] to mix partitioner kinds in one
+/// catalog).
 #[derive(Clone, Debug)]
-pub enum Request<const D: usize> {
-    /// All objects intersecting `query`. `use_clips` selects clipped
-    /// (paper Algorithm 2) or baseline probing of the same trees.
-    Range { query: Rect<D>, use_clips: bool },
-    /// The `k` objects nearest to `center` (MINDIST order, ties by id).
-    Knn { center: Point<D>, k: usize },
-    /// Join `probes ⋈ dataset`: every intersecting (probe, object)
-    /// pair, counted via the partitioned join with the dataset side's
-    /// per-tile trees served from the version-keyed cache.
-    Join {
-        probes: Vec<Rect<D>>,
-        algo: JoinAlgo,
+pub enum Request<const D: usize, P> {
+    /// All objects of `dataset` intersecting `query`. `use_clips`
+    /// selects clipped (paper Algorithm 2) or baseline probing of the
+    /// same trees.
+    Range {
+        /// Target dataset.
+        dataset: DatasetId,
+        /// The query window.
+        query: Rect<D>,
+        /// Clipped or baseline probing.
         use_clips: bool,
     },
-    /// Insert one object; the store assigns and returns its [`DataId`].
-    Insert { rect: Rect<D> },
-    /// Delete one object by id (answers `false` for dead/unknown ids).
-    Delete { id: DataId },
-    /// A pre-grouped write batch, applied atomically in order under the
-    /// same single version bump as the rest of its micro-batch.
-    UpdateBatch { updates: Vec<Update<D>> },
+    /// The `k` objects of `dataset` nearest to `center` (MINDIST order,
+    /// ties by id).
+    Knn {
+        /// Target dataset.
+        dataset: DatasetId,
+        /// Probe point.
+        center: Point<D>,
+        /// Neighbours wanted.
+        k: usize,
+    },
+    /// Join `probes ⋈ dataset`: every intersecting (probe, object)
+    /// pair, counted via the partitioned join with the dataset side's
+    /// per-tile trees served from the `(DatasetId, DataVersion)`-keyed
+    /// cache.
+    Join {
+        /// The indexed (right) dataset.
+        dataset: DatasetId,
+        /// Client-streamed probe rectangles.
+        probes: Vec<Rect<D>>,
+        /// Per-tile join strategy.
+        algo: JoinAlgo,
+        /// Clip-point pruning inside each tile join.
+        use_clips: bool,
+    },
+    /// Join two **served datasets**: every intersecting pair between
+    /// the live objects of `left` and `right`. The right side's cached
+    /// forest is always reused; when both datasets share a tiling and
+    /// the strategy is STT, the left side's cached forest is borrowed
+    /// too ([`cbb_engine::partitioned_join_forests`]) — otherwise the
+    /// left side's live objects are re-partitioned onto the right
+    /// side's tiling. `left == right` is the self-join.
+    CrossJoin {
+        /// The probe-side dataset.
+        left: DatasetId,
+        /// The indexed-side dataset (its partitioner tiles the join).
+        right: DatasetId,
+        /// Per-tile join strategy.
+        algo: JoinAlgo,
+        /// Clip-point pruning inside each tile join.
+        use_clips: bool,
+    },
+    /// Insert one object into `dataset`; the store assigns and returns
+    /// its [`DataId`] (the smallest compaction-reclaimed slot when one
+    /// is free, else a fresh arena slot).
+    Insert {
+        /// Target dataset.
+        dataset: DatasetId,
+        /// The object to insert.
+        rect: Rect<D>,
+    },
+    /// Delete one object of `dataset` by id (answers `false` for
+    /// dead/unknown ids). Note that after a compaction sweep reclaims
+    /// a dead slot, its id can be reassigned to a later insert —
+    /// *retrying* an already-applied delete may then hit the new
+    /// occupant (see [`cbb_engine::CompactionPolicy`] for the caveat
+    /// and the opt-out).
+    Delete {
+        /// Target dataset.
+        dataset: DatasetId,
+        /// The object to delete.
+        id: DataId,
+    },
+    /// A pre-grouped write batch against `dataset`, applied atomically
+    /// in order under the same single version bump as the rest of its
+    /// micro-batch's writes to that dataset.
+    UpdateBatch {
+        /// Target dataset.
+        dataset: DatasetId,
+        /// The updates, applied in order.
+        updates: Vec<Update<D>>,
+    },
+    /// Register a new named dataset: partition `objects` under
+    /// `partitioner`, bulk-load its tile forest (one cache-counted
+    /// build), and answer the assigned [`DatasetId`]. Fails with
+    /// [`RequestError::NameTaken`] when the name exists.
+    CreateDataset {
+        /// Catalog-unique dataset name.
+        name: String,
+        /// The dataset's own partitioner (fitted to its data).
+        partitioner: P,
+        /// Initial objects.
+        objects: Vec<Rect<D>>,
+    },
+    /// Remove a dataset and evict its cached forests. Answers whether
+    /// the dataset existed; its id is never reused.
+    DropDataset {
+        /// The dataset to drop.
+        dataset: DatasetId,
+    },
+    /// Replace `dataset`'s objects wholesale: fresh id space, a forest
+    /// rebuild through the cache, one version bump. With a
+    /// `partitioner`, the tiling is re-fitted at the same time (the
+    /// churn-drift answer).
+    SwapData {
+        /// Target dataset.
+        dataset: DatasetId,
+        /// The replacement objects.
+        objects: Vec<Rect<D>>,
+        /// Optional replacement partitioner (re-fit path).
+        partitioner: Option<P>,
+    },
 }
 
-impl<const D: usize> Request<D> {
-    /// Whether this request mutates the dataset.
+impl<const D: usize, P> Request<D, P> {
+    /// Whether this request mutates a dataset or the catalog.
     pub fn is_write(&self) -> bool {
         matches!(
             self,
-            Request::Insert { .. } | Request::Delete { .. } | Request::UpdateBatch { .. }
+            Request::Insert { .. }
+                | Request::Delete { .. }
+                | Request::UpdateBatch { .. }
+                | Request::CreateDataset { .. }
+                | Request::DropDataset { .. }
+                | Request::SwapData { .. }
         )
     }
+
+    /// The dataset a data request targets (`None` for admin requests
+    /// and cross-dataset joins, which have their own routing).
+    pub fn dataset(&self) -> Option<DatasetId> {
+        match self {
+            Request::Range { dataset, .. }
+            | Request::Knn { dataset, .. }
+            | Request::Join { dataset, .. }
+            | Request::Insert { dataset, .. }
+            | Request::Delete { dataset, .. }
+            | Request::UpdateBatch { dataset, .. }
+            | Request::SwapData { dataset, .. }
+            | Request::DropDataset { dataset } => Some(*dataset),
+            Request::CrossJoin { .. } | Request::CreateDataset { .. } => None,
+        }
+    }
 }
+
+/// Why a request could not be served. Carried inside
+/// [`Response::Failed`] — a refused request is still *answered* (its
+/// completion handle resolves), it just resolves to this.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RequestError {
+    /// The named dataset does not exist (never created, or dropped —
+    /// possibly by an admin request earlier in the same micro-batch).
+    UnknownDataset(DatasetId),
+    /// `CreateDataset` named an existing dataset.
+    NameTaken(String),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::UnknownDataset(id) => write!(f, "unknown dataset {id:?}"),
+            RequestError::NameTaken(name) => write!(f, "dataset name {name:?} is taken"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
 
 /// The answer to an [`Request::UpdateBatch`]: per-update results plus
 /// the version the batch's bump produced.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct UpdateSummary {
-    /// The data version installed by the micro-batch that carried this
-    /// request (shared by every write in the batch).
+    /// The data version of the target dataset installed by the
+    /// micro-batch that carried this request (shared by every write to
+    /// that dataset in the batch).
     pub version: DataVersion,
     /// One result per submitted update, in order.
     pub results: Vec<UpdateResult>,
@@ -69,7 +215,8 @@ pub enum Response {
     Range(Vec<DataId>),
     /// Neighbours sorted by `(squared distance, id)`.
     Knn(Vec<Neighbor>),
-    /// Join counters (pair count and I/O metrics).
+    /// Join counters (pair count and I/O metrics) — for both
+    /// [`Request::Join`] and [`Request::CrossJoin`].
     Join(JoinResult),
     /// The id assigned to an applied [`Request::Insert`], or `None`
     /// when the rectangle was rejected (non-finite).
@@ -78,6 +225,14 @@ pub enum Response {
     Deleted(bool),
     /// Per-update results of an [`Request::UpdateBatch`].
     Updated(UpdateSummary),
+    /// The id assigned by a [`Request::CreateDataset`].
+    Created(DatasetId),
+    /// Whether a [`Request::DropDataset`]'s target existed.
+    Dropped(bool),
+    /// The version a [`Request::SwapData`] installed.
+    Swapped(DataVersion),
+    /// The request could not be served (unknown dataset, name taken).
+    Failed(RequestError),
 }
 
 impl Response {
@@ -126,6 +281,39 @@ impl Response {
         match self {
             Response::Updated(summary) => summary,
             other => panic!("expected an update response, got {other:?}"),
+        }
+    }
+
+    /// The created dataset id, panicking on other variants (including
+    /// a [`Response::Failed`] name clash).
+    pub fn into_created(self) -> DatasetId {
+        match self {
+            Response::Created(id) => id,
+            other => panic!("expected a create response, got {other:?}"),
+        }
+    }
+
+    /// The drop flag, panicking on other variants.
+    pub fn into_dropped(self) -> bool {
+        match self {
+            Response::Dropped(ok) => ok,
+            other => panic!("expected a drop response, got {other:?}"),
+        }
+    }
+
+    /// The swapped-in version, panicking on other variants.
+    pub fn into_swapped(self) -> DataVersion {
+        match self {
+            Response::Swapped(v) => v,
+            other => panic!("expected a swap response, got {other:?}"),
+        }
+    }
+
+    /// The failure, if this is one.
+    pub fn error(&self) -> Option<&RequestError> {
+        match self {
+            Response::Failed(err) => Some(err),
+            _ => None,
         }
     }
 }

@@ -1,21 +1,24 @@
 //! The long-running query service: admission queue, dispatcher pool,
-//! versioned engine state, graceful shutdown.
+//! a catalog of independently versioned datasets, graceful shutdown.
 
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use cbb_core::ClipConfig;
-use cbb_engine::{BatchExecutor, DataVersion, ForestCache, Partitioner, TileForest};
+use cbb_engine::{
+    Catalog, CompactionPolicy, DataVersion, DatasetId, DatasetStore, ForestCache, Partitioner,
+    TileForest,
+};
 use cbb_geom::Rect;
 use cbb_rtree::TreeConfig;
 
 use crate::batcher::{collect_batch, run_batch};
 use crate::handle::{completion_pair, CompletionHandle, Promise};
 use crate::queue::{Bounded, Closed, TryPushError};
-use crate::request::{Completion, Request};
-use crate::stats::{ServiceReport, ServiceStats};
+use crate::request::{Completion, Request, RequestError};
+use crate::stats::{DatasetReport, ServiceReport, ServiceStats};
 
 /// Service tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -32,6 +35,11 @@ pub struct ServiceConfig {
     pub dispatchers: usize,
     /// Worker threads the executor uses *inside* one batch.
     pub exec_workers: usize,
+    /// Slot-reclamation policy applied to every dataset store the
+    /// service creates (see [`CompactionPolicy`]). Set
+    /// [`CompactionPolicy::never`] to keep the pre-catalog append-only
+    /// arena behaviour.
+    pub compaction: CompactionPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -42,6 +50,7 @@ impl Default for ServiceConfig {
             batch_deadline: Duration::from_millis(2),
             dispatchers: 1,
             exec_workers: 4,
+            compaction: CompactionPolicy::default(),
         }
     }
 }
@@ -58,85 +67,227 @@ impl ServiceConfig {
     }
 }
 
+/// The name [`QueryService::start`] registers its initial dataset
+/// under — the single-dataset convenience surface targets it.
+pub const DEFAULT_DATASET: &str = "default";
+
 /// One queued request: payload, completion promise, admission stamp.
-pub(crate) struct Envelope<const D: usize> {
-    pub(crate) request: Request<D>,
+pub(crate) struct Envelope<const D: usize, P> {
+    pub(crate) request: Request<D, P>,
     pub(crate) promise: Promise<Completion>,
     pub(crate) enqueued: Instant,
-}
-
-/// Versioned engine state: the executor (with its `Arc`-shared tile
-/// forest) for the current data version.
-pub(crate) struct EngineState<const D: usize, P> {
-    pub(crate) version: DataVersion,
-    pub(crate) executor: BatchExecutor<D, P>,
 }
 
 /// Everything dispatchers share.
 pub(crate) struct SharedState<const D: usize, P> {
     pub(crate) config: ServiceConfig,
-    pub(crate) queue: Bounded<Envelope<D>>,
-    pub(crate) state: RwLock<EngineState<D, P>>,
+    pub(crate) queue: Bounded<Envelope<D, P>>,
+    /// The catalog: per-dataset stores behind per-dataset locks, so
+    /// writes to one dataset never serialize reads of another.
+    pub(crate) catalog: Catalog<D, P>,
+    /// Tile forests keyed by `(DatasetId, DataVersion)`, shared across
+    /// all datasets.
     pub(crate) cache: ForestCache<D>,
     pub(crate) stats: ServiceStats,
     pub(crate) tree: TreeConfig<D>,
     pub(crate) clip: ClipConfig,
 }
 
-/// A multi-threaded query service over one spatial dataset.
+impl<const D: usize, P> SharedState<D, P>
+where
+    P: Partitioner<D>,
+{
+    /// Build a dataset store (forest through the cache, so the build is
+    /// counted) and register it — the synchronous creation path shared
+    /// by `start` and the queued `CreateDataset` admin op.
+    pub(crate) fn create_dataset_now(
+        &self,
+        name: &str,
+        partitioner: P,
+        objects: Vec<Rect<D>>,
+    ) -> Result<DatasetId, RequestError> {
+        // Cheap pre-check: do not pay a forest build for a name clash.
+        // `Catalog::create` re-checks atomically; a racing same-name
+        // create still fails cleanly there (its build is wasted, not
+        // leaked).
+        if self.catalog.resolve(name).is_some() {
+            return Err(RequestError::NameTaken(name.to_string()));
+        }
+        let forest = TileForest::build(
+            &partitioner,
+            &objects,
+            self.tree,
+            self.clip,
+            self.config.exec_workers,
+        );
+        let store = DatasetStore::with_forest(partitioner, objects, Arc::new(forest.clone()))
+            .with_compaction(self.config.compaction);
+        let version = store.version();
+        match self.catalog.create(name, store) {
+            Ok(id) => {
+                // File the prebuilt forest under its key; the closure
+                // hands the already-built trees over, so the cache
+                // counts exactly one build per dataset creation.
+                let _ = self.cache.get_or_build((id, version), move || forest);
+                Ok(id)
+            }
+            Err(cbb_engine::CatalogError::NameTaken(name)) => Err(RequestError::NameTaken(name)),
+            Err(cbb_engine::CatalogError::UnknownDataset(id)) => {
+                Err(RequestError::UnknownDataset(id))
+            }
+        }
+    }
+
+    /// Drop a dataset and evict its cached forests.
+    pub(crate) fn drop_dataset_now(&self, id: DatasetId) -> bool {
+        let existed = self.catalog.drop_dataset(id).is_some();
+        if existed {
+            self.cache.evict_dataset(id);
+        }
+        existed
+    }
+
+    /// Replace one dataset's objects (and optionally its partitioner),
+    /// rebuilding the forest through the cache under the bumped
+    /// version.
+    ///
+    /// The (expensive) forest build runs with **no lock held** — a swap
+    /// of a big dataset must not stall other datasets' writes on the
+    /// shared cache mutex, nor block this dataset's readers longer than
+    /// the install itself. The store's write lock is taken only to bump
+    /// and install; if a concurrent re-fit changed the tiling in that
+    /// window (an admin/admin race on one dataset), the forest is
+    /// rebuilt under the lock against the tiling that won.
+    pub(crate) fn swap_now(
+        &self,
+        id: DatasetId,
+        objects: Vec<Rect<D>>,
+        partitioner: Option<P>,
+    ) -> Result<DataVersion, RequestError>
+    where
+        P: Clone + PartialEq,
+    {
+        let Some(entry) = self.catalog.get(id) else {
+            return Err(RequestError::UnknownDataset(id));
+        };
+        let fit = match &partitioner {
+            Some(p) => p.clone(),
+            None => entry
+                .store()
+                .read()
+                .expect("dataset store poisoned")
+                .partitioner()
+                .clone(),
+        };
+        let built = TileForest::build(
+            &fit,
+            &objects,
+            self.tree,
+            self.clip,
+            self.config.exec_workers,
+        );
+        let mut store = entry.store().write().expect("dataset store poisoned");
+        let built = if partitioner.is_some() || *store.partitioner() == fit {
+            built
+        } else {
+            TileForest::build(
+                store.partitioner(),
+                &objects,
+                self.tree,
+                self.clip,
+                self.config.exec_workers,
+            )
+        };
+        let next = store.version().next();
+        let forest = self.cache.get_or_build((id, next), move || built);
+        match partitioner {
+            Some(p) => store.swap_with(p, objects, forest),
+            None => store.swap(objects, forest),
+        }
+        debug_assert_eq!(store.version(), next);
+        Ok(next)
+    }
+
+    /// Per-dataset report rows (brief read lock per store).
+    pub(crate) fn dataset_reports(&self) -> Vec<DatasetReport> {
+        self.catalog
+            .ids()
+            .into_iter()
+            .filter_map(|id| {
+                let entry = self.catalog.get(id)?;
+                let store = entry.store().read().expect("dataset store poisoned");
+                Some(DatasetReport {
+                    id,
+                    name: entry.name().to_string(),
+                    version: store.version(),
+                    live_objects: store.live_count(),
+                    arena_slots: store.arena_len(),
+                    free_slots: store.free_slots(),
+                    compactions: store.compactions(),
+                    write_batches: store.write_batches(),
+                    updates_applied: store.updates_applied(),
+                    delta_nodes_allocated: store.delta_nodes_allocated(),
+                    load_imbalance: store.load_imbalance(),
+                })
+            })
+            .collect()
+    }
+}
+
+/// A multi-threaded query service over a **catalog of named spatial
+/// datasets**.
 ///
 /// ```text
-///  submit()/try_submit()          dispatchers              engine
-///  ───────────────────▶ bounded ─▶ micro-batch ─▶ BatchExecutor / join
-///        handles ◀──────  MPMC  ◀─  (size or  ◀──  over the cached
-///   (wait per request)   queue      deadline)       TileForest
+///  submit()/try_submit()          dispatchers               catalog
+///  ───────────────────▶ bounded ─▶ micro-batch ─▶ ds A ─ RwLock<DatasetStore>
+///        handles ◀──────  MPMC  ◀─  (size or   ─▶ ds B ─ RwLock<DatasetStore>
+///   (wait per request)   queue      deadline)        forests in one
+///                                                 (DatasetId, DataVersion)
+///                                                    keyed ForestCache
 /// ```
 ///
-/// Construction partitions the dataset and bulk-loads the per-tile
-/// clipped trees once (through the [`ForestCache`], keyed by
-/// [`DataVersion`]); every range/kNN/join request is then served from
-/// those trees. The store is **mutable**: `Insert`/`Delete`/
-/// `UpdateBatch` requests ride the same queue, are coalesced per
-/// micro-batch into one atomic delta-apply with a single version bump
-/// (untouched tiles shared copy-on-write with the previous version —
-/// no rebuild), and requests admitted after a write completes observe
-/// it. [`QueryService::swap_data`] remains the wholesale path: it
-/// replaces the dataset, re-keys the id space, and rebuilds through
-/// the cache. [`QueryService::shutdown`] closes admission, drains the
-/// queue — every accepted request is answered — and joins the
-/// dispatcher threads.
+/// Every data request names its target dataset; the batcher groups a
+/// micro-batch **per dataset**, so a write burst into dataset A holds
+/// only A's lock while reads of dataset B proceed under B's. Stores are
+/// mutable (`Insert`/`Delete`/`UpdateBatch` coalesce into one
+/// delta-apply and one version bump per dataset per micro-batch, no
+/// rebuild), datasets are created/dropped/swapped through queued admin
+/// requests with the same graceful-drain guarantee as everything else,
+/// and [`Request::CrossJoin`] joins two served datasets against each
+/// other re-using both sides' cached tile forests.
+/// [`QueryService::shutdown`] closes admission, drains the queue —
+/// every accepted request is answered — and joins the dispatcher
+/// threads.
+///
+/// [`QueryService::start`] preserves the pre-catalog single-dataset
+/// surface: it registers one dataset named
+/// [`DEFAULT_DATASET`] and the shim methods
+/// ([`QueryService::swap_data`], [`QueryService::data_version`],
+/// [`QueryService::live_object_count`]) target it.
 pub struct QueryService<const D: usize, P> {
     shared: Arc<SharedState<D, P>>,
     dispatchers: Vec<JoinHandle<()>>,
+    /// The id of the `start`-time dataset (`None` for a service started
+    /// with an empty catalog).
+    default_dataset: Option<DatasetId>,
 }
 
 impl<const D: usize, P> QueryService<D, P>
 where
-    P: Partitioner<D> + Clone + Send + Sync + 'static,
+    P: Partitioner<D> + Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static,
 {
-    /// Build the engine state for `objects` and start the dispatcher
-    /// pool. `tree`/`clip` configure every per-tile index, exactly as
-    /// they would a direct [`BatchExecutor::build`].
-    pub fn start(
-        config: ServiceConfig,
-        partitioner: P,
-        objects: Vec<Rect<D>>,
-        tree: TreeConfig<D>,
-        clip: ClipConfig,
-    ) -> Self {
+    /// Start with an **empty catalog**: no dataset exists until
+    /// [`Self::create_dataset`] (or a queued
+    /// [`Request::CreateDataset`]) registers one. `tree`/`clip`
+    /// configure every per-tile index the service will ever build.
+    pub fn start_catalog(config: ServiceConfig, tree: TreeConfig<D>, clip: ClipConfig) -> Self {
         assert!(config.dispatchers >= 1, "need at least one dispatcher");
         assert!(config.batch_max >= 1, "a batch holds at least one request");
-        let cache = ForestCache::new();
-        let version = DataVersion::initial();
-        let forest = cache.get_or_build(version, || {
-            TileForest::build(&partitioner, &objects, tree, clip, config.exec_workers)
-        });
-        let executor = BatchExecutor::with_forest(partitioner, objects, forest);
         let shared = Arc::new(SharedState {
             config,
             queue: Bounded::new(config.queue_capacity),
-            state: RwLock::new(EngineState { version, executor }),
-            cache,
+            catalog: Catalog::new(),
+            cache: ForestCache::new(),
             stats: ServiceStats::default(),
             tree,
             clip,
@@ -161,7 +312,27 @@ where
         QueryService {
             shared,
             dispatchers,
+            default_dataset: None,
         }
+    }
+
+    /// Start the service with one dataset (named [`DEFAULT_DATASET`])
+    /// built from `objects` — the pre-catalog single-store surface.
+    /// Further datasets can be created alongside it at any time.
+    pub fn start(
+        config: ServiceConfig,
+        partitioner: P,
+        objects: Vec<Rect<D>>,
+        tree: TreeConfig<D>,
+        clip: ClipConfig,
+    ) -> Self {
+        let mut service = Self::start_catalog(config, tree, clip);
+        let id = service
+            .shared
+            .create_dataset_now(DEFAULT_DATASET, partitioner, objects)
+            .expect("fresh catalog cannot have a name clash");
+        service.default_dataset = Some(id);
+        service
     }
 
     /// Submit a request, blocking while the queue is full
@@ -169,8 +340,8 @@ where
     /// executed the batch carrying the request.
     pub fn submit(
         &self,
-        request: Request<D>,
-    ) -> Result<CompletionHandle<Completion>, Closed<Request<D>>> {
+        request: Request<D, P>,
+    ) -> Result<CompletionHandle<Completion>, Closed<Request<D, P>>> {
         let (promise, handle) = completion_pair();
         let envelope = Envelope {
             request,
@@ -196,8 +367,8 @@ where
     /// queueing behind it.
     pub fn try_submit(
         &self,
-        request: Request<D>,
-    ) -> Result<CompletionHandle<Completion>, TryPushError<Request<D>>> {
+        request: Request<D, P>,
+    ) -> Result<CompletionHandle<Completion>, TryPushError<Request<D, P>>> {
         let (promise, handle) = completion_pair();
         let envelope = Envelope {
             request,
@@ -219,11 +390,144 @@ where
         }
     }
 
-    /// Replace the dataset: bumps the [`DataVersion`], rebuilds the tile
-    /// forest through the cache (in-flight batches finish on the old
-    /// trees first — the state lock serialises the switch), and installs
-    /// a fresh executor. Requests submitted after this call see the new
-    /// data.
+    // ── Catalog surface ────────────────────────────────────────────
+
+    /// Create a named dataset through the queue and wait for its id.
+    /// The admin op rides the same micro-batches as data requests —
+    /// ordering relative to other queued work is the queue order.
+    pub fn create_dataset(
+        &self,
+        name: &str,
+        partitioner: P,
+        objects: Vec<Rect<D>>,
+    ) -> Result<DatasetId, RequestError> {
+        let response = self
+            .submit(Request::CreateDataset {
+                name: name.to_string(),
+                partitioner,
+                objects,
+            })
+            .expect("service is open")
+            .wait()
+            .expect("admitted requests are always answered")
+            .response;
+        match response {
+            crate::Response::Created(id) => Ok(id),
+            crate::Response::Failed(err) => Err(err),
+            other => unreachable!("create answered with {other:?}"),
+        }
+    }
+
+    /// Drop a dataset through the queue; `true` if it existed. Its id
+    /// is never reused, and its cached forests are evicted.
+    pub fn drop_dataset(&self, id: DatasetId) -> bool {
+        self.submit(Request::DropDataset { dataset: id })
+            .expect("service is open")
+            .wait()
+            .expect("admitted requests are always answered")
+            .response
+            .into_dropped()
+    }
+
+    /// Replace one dataset's objects wholesale (fresh id space, forest
+    /// rebuild through the cache, one version bump), waiting for the
+    /// installed version.
+    pub fn swap_dataset(
+        &self,
+        id: DatasetId,
+        objects: Vec<Rect<D>>,
+    ) -> Result<DataVersion, RequestError> {
+        self.swap_request(id, objects, None)
+    }
+
+    /// [`Self::swap_dataset`] with a replacement partitioner — the
+    /// re-fit path for data whose distribution moved (watch
+    /// [`crate::DatasetReport::load_imbalance`] to know when).
+    pub fn swap_dataset_with(
+        &self,
+        id: DatasetId,
+        partitioner: P,
+        objects: Vec<Rect<D>>,
+    ) -> Result<DataVersion, RequestError> {
+        self.swap_request(id, objects, Some(partitioner))
+    }
+
+    fn swap_request(
+        &self,
+        id: DatasetId,
+        objects: Vec<Rect<D>>,
+        partitioner: Option<P>,
+    ) -> Result<DataVersion, RequestError> {
+        let response = self
+            .submit(Request::SwapData {
+                dataset: id,
+                objects,
+                partitioner,
+            })
+            .expect("service is open")
+            .wait()
+            .expect("admitted requests are always answered")
+            .response;
+        match response {
+            crate::Response::Swapped(version) => Ok(version),
+            crate::Response::Failed(err) => Err(err),
+            other => unreachable!("swap answered with {other:?}"),
+        }
+    }
+
+    /// Resolve a dataset name to its id (immediate catalog lookup; does
+    /// not ride the queue).
+    pub fn dataset_id(&self, name: &str) -> Option<DatasetId> {
+        self.shared.catalog.resolve(name)
+    }
+
+    /// `(id, name)` of every live dataset, ascending by id.
+    pub fn datasets(&self) -> Vec<(DatasetId, String)> {
+        self.shared
+            .catalog
+            .ids()
+            .into_iter()
+            .filter_map(|id| {
+                let entry = self.shared.catalog.get(id)?;
+                Some((id, entry.name().to_string()))
+            })
+            .collect()
+    }
+
+    /// The data version one dataset currently serves (`None` for
+    /// unknown ids). Advances by one per applied write micro-batch and
+    /// per swap of that dataset — other datasets' writes never move it.
+    pub fn dataset_version(&self, id: DatasetId) -> Option<DataVersion> {
+        let entry = self.shared.catalog.get(id)?;
+        let version = entry
+            .store()
+            .read()
+            .expect("dataset store poisoned")
+            .version();
+        Some(version)
+    }
+
+    /// Number of live (queryable) objects in one dataset.
+    pub fn dataset_live_count(&self, id: DatasetId) -> Option<usize> {
+        let entry = self.shared.catalog.get(id)?;
+        let count = entry
+            .store()
+            .read()
+            .expect("dataset store poisoned")
+            .live_count();
+        Some(count)
+    }
+
+    // ── Single-dataset shims (the pre-catalog API surface) ─────────
+
+    /// The dataset [`Self::start`] registered. Panics on a service
+    /// started via [`Self::start_catalog`] (it has no default).
+    pub fn default_dataset(&self) -> DatasetId {
+        self.default_dataset
+            .expect("service was started with an empty catalog; name a dataset explicitly")
+    }
+
+    /// Replace the default dataset (see [`Self::swap_dataset`]).
     ///
     /// The existing partitioner is **kept as-is**. That is correct for
     /// any tiling, but a data-fitted partitioner (an
@@ -233,70 +537,47 @@ where
     /// answers stay exact. Re-fit with [`Self::swap_data_with`] in that
     /// case.
     pub fn swap_data(&self, objects: Vec<Rect<D>>) {
-        let mut state = self.shared.state.write().expect("service state poisoned");
-        let partitioner = state.executor.partitioner().clone();
-        self.install(&mut state, partitioner, objects);
+        self.swap_dataset(self.default_dataset(), objects)
+            .expect("default dataset exists");
     }
 
-    /// [`Self::swap_data`] with a replacement partitioner — the re-fit
-    /// path for data whose distribution moved (sample a fresh
-    /// [`cbb_engine::AdaptiveGrid`]/`QuadtreePartitioner` from the new
-    /// objects and pass it here).
+    /// [`Self::swap_data`] with a replacement partitioner.
     pub fn swap_data_with(&self, partitioner: P, objects: Vec<Rect<D>>) {
-        let mut state = self.shared.state.write().expect("service state poisoned");
-        self.install(&mut state, partitioner, objects);
+        self.swap_dataset_with(self.default_dataset(), partitioner, objects)
+            .expect("default dataset exists");
     }
 
-    /// Bump the version and install a fresh forest + executor under the
-    /// held write lock.
-    fn install(&self, state: &mut EngineState<D, P>, partitioner: P, objects: Vec<Rect<D>>) {
-        state.version.bump();
-        let forest = self.shared.cache.get_or_build(state.version, || {
-            TileForest::build(
-                &partitioner,
-                &objects,
-                self.shared.tree,
-                self.shared.clip,
-                self.shared.config.exec_workers,
-            )
-        });
-        state.executor = BatchExecutor::with_forest(partitioner, objects, forest);
-    }
-
-    /// The data version requests are currently served from. Advances by
-    /// one per `swap_data`/`swap_data_with` call and per micro-batch
-    /// that applied writes (all writes sharing a batch ride one bump).
+    /// The default dataset's data version (see
+    /// [`Self::dataset_version`]).
     pub fn data_version(&self) -> DataVersion {
-        self.shared
-            .state
-            .read()
-            .expect("service state poisoned")
-            .version
+        self.dataset_version(self.default_dataset())
+            .expect("default dataset exists")
     }
 
-    /// Number of live (queryable) objects in the store.
+    /// Number of live (queryable) objects in the default dataset.
     pub fn live_object_count(&self) -> usize {
-        self.shared
-            .state
-            .read()
-            .expect("service state poisoned")
-            .executor
-            .live_count()
+        self.dataset_live_count(self.default_dataset())
+            .expect("default dataset exists")
     }
+
+    // ── Lifecycle ──────────────────────────────────────────────────
 
     /// Requests currently queued (admitted, not yet picked up).
     pub fn queued_len(&self) -> usize {
         self.shared.queue.len()
     }
 
-    /// A snapshot of the service counters.
+    /// A snapshot of the service counters, including one
+    /// [`crate::DatasetReport`] row per live dataset.
     pub fn report(&self) -> ServiceReport {
-        self.shared.stats.snapshot(self.shared.cache.builds())
+        self.shared
+            .stats
+            .snapshot(self.shared.cache.builds(), self.shared.dataset_reports())
     }
 
     /// Graceful shutdown: stop admission, let the dispatchers drain the
-    /// queue — every accepted request is answered — and join them. The
-    /// final counter snapshot is returned.
+    /// queue — every accepted request (admin ops included) is answered
+    /// — and join them. The final counter snapshot is returned.
     pub fn shutdown(mut self) -> ServiceReport {
         self.shared.queue.close();
         for handle in self.dispatchers.drain(..) {

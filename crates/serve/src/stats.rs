@@ -1,9 +1,14 @@
 //! Steady-state service counters (atomics — dispatchers update them
-//! concurrently) and the snapshot type reports are read through.
+//! concurrently), per-dataset report rows, and the snapshot type
+//! reports are read through.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Live counters of a running service.
+use cbb_engine::{DataVersion, DatasetId};
+
+/// Live counters of a running service (catalog-wide aggregates; the
+/// per-dataset breakdown lives in each store and is snapshotted into
+/// [`DatasetReport`] rows).
 #[derive(Default)]
 pub struct ServiceStats {
     pub(crate) submitted: AtomicU64,
@@ -12,12 +17,15 @@ pub struct ServiceStats {
     pub(crate) batches: AtomicU64,
     pub(crate) batched_requests: AtomicU64,
     pub(crate) max_batch: AtomicU64,
-    /// Join requests served straight from the executor's version-keyed
-    /// forest (every join, unless it raced a `swap_data` rebuild —
-    /// lock-free, unlike the `ForestCache` hit counter).
+    /// Join sides served straight from a version-keyed forest (every
+    /// `Join` counts one; a `CrossJoin` counts one per side it borrowed
+    /// a cached forest for — lock-free, unlike the `ForestCache` hit
+    /// counter).
     pub(crate) forest_hits: AtomicU64,
-    /// Micro-batches that carried at least one applied write (each such
-    /// batch bumps the data version exactly once).
+    /// Cross-dataset join requests served.
+    pub(crate) cross_joins: AtomicU64,
+    /// (dataset, micro-batch) pairs that applied at least one write
+    /// (each bumped that dataset's version exactly once).
     pub(crate) write_batches: AtomicU64,
     /// Individual updates applied across all write batches.
     pub(crate) updates_applied: AtomicU64,
@@ -42,7 +50,11 @@ impl ServiceStats {
             .fetch_add(nodes_allocated, Ordering::Relaxed);
     }
 
-    pub(crate) fn snapshot(&self, forest_builds: u64) -> ServiceReport {
+    pub(crate) fn snapshot(
+        &self,
+        forest_builds: u64,
+        datasets: Vec<DatasetReport>,
+    ) -> ServiceReport {
         let batches = self.batches.load(Ordering::Relaxed);
         let batched = self.batched_requests.load(Ordering::Relaxed);
         ServiceReport {
@@ -58,15 +70,49 @@ impl ServiceStats {
             max_batch: self.max_batch.load(Ordering::Relaxed),
             forest_builds,
             forest_hits: self.forest_hits.load(Ordering::Relaxed),
+            cross_joins: self.cross_joins.load(Ordering::Relaxed),
             write_batches: self.write_batches.load(Ordering::Relaxed),
             updates_applied: self.updates_applied.load(Ordering::Relaxed),
             delta_nodes_allocated: self.delta_nodes_allocated.load(Ordering::Relaxed),
+            datasets,
         }
     }
 }
 
+/// One dataset's row in a [`ServiceReport`]: identity, version, store
+/// shape, maintenance counters, and the tile load-imbalance
+/// observability metric.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetReport {
+    /// The catalog id.
+    pub id: DatasetId,
+    /// The name the dataset was created under.
+    pub name: String,
+    /// Current data version (one bump per applied write batch or swap).
+    pub version: DataVersion,
+    /// Live (queryable) objects.
+    pub live_objects: usize,
+    /// Total arena slots (live + tombstoned + reclaimed).
+    pub arena_slots: usize,
+    /// Reclaimed slots currently available for id reuse.
+    pub free_slots: usize,
+    /// Compaction sweeps performed.
+    pub compactions: u64,
+    /// Micro-batches that applied at least one write to this dataset.
+    pub write_batches: u64,
+    /// Individual updates applied to this dataset.
+    pub updates_applied: u64,
+    /// R-tree nodes constructed by this dataset's delta maintenance.
+    pub delta_nodes_allocated: u64,
+    /// Max-tile / mean-tile live objects over the dataset's non-empty
+    /// tiles (`1.0` = perfectly balanced). Watches a data-fitted
+    /// partitioner drift as churn moves the distribution: when this
+    /// climbs, re-fit via `SwapData` with a fresh partitioner.
+    pub load_imbalance: f64,
+}
+
 /// A point-in-time view of a service's counters.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ServiceReport {
     /// Requests admitted to the queue.
     pub submitted: u64,
@@ -80,15 +126,19 @@ pub struct ServiceReport {
     pub mean_batch: f64,
     /// Largest batch executed.
     pub max_batch: u64,
-    /// Tile-forest builds performed by the version-keyed cache. Only
-    /// wholesale (re)builds count — versions produced by delta-applied
-    /// write batches install without one.
+    /// Tile-forest builds performed by the `(dataset, version)`-keyed
+    /// cache. Only wholesale (re)builds count — versions produced by
+    /// delta-applied write batches install without one.
     pub forest_builds: u64,
-    /// Join requests served from the cached forest without any rebuild.
+    /// Join sides served from a cached forest without any rebuild
+    /// (cross-dataset joins count each borrowed side).
     pub forest_hits: u64,
-    /// Micro-batches that applied at least one write (= version bumps
-    /// from the write path; each coalesces every write sharing the
-    /// batch, and all-no-op batches bump nothing).
+    /// Cross-dataset join requests served.
+    pub cross_joins: u64,
+    /// (dataset, micro-batch) pairs that applied at least one write
+    /// (= version bumps from the write path; each coalesces every
+    /// write sharing the batch against that dataset, and all-no-op
+    /// batches bump nothing).
     pub write_batches: u64,
     /// Individual updates *applied* across all write batches (no-op
     /// deletes of dead ids and rejected inserts are not counted).
@@ -97,4 +147,14 @@ pub struct ServiceReport {
     /// the node count of one wholesale rebuild to see what batching
     /// plus delta-apply saved.
     pub delta_nodes_allocated: u64,
+    /// Per-dataset rows, ascending by id (dropped datasets disappear
+    /// from here; their aggregate contributions above remain).
+    pub datasets: Vec<DatasetReport>,
+}
+
+impl ServiceReport {
+    /// The row of one dataset, if it is (still) in the catalog.
+    pub fn dataset(&self, id: DatasetId) -> Option<&DatasetReport> {
+        self.datasets.iter().find(|d| d.id == id)
+    }
 }

@@ -45,6 +45,7 @@ fn shutdown_drains_queue() {
     let handles: Vec<_> = (0..400)
         .map(|i| {
             svc.submit(Request::Range {
+                dataset: svc.default_dataset(),
                 query: some_query(i),
                 use_clips: i % 2 == 0,
             })
@@ -72,6 +73,7 @@ fn drop_is_a_graceful_shutdown() {
     let handles: Vec<_> = (0..50)
         .map(|i| {
             svc.submit(Request::Range {
+                dataset: svc.default_dataset(),
                 query: some_query(1_000 + i),
                 use_clips: true,
             })
@@ -94,6 +96,7 @@ fn join_tree_cache_skips_rebuilds_until_version_bump() {
     let probes: Vec<Rect<2>> = (0..300).map(|i| some_query(2_000 + i)).collect();
     let join = |algo| {
         svc.submit(Request::Join {
+            dataset: svc.default_dataset(),
             probes: probes.clone(),
             algo,
             use_clips: true,
@@ -153,6 +156,7 @@ fn swap_data_changes_range_answers() {
     let q = Rect::new(Point([0.0, 0.0]), Point([1_000_000.0, 1_000_000.0]));
     let all = |svc: &QueryService<2, UniformGrid<2>>| {
         svc.submit(Request::Range {
+            dataset: svc.default_dataset(),
             query: q,
             use_clips: true,
         })
@@ -178,6 +182,7 @@ fn swap_data_with_refits_the_partitioner() {
     let q = Rect::new(Point([0.0, 0.0]), Point([1_000_000.0, 1_000_000.0]));
     let count_all = |svc: &QueryService<2, UniformGrid<2>>| {
         svc.submit(Request::Range {
+            dataset: svc.default_dataset(),
             query: q,
             use_clips: true,
         })
@@ -197,6 +202,7 @@ fn swap_data_with_refits_the_partitioner() {
     let probes: Vec<Rect<2>> = (0..100).map(|i| some_query(9_000 + i)).collect();
     let pairs = |svc: &QueryService<2, UniformGrid<2>>| {
         svc.submit(Request::Join {
+            dataset: svc.default_dataset(),
             probes: probes.clone(),
             algo: JoinAlgo::Stt,
             use_clips: true,
@@ -239,6 +245,7 @@ fn concurrent_producers_all_served_and_batched() {
                 for i in 0..80 {
                     let handle = svc
                         .submit(Request::Range {
+                            dataset: svc.default_dataset(),
                             query: some_query(p * 1_000 + i),
                             use_clips: true,
                         })

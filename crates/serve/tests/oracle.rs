@@ -70,6 +70,7 @@ fn batched_answers_equal_direct_executor_answers() {
         f.tree,
         f.clip,
     );
+    let dataset = service.default_dataset();
 
     let range_qs = queries(60, 41);
     let mut rng = SplitMix64::new(42);
@@ -96,6 +97,7 @@ fn batched_answers_equal_direct_executor_answers() {
         handles.push(
             service
                 .submit(Request::Range {
+                    dataset,
                     query: q,
                     use_clips,
                 })
@@ -106,7 +108,7 @@ fn batched_answers_equal_direct_executor_answers() {
             expected.push(cbb_serve::Response::Knn(
                 direct.run_knn(&[(center, k)], 1).results.remove(0),
             ));
-            handles.push(service.submit(Request::Knn { center, k }).unwrap());
+            handles.push(service.submit(Request::Knn { dataset, center, k }).unwrap());
         }
         if i % 20 == 0 {
             for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
@@ -127,6 +129,7 @@ fn batched_answers_equal_direct_executor_answers() {
                 handles.push(
                     service
                         .submit(Request::Join {
+                            dataset,
                             probes: join_probes.clone(),
                             algo,
                             use_clips: true,
@@ -181,11 +184,13 @@ fn batching_configuration_does_not_change_answers() {
             f.tree,
             f.clip,
         );
+        let dataset = service.default_dataset();
         let handles: Vec<_> = range_qs
             .iter()
             .map(|q| {
                 service
                     .submit(Request::Range {
+                        dataset,
                         query: *q,
                         use_clips: true,
                     })
@@ -216,14 +221,17 @@ fn degenerate_requests_are_served() {
         f.tree,
         f.clip,
     );
+    let dataset = service.default_dataset();
     let knn = service
         .submit(Request::Knn {
+            dataset,
             center: Point([0.0, 0.0]),
             k: 0,
         })
         .unwrap();
     let join = service
         .submit(Request::Join {
+            dataset,
             probes: Vec::new(),
             algo: JoinAlgo::Stt,
             use_clips: true,
@@ -231,6 +239,7 @@ fn degenerate_requests_are_served() {
         .unwrap();
     let miss = service
         .submit(Request::Range {
+            dataset,
             query: Rect::new(Point([-9e7, -9e7]), Point([-8e7, -8e7])),
             use_clips: false,
         })

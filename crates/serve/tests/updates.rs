@@ -43,6 +43,7 @@ fn queries(n: usize, seed: u64) -> Vec<Rect<2>> {
 fn range(svc: &Service, q: Rect<2>) -> Vec<DataId> {
     let mut ids = svc
         .submit(Request::Range {
+            dataset: svc.default_dataset(),
             query: q,
             use_clips: true,
         })
@@ -87,6 +88,7 @@ fn update_batch_equals_swap_data_with_final_dataset() {
     updates.push(Update::Delete(DataId(base as u32))); // first insert above
     let summary = svc
         .submit(Request::UpdateBatch {
+            dataset: svc.default_dataset(),
             updates: updates.clone(),
         })
         .unwrap()
@@ -151,6 +153,7 @@ fn update_batch_equals_swap_data_with_final_dataset() {
         // kNN: identical distance profiles.
         let knn = |svc: &Service| -> Vec<u64> {
             svc.submit(Request::Knn {
+                dataset: svc.default_dataset(),
                 center: q.center(),
                 k: 9,
             })
@@ -170,6 +173,7 @@ fn update_batch_equals_swap_data_with_final_dataset() {
     let probes = queries(120, 43);
     let pairs = |svc: &Service, algo| {
         svc.submit(Request::Join {
+            dataset: svc.default_dataset(),
             probes: probes.clone(),
             algo,
             use_clips: true,
@@ -216,7 +220,10 @@ fn read_your_writes_after_completion() {
         let y = rng.gen_range(0.0, 900_000.0);
         let rect = Rect::new(Point([x, y]), Point([x + 500.0, y + 500.0]));
         let id = svc
-            .submit(Request::Insert { rect })
+            .submit(Request::Insert {
+                dataset: svc.default_dataset(),
+                rect,
+            })
             .unwrap()
             .wait()
             .unwrap()
@@ -229,7 +236,10 @@ fn read_your_writes_after_completion() {
             "iteration {i}: fresh insert invisible"
         );
         let deleted = svc
-            .submit(Request::Delete { id })
+            .submit(Request::Delete {
+                dataset: svc.default_dataset(),
+                id,
+            })
             .unwrap()
             .wait()
             .unwrap()
@@ -257,6 +267,7 @@ fn write_batches_bump_once_and_degenerates_answer() {
     // One multi-op batch: exactly one bump.
     let summary = svc
         .submit(Request::UpdateBatch {
+            dataset: svc.default_dataset(),
             updates: vec![
                 Update::Insert(Rect::new(Point([1.0, 1.0]), Point([2.0, 2.0]))),
                 Update::Delete(DataId(0)),
@@ -286,6 +297,7 @@ fn write_batches_bump_once_and_degenerates_answer() {
     // Empty batch: answered, no bump.
     let empty = svc
         .submit(Request::UpdateBatch {
+            dataset: svc.default_dataset(),
             updates: Vec::new(),
         })
         .unwrap()
@@ -302,6 +314,7 @@ fn write_batches_bump_once_and_degenerates_answer() {
     // applied-update accounting — a retry storm cannot roll versions.
     let none = svc
         .submit(Request::Insert {
+            dataset: svc.default_dataset(),
             rect: Rect::new(Point([0.0, 0.0]), Point([f64::INFINITY, 1.0])),
         })
         .unwrap()
@@ -311,7 +324,10 @@ fn write_batches_bump_once_and_degenerates_answer() {
         .into_inserted();
     assert_eq!(none, None);
     let dead = svc
-        .submit(Request::Delete { id: DataId(0) })
+        .submit(Request::Delete {
+            dataset: svc.default_dataset(),
+            id: DataId(0),
+        })
         .unwrap()
         .wait()
         .unwrap()
@@ -329,6 +345,7 @@ fn write_batches_bump_once_and_degenerates_answer() {
     let v = svc.data_version();
     let id = svc
         .submit(Request::Insert {
+            dataset: svc.default_dataset(),
             rect: Rect::new(Point([5.0, 5.0]), Point([6.0, 6.0])),
         })
         .unwrap()
@@ -371,7 +388,10 @@ fn concurrent_writers_and_readers_drain_consistently() {
                     let y = rng.gen_range(0.0, 900_000.0);
                     let rect = Rect::new(Point([x, y]), Point([x + 1_000.0, y + 1_000.0]));
                     if svc
-                        .submit(Request::Insert { rect })
+                        .submit(Request::Insert {
+                            dataset: svc.default_dataset(),
+                            rect,
+                        })
                         .unwrap()
                         .wait()
                         .unwrap()
@@ -393,6 +413,7 @@ fn concurrent_writers_and_readers_drain_consistently() {
                 for q in queries(60, 200 + r) {
                     let _ = svc
                         .submit(Request::Range {
+                            dataset: svc.default_dataset(),
                             query: q,
                             use_clips: true,
                         })

@@ -31,6 +31,7 @@ fn main() {
         TreeConfig::paper_default(Variant::RStar),
         ClipConfig::paper_default::<2>(ClipMethod::Stairline),
     );
+    let dataset = service.default_dataset();
     println!(
         "start  : version {:?}, {} live objects",
         service.data_version(),
@@ -41,7 +42,7 @@ fn main() {
     // admitted after the write completes is guaranteed to see it.
     let rect = Rect::new(Point([123.0, 456.0]), Point([321.0, 654.0]));
     let id = service
-        .submit(Request::Insert { rect })
+        .submit(Request::Insert { dataset, rect })
         .expect("service is open")
         .wait()
         .unwrap()
@@ -50,6 +51,7 @@ fn main() {
         .expect("finite rect");
     let seen = service
         .submit(Request::Range {
+            dataset,
             query: rect,
             use_clips: true,
         })
@@ -77,6 +79,7 @@ fn main() {
     }
     let summary = service
         .submit(Request::UpdateBatch {
+            dataset,
             updates: updates.clone(),
         })
         .expect("service is open")
@@ -96,7 +99,7 @@ fn main() {
 
     // Reads interleave freely; delete the first insert again.
     let gone = service
-        .submit(Request::Delete { id })
+        .submit(Request::Delete { dataset, id })
         .expect("service is open")
         .wait()
         .unwrap()
@@ -106,6 +109,7 @@ fn main() {
     let probes: Vec<Rect<2>> = data.boxes.iter().step_by(50).copied().collect();
     let join = service
         .submit(Request::Join {
+            dataset,
             probes: probes.clone(),
             algo: JoinAlgo::Stt,
             use_clips: true,

@@ -35,6 +35,7 @@ fn main() {
         TreeConfig::paper_default(Variant::RStar),
         ClipConfig::paper_default::<2>(ClipMethod::Stairline),
     );
+    let dataset = service.default_dataset();
 
     // A burst of mixed requests, submitted before anything is awaited —
     // the micro-batcher coalesces them into shared executor runs.
@@ -45,17 +46,23 @@ fn main() {
     );
     let range = service
         .submit(Request::Range {
+            dataset,
             query: window,
             use_clips: true,
         })
         .expect("service is open");
     let knn = service
-        .submit(Request::Knn { center, k: 5 })
+        .submit(Request::Knn {
+            dataset,
+            center,
+            k: 5,
+        })
         .expect("service is open");
     let probes: Vec<Rect<2>> = data.boxes.iter().step_by(50).copied().collect();
     let join = |algo| {
         service
             .submit(Request::Join {
+                dataset,
                 probes: probes.clone(),
                 algo,
                 use_clips: true,

@@ -63,15 +63,19 @@ pub use cbb_storage as storage;
 pub mod prelude {
     pub use cbb_core::{Cbb, ClipConfig, ClipMethod, ClipPoint};
     pub use cbb_engine::{
-        parallel_range_queries, partitioned_join, partitioned_join_with, AdaptiveGrid,
-        BatchExecutor, BatchOutcome, DataVersion, ForestCache, JoinAlgo, JoinPlan, KnnOutcome,
-        Partitioner, QuadtreePartitioner, SplitPolicy, TileForest, UniformGrid, Update,
-        UpdateOutcome, UpdateResult,
+        parallel_range_queries, partitioned_join, partitioned_join_forests, partitioned_join_with,
+        AdaptiveGrid, AnyPartitioner, BatchExecutor, BatchOutcome, Catalog, CatalogError,
+        CompactionPolicy, DataVersion, DatasetId, DatasetStore, ForestCache, ForestKey, JoinAlgo,
+        JoinPlan, KnnOutcome, Partitioner, QuadtreePartitioner, SplitPolicy, TileForest,
+        UniformGrid, Update, UpdateOutcome, UpdateResult,
     };
     pub use cbb_geom::{CornerMask, Point, Rect};
     pub use cbb_joins::JoinResult;
     pub use cbb_rtree::{
         AccessStats, ClippedRTree, DataId, Neighbor, NodeId, RTree, TreeConfig, Variant,
     };
-    pub use cbb_serve::{QueryService, Request, Response, ServiceConfig, UpdateSummary};
+    pub use cbb_serve::{
+        DatasetReport, QueryService, Request, RequestError, Response, ServiceConfig, ServiceReport,
+        UpdateSummary, DEFAULT_DATASET,
+    };
 }

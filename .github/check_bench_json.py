@@ -6,10 +6,43 @@ of row objects (the shapes differ per bin: `runs`, `rows`, or the
 `parallel` arrays inside `join`/`batch`). A bin that silently wrote an
 empty or truncated report fails the job here instead of shipping a
 useless artifact.
+
+`BENCH_obs.json` is scalar-shaped instead of row-shaped and carries a
+hard bound: the telemetry counter overhead ratio must stay below 1.05
+(instrumentation may not induce extra engine work).
 """
 
 import json
+import os
 import sys
+
+OBS_MAX_OVERHEAD = 1.05
+
+
+def check_obs(path, doc):
+    """Validate the observability report's gated fields."""
+    errors = []
+    ratio = doc.get("counter_overhead_ratio")
+    if not isinstance(ratio, (int, float)):
+        errors.append("missing counter_overhead_ratio")
+    elif ratio >= OBS_MAX_OVERHEAD:
+        errors.append(
+            f"counter_overhead_ratio {ratio} >= {OBS_MAX_OVERHEAD}"
+        )
+    families = doc.get("metric_families")
+    if not isinstance(families, int) or families < 15:
+        errors.append(f"metric_families {families!r} < 15")
+    slow = doc.get("slow_ring_entries")
+    if not isinstance(slow, int) or slow < 1:
+        errors.append(f"slow_ring_entries {slow!r} < 1")
+    for err in errors:
+        print(f"{path}: {err}", file=sys.stderr)
+    if not errors:
+        print(
+            f"{path}: OK (overhead {ratio}, {families} families, "
+            f"{slow} slow entries)"
+        )
+    return bool(errors)
 
 
 def row_arrays(node):
@@ -36,6 +69,9 @@ def main(paths):
         except (OSError, json.JSONDecodeError) as err:
             print(f"{path}: does not parse: {err}", file=sys.stderr)
             failed = True
+            continue
+        if os.path.basename(path) == "BENCH_obs.json":
+            failed |= check_obs(path, doc)
             continue
         arrays = list(row_arrays(doc))
         if not arrays:

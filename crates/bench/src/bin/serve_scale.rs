@@ -24,16 +24,11 @@ use cbb_datasets::stream::{query_stream, StreamKind, StreamProfile};
 use cbb_engine::{AdaptiveGrid, BatchExecutor, JoinAlgo};
 use cbb_rtree::{TreeConfig, Variant};
 use cbb_serve::{Completion, QueryService, Request, Response, ServiceConfig};
+use cbb_telemetry::Histogram;
 
 struct ConfigRow {
     name: &'static str,
     config: ServiceConfig,
-}
-
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
-    assert!(!sorted_ms.is_empty());
-    let idx = (p / 100.0 * (sorted_ms.len() - 1) as f64).round() as usize;
-    sorted_ms[idx]
 }
 
 fn main() {
@@ -188,11 +183,15 @@ fn main() {
             service.dataset_version(dataset).unwrap()
         );
 
-        let mut latencies_ms: Vec<f64> = completions
-            .iter()
-            .map(|c| c.latency().as_secs_f64() * 1e3)
-            .collect();
-        latencies_ms.sort_by(|a, b| a.total_cmp(b));
+        // Latency percentiles through the shared telemetry histogram
+        // (log₂ buckets, capped at the true max) — the same estimator
+        // the service's own latency metrics report, so bench numbers
+        // and scrape numbers read on one scale.
+        let latency = Histogram::standalone();
+        for c in &completions {
+            latency.observe_duration(c.latency());
+        }
+        let latency = latency.snapshot();
 
         // Repeat joins on the warm service: the version-keyed cache must
         // serve them all from the single start-time forest build.
@@ -219,9 +218,9 @@ fn main() {
         );
         assert!(report.forest_hits >= 3);
 
-        let rps = latencies_ms.len() as f64 / wall;
-        let p50 = percentile(&latencies_ms, 50.0);
-        let p99 = percentile(&latencies_ms, 99.0);
+        let rps = latency.count as f64 / wall;
+        let p50 = latency.quantile(0.5) as f64 / 1e6;
+        let p99 = latency.quantile(0.99) as f64 / 1e6;
         println!(
             "{}",
             row(

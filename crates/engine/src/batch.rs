@@ -130,6 +130,18 @@ impl<const D: usize> TileForest<D> {
             .sum()
     }
 
+    /// Indexed-object count of every non-empty tile tree — the raw
+    /// occupancy distribution behind [`Self::load_imbalance`]. Feed it
+    /// to a histogram to see the tail (p99 tile), which the max/mean
+    /// ratio hides.
+    pub fn tile_loads(&self) -> Vec<u64> {
+        self.trees
+            .iter()
+            .flatten()
+            .map(|t| t.tree.len() as u64)
+            .collect()
+    }
+
     /// Max-tile / mean-tile indexed objects over the non-empty tiles:
     /// `1.0` is perfect balance (and the empty-forest value). Under
     /// churn a data-fitted partitioner drifts away from its sample;
@@ -245,6 +257,10 @@ pub struct BatchOutcome {
     pub results: Vec<Vec<DataId>>,
     /// Access counters summed over all workers.
     pub stats: AccessStats,
+    /// Access counters per query, in workload order (sums to
+    /// [`Self::stats`]) — what telemetry layers attribute to individual
+    /// requests.
+    pub per_query: Vec<AccessStats>,
 }
 
 impl BatchOutcome {
@@ -264,23 +280,27 @@ pub fn parallel_range_queries<const D: usize>(
     use_clips: bool,
 ) -> BatchOutcome {
     let shards = map_chunked(workers, queries, |_offset, chunk| {
-        let mut stats = AccessStats::new();
+        let mut per_query = Vec::with_capacity(chunk.len());
         let results: Vec<Vec<DataId>> = chunk
             .iter()
             .map(|q| {
-                if use_clips {
+                let mut stats = AccessStats::new();
+                let ids = if use_clips {
                     tree.range_query_stats(q, &mut stats)
                 } else {
                     tree.tree.range_query_stats(q, &mut stats)
-                }
+                };
+                per_query.push(stats);
+                ids
             })
             .collect();
-        (results, stats)
+        (results, per_query)
     });
     let mut outcome = BatchOutcome::default();
-    for (results, stats) in shards {
+    for (results, per_query) in shards {
         outcome.results.extend(results);
-        outcome.stats += stats;
+        outcome.stats += AccessStats::sum(&per_query);
+        outcome.per_query.extend(per_query);
     }
     outcome
 }
@@ -293,6 +313,9 @@ pub struct KnnOutcome {
     pub results: Vec<Vec<Neighbor>>,
     /// Access counters summed over all workers.
     pub stats: AccessStats,
+    /// Access counters per probe, in workload order (sums to
+    /// [`Self::stats`]).
+    pub per_query: Vec<AccessStats>,
 }
 
 /// A reusable partitioned batch executor: the dataset is multi-assigned

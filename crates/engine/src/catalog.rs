@@ -294,6 +294,14 @@ impl<const D: usize, P: Partitioner<D>> DatasetStore<D, P> {
         self.forest.load_imbalance()
     }
 
+    /// Per-tile indexed-object counts over the non-empty tiles (see
+    /// [`TileForest::tile_loads`]) — the occupancy distribution the
+    /// serve layer histograms so the drift *tail* is visible, not just
+    /// the max/mean ratio.
+    pub fn tile_loads(&self) -> Vec<u64> {
+        self.forest.tile_loads()
+    }
+
     /// Replace the dataset wholesale: new arena (all slots live), a
     /// forest built over it (tile counts checked), and a version bump.
     /// The partitioner is kept; use [`Self::swap_with`] to re-fit it.
@@ -500,17 +508,23 @@ impl<const D: usize, P: Partitioner<D>> DatasetStore<D, P> {
     /// same indexes).
     pub fn run(&self, queries: &[Rect<D>], workers: usize, use_clips: bool) -> BatchOutcome {
         let shards = map_chunked(workers, queries, |_offset, chunk| {
-            let mut stats = AccessStats::new();
+            let mut per_query = Vec::with_capacity(chunk.len());
             let results: Vec<Vec<DataId>> = chunk
                 .iter()
-                .map(|q| self.query_one(q, use_clips, &mut stats))
+                .map(|q| {
+                    let mut stats = AccessStats::new();
+                    let ids = self.query_one(q, use_clips, &mut stats);
+                    per_query.push(stats);
+                    ids
+                })
                 .collect();
-            (results, stats)
+            (results, per_query)
         });
         let mut outcome = BatchOutcome::default();
-        for (results, stats) in shards {
+        for (results, per_query) in shards {
             outcome.results.extend(results);
-            outcome.stats += stats;
+            outcome.stats += AccessStats::sum(&per_query);
+            outcome.per_query.extend(per_query);
         }
         outcome
     }
@@ -523,17 +537,23 @@ impl<const D: usize, P: Partitioner<D>> DatasetStore<D, P> {
     /// identical to the base-tree search.
     pub fn run_knn(&self, probes: &[(Point<D>, usize)], workers: usize) -> KnnOutcome {
         let shards = map_chunked(workers, probes, |_offset, chunk| {
-            let mut stats = AccessStats::new();
+            let mut per_query = Vec::with_capacity(chunk.len());
             let results: Vec<Vec<Neighbor>> = chunk
                 .iter()
-                .map(|(center, k)| self.knn_one(center, *k, &mut stats))
+                .map(|(center, k)| {
+                    let mut stats = AccessStats::new();
+                    let best = self.knn_one(center, *k, &mut stats);
+                    per_query.push(stats);
+                    best
+                })
                 .collect();
-            (results, stats)
+            (results, per_query)
         });
         let mut outcome = KnnOutcome::default();
-        for (results, stats) in shards {
+        for (results, per_query) in shards {
             outcome.results.extend(results);
-            outcome.stats += stats;
+            outcome.stats += AccessStats::sum(&per_query);
+            outcome.per_query.extend(per_query);
         }
         outcome
     }

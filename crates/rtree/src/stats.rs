@@ -55,6 +55,22 @@ impl AccessStats {
     pub fn sum<'a>(parts: impl IntoIterator<Item = &'a AccessStats>) -> AccessStats {
         parts.into_iter().copied().sum()
     }
+
+    /// Every counter as a `(stable name, value)` pair — the bridge into
+    /// telemetry layers without this crate depending on them.
+    pub fn fields(&self) -> [(&'static str, u64); 6] {
+        [
+            ("leaf_accesses", self.leaf_accesses),
+            (
+                "contributing_leaf_accesses",
+                self.contributing_leaf_accesses,
+            ),
+            ("internal_accesses", self.internal_accesses),
+            ("results", self.results),
+            ("clip_tests", self.clip_tests),
+            ("clip_prunes", self.clip_prunes),
+        ]
+    }
 }
 
 impl AddAssign for AccessStats {

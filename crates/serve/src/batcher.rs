@@ -29,7 +29,6 @@
 //!    the dispatcher pool deadlock-free.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 use cbb_engine::{
@@ -37,6 +36,8 @@ use cbb_engine::{
     Partitioner, SplitPolicy, Update, UpdateResult,
 };
 use cbb_geom::{Point, Rect};
+use cbb_joins::JoinResult;
+use cbb_telemetry::{Phase, Span};
 
 use crate::queue::{Bounded, Popped};
 use crate::request::{Completion, Request, RequestError, Response, UpdateSummary};
@@ -45,16 +46,19 @@ use crate::service::{Envelope, SharedState};
 /// Pull one micro-batch off the queue: block for the first request,
 /// then fill until `batch_max` or `deadline_after` the batch opened.
 /// `None` means the queue is closed and drained — the dispatcher's exit
-/// signal. A batch is never empty.
+/// signal. A batch is never empty. The returned [`Instant`] is when the
+/// batch **opened** (the first request was popped) — the boundary
+/// between a request's queue-wait and coalesce phases.
 pub(crate) fn collect_batch<T>(
     queue: &Bounded<T>,
     batch_max: usize,
     deadline_after: Duration,
-) -> Option<Vec<T>> {
+) -> Option<(Vec<T>, Instant)> {
     let first = queue.pop()?;
+    let opened = Instant::now();
     let mut batch = vec![first];
     if batch_max > 1 {
-        let deadline = Instant::now() + deadline_after;
+        let deadline = opened + deadline_after;
         while batch.len() < batch_max {
             match queue.pop_until(deadline) {
                 Popped::Item(item) => batch.push(item),
@@ -62,7 +66,30 @@ pub(crate) fn collect_batch<T>(
             }
         }
     }
-    Some(batch)
+    Some((batch, opened))
+}
+
+/// Per-slot telemetry gathered while a batch executes: the phase span,
+/// the dataset a request resolved to, and the work counters attributed
+/// to it (feeds the histograms and the slow-query ring once handles are
+/// fulfilled).
+struct BatchTrace {
+    spans: Vec<Span>,
+    datasets: Vec<Option<String>>,
+    counters: Vec<Vec<(&'static str, u64)>>,
+}
+
+impl BatchTrace {
+    /// Attribute `d` in `phase` to every listed slot. Group-level wall
+    /// time (one lock acquisition, one executor call) is attributed in
+    /// full to each request that rode the group — per-request *work* is
+    /// in the counters; the span answers "where did this request's
+    /// service time go".
+    fn record_group(&mut self, slots: impl IntoIterator<Item = usize>, phase: Phase, d: Duration) {
+        for slot in slots {
+            self.spans[slot].record_duration(phase, d);
+        }
+    }
 }
 
 /// Reads of one dataset, grouped by kind so each group rides one
@@ -99,6 +126,7 @@ fn flush_writes<const D: usize, P>(
     shared: &SharedState<D, P>,
     groups: &mut WriteGroups<D>,
     responses: &mut [Option<Response>],
+    trace: &mut BatchTrace,
 ) where
     P: Partitioner<D> + Clone,
 {
@@ -109,12 +137,21 @@ fn flush_writes<const D: usize, P>(
             }
             continue;
         };
+        let slots = || write_slots.iter().map(|s| s.0);
+        for slot in slots() {
+            trace.datasets[slot] = Some(entry.name().to_string());
+        }
         let (version, results) = if ops.is_empty() {
             // Only empty UpdateBatch requests: nothing to apply, no bump.
+            let lock_t = Instant::now();
             let store = entry.store().read().expect("dataset store poisoned");
+            trace.record_group(slots(), Phase::LockAcquire, lock_t.elapsed());
             (store.version(), Vec::new())
         } else {
+            let lock_t = Instant::now();
             let mut store = entry.store().write().expect("dataset store poisoned");
+            let lock_d = lock_t.elapsed();
+            let exec_t = Instant::now();
             let outcome = store.apply_updates(&ops, shared.tree, shared.clip);
             // A batch whose writes all turned out to be no-ops (dead-id
             // deletes, rejected inserts) changed nothing: the store
@@ -127,8 +164,11 @@ fn flush_writes<const D: usize, P>(
                     .cache
                     .insert((dataset, store.version()), store.forest().clone());
             }
+            let exec_d = exec_t.elapsed();
             let version = store.version();
             drop(store);
+            trace.record_group(slots(), Phase::LockAcquire, lock_d);
+            trace.record_group(slots(), Phase::Execute, exec_d);
             if applied > 0 {
                 shared
                     .stats
@@ -136,6 +176,9 @@ fn flush_writes<const D: usize, P>(
             }
             (version, outcome.results)
         };
+        for (slot, lo, hi, _) in &write_slots {
+            trace.counters[*slot].push(("updates_submitted", (hi - lo) as u64));
+        }
         for (slot, lo, hi, kind) in write_slots {
             responses[slot] = Some(match kind {
                 WriteKind::Insert => Response::Inserted(match results[lo] {
@@ -163,13 +206,40 @@ fn flush_writes<const D: usize, P>(
 pub(crate) fn run_batch<const D: usize, P>(
     shared: &SharedState<D, P>,
     mut batch: Vec<Envelope<D, P>>,
+    opened: Instant,
 ) where
     P: Partitioner<D> + Clone + PartialEq,
 {
     let picked_up = Instant::now();
     let size = batch.len();
     let workers = shared.config.exec_workers;
+    shared.stats.queue_depth.add(-(size as i64));
     let mut responses: Vec<Option<Response>> = std::iter::repeat_with(|| None).take(size).collect();
+    let kinds: Vec<_> = batch.iter().map(|env| env.request.kind()).collect();
+    // Seed each span with the two admission phases. Queue-wait runs
+    // enqueue → batch open; coalesce runs batch open → pickup (for a
+    // request that arrived after the batch opened, the wait is zero and
+    // the whole interval is coalesce). The two sum to exactly
+    // `Completion::queued`.
+    let mut trace = BatchTrace {
+        spans: batch
+            .iter()
+            .map(|env| {
+                let mut span = Span::new();
+                span.record_duration(
+                    Phase::QueueWait,
+                    opened.saturating_duration_since(env.enqueued),
+                );
+                span.record_duration(
+                    Phase::Coalesce,
+                    picked_up.duration_since(env.enqueued.max(opened)),
+                );
+                span
+            })
+            .collect(),
+        datasets: vec![None; size],
+        counters: vec![Vec::new(); size],
+    };
 
     // ── 1. Mutations (writes + admin ops), in queue order with
     // per-dataset group commit: consecutive writes are coalesced per
@@ -188,7 +258,9 @@ pub(crate) fn run_batch<const D: usize, P>(
                 partitioner,
                 objects,
             } => {
-                flush_writes(shared, &mut write_groups, &mut responses);
+                flush_writes(shared, &mut write_groups, &mut responses, &mut trace);
+                trace.datasets[slot] = Some(name.clone());
+                let t = Instant::now();
                 let response = match shared.create_dataset_now(
                     name,
                     partitioner.clone(),
@@ -197,23 +269,42 @@ pub(crate) fn run_batch<const D: usize, P>(
                     Ok(id) => Response::Created(id),
                     Err(err) => Response::Failed(err),
                 };
+                // Creating a dataset IS a forest build: the whole
+                // execution is bulk-load, so the sub-phase mirrors it.
+                let d = t.elapsed();
+                trace.spans[slot].record_duration(Phase::Execute, d);
+                trace.spans[slot].record_duration(Phase::ForestBuild, d);
                 responses[slot] = Some(response);
             }
             Request::DropDataset { dataset } => {
-                flush_writes(shared, &mut write_groups, &mut responses);
+                flush_writes(shared, &mut write_groups, &mut responses, &mut trace);
+                trace.datasets[slot] = shared
+                    .catalog
+                    .get(*dataset)
+                    .map(|entry| entry.name().to_string());
+                let t = Instant::now();
                 responses[slot] = Some(Response::Dropped(shared.drop_dataset_now(*dataset)));
+                trace.spans[slot].record_duration(Phase::Execute, t.elapsed());
             }
             Request::SwapData {
                 dataset,
                 objects,
                 partitioner,
             } => {
-                flush_writes(shared, &mut write_groups, &mut responses);
+                flush_writes(shared, &mut write_groups, &mut responses, &mut trace);
+                trace.datasets[slot] = shared
+                    .catalog
+                    .get(*dataset)
+                    .map(|entry| entry.name().to_string());
+                let t = Instant::now();
                 let response =
                     match shared.swap_now(*dataset, std::mem::take(objects), partitioner.take()) {
                         Ok(version) => Response::Swapped(version),
                         Err(err) => Response::Failed(err),
                     };
+                let d = t.elapsed();
+                trace.spans[slot].record_duration(Phase::Execute, d);
+                trace.spans[slot].record_duration(Phase::ForestBuild, d);
                 responses[slot] = Some(response);
             }
             Request::Insert { dataset, rect } => {
@@ -235,7 +326,7 @@ pub(crate) fn run_batch<const D: usize, P>(
             _ => {}
         }
     }
-    flush_writes(shared, &mut write_groups, &mut responses);
+    flush_writes(shared, &mut write_groups, &mut responses, &mut trace);
 
     // ── 3. Reads, grouped per dataset; each group runs under that
     // dataset's read lock, acquired after its writes: the batch's reads
@@ -300,22 +391,60 @@ pub(crate) fn run_batch<const D: usize, P>(
             }
             continue;
         };
+        let name = entry.name().to_string();
+        let access = shared.stats.access_counters(&name);
+        let member_slots: Vec<usize> = group
+            .clipped
+            .iter()
+            .chain(&group.baseline)
+            .map(|(slot, _)| *slot)
+            .chain(group.knns.iter().map(|(slot, _)| *slot))
+            .chain(group.joins.iter().map(|(slot, ..)| *slot))
+            .collect();
+        for slot in &member_slots {
+            trace.datasets[*slot] = Some(name.clone());
+        }
+        let lock_t = Instant::now();
         let store = entry.store().read().expect("dataset store poisoned");
+        trace.record_group(member_slots, Phase::LockAcquire, lock_t.elapsed());
         for (group, use_clips) in [(&group.clipped, true), (&group.baseline, false)] {
             if group.is_empty() {
                 continue;
             }
             let queries: Vec<Rect<D>> = group.iter().map(|(_, q)| *q).collect();
+            let t = Instant::now();
             let outcome = store.run(&queries, workers, use_clips);
-            for ((slot, _), ids) in group.iter().zip(outcome.results) {
+            let d = t.elapsed();
+            for (counter, (_, n)) in access.iter().zip(outcome.stats.fields()) {
+                counter.add(n);
+            }
+            for (((slot, _), ids), stats) in
+                group.iter().zip(outcome.results).zip(&outcome.per_query)
+            {
                 responses[*slot] = Some(Response::Range(ids));
+                trace.spans[*slot].record_duration(Phase::Execute, d);
+                trace.spans[*slot].record_duration(Phase::Probe, d);
+                trace.counters[*slot].extend(stats.fields());
             }
         }
         if !group.knns.is_empty() {
             let probes: Vec<(Point<D>, usize)> = group.knns.iter().map(|(_, p)| *p).collect();
+            let t = Instant::now();
             let outcome = store.run_knn(&probes, workers);
-            for ((slot, _), nn) in group.knns.iter().zip(outcome.results) {
+            let d = t.elapsed();
+            for (counter, (_, n)) in access.iter().zip(outcome.stats.fields()) {
+                counter.add(n);
+            }
+            for (((slot, _), nn), stats) in group
+                .knns
+                .iter()
+                .zip(outcome.results)
+                .zip(&outcome.per_query)
+            {
                 responses[*slot] = Some(Response::Knn(nn));
+                trace.spans[*slot].record_duration(Phase::Execute, d);
+                trace.spans[*slot].record_duration(Phase::Probe, d);
+                trace.counters[*slot].extend(stats.fields());
             }
         }
         for (slot, probes, algo, use_clips) in group.joins {
@@ -332,25 +461,70 @@ pub(crate) fn run_batch<const D: usize, P>(
                 workers,
                 split: SplitPolicy::Auto,
             };
+            let t = Instant::now();
             let result = partitioned_join_with(&plan, &probes, store.objects(), store.forest());
-            shared.stats.forest_hits.fetch_add(1, Ordering::Relaxed);
+            let d = t.elapsed();
+            shared.stats.forest_hits.inc();
+            shared.stats.join_pairs.add(result.pairs);
+            trace.spans[slot].record_duration(Phase::Execute, d);
+            trace.spans[slot].record_duration(Phase::Probe, d);
+            trace.counters[slot].extend(join_counters(&result));
             responses[slot] = Some(Response::Join(result));
         }
     }
     for (slot, left, right, algo, use_clips) in cross_joins {
-        responses[slot] = Some(run_cross_join(shared, left, right, algo, use_clips));
+        let t = Instant::now();
+        let response = run_cross_join(shared, left, right, algo, use_clips);
+        let d = t.elapsed();
+        // The cross join resolves, locks and probes inside one call;
+        // its span carries the whole thing as Execute + Probe.
+        trace.spans[slot].record_duration(Phase::Execute, d);
+        trace.spans[slot].record_duration(Phase::Probe, d);
+        if let Response::Join(result) = &response {
+            shared.stats.join_pairs.add(result.pairs);
+            trace.counters[slot].extend(join_counters(result));
+        }
+        responses[slot] = Some(response);
     }
 
     let serviced = picked_up.elapsed();
-    for (env, response) in batch.into_iter().zip(responses) {
+    let exec_end = Instant::now();
+    // Everything about a request is recorded BEFORE its handle is
+    // fulfilled: the moment a waiter wakes, every total already counts
+    // it (the concurrency test pins this exactness). Respond is the
+    // delay from end-of-execution to this slot's fulfilment — requests
+    // late in the loop absorb the fulfilment cost of earlier ones.
+    shared.stats.record_batch(size);
+    for (slot, (env, response)) in batch.into_iter().zip(responses).enumerate() {
+        let queued = picked_up.duration_since(env.enqueued);
+        trace.spans[slot].record_duration(Phase::Respond, exec_end.elapsed());
+        let dataset = trace.datasets[slot].take();
+        let counters = std::mem::take(&mut trace.counters[slot]);
+        shared.stats.record_completion(
+            kinds[slot],
+            u64::try_from((queued + serviced).as_nanos()).unwrap_or(u64::MAX),
+            &trace.spans[slot],
+            dataset,
+            counters,
+        );
         env.promise.fulfill(Completion {
             response: response.expect("every slot answered"),
-            queued: picked_up.duration_since(env.enqueued),
+            queued,
             serviced,
             batch_size: size,
         });
     }
-    shared.stats.record_batch(size);
+}
+
+/// The work counters a join request contributes to its slow-ring entry.
+fn join_counters(result: &JoinResult) -> [(&'static str, u64); 5] {
+    [
+        ("pairs", result.pairs),
+        ("leaf_accesses_left", result.leaf_accesses_left),
+        ("leaf_accesses_right", result.leaf_accesses_right),
+        ("internal_accesses", result.internal_accesses),
+        ("clip_prunes", result.clip_prunes),
+    ]
 }
 
 /// Join the live objects of two served datasets: `left ⋈ right`, tiled
@@ -384,7 +558,7 @@ where
         Ok(e) => e,
         Err(fail) => return fail,
     };
-    shared.stats.cross_joins.fetch_add(1, Ordering::Relaxed);
+    shared.stats.cross_joins.inc();
 
     let plan_for = |partitioner: P| JoinPlan {
         partitioner,
@@ -401,7 +575,7 @@ where
         let store = rentry.store().read().expect("dataset store poisoned");
         let plan = plan_for(store.partitioner().clone());
         let probes = store.live_rects();
-        shared.stats.forest_hits.fetch_add(1, Ordering::Relaxed);
+        shared.stats.forest_hits.inc();
         return Response::Join(partitioned_join_with(
             &plan,
             &probes,
@@ -429,12 +603,12 @@ where
     let result = if matches!(algo, JoinAlgo::Stt) && lstore.partitioner() == rstore.partitioner() {
         // Shared tiling: the probe side's cached forest IS the per-tile
         // left side a fresh partitioned join would build — borrow both.
-        shared.stats.forest_hits.fetch_add(2, Ordering::Relaxed);
+        shared.stats.forest_hits.add(2);
         partitioned_join_forests(&plan, lstore.forest(), rstore.objects(), rstore.forest())
     } else {
         // Different tilings (or INLJ probes): re-partition the probe
         // side's live objects onto the indexed side's tiles.
-        shared.stats.forest_hits.fetch_add(1, Ordering::Relaxed);
+        shared.stats.forest_hits.inc();
         let probes = lstore.live_rects();
         partitioned_join_with(&plan, &probes, rstore.objects(), rstore.forest())
     };
@@ -452,7 +626,7 @@ mod tests {
         for i in 0..10 {
             q.push(i).unwrap();
         }
-        let batch = collect_batch(&q, 4, Duration::from_millis(50)).unwrap();
+        let (batch, _) = collect_batch(&q, 4, Duration::from_millis(50)).unwrap();
         assert_eq!(batch, vec![0, 1, 2, 3]);
         assert_eq!(q.len(), 6);
     }
@@ -462,9 +636,11 @@ mod tests {
         let q: Bounded<u32> = Bounded::new(16);
         q.push(9).unwrap();
         let t = Instant::now();
-        let batch = collect_batch(&q, 64, Duration::from_millis(10)).unwrap();
+        let (batch, opened) = collect_batch(&q, 64, Duration::from_millis(10)).unwrap();
         assert_eq!(batch, vec![9]);
         assert!(t.elapsed() >= Duration::from_millis(10));
+        // The open stamp is the *first pop*, not the deadline flush.
+        assert!(opened.duration_since(t) < Duration::from_millis(10));
     }
 
     #[test]
@@ -474,7 +650,7 @@ mod tests {
         q.push(2).unwrap();
         // batch_max = 1 never waits on the deadline.
         let t = Instant::now();
-        let batch = collect_batch(&q, 1, Duration::from_secs(60)).unwrap();
+        let (batch, _) = collect_batch(&q, 1, Duration::from_secs(60)).unwrap();
         assert_eq!(batch, vec![1]);
         assert!(t.elapsed() < Duration::from_secs(1));
     }
@@ -485,9 +661,9 @@ mod tests {
         q.push(5).unwrap();
         q.close();
         assert_eq!(
-            collect_batch(&q, 8, Duration::from_millis(5)),
+            collect_batch(&q, 8, Duration::from_millis(5)).map(|(batch, _)| batch),
             Some(vec![5])
         );
-        assert_eq!(collect_batch(&q, 8, Duration::from_millis(5)), None);
+        assert!(collect_batch(&q, 8, Duration::from_millis(5)).is_none());
     }
 }

@@ -62,10 +62,11 @@ pub mod service;
 pub mod stats;
 
 pub use cbb_engine::{AnyPartitioner, CompactionPolicy, DatasetId, Update, UpdateResult};
+pub use cbb_telemetry::{HistogramSnapshot, SlowQuery, Span, TelemetryConfig, TelemetrySnapshot};
 pub use handle::{Canceled, CompletionHandle};
 pub use queue::{Closed, TryPushError};
-pub use request::{Completion, Request, RequestError, Response, UpdateSummary};
-pub use service::{QueryService, ServiceConfig, DEFAULT_DATASET};
+pub use request::{Completion, Request, RequestError, RequestKind, Response, UpdateSummary};
+pub use service::{QueryService, Scrape, ServiceConfig, DEFAULT_DATASET};
 pub use stats::{DatasetReport, ServiceReport};
 
 #[cfg(test)]

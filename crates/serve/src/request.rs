@@ -142,7 +142,87 @@ pub enum Request<const D: usize, P> {
     },
 }
 
+/// The kind of a [`Request`], one variant per request shape — the
+/// stable `request_kind` telemetry label (per-kind completion counters
+/// and latency histograms key on it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// [`Request::Range`].
+    Range,
+    /// [`Request::Knn`].
+    Knn,
+    /// [`Request::Join`].
+    Join,
+    /// [`Request::CrossJoin`].
+    CrossJoin,
+    /// [`Request::Insert`].
+    Insert,
+    /// [`Request::Delete`].
+    Delete,
+    /// [`Request::UpdateBatch`].
+    UpdateBatch,
+    /// [`Request::CreateDataset`].
+    CreateDataset,
+    /// [`Request::DropDataset`].
+    DropDataset,
+    /// [`Request::SwapData`].
+    SwapData,
+}
+
+impl RequestKind {
+    /// Every kind, in [`Request`] declaration order.
+    pub const ALL: [RequestKind; 10] = [
+        RequestKind::Range,
+        RequestKind::Knn,
+        RequestKind::Join,
+        RequestKind::CrossJoin,
+        RequestKind::Insert,
+        RequestKind::Delete,
+        RequestKind::UpdateBatch,
+        RequestKind::CreateDataset,
+        RequestKind::DropDataset,
+        RequestKind::SwapData,
+    ];
+
+    /// Stable snake_case name (the `request_kind` label value).
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestKind::Range => "range",
+            RequestKind::Knn => "knn",
+            RequestKind::Join => "join",
+            RequestKind::CrossJoin => "cross_join",
+            RequestKind::Insert => "insert",
+            RequestKind::Delete => "delete",
+            RequestKind::UpdateBatch => "update_batch",
+            RequestKind::CreateDataset => "create_dataset",
+            RequestKind::DropDataset => "drop_dataset",
+            RequestKind::SwapData => "swap_data",
+        }
+    }
+
+    /// Index into [`Self::ALL`] (pre-resolved handle arrays key on it).
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+}
+
 impl<const D: usize, P> Request<D, P> {
+    /// This request's [`RequestKind`].
+    pub fn kind(&self) -> RequestKind {
+        match self {
+            Request::Range { .. } => RequestKind::Range,
+            Request::Knn { .. } => RequestKind::Knn,
+            Request::Join { .. } => RequestKind::Join,
+            Request::CrossJoin { .. } => RequestKind::CrossJoin,
+            Request::Insert { .. } => RequestKind::Insert,
+            Request::Delete { .. } => RequestKind::Delete,
+            Request::UpdateBatch { .. } => RequestKind::UpdateBatch,
+            Request::CreateDataset { .. } => RequestKind::CreateDataset,
+            Request::DropDataset { .. } => RequestKind::DropDataset,
+            Request::SwapData { .. } => RequestKind::SwapData,
+        }
+    }
+
     /// Whether this request mutates a dataset or the catalog.
     pub fn is_write(&self) -> bool {
         matches!(

@@ -1,7 +1,6 @@
 //! The long-running query service: admission queue, dispatcher pool,
 //! a catalog of independently versioned datasets, graceful shutdown.
 
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -13,12 +12,13 @@ use cbb_engine::{
 };
 use cbb_geom::Rect;
 use cbb_rtree::TreeConfig;
+use cbb_telemetry::{Histogram, SlowQuery, TelemetryConfig, TelemetrySnapshot};
 
 use crate::batcher::{collect_batch, run_batch};
 use crate::handle::{completion_pair, CompletionHandle, Promise};
 use crate::queue::{Bounded, Closed, TryPushError};
 use crate::request::{Completion, Request, RequestError};
-use crate::stats::{DatasetReport, ServiceReport, ServiceStats};
+use crate::stats::{names, DatasetReport, ServiceReport, ServiceStats};
 
 /// Service tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -40,6 +40,11 @@ pub struct ServiceConfig {
     /// [`CompactionPolicy::never`] to keep the pre-catalog append-only
     /// arena behaviour.
     pub compaction: CompactionPolicy,
+    /// Telemetry collection (enabled by default). With
+    /// [`TelemetryConfig::disabled`] every instrumentation point is a
+    /// no-op: answers are identical, [`QueryService::scrape`] is empty,
+    /// and [`ServiceReport`] counters read zero.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServiceConfig {
@@ -51,6 +56,7 @@ impl Default for ServiceConfig {
             dispatchers: 1,
             exec_workers: 4,
             compaction: CompactionPolicy::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -208,7 +214,10 @@ where
         Ok(next)
     }
 
-    /// Per-dataset report rows (brief read lock per store).
+    /// Per-dataset report rows (brief read lock per store). The
+    /// occupancy distribution is rebuilt fresh per call through the
+    /// shared histogram type — it is a *current-state* distribution,
+    /// not an accumulating series.
     pub(crate) fn dataset_reports(&self) -> Vec<DatasetReport> {
         self.catalog
             .ids()
@@ -216,6 +225,10 @@ where
             .filter_map(|id| {
                 let entry = self.catalog.get(id)?;
                 let store = entry.store().read().expect("dataset store poisoned");
+                let occupancy = Histogram::standalone();
+                for load in store.tile_loads() {
+                    occupancy.observe(load);
+                }
                 Some(DatasetReport {
                     id,
                     name: entry.name().to_string(),
@@ -228,10 +241,81 @@ where
                     updates_applied: store.updates_applied(),
                     delta_nodes_allocated: store.delta_nodes_allocated(),
                     load_imbalance: store.load_imbalance(),
+                    occupancy: occupancy.snapshot(),
                 })
             })
             .collect()
     }
+
+    /// Refresh every **view-synced** metric from its source of truth:
+    /// the forest cache's build/hit counters and the per-dataset state
+    /// gauges. Called on scrape/report — these series update at read
+    /// time, not continuously. Gauges of a dropped dataset keep their
+    /// last value (series are never unregistered; the `dataset` label
+    /// identifies stale rows).
+    pub(crate) fn sync_views(&self) -> Vec<DatasetReport> {
+        self.stats.forest_builds.store(self.cache.builds());
+        self.stats.forest_cache_hits.store(self.cache.hits());
+        let reports = self.dataset_reports();
+        let registry = self.stats.registry();
+        if registry.is_enabled() {
+            for report in &reports {
+                let labels = &[("dataset", report.name.as_str())][..];
+                registry
+                    .gauge(names::DS_LIVE, "Live (queryable) objects.", labels)
+                    .set(report.live_objects as i64);
+                registry
+                    .gauge(
+                        names::DS_SLOTS,
+                        "Arena slots (live + tombstoned + reclaimed).",
+                        labels,
+                    )
+                    .set(report.arena_slots as i64);
+                registry
+                    .gauge(
+                        names::DS_VERSION,
+                        "Current data version (bumps per applied write batch or swap).",
+                        labels,
+                    )
+                    .set(report.version.0 as i64);
+                registry
+                    .float_gauge(
+                        names::DS_IMBALANCE,
+                        "Max-tile / mean-tile live objects (1.0 = perfectly balanced).",
+                        labels,
+                    )
+                    .set(report.load_imbalance);
+                registry
+                    .gauge(
+                        names::DS_OCC_P50,
+                        "Median tile occupancy (objects in the median non-empty tile).",
+                        labels,
+                    )
+                    .set(report.occupancy_p50() as i64);
+                registry
+                    .gauge(
+                        names::DS_OCC_P99,
+                        "99th-percentile tile occupancy — the partition-drift tail.",
+                        labels,
+                    )
+                    .set(report.occupancy_p99() as i64);
+            }
+        }
+        reports
+    }
+}
+
+/// Everything [`QueryService::scrape`] returns: the rendered text and
+/// JSON expositions plus the structured snapshot they were rendered
+/// from.
+#[derive(Clone, Debug)]
+pub struct Scrape {
+    /// Prometheus-style text exposition (`# HELP`/`# TYPE` + samples).
+    pub text: String,
+    /// The same snapshot as a JSON document.
+    pub json: String,
+    /// The structured snapshot (programmatic access).
+    pub snapshot: TelemetrySnapshot,
 }
 
 /// A multi-threaded query service over a **catalog of named spatial
@@ -288,7 +372,7 @@ where
             queue: Bounded::new(config.queue_capacity),
             catalog: Catalog::new(),
             cache: ForestCache::new(),
-            stats: ServiceStats::default(),
+            stats: ServiceStats::new(&config.telemetry),
             tree,
             clip,
         });
@@ -298,12 +382,12 @@ where
                 std::thread::Builder::new()
                     .name(format!("cbb-serve-{i}"))
                     .spawn(move || {
-                        while let Some(batch) = collect_batch(
+                        while let Some((batch, opened)) = collect_batch(
                             &shared.queue,
                             shared.config.batch_max,
                             shared.config.batch_deadline,
                         ) {
-                            run_batch(&shared, batch);
+                            run_batch(&shared, batch, opened);
                         }
                     })
                     .expect("spawn dispatcher")
@@ -350,13 +434,16 @@ where
         };
         // Count BEFORE the push: a dispatcher can pop and complete the
         // envelope before this thread runs another instruction, and a
-        // concurrent report() must never see completed > submitted.
-        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        // concurrent report() must never see completed > submitted (nor
+        // a negative queue depth).
+        self.shared.stats.submitted.inc();
+        self.shared.stats.queue_depth.inc();
         match self.shared.queue.push(envelope) {
             Ok(()) => Ok(handle),
             Err(Closed(envelope)) => {
-                self.shared.stats.submitted.fetch_sub(1, Ordering::Relaxed);
-                self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                self.shared.stats.submitted.sub(1);
+                self.shared.stats.queue_depth.dec();
+                self.shared.stats.rejected.inc();
                 Err(Closed(envelope.request))
             }
         }
@@ -376,14 +463,21 @@ where
             enqueued: Instant::now(),
         };
         // Same ordering as `submit`: never let completed race ahead.
-        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.submitted.inc();
+        self.shared.stats.queue_depth.inc();
         match self.shared.queue.try_push(envelope) {
             Ok(()) => Ok(handle),
             Err(err) => {
-                self.shared.stats.submitted.fetch_sub(1, Ordering::Relaxed);
-                self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                self.shared.stats.submitted.sub(1);
+                self.shared.stats.queue_depth.dec();
+                self.shared.stats.rejected.inc();
                 Err(match err {
-                    TryPushError::Full(envelope) => TryPushError::Full(envelope.request),
+                    TryPushError::Full(envelope) => {
+                        // A full-queue refusal is a load *shed* — the
+                        // signal the drop/shed counter makes visible.
+                        self.shared.stats.shed.inc();
+                        TryPushError::Full(envelope.request)
+                    }
                     TryPushError::Closed(envelope) => TryPushError::Closed(envelope.request),
                 })
             }
@@ -568,11 +662,36 @@ where
     }
 
     /// A snapshot of the service counters, including one
-    /// [`crate::DatasetReport`] row per live dataset.
+    /// [`crate::DatasetReport`] row per live dataset. This is a **view
+    /// over the telemetry registry** — the same cells
+    /// [`Self::scrape`] exposes. With telemetry disabled the
+    /// service-level counters read zero (dataset rows still reflect
+    /// store state, which is tracked by the stores themselves).
     pub fn report(&self) -> ServiceReport {
-        self.shared
-            .stats
-            .snapshot(self.shared.cache.builds(), self.shared.dataset_reports())
+        let datasets = self.shared.sync_views();
+        self.shared.stats.snapshot(datasets)
+    }
+
+    /// Scrape the telemetry registry: view-synced metrics are
+    /// refreshed, then the whole registry is rendered as both a
+    /// Prometheus-style text exposition and a JSON document (plus the
+    /// structured snapshot). Empty when telemetry is disabled.
+    pub fn scrape(&self) -> Scrape {
+        self.shared.sync_views();
+        let snapshot = self.shared.stats.registry().snapshot();
+        Scrape {
+            text: snapshot.render_text(),
+            json: snapshot.to_json(),
+            snapshot,
+        }
+    }
+
+    /// The slowest requests answered so far (top-K by end-to-end
+    /// latency, slowest first), each with its per-phase breakdown and
+    /// the work counters attributed to it. Empty when telemetry is
+    /// disabled.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.shared.stats.slow().entries()
     }
 
     /// Graceful shutdown: stop admission, let the dispatchers drain the

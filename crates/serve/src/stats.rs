@@ -1,87 +1,335 @@
-//! Steady-state service counters (atomics — dispatchers update them
-//! concurrently), per-dataset report rows, and the snapshot type
-//! reports are read through.
-
-use std::sync::atomic::{AtomicU64, Ordering};
+//! Service counters as **views over the telemetry registry**, plus the
+//! report types snapshots are read through.
+//!
+//! Every counter the service maintains lives in the shared
+//! [`Registry`]; [`ServiceStats`] holds the pre-resolved handles the
+//! dispatchers record through (one relaxed `fetch_add` per record, no
+//! allocation), and [`ServiceReport`] is assembled by *reading the same
+//! cells back* — there is no second, hand-maintained set of counters to
+//! drift out of sync. With telemetry disabled every handle is a no-op:
+//! the service runs (and answers) identically, and reports read zero.
 
 use cbb_engine::{DataVersion, DatasetId};
+use cbb_telemetry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Phase, Registry, SlowQueryRing, TelemetryConfig,
+};
 
-/// Live counters of a running service (catalog-wide aggregates; the
-/// per-dataset breakdown lives in each store and is snapshotted into
-/// [`DatasetReport`] rows).
-#[derive(Default)]
-pub struct ServiceStats {
-    pub(crate) submitted: AtomicU64,
-    pub(crate) rejected: AtomicU64,
-    pub(crate) completed: AtomicU64,
-    pub(crate) batches: AtomicU64,
-    pub(crate) batched_requests: AtomicU64,
-    pub(crate) max_batch: AtomicU64,
-    /// Join sides served straight from a version-keyed forest (every
-    /// `Join` counts one; a `CrossJoin` counts one per side it borrowed
-    /// a cached forest for — lock-free, unlike the `ForestCache` hit
-    /// counter).
-    pub(crate) forest_hits: AtomicU64,
+use crate::request::RequestKind;
+
+/// Metric names the service registers — the scrape surface is an API;
+/// the golden scrape test pins this list.
+pub(crate) mod names {
+    /// Requests admitted to the queue.
+    pub const SUBMITTED: &str = "cbb_requests_submitted_total";
+    /// Requests refused (backpressure or closed service).
+    pub const REJECTED: &str = "cbb_requests_rejected_total";
+    /// `try_submit` refusals due to a full queue specifically.
+    pub const SHED: &str = "cbb_requests_shed_total";
+    /// Requests answered (handles fulfilled).
+    pub const COMPLETED: &str = "cbb_requests_completed_total";
+    /// Requests answered, by request kind.
+    pub const COMPLETED_BY_KIND: &str = "cbb_requests_by_kind_total";
+    /// Requests admitted but not yet picked up by a dispatcher.
+    pub const QUEUE_DEPTH: &str = "cbb_queue_depth";
+    /// Micro-batches executed.
+    pub const BATCHES: &str = "cbb_batches_total";
+    /// Requests carried by those batches.
+    pub const BATCHED_REQUESTS: &str = "cbb_batched_requests_total";
+    /// Largest batch executed.
+    pub const MAX_BATCH: &str = "cbb_batch_size_max";
+    /// Batch size distribution.
+    pub const BATCH_SIZE: &str = "cbb_batch_size";
+    /// End-to-end request latency (admission → answer), by kind.
+    pub const LATENCY_NS: &str = "cbb_request_latency_ns";
+    /// Per-phase service time, by phase.
+    pub const PHASE_NS: &str = "cbb_request_phase_ns";
+    /// Forest builds performed by the version-keyed cache.
+    pub const FOREST_BUILDS: &str = "cbb_forest_builds_total";
+    /// Forest cache hits (requests served without a build).
+    pub const FOREST_CACHE_HITS: &str = "cbb_forest_cache_hits_total";
+    /// Join sides served straight from a cached forest.
+    pub const FOREST_HITS: &str = "cbb_forest_hits_total";
     /// Cross-dataset join requests served.
-    pub(crate) cross_joins: AtomicU64,
-    /// (dataset, micro-batch) pairs that applied at least one write
-    /// (each bumped that dataset's version exactly once).
-    pub(crate) write_batches: AtomicU64,
-    /// Individual updates applied across all write batches.
-    pub(crate) updates_applied: AtomicU64,
-    /// R-tree nodes constructed by delta maintenance (the rebuild-free
-    /// structural cost of the write path).
-    pub(crate) delta_nodes_allocated: AtomicU64,
+    pub const CROSS_JOINS: &str = "cbb_cross_joins_total";
+    /// (dataset, micro-batch) pairs that applied ≥ 1 write.
+    pub const WRITE_BATCHES: &str = "cbb_write_batches_total";
+    /// Individual updates applied.
+    pub const UPDATES_APPLIED: &str = "cbb_updates_applied_total";
+    /// R-tree nodes constructed by delta maintenance.
+    pub const DELTA_NODES: &str = "cbb_delta_nodes_allocated_total";
+    /// Intersecting pairs produced by join requests.
+    pub const JOIN_PAIRS: &str = "cbb_join_pairs_total";
+    /// Per-dataset traversal counter prefix: the six `AccessStats`
+    /// fields become `cbb_access_<field>_total{dataset=...}`.
+    pub const ACCESS_PREFIX: &str = "cbb_access_";
+    /// Live (queryable) objects per dataset.
+    pub const DS_LIVE: &str = "cbb_dataset_live_objects";
+    /// Arena slots per dataset.
+    pub const DS_SLOTS: &str = "cbb_dataset_arena_slots";
+    /// Current data version per dataset.
+    pub const DS_VERSION: &str = "cbb_dataset_version";
+    /// Max-tile / mean-tile live objects per dataset.
+    pub const DS_IMBALANCE: &str = "cbb_dataset_load_imbalance";
+    /// Median tile occupancy per dataset.
+    pub const DS_OCC_P50: &str = "cbb_dataset_tile_occupancy_p50";
+    /// 99th-percentile tile occupancy per dataset.
+    pub const DS_OCC_P99: &str = "cbb_dataset_tile_occupancy_p99";
+}
+
+/// Pre-resolved telemetry handles of a running service. Dispatchers
+/// record through these; [`ServiceReport`] reads the same registry
+/// cells back.
+pub struct ServiceStats {
+    registry: Registry,
+    slow: SlowQueryRing,
+    pub(crate) submitted: Counter,
+    pub(crate) rejected: Counter,
+    pub(crate) shed: Counter,
+    pub(crate) completed: Counter,
+    pub(crate) by_kind: Vec<Counter>,
+    pub(crate) queue_depth: Gauge,
+    pub(crate) batches: Counter,
+    pub(crate) batched_requests: Counter,
+    pub(crate) max_batch: Gauge,
+    pub(crate) batch_size: Histogram,
+    pub(crate) latency: Vec<Histogram>,
+    pub(crate) phase: Vec<Histogram>,
+    /// View-synced from [`cbb_engine::ForestCache::builds`] at
+    /// snapshot/scrape time (the cache owns the truth).
+    pub(crate) forest_builds: Counter,
+    /// View-synced from [`cbb_engine::ForestCache::hits`].
+    pub(crate) forest_cache_hits: Counter,
+    pub(crate) forest_hits: Counter,
+    pub(crate) cross_joins: Counter,
+    pub(crate) write_batches: Counter,
+    pub(crate) updates_applied: Counter,
+    pub(crate) delta_nodes_allocated: Counter,
+    pub(crate) join_pairs: Counter,
 }
 
 impl ServiceStats {
+    /// Build the registry this configuration calls for and resolve
+    /// every service-level handle (one registration pass; the hot path
+    /// never registers).
+    pub(crate) fn new(config: &TelemetryConfig) -> Self {
+        let registry = config.build_registry();
+        let slow = config.build_slow_ring();
+        ServiceStats {
+            submitted: registry.counter(names::SUBMITTED, "Requests admitted to the queue.", &[]),
+            rejected: registry.counter(
+                names::REJECTED,
+                "Requests refused by backpressure or closure.",
+                &[],
+            ),
+            shed: registry.counter(
+                names::SHED,
+                "try_submit refusals due to a full queue (load shed).",
+                &[],
+            ),
+            completed: registry.counter(
+                names::COMPLETED,
+                "Requests answered (completion handles fulfilled).",
+                &[],
+            ),
+            by_kind: RequestKind::ALL
+                .iter()
+                .map(|k| {
+                    registry.counter(
+                        names::COMPLETED_BY_KIND,
+                        "Requests answered, by request kind.",
+                        &[("request_kind", k.name())],
+                    )
+                })
+                .collect(),
+            queue_depth: registry.gauge(
+                names::QUEUE_DEPTH,
+                "Requests admitted but not yet picked up by a dispatcher.",
+                &[],
+            ),
+            batches: registry.counter(names::BATCHES, "Micro-batches executed.", &[]),
+            batched_requests: registry.counter(
+                names::BATCHED_REQUESTS,
+                "Requests carried by executed micro-batches.",
+                &[],
+            ),
+            max_batch: registry.gauge(names::MAX_BATCH, "Largest batch executed.", &[]),
+            batch_size: registry.histogram(
+                names::BATCH_SIZE,
+                "Requests per executed micro-batch.",
+                &[],
+            ),
+            latency: RequestKind::ALL
+                .iter()
+                .map(|k| {
+                    registry.histogram(
+                        names::LATENCY_NS,
+                        "End-to-end request latency in nanoseconds (admission to answer).",
+                        &[("request_kind", k.name())],
+                    )
+                })
+                .collect(),
+            phase: Phase::ALL
+                .iter()
+                .map(|p| {
+                    registry.histogram(
+                        names::PHASE_NS,
+                        "Per-request service time by phase, in nanoseconds.",
+                        &[("phase", p.name())],
+                    )
+                })
+                .collect(),
+            forest_builds: registry.counter(
+                names::FOREST_BUILDS,
+                "Tile-forest builds performed by the version-keyed cache.",
+                &[],
+            ),
+            forest_cache_hits: registry.counter(
+                names::FOREST_CACHE_HITS,
+                "Forest-cache lookups served without a build.",
+                &[],
+            ),
+            forest_hits: registry.counter(
+                names::FOREST_HITS,
+                "Join sides served straight from a cached forest.",
+                &[],
+            ),
+            cross_joins: registry.counter(
+                names::CROSS_JOINS,
+                "Cross-dataset join requests served.",
+                &[],
+            ),
+            write_batches: registry.counter(
+                names::WRITE_BATCHES,
+                "(dataset, micro-batch) pairs that applied at least one write.",
+                &[],
+            ),
+            updates_applied: registry.counter(
+                names::UPDATES_APPLIED,
+                "Individual updates applied across all write batches.",
+                &[],
+            ),
+            delta_nodes_allocated: registry.counter(
+                names::DELTA_NODES,
+                "R-tree nodes constructed by delta maintenance.",
+                &[],
+            ),
+            join_pairs: registry.counter(
+                names::JOIN_PAIRS,
+                "Intersecting pairs produced by join requests.",
+                &[],
+            ),
+            registry,
+            slow,
+        }
+    }
+
+    /// The shared registry (scrape surface).
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The slow-query ring.
+    pub(crate) fn slow(&self) -> &SlowQueryRing {
+        &self.slow
+    }
+
+    /// Per-dataset traversal-counter handles (the six `AccessStats`
+    /// fields), resolved once per (dataset, batch group) — the per-query
+    /// record path then touches only these.
+    pub(crate) fn access_counters(&self, dataset: &str) -> [Counter; 6] {
+        let field = |name: &str, help: &str| {
+            self.registry.counter(
+                &format!("{}{}_total", names::ACCESS_PREFIX, name),
+                help,
+                &[("dataset", dataset)],
+            )
+        };
+        [
+            field("leaf_accesses", "Leaf nodes read (the paper's I/O metric)."),
+            field(
+                "contributing_leaf_accesses",
+                "Leaf reads that contained at least one result.",
+            ),
+            field("internal_accesses", "Internal (directory) nodes visited."),
+            field("results", "Result objects produced."),
+            field("clip_tests", "Clip-point dominance comparisons performed."),
+            field("clip_prunes", "Subtree visits avoided by clip points."),
+        ]
+    }
+
     pub(crate) fn record_batch(&self, size: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batched_requests
-            .fetch_add(size as u64, Ordering::Relaxed);
-        self.completed.fetch_add(size as u64, Ordering::Relaxed);
-        self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
+        self.batches.inc();
+        self.batched_requests.add(size as u64);
+        self.max_batch.set_max(size as i64);
+        self.batch_size.observe(size as u64);
     }
 
     pub(crate) fn record_write_batch(&self, updates: u64, nodes_allocated: u64) {
-        self.write_batches.fetch_add(1, Ordering::Relaxed);
-        self.updates_applied.fetch_add(updates, Ordering::Relaxed);
-        self.delta_nodes_allocated
-            .fetch_add(nodes_allocated, Ordering::Relaxed);
+        self.write_batches.inc();
+        self.updates_applied.add(updates);
+        self.delta_nodes_allocated.add(nodes_allocated);
     }
 
-    pub(crate) fn snapshot(
+    /// Record one answered request: completion counters, latency
+    /// histogram, per-phase histograms, slow ring.
+    pub(crate) fn record_completion(
         &self,
-        forest_builds: u64,
-        datasets: Vec<DatasetReport>,
-    ) -> ServiceReport {
-        let batches = self.batches.load(Ordering::Relaxed);
-        let batched = self.batched_requests.load(Ordering::Relaxed);
+        kind: RequestKind,
+        latency_ns: u64,
+        span: &cbb_telemetry::Span,
+        dataset: Option<String>,
+        counters: Vec<(&'static str, u64)>,
+    ) {
+        self.completed.inc();
+        self.by_kind[kind.index()].inc();
+        self.latency[kind.index()].observe(latency_ns);
+        for phase in Phase::ALL {
+            let ns = span.get(phase);
+            if ns > 0 {
+                self.phase[phase as usize].observe(ns);
+            }
+        }
+        if self.registry.is_enabled() {
+            self.slow.offer(cbb_telemetry::SlowQuery {
+                kind: kind.name(),
+                dataset,
+                total_ns: latency_ns,
+                span: *span,
+                counters,
+            });
+        }
+    }
+
+    pub(crate) fn snapshot(&self, datasets: Vec<DatasetReport>) -> ServiceReport {
+        let batches = self.batches.get();
+        let batched = self.batched_requests.get();
         ServiceReport {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
+            submitted: self.submitted.get(),
+            rejected: self.rejected.get(),
+            shed: self.shed.get(),
+            queue_depth: self.queue_depth.get(),
+            completed: self.completed.get(),
             batches,
             mean_batch: if batches == 0 {
                 0.0
             } else {
                 batched as f64 / batches as f64
             },
-            max_batch: self.max_batch.load(Ordering::Relaxed),
-            forest_builds,
-            forest_hits: self.forest_hits.load(Ordering::Relaxed),
-            cross_joins: self.cross_joins.load(Ordering::Relaxed),
-            write_batches: self.write_batches.load(Ordering::Relaxed),
-            updates_applied: self.updates_applied.load(Ordering::Relaxed),
-            delta_nodes_allocated: self.delta_nodes_allocated.load(Ordering::Relaxed),
+            max_batch: self.max_batch.get() as u64,
+            forest_builds: self.forest_builds.get(),
+            forest_hits: self.forest_hits.get(),
+            cross_joins: self.cross_joins.get(),
+            write_batches: self.write_batches.get(),
+            updates_applied: self.updates_applied.get(),
+            delta_nodes_allocated: self.delta_nodes_allocated.get(),
             datasets,
         }
     }
 }
 
 /// One dataset's row in a [`ServiceReport`]: identity, version, store
-/// shape, maintenance counters, and the tile load-imbalance
-/// observability metric.
+/// shape, maintenance counters, and the tile-occupancy observability
+/// metrics.
 #[derive(Clone, Debug, PartialEq)]
 pub struct DatasetReport {
     /// The catalog id.
@@ -109,6 +357,23 @@ pub struct DatasetReport {
     /// partitioner drift as churn moves the distribution: when this
     /// climbs, re-fit via `SwapData` with a fresh partitioner.
     pub load_imbalance: f64,
+    /// The full per-tile occupancy **distribution** (indexed objects of
+    /// every non-empty tile, log₂-bucketed). The max/mean ratio above
+    /// hides the tail; `occupancy.quantile(0.99)` vs
+    /// `occupancy.quantile(0.5)` is the re-fit trigger signal.
+    pub occupancy: HistogramSnapshot,
+}
+
+impl DatasetReport {
+    /// Median tile occupancy (`0` for an empty forest).
+    pub fn occupancy_p50(&self) -> u64 {
+        self.occupancy.quantile(0.5)
+    }
+
+    /// 99th-percentile tile occupancy — the drift tail.
+    pub fn occupancy_p99(&self) -> u64 {
+        self.occupancy.quantile(0.99)
+    }
 }
 
 /// A point-in-time view of a service's counters.
@@ -118,6 +383,13 @@ pub struct ServiceReport {
     pub submitted: u64,
     /// Requests refused by `try_submit` backpressure or closure.
     pub rejected: u64,
+    /// The subset of [`Self::rejected`] refused specifically because
+    /// the queue was full (`try_submit` load shedding) — closure
+    /// refusals are not sheds.
+    pub shed: u64,
+    /// Requests admitted but not yet picked up by a dispatcher at
+    /// snapshot time.
+    pub queue_depth: i64,
     /// Requests answered (handles fulfilled).
     pub completed: u64,
     /// Micro-batches executed.

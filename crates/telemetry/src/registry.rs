@@ -1,0 +1,695 @@
+//! The metrics registry: named, labelled series behind pre-resolved
+//! atomic handles.
+//!
+//! Registration (`counter` / `gauge` / `float_gauge` / `histogram`)
+//! takes the registry's lock once and hands back a handle owning an
+//! `Arc` to the series' atomic cell — the hot path never sees the lock
+//! again; recording is a single relaxed atomic RMW. Registering the
+//! same `(name, labels)` twice returns a handle onto the *same* cell,
+//! which is what lets report snapshots be views over the registry
+//! instead of parallel counters.
+//!
+//! A disabled registry ([`Registry::disabled`]) hands out no-op handles
+//! and exposes nothing — instrumented code runs unchanged with zero
+//! recorded samples.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::hist::{Histogram, HistogramCore, HistogramSnapshot};
+
+/// What a metric family measures — maps onto the Prometheus exposition
+/// `# TYPE`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// A value that can go up and down (integer or float).
+    Gauge,
+    /// A log₂-bucketed sample distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The exposition-format type name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A monotone counter handle. Cloning shares the cell; a default /
+/// [`Counter::noop`] handle records nothing and reads `0`.
+#[derive(Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A disabled handle.
+    pub fn noop() -> Self {
+        Counter(None)
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (`0` for a disabled handle).
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+
+    /// Overwrite the value — only for **view sync** of a counter whose
+    /// source of truth lives elsewhere (e.g. a cache's own build
+    /// counter mirrored into the registry at scrape time). Never mix
+    /// with [`Self::add`] on the same series.
+    pub fn store(&self, v: u64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtract `n` — only for unwinding an optimistic pre-count on a
+    /// failure path (count-before-push admission patterns). A counter
+    /// must never *trend* downward.
+    pub fn sub(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_sub(n, Ordering::Relaxed);
+        }
+    }
+}
+
+/// An integer gauge handle (up/down/set/max).
+#[derive(Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    /// A disabled handle.
+    pub fn noop() -> Self {
+        Gauge(None)
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtract one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Add `n` (negative to decrease).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the value to `v` if larger (running maximum).
+    #[inline]
+    pub fn set_max(&self, v: i64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (`0` for a disabled handle).
+    pub fn get(&self) -> i64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A float gauge handle (`f64` stored as bits; set/get only — floats
+/// don't accumulate atomically, so this is for sampled values like an
+/// imbalance ratio).
+#[derive(Clone, Default)]
+pub struct FloatGauge(Option<Arc<AtomicU64>>);
+
+impl FloatGauge {
+    /// A disabled handle.
+    pub fn noop() -> Self {
+        FloatGauge(None)
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: f64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (`0.0` for a disabled handle).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |cell| f64::from_bits(cell.load(Ordering::Relaxed)))
+    }
+}
+
+enum Cell {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    FloatGauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+struct Series {
+    labels: Vec<(String, String)>,
+    cell: Cell,
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    series: Vec<Series>,
+}
+
+#[derive(Default)]
+struct Inner {
+    families: Vec<Family>,
+    by_name: HashMap<String, usize>,
+}
+
+/// The metrics registry. Share it behind an `Arc`; all methods take
+/// `&self`.
+pub struct Registry {
+    /// `None` when disabled — registration returns no-op handles and
+    /// the expositions are empty.
+    inner: Option<RwLock<Inner>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An enabled, empty registry.
+    pub fn new() -> Self {
+        Registry {
+            inner: Some(RwLock::new(Inner::default())),
+        }
+    }
+
+    /// A disabled registry: every registration returns a no-op handle,
+    /// nothing is recorded, the expositions are empty.
+    pub fn disabled() -> Self {
+        Registry { inner: None }
+    }
+
+    /// Whether handles from this registry record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn register<T>(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        make: impl Fn() -> Cell,
+        extract: impl Fn(&Cell) -> Option<T>,
+    ) -> Option<T> {
+        let inner = self.inner.as_ref()?;
+        let mut inner = inner.write().expect("registry poisoned");
+        let idx = match inner.by_name.get(name) {
+            Some(&idx) => idx,
+            None => {
+                let idx = inner.families.len();
+                inner.families.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    kind,
+                    series: Vec::new(),
+                });
+                inner.by_name.insert(name.to_string(), idx);
+                idx
+            }
+        };
+        let family = &mut inner.families[idx];
+        assert_eq!(
+            family.kind, kind,
+            "metric {name:?} re-registered as a different kind"
+        );
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        if let Some(series) = family.series.iter().find(|s| s.labels == labels) {
+            let handle = extract(&series.cell).expect("kind checked above");
+            return Some(handle);
+        }
+        let cell = make();
+        let handle = extract(&cell).expect("freshly made cell matches its kind");
+        family.series.push(Series { labels, cell });
+        Some(handle)
+    }
+
+    /// Register (or re-resolve) a counter series.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        Counter(self.register(
+            name,
+            help,
+            labels,
+            MetricKind::Counter,
+            || Cell::Counter(Arc::new(AtomicU64::new(0))),
+            |cell| match cell {
+                Cell::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+        ))
+    }
+
+    /// Register (or re-resolve) an integer gauge series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        Gauge(self.register(
+            name,
+            help,
+            labels,
+            MetricKind::Gauge,
+            || Cell::Gauge(Arc::new(AtomicI64::new(0))),
+            |cell| match cell {
+                Cell::Gauge(c) => Some(c.clone()),
+                _ => None,
+            },
+        ))
+    }
+
+    /// Register (or re-resolve) a float gauge series (exposed as a
+    /// gauge).
+    pub fn float_gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> FloatGauge {
+        FloatGauge(self.register(
+            name,
+            help,
+            labels,
+            MetricKind::Gauge,
+            || Cell::FloatGauge(Arc::new(AtomicU64::new(0.0f64.to_bits()))),
+            |cell| match cell {
+                Cell::FloatGauge(c) => Some(c.clone()),
+                _ => None,
+            },
+        ))
+    }
+
+    /// Register (or re-resolve) a histogram series.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        Histogram(self.register(
+            name,
+            help,
+            labels,
+            MetricKind::Histogram,
+            || Cell::Histogram(Arc::new(HistogramCore::new())),
+            |cell| match cell {
+                Cell::Histogram(c) => Some(c.clone()),
+                _ => None,
+            },
+        ))
+    }
+
+    /// A point-in-time copy of every family and series, in registration
+    /// order.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let Some(inner) = self.inner.as_ref() else {
+            return TelemetrySnapshot::default();
+        };
+        let inner = inner.read().expect("registry poisoned");
+        TelemetrySnapshot {
+            families: inner
+                .families
+                .iter()
+                .map(|f| FamilySnapshot {
+                    name: f.name.clone(),
+                    help: f.help.clone(),
+                    kind: f.kind,
+                    series: f
+                        .series
+                        .iter()
+                        .map(|s| SeriesSnapshot {
+                            labels: s.labels.clone(),
+                            value: match &s.cell {
+                                Cell::Counter(c) => SeriesValue::Counter(c.load(Ordering::Relaxed)),
+                                Cell::Gauge(c) => SeriesValue::Gauge(c.load(Ordering::Relaxed)),
+                                Cell::FloatGauge(c) => {
+                                    SeriesValue::Float(f64::from_bits(c.load(Ordering::Relaxed)))
+                                }
+                                Cell::Histogram(c) => {
+                                    SeriesValue::Histogram(Box::new(c.snapshot()))
+                                }
+                            },
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Render the Prometheus-style text exposition (`# HELP` / `# TYPE`
+    /// per family, one sample line per series; histograms expand into
+    /// cumulative `_bucket{le=...}` lines plus `_sum` and `_count`).
+    pub fn render_text(&self) -> String {
+        self.snapshot().render_text()
+    }
+}
+
+/// A point-in-time copy of a whole [`Registry`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Every metric family, in registration order.
+    pub families: Vec<FamilySnapshot>,
+}
+
+/// One metric family (a name, its kind, and its labelled series).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FamilySnapshot {
+    /// The metric name (stable API — the golden scrape test pins it).
+    pub name: String,
+    /// One-line meaning.
+    pub help: String,
+    /// Counter, gauge, or histogram.
+    pub kind: MetricKind,
+    /// The labelled series, in registration order.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// One series: its label pairs and current value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeriesSnapshot {
+    /// `(key, value)` label pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The value at snapshot time.
+    pub value: SeriesValue,
+}
+
+/// A snapshotted series value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SeriesValue {
+    /// Counter value.
+    Counter(u64),
+    /// Integer gauge value.
+    Gauge(i64),
+    /// Float gauge value.
+    Float(f64),
+    /// Histogram cells (boxed: the fixed bucket array is ~0.5 KiB).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+fn label_block(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+impl TelemetrySnapshot {
+    /// Total samples recorded across every series (counter values,
+    /// absolute gauge values, histogram counts) — the disabled-mode
+    /// test asserts this is zero.
+    pub fn total_recorded(&self) -> u64 {
+        self.families
+            .iter()
+            .flat_map(|f| &f.series)
+            .map(|s| match &s.value {
+                SeriesValue::Counter(v) => *v,
+                SeriesValue::Gauge(v) => v.unsigned_abs(),
+                SeriesValue::Float(v) => v.abs() as u64,
+                SeriesValue::Histogram(h) => h.count,
+            })
+            .sum()
+    }
+
+    /// The value of a counter series, if present.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.series_value(name, labels)? {
+            SeriesValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value of an integer gauge series, if present.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        match self.series_value(name, labels)? {
+            SeriesValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The cells of a histogram series, if present.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        match self.series_value(name, labels)? {
+            SeriesValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// The raw value of a series, if present.
+    pub fn series_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<&SeriesValue> {
+        let family = self.families.iter().find(|f| f.name == name)?;
+        let series = family.series.iter().find(|s| {
+            s.labels.len() == labels.len()
+                && s.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((k, v), (wk, wv))| k == wk && v == wv)
+        })?;
+        Some(&series.value)
+    }
+
+    /// Render the Prometheus-style text exposition.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for family in &self.families {
+            out.push_str(&format!("# HELP {} {}\n", family.name, family.help));
+            out.push_str(&format!("# TYPE {} {}\n", family.name, family.kind.name()));
+            for series in &family.series {
+                let labels = label_block(&series.labels);
+                match &series.value {
+                    SeriesValue::Counter(v) => {
+                        out.push_str(&format!("{}{labels} {v}\n", family.name));
+                    }
+                    SeriesValue::Gauge(v) => {
+                        out.push_str(&format!("{}{labels} {v}\n", family.name));
+                    }
+                    SeriesValue::Float(v) => {
+                        out.push_str(&format!("{}{labels} {v}\n", family.name));
+                    }
+                    SeriesValue::Histogram(h) => {
+                        for (le, cum) in h.cumulative() {
+                            let mut with_le = series.labels.clone();
+                            with_le.push(("le".to_string(), le.to_string()));
+                            out.push_str(&format!(
+                                "{}_bucket{} {cum}\n",
+                                family.name,
+                                label_block(&with_le)
+                            ));
+                        }
+                        let mut inf = series.labels.clone();
+                        inf.push(("le".to_string(), "+Inf".to_string()));
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            family.name,
+                            label_block(&inf),
+                            h.count
+                        ));
+                        out.push_str(&format!("{}_sum{labels} {}\n", family.name, h.sum));
+                        out.push_str(&format!("{}_count{labels} {}\n", family.name, h.count));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Render the snapshot as a JSON document (hand-rolled — the
+    /// workspace has no serde): an array of families, each with its
+    /// series; histograms carry count/sum/max plus quantile estimates.
+    pub fn to_json(&self) -> String {
+        let mut families = Vec::new();
+        for family in &self.families {
+            let mut series = Vec::new();
+            for s in &family.series {
+                let labels: Vec<String> = s
+                    .labels
+                    .iter()
+                    .map(|(k, v)| format!("{}: {}", json_str(k), json_str(v)))
+                    .collect();
+                let value = match &s.value {
+                    SeriesValue::Counter(v) => format!("\"value\": {v}"),
+                    SeriesValue::Gauge(v) => format!("\"value\": {v}"),
+                    SeriesValue::Float(v) => {
+                        if v.is_finite() {
+                            format!("\"value\": {v}")
+                        } else {
+                            "\"value\": null".to_string()
+                        }
+                    }
+                    SeriesValue::Histogram(h) => format!(
+                        "\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p99\": {}",
+                        h.count,
+                        h.sum,
+                        h.max,
+                        h.quantile(0.5),
+                        h.quantile(0.99)
+                    ),
+                };
+                series.push(format!(
+                    "{{\"labels\": {{{}}}, {value}}}",
+                    labels.join(", ")
+                ));
+            }
+            families.push(format!(
+                "{{\"name\": {}, \"kind\": {}, \"help\": {}, \"series\": [{}]}}",
+                json_str(&family.name),
+                json_str(family.kind.name()),
+                json_str(&family.help),
+                series.join(", ")
+            ));
+        }
+        format!("{{\"metrics\": [\n  {}\n]}}\n", families.join(",\n  "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_cells_on_reregistration() {
+        let reg = Registry::new();
+        let a = reg.counter("requests_total", "requests", &[("kind", "range")]);
+        let b = reg.counter("requests_total", "requests", &[("kind", "range")]);
+        let other = reg.counter("requests_total", "requests", &[("kind", "knn")]);
+        a.add(3);
+        b.inc();
+        other.inc();
+        assert_eq!(a.get(), 4);
+        assert_eq!(b.get(), 4);
+        assert_eq!(other.get(), 1);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("requests_total", &[("kind", "range")]),
+            Some(4)
+        );
+        assert_eq!(snap.counter("requests_total", &[("kind", "knn")]), Some(1));
+        assert_eq!(snap.counter("requests_total", &[("kind", "nope")]), None);
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let reg = Registry::new();
+        let depth = reg.gauge("queue_depth", "queued requests", &[]);
+        depth.add(5);
+        depth.dec();
+        assert_eq!(depth.get(), 4);
+        depth.set_max(2);
+        assert_eq!(depth.get(), 4, "set_max never lowers");
+        depth.set_max(9);
+        assert_eq!(depth.get(), 9);
+        let ratio = reg.float_gauge("imbalance", "max/mean", &[("dataset", "a")]);
+        ratio.set(3.5);
+        assert_eq!(ratio.get(), 3.5);
+    }
+
+    #[test]
+    fn disabled_registry_records_and_exposes_nothing() {
+        let reg = Registry::disabled();
+        assert!(!reg.is_enabled());
+        let c = reg.counter("x_total", "x", &[]);
+        let g = reg.gauge("g", "g", &[]);
+        let h = reg.histogram("h", "h", &[]);
+        c.add(10);
+        g.set(5);
+        h.observe(3);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+        assert_eq!(h.snapshot().count, 0);
+        let snap = reg.snapshot();
+        assert!(snap.families.is_empty());
+        assert_eq!(snap.total_recorded(), 0);
+        assert!(reg.render_text().is_empty());
+    }
+
+    #[test]
+    fn text_exposition_shape() {
+        let reg = Registry::new();
+        reg.counter(
+            "cbb_requests_total",
+            "Requests admitted.",
+            &[("kind", "range")],
+        )
+        .add(2);
+        reg.gauge("cbb_queue_depth", "Requests queued.", &[]).set(1);
+        let h = reg.histogram("cbb_latency_ns", "Latency.", &[]);
+        h.observe(1);
+        h.observe(3);
+        let text = reg.render_text();
+        assert!(text.contains("# TYPE cbb_requests_total counter"));
+        assert!(text.contains("cbb_requests_total{kind=\"range\"} 2"));
+        assert!(text.contains("# TYPE cbb_queue_depth gauge"));
+        assert!(text.contains("cbb_queue_depth 1"));
+        assert!(text.contains("# TYPE cbb_latency_ns histogram"));
+        assert!(text.contains("cbb_latency_ns_bucket{le=\"1\"} 1"));
+        assert!(text.contains("cbb_latency_ns_bucket{le=\"3\"} 2"));
+        assert!(text.contains("cbb_latency_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("cbb_latency_ns_sum 4"));
+        assert!(text.contains("cbb_latency_ns_count 2"));
+    }
+
+    #[test]
+    fn json_exposition_parses_shapes() {
+        let reg = Registry::new();
+        reg.counter("a_total", "a \"quoted\" help", &[("k", "v")])
+            .inc();
+        reg.histogram("h_ns", "h", &[]).observe(100);
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("\"name\": \"a_total\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"p99\": 100"), "quantile capped at true max");
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_clash_panics() {
+        let reg = Registry::new();
+        reg.counter("m", "m", &[]);
+        reg.gauge("m", "m", &[]);
+    }
+}

@@ -48,6 +48,7 @@
 //! | [`joins`] | `cbb-joins` | INLJ and STT spatial joins |
 //! | [`engine`] | `cbb-engine` | parallel partitioned join + batched query execution |
 //! | [`serve`] | `cbb-serve` | async query service: request queue → micro-batched executor |
+//! | [`telemetry`] | `cbb-telemetry` | metrics registry, phase tracing, slow-query ring, scrape exposition |
 
 pub use cbb_bounding as bounding;
 pub use cbb_core as core;
@@ -58,6 +59,7 @@ pub use cbb_joins as joins;
 pub use cbb_rtree as rtree;
 pub use cbb_serve as serve;
 pub use cbb_storage as storage;
+pub use cbb_telemetry as telemetry;
 
 /// The names almost every user of the library needs.
 pub mod prelude {
@@ -75,7 +77,11 @@ pub mod prelude {
         AccessStats, ClippedRTree, DataId, Neighbor, NodeId, RTree, TreeConfig, Variant,
     };
     pub use cbb_serve::{
-        DatasetReport, QueryService, Request, RequestError, Response, ServiceConfig, ServiceReport,
-        UpdateSummary, DEFAULT_DATASET,
+        DatasetReport, QueryService, Request, RequestError, RequestKind, Response, Scrape,
+        ServiceConfig, ServiceReport, UpdateSummary, DEFAULT_DATASET,
+    };
+    pub use cbb_telemetry::{
+        Histogram, HistogramSnapshot, Phase, PhaseTimer, Registry, SlowQuery, SlowQueryRing, Span,
+        TelemetryConfig, TelemetrySnapshot,
     };
 }

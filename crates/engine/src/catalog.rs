@@ -408,11 +408,25 @@ impl<const D: usize, P: Partitioner<D>> DatasetStore<D, P> {
                         let rect = self.objects[slot];
                         let (removed, dropped) =
                             forest.delete_object(&self.partitioner, rect, id, &mut touched);
-                        debug_assert!(removed, "live object must be indexed");
+                        // Under a shard view of the tiling
+                        // (`crate::ShardTiling`) a live object whose
+                        // coverage misses the shard's tile range is
+                        // legitimately unindexed here; the shard that
+                        // does cover it removes the entries.
+                        debug_assert!(
+                            removed || self.partitioner.covering_tiles(&rect).is_empty(),
+                            "live object must be indexed"
+                        );
                         self.live[slot] = false;
                         self.tombstones += 1;
                         outcome.trees_dropped += dropped;
-                        UpdateResult::Deleted(removed)
+                        // A live slot always flips to dead: report the
+                        // delete as applied regardless of how many
+                        // (possibly zero, under a shard view) index
+                        // entries existed, so `applied()` — and with
+                        // it version bumps — stays identical across
+                        // every shard of the same logical store.
+                        UpdateResult::Deleted(true)
                     }
                 }
             };

@@ -589,7 +589,7 @@ pub struct ForestCache<const D: usize> {
 
 /// Versions retained by default: the live one plus a few predecessors
 /// still referenced by in-flight batches.
-const DEFAULT_FOREST_CACHE_CAPACITY: usize = 4;
+pub const DEFAULT_FOREST_CACHE_CAPACITY: usize = 4;
 
 impl<const D: usize> Default for ForestCache<D> {
     fn default() -> Self {

@@ -61,6 +61,7 @@ pub mod join;
 pub mod partition;
 pub mod pool;
 pub mod quadtree;
+pub mod shard;
 pub mod update;
 
 pub use adaptive::AdaptiveGrid;
@@ -71,8 +72,9 @@ pub use catalog::{
 };
 pub use join::{
     partitioned_join, partitioned_join_forests, partitioned_join_with, sequential_join,
-    ForestCache, ForestKey, JoinAlgo, JoinPlan, SplitPolicy,
+    ForestCache, ForestKey, JoinAlgo, JoinPlan, SplitPolicy, DEFAULT_FOREST_CACHE_CAPACITY,
 };
 pub use partition::{load_imbalance, AnyPartitioner, DataVersion, Partitioner, UniformGrid};
 pub use quadtree::QuadtreePartitioner;
+pub use shard::{assignment_loads, merge_knn, ShardMap, ShardTiling};
 pub use update::{Update, UpdateOutcome, UpdateResult};

@@ -1,0 +1,196 @@
+//! One fluent entry point for every way of starting a service.
+//!
+//! `QueryService::start` / `start_catalog` grew positionally over five
+//! PRs; [`ServiceBuilder`] replaces both with named knobs — including
+//! the two that previously had no surface at all (shard count and
+//! [`cbb_engine::ForestCache`] capacity) — and always returns a
+//! [`ShardedService`]. One shard (the default) *is* the unsharded
+//! deployment: the router degrades to a pass-through over a single
+//! [`crate::QueryService`], so there is no separate single-store type
+//! to migrate between.
+//!
+//! ```no_run
+//! use cbb_serve::{ServiceBuilder, ShardFitting};
+//! # use cbb_core::{ClipConfig, ClipMethod};
+//! # use cbb_engine::UniformGrid;
+//! # use cbb_geom::{Point, Rect};
+//! # use cbb_rtree::{TreeConfig, Variant};
+//! # let (partitioner, objects) = (
+//! #     UniformGrid::new(Rect::new(Point([0.0, 0.0]), Point([1.0, 1.0])), 2),
+//! #     vec![],
+//! # );
+//! let service = ServiceBuilder::new()
+//!     .shards(4)
+//!     .shard_fitting(ShardFitting::Fitted)
+//!     .batch_max(32)
+//!     .forest_cache_capacity(8)
+//!     .build(
+//!         partitioner,
+//!         objects,
+//!         TreeConfig::tiny(Variant::RStar),
+//!         ClipConfig::paper_default::<2>(ClipMethod::Stairline),
+//!     );
+//! ```
+
+use std::time::Duration;
+
+use cbb_core::ClipConfig;
+use cbb_engine::{CompactionPolicy, Partitioner};
+use cbb_geom::Rect;
+use cbb_rtree::TreeConfig;
+use cbb_telemetry::TelemetryConfig;
+
+use crate::router::{ShardFitting, ShardedService};
+use crate::service::ServiceConfig;
+
+/// Fluent configuration for a (sharded) query service. Start from
+/// [`ServiceBuilder::new`] (all defaults) or
+/// [`ServiceBuilder::from_config`] (an existing [`ServiceConfig`]),
+/// then finish with [`Self::build`] or [`Self::build_catalog`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceBuilder {
+    config: ServiceConfig,
+    shards: usize,
+    fitting: ShardFitting,
+}
+
+impl ServiceBuilder {
+    /// Defaults: one shard, [`ServiceConfig::default`] for everything
+    /// else.
+    pub fn new() -> Self {
+        ServiceBuilder {
+            config: ServiceConfig::default(),
+            shards: 1,
+            fitting: ShardFitting::default(),
+        }
+    }
+
+    /// Start from an existing [`ServiceConfig`] (one shard).
+    pub fn from_config(config: ServiceConfig) -> Self {
+        ServiceBuilder {
+            config,
+            shards: 1,
+            fitting: ShardFitting::default(),
+        }
+    }
+
+    /// Number of shards (≥ 1; default 1). Every shard is a full
+    /// [`crate::QueryService`] — the queue/batching knobs below apply
+    /// *per shard*.
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// How dataset tiles are cut into shard ranges (default
+    /// [`ShardFitting::Balanced`]).
+    pub fn shard_fitting(mut self, fitting: ShardFitting) -> Self {
+        self.fitting = fitting;
+        self
+    }
+
+    /// Per-shard admission bound (see
+    /// [`ServiceConfig::queue_capacity`]).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Micro-batch size cap (see [`ServiceConfig::batch_max`]).
+    pub fn batch_max(mut self, batch_max: usize) -> Self {
+        self.config.batch_max = batch_max;
+        self
+    }
+
+    /// Micro-batch flush deadline (see
+    /// [`ServiceConfig::batch_deadline`]).
+    pub fn batch_deadline(mut self, deadline: Duration) -> Self {
+        self.config.batch_deadline = deadline;
+        self
+    }
+
+    /// Per-request execution: every batch holds exactly one request
+    /// (see [`ServiceConfig::unbatched`]).
+    pub fn unbatched(mut self) -> Self {
+        self.config.batch_max = 1;
+        self.config.batch_deadline = Duration::ZERO;
+        self
+    }
+
+    /// Dispatcher threads per shard (see
+    /// [`ServiceConfig::dispatchers`]); the router sizes its gather
+    /// pool to match.
+    pub fn dispatchers(mut self, dispatchers: usize) -> Self {
+        self.config.dispatchers = dispatchers;
+        self
+    }
+
+    /// Worker threads inside one batch execution (see
+    /// [`ServiceConfig::exec_workers`]).
+    pub fn exec_workers(mut self, workers: usize) -> Self {
+        self.config.exec_workers = workers;
+        self
+    }
+
+    /// Arena compaction policy for every store (see
+    /// [`ServiceConfig::compaction`]).
+    pub fn compaction(mut self, policy: CompactionPolicy) -> Self {
+        self.config.compaction = policy;
+        self
+    }
+
+    /// Telemetry collection (see [`ServiceConfig::telemetry`]).
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.config.telemetry = telemetry;
+        self
+    }
+
+    /// [`cbb_engine::ForestCache`] LRU capacity per shard (see
+    /// [`ServiceConfig::forest_cache_capacity`]).
+    pub fn forest_cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.forest_cache_capacity = capacity;
+        self
+    }
+
+    /// The assembled per-shard [`ServiceConfig`].
+    pub fn config(&self) -> ServiceConfig {
+        self.config
+    }
+
+    /// Start with an **empty catalog** (the `start_catalog`
+    /// replacement).
+    pub fn build_catalog<const D: usize, P>(
+        self,
+        tree: TreeConfig<D>,
+        clip: ClipConfig,
+    ) -> ShardedService<D, P>
+    where
+        P: Partitioner<D> + Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static,
+    {
+        ShardedService::start_catalog(self.config, self.shards, self.fitting, tree, clip)
+    }
+
+    /// Start with one dataset named [`crate::DEFAULT_DATASET`] built
+    /// from `objects` (the `start` replacement).
+    pub fn build<const D: usize, P>(
+        self,
+        partitioner: P,
+        objects: Vec<Rect<D>>,
+        tree: TreeConfig<D>,
+        clip: ClipConfig,
+    ) -> ShardedService<D, P>
+    where
+        P: Partitioner<D> + Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static,
+    {
+        ShardedService::start(
+            self.config,
+            self.shards,
+            self.fitting,
+            partitioner,
+            objects,
+            tree,
+            clip,
+        )
+    }
+}

@@ -55,18 +55,28 @@
 //! zero-dependency rule.
 
 pub mod batcher;
+pub mod builder;
+pub mod client;
 pub mod handle;
 pub mod queue;
 pub mod request;
+pub mod router;
 pub mod service;
+pub mod shard;
 pub mod stats;
 
-pub use cbb_engine::{AnyPartitioner, CompactionPolicy, DatasetId, Update, UpdateResult};
+pub use builder::ServiceBuilder;
+pub use cbb_engine::{
+    AnyPartitioner, CompactionPolicy, DatasetId, ShardMap, ShardTiling, Update, UpdateResult,
+};
 pub use cbb_telemetry::{HistogramSnapshot, SlowQuery, Span, TelemetryConfig, TelemetrySnapshot};
+pub use client::{ClientResult, DatasetClient, SubmitRequest};
 pub use handle::{Canceled, CompletionHandle};
 pub use queue::{Closed, TryPushError};
 pub use request::{Completion, Request, RequestError, RequestKind, Response, UpdateSummary};
+pub use router::{ShardFitting, ShardedService};
 pub use service::{QueryService, Scrape, ServiceConfig, DEFAULT_DATASET};
+pub use shard::{InProcessShard, Shard};
 pub use stats::{DatasetReport, ServiceReport};
 
 #[cfg(test)]

@@ -45,6 +45,12 @@ pub struct ServiceConfig {
     /// no-op: answers are identical, [`QueryService::scrape`] is empty,
     /// and [`ServiceReport`] counters read zero.
     pub telemetry: TelemetryConfig,
+    /// [`ForestCache`] LRU capacity: how many `(dataset, version)`
+    /// forests stay resident (must be ≥ 1). Raise it when many
+    /// datasets are served concurrently or in-flight batches span more
+    /// versions than the default
+    /// [`cbb_engine::DEFAULT_FOREST_CACHE_CAPACITY`] keeps.
+    pub forest_cache_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -57,6 +63,7 @@ impl Default for ServiceConfig {
             exec_workers: 4,
             compaction: CompactionPolicy::default(),
             telemetry: TelemetryConfig::default(),
+            forest_cache_capacity: cbb_engine::DEFAULT_FOREST_CACHE_CAPACITY,
         }
     }
 }
@@ -364,6 +371,11 @@ where
     /// [`Self::create_dataset`] (or a queued
     /// [`Request::CreateDataset`]) registers one. `tree`/`clip`
     /// configure every per-tile index the service will ever build.
+    ///
+    /// **Deprecated shim** — prefer
+    /// [`ServiceBuilder::build_catalog`](crate::ServiceBuilder), which
+    /// exposes the same knobs fluently plus the shard count, and
+    /// returns the sharded service a one-shard deployment degrades to.
     pub fn start_catalog(config: ServiceConfig, tree: TreeConfig<D>, clip: ClipConfig) -> Self {
         assert!(config.dispatchers >= 1, "need at least one dispatcher");
         assert!(config.batch_max >= 1, "a batch holds at least one request");
@@ -371,7 +383,7 @@ where
             config,
             queue: Bounded::new(config.queue_capacity),
             catalog: Catalog::new(),
-            cache: ForestCache::new(),
+            cache: ForestCache::with_capacity(config.forest_cache_capacity),
             stats: ServiceStats::new(&config.telemetry),
             tree,
             clip,
@@ -403,6 +415,9 @@ where
     /// Start the service with one dataset (named [`DEFAULT_DATASET`])
     /// built from `objects` — the pre-catalog single-store surface.
     /// Further datasets can be created alongside it at any time.
+    ///
+    /// **Deprecated shim** — prefer
+    /// [`ServiceBuilder::build`](crate::ServiceBuilder).
     pub fn start(
         config: ServiceConfig,
         partitioner: P,
@@ -692,6 +707,15 @@ where
     /// disabled.
     pub fn slow_queries(&self) -> Vec<SlowQuery> {
         self.shared.stats.slow().entries()
+    }
+
+    /// Close admission without joining the dispatchers: every
+    /// in-flight request still completes, later `submit`s fail with
+    /// [`Closed`]. Used by the sharded router to stop all shards
+    /// *before* draining any of them; [`Self::shutdown`] remains the
+    /// close-drain-join one-call form.
+    pub fn close(&self) {
+        self.shared.queue.close();
     }
 
     /// Graceful shutdown: stop admission, let the dispatchers drain the

@@ -10,8 +10,10 @@
 use std::time::Instant;
 
 /// A lifecycle phase of a served request. The first five are the
-/// serve-layer pipeline in order; the rest are engine sub-phases that
-/// overlap `Execute`.
+/// serve-layer pipeline in order; `ForestBuild`/`Probe` are engine
+/// sub-phases that overlap `Execute`; `Scatter`/`Gather` are router
+/// sub-phases of a sharded service that overlap the whole per-shard
+/// pipeline.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Phase {
     /// Enqueued until its batch opened (first request popped).
@@ -33,11 +35,21 @@ pub enum Phase {
     ForestBuild,
     /// Engine sub-phase: probing tile trees (range / kNN / join work).
     Probe,
+    /// Router sub-phase: splitting a request across shards and pushing
+    /// the per-shard copies (zero on an unsharded service). Overlaps
+    /// the per-shard pipeline phases, so excluded from
+    /// [`Span::total_ns`].
+    Scatter,
+    /// Router sub-phase: waiting on per-shard completions and merging
+    /// their responses (zero on an unsharded service). Excluded from
+    /// [`Span::total_ns`] like `Scatter`.
+    Gather,
 }
 
 impl Phase {
-    /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 7] = [
+    /// Every phase, in pipeline order. Order matches declaration order
+    /// — `phase as usize` indexes per-phase arrays built from `ALL`.
+    pub const ALL: [Phase; 9] = [
         Phase::QueueWait,
         Phase::Coalesce,
         Phase::LockAcquire,
@@ -45,6 +57,8 @@ impl Phase {
         Phase::Respond,
         Phase::ForestBuild,
         Phase::Probe,
+        Phase::Scatter,
+        Phase::Gather,
     ];
 
     /// Stable snake_case name (used as the `phase` label value).
@@ -57,6 +71,8 @@ impl Phase {
             Phase::Respond => "respond",
             Phase::ForestBuild => "forest_build",
             Phase::Probe => "probe",
+            Phase::Scatter => "scatter",
+            Phase::Gather => "gather",
         }
     }
 

@@ -77,8 +77,10 @@ pub mod prelude {
         AccessStats, ClippedRTree, DataId, Neighbor, NodeId, RTree, TreeConfig, Variant,
     };
     pub use cbb_serve::{
-        DatasetReport, QueryService, Request, RequestError, RequestKind, Response, Scrape,
-        ServiceConfig, ServiceReport, UpdateSummary, DEFAULT_DATASET,
+        DatasetClient, DatasetReport, InProcessShard, QueryService, Request, RequestError,
+        RequestKind, Response, Scrape, ServiceBuilder, ServiceConfig, ServiceReport, Shard,
+        ShardFitting, ShardMap, ShardTiling, ShardedService, SubmitRequest, UpdateSummary,
+        DEFAULT_DATASET,
     };
     pub use cbb_telemetry::{
         Histogram, HistogramSnapshot, Phase, PhaseTimer, Registry, SlowQuery, SlowQueryRing, Span,

@@ -10,6 +10,11 @@ useless artifact.
 `BENCH_obs.json` is scalar-shaped instead of row-shaped and carries a
 hard bound: the telemetry counter overhead ratio must stay below 1.05
 (instrumentation may not induce extra engine work).
+
+`BENCH_durability.json` carries recovery-oracle gates on every row:
+WAL records must actually replay, snapshot pages must actually be
+read, and the recovered service's answers must have compared identical
+to the never-restarted reference.
 """
 
 import json
@@ -45,6 +50,37 @@ def check_obs(path, doc):
     return bool(errors)
 
 
+def check_durability(path, doc):
+    """Validate the durability report's recovery-oracle gates."""
+    errors = []
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        errors.append("missing or empty rows array")
+        rows = []
+    for row in rows:
+        label = f"row batches={row.get('batches')!r}"
+        replayed = row.get("records_replayed")
+        if not isinstance(replayed, int) or replayed <= 0:
+            errors.append(f"{label}: records_replayed {replayed!r} <= 0")
+        pages = row.get("pages_read")
+        if not isinstance(pages, int) or pages <= 0:
+            errors.append(f"{label}: pages_read {pages!r} <= 0")
+        if row.get("recovered_answers_identical") != 1:
+            errors.append(
+                f"{label}: recovered_answers_identical "
+                f"{row.get('recovered_answers_identical')!r} != 1"
+            )
+    for err in errors:
+        print(f"{path}: {err}", file=sys.stderr)
+    if not errors:
+        replayed = sum(row["records_replayed"] for row in rows)
+        print(
+            f"{path}: OK ({len(rows)} rows, {replayed} records replayed, "
+            f"all recoveries identical)"
+        )
+    return bool(errors)
+
+
 def row_arrays(node):
     """Yield every list-of-dicts found anywhere in the document."""
     if isinstance(node, list):
@@ -72,6 +108,9 @@ def main(paths):
             continue
         if os.path.basename(path) == "BENCH_obs.json":
             failed |= check_obs(path, doc)
+            continue
+        if os.path.basename(path) == "BENCH_durability.json":
+            failed |= check_durability(path, doc)
             continue
         arrays = list(row_arrays(doc))
         if not arrays:

@@ -130,8 +130,13 @@ fn main() {
             queue_capacity: requests.max(1),
             ..config
         };
-        let service =
-            QueryService::start(config, partitioner.clone(), data.boxes.clone(), tree, clip);
+        let service = QueryService::start(
+            config.clone(),
+            partitioner.clone(),
+            data.boxes.clone(),
+            tree,
+            clip,
+        );
         let dataset = service.default_dataset();
 
         // Replay the stream open-loop, then collect every completion.

@@ -146,6 +146,42 @@ impl<const D: usize> Partitioner<D> for AdaptiveGrid<D> {
     }
 }
 
+// Lives here rather than in `persist` because the cut arrays are
+// module-private: the codec is the only way to rebuild a fitted grid
+// from parts, and keeping it next to the invariants it must respect
+// (sorted, in-domain cuts) keeps them honest.
+impl<const D: usize> crate::persist::PersistPartitioner for AdaptiveGrid<D> {
+    fn encode_blob(&self, out: &mut Vec<u8>) {
+        crate::persist::put_rect(out, &self.domain);
+        for axis in 0..D {
+            crate::persist::put_u32(out, self.cuts[axis].len() as u32);
+            for &c in &self.cuts[axis] {
+                crate::persist::put_f64(out, c);
+            }
+        }
+    }
+
+    fn decode_blob(
+        r: &mut crate::persist::ByteReader<'_>,
+    ) -> Result<Self, crate::persist::PersistError> {
+        let domain = r.rect::<D>()?;
+        let mut cuts: [Vec<Coord>; D] = std::array::from_fn(|_| Vec::new());
+        for axis in cuts.iter_mut() {
+            let n = r.u32()? as usize;
+            axis.reserve_exact(n);
+            for _ in 0..n {
+                axis.push(r.f64()?);
+            }
+            if axis.windows(2).any(|w| w[0] > w[1]) {
+                return Err(crate::persist::PersistError::Corrupt(
+                    "adaptive grid cuts out of order".into(),
+                ));
+            }
+        }
+        Ok(AdaptiveGrid { domain, cuts })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -194,6 +194,70 @@ impl<const D: usize, P: Partitioner<D>> DatasetStore<D, P> {
         }
     }
 
+    /// Reconstruct a store exactly as a snapshot captured it: arena,
+    /// liveness, reusable free slots, version, and compaction policy
+    /// all restored verbatim, `forest` freshly rebuilt over the live
+    /// slots (trees are derived state and are not persisted).
+    ///
+    /// Restoring the free list and the policy is what makes WAL replay
+    /// deterministic — the id a replayed insert takes, and the moment
+    /// a sweep fires, depend on both. Lifetime maintenance counters
+    /// ([`Self::write_batches`] etc.) restart at zero: they are
+    /// process-local observability, not data.
+    pub fn restore(
+        partitioner: P,
+        objects: Vec<Rect<D>>,
+        live: Vec<bool>,
+        free: Vec<u32>,
+        forest: Arc<TileForest<D>>,
+        version: DataVersion,
+        compaction: CompactionPolicy,
+    ) -> Self {
+        assert_eq!(
+            forest.tile_count(),
+            partitioner.tile_count(),
+            "forest was built under a different partitioning"
+        );
+        assert_eq!(live.len(), objects.len(), "mask must cover every slot");
+        assert!(
+            free.iter()
+                .all(|&s| (s as usize) < live.len() && !live[s as usize]),
+            "free slots must be dead arena slots"
+        );
+        let mut free = free;
+        free.sort_unstable_by(|a, b| b.cmp(a)); // pop() = smallest id
+        let dead = live.iter().filter(|&&l| !l).count();
+        let tombstones = dead - free.len();
+        DatasetStore {
+            partitioner,
+            objects,
+            live,
+            free,
+            tombstones,
+            forest,
+            version,
+            compaction,
+            compactions: 0,
+            write_batches: 0,
+            updates_applied: 0,
+            delta_nodes_allocated: 0,
+        }
+    }
+
+    /// Dead slots currently reusable, smallest id first (snapshot
+    /// serialization needs the exact set; [`Self::free_slots`] only
+    /// counts them).
+    pub fn free_list(&self) -> Vec<u32> {
+        let mut slots = self.free.clone();
+        slots.sort_unstable();
+        slots
+    }
+
+    /// The slot-reclamation policy in force.
+    pub fn compaction(&self) -> CompactionPolicy {
+        self.compaction
+    }
+
     /// Replace the slot-reclamation policy (builder style).
     pub fn with_compaction(mut self, policy: CompactionPolicy) -> Self {
         self.compaction = policy;
@@ -580,6 +644,9 @@ pub enum CatalogError {
     NameTaken(String),
     /// No dataset with this id (never created, or dropped).
     UnknownDataset(DatasetId),
+    /// A dataset with this id already exists (recovery replayed a
+    /// create into an occupied slot — the durability log is corrupt).
+    IdTaken(DatasetId),
 }
 
 impl std::fmt::Display for CatalogError {
@@ -587,6 +654,7 @@ impl std::fmt::Display for CatalogError {
         match self {
             CatalogError::NameTaken(name) => write!(f, "dataset name {name:?} is taken"),
             CatalogError::UnknownDataset(id) => write!(f, "unknown dataset {id:?}"),
+            CatalogError::IdTaken(id) => write!(f, "dataset id {id:?} is taken"),
         }
     }
 }
@@ -673,6 +741,49 @@ impl<const D: usize, P> Catalog<D, P> {
         })));
         inner.by_name.insert(name.to_string(), id);
         Ok(id)
+    }
+
+    /// Re-register a recovered dataset under the id it held before the
+    /// restart. Slots between the current end and `id` are padded with
+    /// `None` (they belonged to datasets dropped before the snapshot —
+    /// ids are never reused, even across restarts), so ids assigned by
+    /// later [`Catalog::create`] calls continue past every recovered
+    /// one.
+    pub fn restore_dataset(
+        &self,
+        id: DatasetId,
+        name: &str,
+        store: DatasetStore<D, P>,
+    ) -> Result<(), CatalogError> {
+        let mut inner = self.inner.write().expect("catalog poisoned");
+        if inner.by_name.contains_key(name) {
+            return Err(CatalogError::NameTaken(name.to_string()));
+        }
+        let slot = id.0 as usize;
+        if inner.entries.len() <= slot {
+            inner.entries.resize_with(slot + 1, || None);
+        }
+        if inner.entries[slot].is_some() {
+            return Err(CatalogError::IdTaken(id));
+        }
+        inner.entries[slot] = Some(Arc::new(Dataset {
+            id,
+            name: name.to_string(),
+            store: RwLock::new(store),
+        }));
+        inner.by_name.insert(name.to_string(), id);
+        Ok(())
+    }
+
+    /// Pad the id space so the next [`Catalog::create`] assigns
+    /// `DatasetId(next)` or later. Recovery uses this to keep the ids
+    /// of datasets dropped *before* a crash retired *after* it —
+    /// without it, a restart would reassign the highest dropped id.
+    pub fn reserve_ids(&self, next: u32) {
+        let mut inner = self.inner.write().expect("catalog poisoned");
+        if (inner.entries.len() as u32) < next {
+            inner.entries.resize_with(next as usize, || None);
+        }
     }
 
     /// Remove a dataset, returning its entry (callers holding the `Arc`

@@ -32,6 +32,11 @@
 //!   partitioner ([`AnyPartitioner`] mixes kinds in one catalog).
 //!   Cross-dataset joins borrow both sides' cached forests
 //!   ([`partitioned_join_forests`]).
+//! * [`persist`] — dataset durability codecs: full-store snapshots
+//!   through the `cbb-storage` page layer (arena pages reuse the
+//!   paper's Figure-4a node encoding) and per-batch WAL records with
+//!   version-keyed idempotent replay ([`replay_update_batch`]), so the
+//!   serve layer can recover a catalog after a crash.
 //!
 //! Everything runs on `std::thread::scope` — no runtime, no work queues
 //! outlive a call, no external dependencies.
@@ -59,6 +64,7 @@ pub mod batch;
 pub mod catalog;
 pub mod join;
 pub mod partition;
+pub mod persist;
 pub mod pool;
 pub mod quadtree;
 pub mod shard;
@@ -75,6 +81,10 @@ pub use join::{
     ForestCache, ForestKey, JoinAlgo, JoinPlan, SplitPolicy, DEFAULT_FOREST_CACHE_CAPACITY,
 };
 pub use partition::{load_imbalance, AnyPartitioner, DataVersion, Partitioner, UniformGrid};
+pub use persist::{
+    decode_update_batch, encode_update_batch, read_snapshot, replay_update_batch, restore_store,
+    write_snapshot, ByteReader, PersistError, PersistPartitioner, SnapshotContents,
+};
 pub use quadtree::QuadtreePartitioner;
 pub use shard::{assignment_loads, merge_knn, ShardMap, ShardTiling};
 pub use update::{Update, UpdateOutcome, UpdateResult};

@@ -185,6 +185,85 @@ impl<const D: usize> Partitioner<D> for QuadtreePartitioner<D> {
     }
 }
 
+// Lives here rather than in `persist` because the node array is
+// module-private. The fitted tree structure is encoded verbatim —
+// node rects, split centers/child bases, leaf tile ids — so the
+// decoded partitioner is bit-identical to the one the data was
+// assigned under (re-fitting from data would not be: the budget
+// heuristic is not a pure function of the surviving objects).
+impl<const D: usize> crate::persist::PersistPartitioner for QuadtreePartitioner<D> {
+    fn encode_blob(&self, out: &mut Vec<u8>) {
+        crate::persist::put_rect(out, &self.domain);
+        crate::persist::put_u32(out, self.nodes.len() as u32);
+        for n in &self.nodes {
+            crate::persist::put_rect(out, &n.rect);
+            match n.split {
+                None => out.push(0),
+                Some((center, first)) => {
+                    out.push(1);
+                    crate::persist::put_point(out, &center);
+                    crate::persist::put_u32(out, first);
+                }
+            }
+            crate::persist::put_u32(out, n.tile);
+        }
+        crate::persist::put_u32(out, self.leaves.len() as u32);
+        for &leaf in &self.leaves {
+            crate::persist::put_u32(out, leaf);
+        }
+    }
+
+    fn decode_blob(
+        r: &mut crate::persist::ByteReader<'_>,
+    ) -> Result<Self, crate::persist::PersistError> {
+        let corrupt =
+            |why: &str| crate::persist::PersistError::Corrupt(format!("quadtree blob: {why}"));
+        let domain = r.rect::<D>()?;
+        let node_count = r.u32()? as usize;
+        if node_count == 0 {
+            return Err(corrupt("no nodes"));
+        }
+        let mut nodes = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            let rect = r.rect::<D>()?;
+            let split = match r.u8()? {
+                0 => None,
+                1 => {
+                    let center = r.point::<D>()?;
+                    let first = r.u32()?;
+                    if (first as usize) + (1 << D) > node_count {
+                        return Err(corrupt("child range out of bounds"));
+                    }
+                    Some((center, first))
+                }
+                _ => return Err(corrupt("bad split tag")),
+            };
+            let tile = r.u32()?;
+            nodes.push(QtNode { rect, split, tile });
+        }
+        let leaf_count = r.u32()? as usize;
+        let mut leaves = Vec::with_capacity(leaf_count);
+        for _ in 0..leaf_count {
+            let leaf = r.u32()?;
+            if leaf as usize >= node_count {
+                return Err(corrupt("leaf index out of bounds"));
+            }
+            leaves.push(leaf);
+        }
+        for (tile, &leaf) in leaves.iter().enumerate() {
+            let n = &nodes[leaf as usize];
+            if n.split.is_some() || n.tile as usize != tile {
+                return Err(corrupt("leaf table disagrees with nodes"));
+            }
+        }
+        Ok(QuadtreePartitioner {
+            domain,
+            nodes,
+            leaves,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

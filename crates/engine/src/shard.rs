@@ -84,6 +84,22 @@ impl ShardMap {
         ShardMap { bounds }
     }
 
+    /// Rebuild a map from explicit cut points: shard `s` owns tiles
+    /// `bounds[s]..bounds[s + 1]`. This is the recovery path — a
+    /// restarted router reassembles each dataset's map from the
+    /// per-shard tile ranges its shards recovered — so the invariants
+    /// ([`Self::balanced`]/[`Self::fitted`] establish them by
+    /// construction) are asserted here.
+    pub fn from_bounds(bounds: Vec<usize>) -> Self {
+        assert!(bounds.len() >= 2, "need at least one shard");
+        assert_eq!(bounds[0], 0, "shard 0 must start at tile 0");
+        assert!(
+            bounds.windows(2).all(|w| w[0] <= w[1]),
+            "cut points must be non-decreasing"
+        );
+        ShardMap { bounds }
+    }
+
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.bounds.len() - 1

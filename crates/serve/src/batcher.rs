@@ -128,7 +128,7 @@ fn flush_writes<const D: usize, P>(
     responses: &mut [Option<Response>],
     trace: &mut BatchTrace,
 ) where
-    P: Partitioner<D> + Clone,
+    P: Partitioner<D> + cbb_engine::PersistPartitioner + Clone,
 {
     for (dataset, (ops, write_slots)) in std::mem::take(groups) {
         let Some(entry) = shared.catalog.get(dataset) else {
@@ -163,6 +163,14 @@ fn flush_writes<const D: usize, P>(
                 shared
                     .cache
                     .insert((dataset, store.version()), store.forest().clone());
+                // Durable group commit: the whole coalesced micro-batch
+                // is one WAL record, appended and fsynced *while the
+                // write lock still pins the version it produced* (WAL
+                // order = version order) and before any waiter is
+                // fulfilled at the end of `run_batch`.
+                if let Some(durability) = &shared.durability {
+                    durability.commit_batch(dataset, &store, &ops, &shared.stats);
+                }
             }
             let exec_d = exec_t.elapsed();
             let version = store.version();
@@ -208,7 +216,7 @@ pub(crate) fn run_batch<const D: usize, P>(
     mut batch: Vec<Envelope<D, P>>,
     opened: Instant,
 ) where
-    P: Partitioner<D> + Clone + PartialEq,
+    P: Partitioner<D> + cbb_engine::PersistPartitioner + Clone + PartialEq,
 {
     let picked_up = Instant::now();
     let size = batch.len();
@@ -542,7 +550,7 @@ fn run_cross_join<const D: usize, P>(
     use_clips: bool,
 ) -> Response
 where
-    P: Partitioner<D> + Clone + PartialEq,
+    P: Partitioner<D> + cbb_engine::PersistPartitioner + Clone + PartialEq,
 {
     let resolve = |id: DatasetId| -> Result<std::sync::Arc<Dataset<D, P>>, Response> {
         shared

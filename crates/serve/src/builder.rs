@@ -32,6 +32,7 @@
 //!     );
 //! ```
 
+use std::path::Path;
 use std::time::Duration;
 
 use cbb_core::ClipConfig;
@@ -40,6 +41,7 @@ use cbb_geom::Rect;
 use cbb_rtree::TreeConfig;
 use cbb_telemetry::TelemetryConfig;
 
+use crate::durability::DurabilityConfig;
 use crate::router::{ShardFitting, ShardedService};
 use crate::service::ServiceConfig;
 
@@ -47,7 +49,7 @@ use crate::service::ServiceConfig;
 /// [`ServiceBuilder::new`] (all defaults) or
 /// [`ServiceBuilder::from_config`] (an existing [`ServiceConfig`]),
 /// then finish with [`Self::build`] or [`Self::build_catalog`].
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ServiceBuilder {
     config: ServiceConfig,
     shards: usize,
@@ -153,9 +155,31 @@ impl ServiceBuilder {
         self
     }
 
+    /// Persist every dataset under `root` as snapshot + write-ahead
+    /// log, and recover the catalog from there on start (see
+    /// [`ServiceConfig::durability`] and the [`crate::durability`]
+    /// module docs). Off by default.
+    pub fn durability(mut self, root: impl AsRef<Path>) -> Self {
+        self.config.durability = Some(DurabilityConfig::new(root.as_ref()));
+        self
+    }
+
+    /// WAL size past which a dataset's log is checkpointed into a
+    /// fresh snapshot (see [`DurabilityConfig::checkpoint_bytes`]).
+    /// Call [`Self::durability`] first.
+    pub fn checkpoint_bytes(mut self, bytes: u64) -> Self {
+        let durable = self
+            .config
+            .durability
+            .as_mut()
+            .expect("call durability(root) before checkpoint_bytes");
+        durable.checkpoint_bytes = bytes;
+        self
+    }
+
     /// The assembled per-shard [`ServiceConfig`].
     pub fn config(&self) -> ServiceConfig {
-        self.config
+        self.config.clone()
     }
 
     /// Start with an **empty catalog** (the `start_catalog`
@@ -166,7 +190,14 @@ impl ServiceBuilder {
         clip: ClipConfig,
     ) -> ShardedService<D, P>
     where
-        P: Partitioner<D> + Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static,
+        P: Partitioner<D>
+            + cbb_engine::PersistPartitioner
+            + Clone
+            + PartialEq
+            + std::fmt::Debug
+            + Send
+            + Sync
+            + 'static,
     {
         ShardedService::start_catalog(self.config, self.shards, self.fitting, tree, clip)
     }
@@ -181,7 +212,14 @@ impl ServiceBuilder {
         clip: ClipConfig,
     ) -> ShardedService<D, P>
     where
-        P: Partitioner<D> + Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static,
+        P: Partitioner<D>
+            + cbb_engine::PersistPartitioner
+            + Clone
+            + PartialEq
+            + std::fmt::Debug
+            + Send
+            + Sync
+            + 'static,
     {
         ShardedService::start(
             self.config,

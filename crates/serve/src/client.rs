@@ -198,7 +198,14 @@ impl<const D: usize, P, S: SubmitRequest<D, P>> DatasetClient<'_, D, P, S> {
 
 impl<const D: usize, P> SubmitRequest<D, P> for crate::QueryService<D, P>
 where
-    P: cbb_engine::Partitioner<D> + Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static,
+    P: cbb_engine::Partitioner<D>
+        + cbb_engine::PersistPartitioner
+        + Clone
+        + PartialEq
+        + std::fmt::Debug
+        + Send
+        + Sync
+        + 'static,
 {
     fn submit_request(
         &self,
@@ -214,7 +221,14 @@ where
 
 impl<const D: usize, P> SubmitRequest<D, P> for crate::ShardedService<D, P>
 where
-    P: cbb_engine::Partitioner<D> + Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static,
+    P: cbb_engine::Partitioner<D>
+        + cbb_engine::PersistPartitioner
+        + Clone
+        + PartialEq
+        + std::fmt::Debug
+        + Send
+        + Sync
+        + 'static,
 {
     fn submit_request(
         &self,

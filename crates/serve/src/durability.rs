@@ -1,0 +1,770 @@
+//! The durability tier: per-dataset snapshot + write-ahead log under
+//! the catalog.
+//!
+//! With [`DurabilityConfig`] set, a service persists every dataset as
+//! two files under its root directory:
+//!
+//! * `ds_<id>.snap` — a full-store snapshot in the `cbb-storage` page
+//!   format ([`cbb_engine::write_snapshot`]), rewritten atomically
+//!   (temp file + rename) on creation, on `SwapData`, and on
+//!   checkpoint.
+//! * `ds_<id>.wal` — a checksummed, length-prefixed log
+//!   ([`cbb_storage::WalWriter`]) of coalesced update micro-batches:
+//!   **one applied batch = one version bump = one WAL record**,
+//!   appended and fsynced *before* any waiter of that batch is woken
+//!   (group commit — the batch that amortises index maintenance also
+//!   amortises the fsync).
+//!
+//! A third file, `catalog.wal`, logs dataset lifecycle (`Create` /
+//! `Drop`) so recovery knows which ids are live and under what names.
+//! Creation persists the dataset's snapshot *before* its `Create`
+//! record — a crash in between leaves an orphan snapshot that recovery
+//! deletes, never a live dataset without bytes.
+//!
+//! ## Recovery
+//!
+//! On start, a durable service replays `catalog.wal`'s valid prefix,
+//! then for each live dataset: loads the snapshot, rebuilds the tile
+//! forest, and replays the WAL tail. Replay is **idempotent by
+//! version** ([`cbb_engine::replay_update_batch`]): records at or
+//! below the snapshot's version are skipped, a gap is corruption. A
+//! torn tail (partial append at the kill point) is detected by
+//! checksum and truncated — committed batches survive, the half-written
+//! one vanishes, exactly as if the crash had hit before its fsync.
+//!
+//! ## Checkpoints
+//!
+//! When a dataset's WAL grows past
+//! [`DurabilityConfig::checkpoint_bytes`], the commit path rolls it
+//! into a fresh snapshot and resets the log. The order (snapshot
+//! rename, then WAL reset) is crash-safe: a crash in between leaves
+//! old records the version check skips.
+//!
+//! ## What is NOT guaranteed
+//!
+//! * Durability I/O errors at commit time **panic** the dispatcher: a
+//!   service that cannot persist a write must not acknowledge it.
+//! * Across the shards of a [`crate::ShardedService`], `SwapData` is
+//!   not crash-atomic: each shard checkpoints its own snapshot, so a
+//!   kill while a swap is mid-flight across shards can leave replicas
+//!   on either side of the swap with no WAL records to roll the
+//!   laggards forward. `reconcile_shard_dirs` detects this and
+//!   refuses to start; restore from a fresh `SwapData` after recovery
+//!   of a pre-swap state, or snapshot externally before swapping.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use cbb_core::ClipConfig;
+use cbb_engine::{
+    decode_update_batch, encode_update_batch, read_snapshot, replay_update_batch, restore_store,
+    write_snapshot, ByteReader, Catalog, DatasetId, DatasetStore, ForestCache, Partitioner,
+    PersistError, PersistPartitioner, Update,
+};
+use cbb_rtree::TreeConfig;
+use cbb_storage::{recover_wal, FilePageStore, PageStore, WalWriter};
+
+use crate::stats::ServiceStats;
+
+/// Default WAL size that triggers a checkpoint (4 MiB).
+pub const DEFAULT_CHECKPOINT_BYTES: u64 = 4 << 20;
+
+/// Where and how a service persists its catalog. See the
+/// [module docs](self) for the file layout and recovery semantics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Directory holding `catalog.wal` and the per-dataset
+    /// snapshot/WAL pairs. Created if missing. A
+    /// [`crate::ShardedService`] nests one `shard_<i>` subdirectory
+    /// per shard under it.
+    pub root: PathBuf,
+    /// Roll a dataset's WAL into a fresh snapshot once it exceeds this
+    /// many bytes (default [`DEFAULT_CHECKPOINT_BYTES`]).
+    pub checkpoint_bytes: u64,
+}
+
+impl DurabilityConfig {
+    /// Durability rooted at `root` with the default checkpoint
+    /// threshold.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            root: root.into(),
+            checkpoint_bytes: DEFAULT_CHECKPOINT_BYTES,
+        }
+    }
+
+    /// Override the checkpoint threshold.
+    pub fn checkpoint_bytes(mut self, bytes: u64) -> Self {
+        self.checkpoint_bytes = bytes;
+        self
+    }
+}
+
+/// One `catalog.wal` record: a dataset lifecycle event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum AdminRecord {
+    Create { id: DatasetId, name: String },
+    Drop { id: DatasetId },
+}
+
+const ADMIN_CREATE: u8 = 1;
+const ADMIN_DROP: u8 = 2;
+
+impl AdminRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            AdminRecord::Create { id, name } => {
+                out.push(ADMIN_CREATE);
+                out.extend_from_slice(&id.0.to_le_bytes());
+                out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+                out.extend_from_slice(name.as_bytes());
+            }
+            AdminRecord::Drop { id } => {
+                out.push(ADMIN_DROP);
+                out.extend_from_slice(&id.0.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    fn decode(payload: &[u8]) -> Result<Self, PersistError> {
+        let mut r = ByteReader::new(payload);
+        let record = match r.u8()? {
+            ADMIN_CREATE => {
+                let id = DatasetId(r.u32()?);
+                let len = r.u32()? as usize;
+                let name = String::from_utf8(r.take(len)?.to_vec())
+                    .map_err(|_| PersistError::Corrupt("admin record name not UTF-8".into()))?;
+                AdminRecord::Create { id, name }
+            }
+            ADMIN_DROP => AdminRecord::Drop {
+                id: DatasetId(r.u32()?),
+            },
+            tag => {
+                return Err(PersistError::Corrupt(format!(
+                    "unknown admin record tag {tag}"
+                )))
+            }
+        };
+        r.finish()?;
+        Ok(record)
+    }
+}
+
+fn catalog_wal_path(root: &Path) -> PathBuf {
+    root.join("catalog.wal")
+}
+
+fn snap_path(root: &Path, id: DatasetId) -> PathBuf {
+    root.join(format!("ds_{}.snap", id.0))
+}
+
+fn wal_path(root: &Path, id: DatasetId) -> PathBuf {
+    root.join(format!("ds_{}.wal", id.0))
+}
+
+/// Replay a `catalog.wal` record list into the live `id -> name` map
+/// and the id-space watermark (one past the highest id ever created).
+fn fold_admin(records: &[Vec<u8>]) -> Result<(BTreeMap<DatasetId, String>, u32), PersistError> {
+    let mut live = BTreeMap::new();
+    let mut watermark = 0u32;
+    for payload in records {
+        match AdminRecord::decode(payload)? {
+            AdminRecord::Create { id, name } => {
+                watermark = watermark.max(id.0 + 1);
+                live.insert(id, name);
+            }
+            AdminRecord::Drop { id } => {
+                live.remove(&id);
+            }
+        }
+    }
+    Ok((live, watermark))
+}
+
+/// Write `ds` as a fresh snapshot at `path`, atomically: the pages go
+/// to a temp file that is fsynced and renamed over the target, so a
+/// crash mid-write leaves the previous snapshot intact.
+fn write_snapshot_atomic<const D: usize, P>(path: &Path, ds: &DatasetStore<D, P>) -> io::Result<u32>
+where
+    P: Partitioner<D> + PersistPartitioner,
+{
+    let tmp = path.with_extension("snap.tmp");
+    let mut pages = FilePageStore::create(&tmp)?;
+    let written = write_snapshot(&mut pages, ds);
+    pages.sync()?;
+    drop(pages);
+    fs::rename(&tmp, path)?;
+    // Make the rename itself durable (best-effort: some filesystems
+    // have nothing to sync for a directory).
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(written)
+}
+
+/// The running write side of the durability tier: the open WAL
+/// writers. All I/O errors panic — a service that cannot persist must
+/// not acknowledge (see the [module docs](self)).
+pub(crate) struct Durability {
+    root: PathBuf,
+    checkpoint_bytes: u64,
+    catalog_wal: Mutex<WalWriter>,
+    wals: Mutex<BTreeMap<DatasetId, WalWriter>>,
+}
+
+/// What [`Durability::recover`] found on disk, for the caller to prime
+/// caches and counters with.
+pub(crate) struct Recovery {
+    /// `(id, name)` of every recovered dataset, ascending by id.
+    pub(crate) datasets: Vec<(DatasetId, String)>,
+    /// WAL records replayed (applied, not version-skipped) across all
+    /// datasets.
+    pub(crate) records_replayed: u64,
+    /// Snapshot pages read across all datasets.
+    pub(crate) pages_read: u64,
+}
+
+impl Durability {
+    /// Recover everything under `config.root` into `catalog`/`cache`
+    /// and open the WAL writers for what comes next. Torn WAL tails
+    /// are truncated; orphan dataset files (from a crash between
+    /// snapshot write and `Create` record, or between `Drop` record
+    /// and file removal) are deleted.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn recover<const D: usize, P>(
+        config: &DurabilityConfig,
+        catalog: &Catalog<D, P>,
+        cache: &ForestCache<D>,
+        tree: TreeConfig<D>,
+        clip: ClipConfig,
+        workers: usize,
+    ) -> Result<(Self, Recovery), PersistError>
+    where
+        P: Partitioner<D> + PersistPartitioner,
+    {
+        let root = &config.root;
+        fs::create_dir_all(root)?;
+        let admin = recover_wal(&catalog_wal_path(root))?;
+        let (live, watermark) = fold_admin(&admin.records)?;
+
+        let mut recovery = Recovery {
+            datasets: Vec::new(),
+            records_replayed: 0,
+            pages_read: 0,
+        };
+        let mut wals = BTreeMap::new();
+        for (&id, name) in &live {
+            let mut pages = FilePageStore::open(&snap_path(root, id)).map_err(|err| {
+                PersistError::Corrupt(format!(
+                    "dataset {} is live in catalog.wal but its snapshot is unreadable: {err}",
+                    id.0
+                ))
+            })?;
+            let contents = read_snapshot::<D, P, _>(&mut pages)?;
+            recovery.pages_read += pages.counters().reads;
+            let mut store = restore_store(contents, tree, clip, workers);
+            let tail = recover_wal(&wal_path(root, id))?;
+            for payload in &tail.records {
+                let (version, ops) = decode_update_batch::<D>(payload)?;
+                if replay_update_batch(&mut store, version, &ops, tree, clip)? {
+                    recovery.records_replayed += 1;
+                }
+            }
+            cache.insert((id, store.version()), store.forest().clone());
+            catalog
+                .restore_dataset(id, name, store)
+                .map_err(|err| PersistError::Corrupt(format!("catalog restore failed: {err}")))?;
+            wals.insert(id, WalWriter::append_to(&wal_path(root, id))?);
+            recovery.datasets.push((id, name.clone()));
+        }
+        // Ids of datasets dropped before the crash stay retired.
+        catalog.reserve_ids(watermark);
+
+        // Orphan cleanup: dataset files whose id is not live.
+        if let Ok(entries) = fs::read_dir(root) {
+            for entry in entries.flatten() {
+                let file = entry.file_name();
+                let Some(name) = file.to_str() else { continue };
+                let Some(id) = orphan_candidate(name) else {
+                    continue;
+                };
+                if !live.contains_key(&DatasetId(id)) {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+
+        let durability = Durability {
+            root: root.clone(),
+            checkpoint_bytes: config.checkpoint_bytes,
+            catalog_wal: Mutex::new(WalWriter::append_to(&catalog_wal_path(root))?),
+            wals: Mutex::new(wals),
+        };
+        Ok((durability, recovery))
+    }
+
+    /// Persist one applied micro-batch: append its WAL record and
+    /// fsync, **before** the caller releases the store lock or wakes
+    /// any waiter. Rolls the WAL into a checkpoint snapshot past the
+    /// size threshold.
+    pub(crate) fn commit_batch<const D: usize, P>(
+        &self,
+        id: DatasetId,
+        store: &DatasetStore<D, P>,
+        ops: &[Update<D>],
+        stats: &ServiceStats,
+    ) where
+        P: Partitioner<D> + PersistPartitioner,
+    {
+        let payload = encode_update_batch(store.version(), ops);
+        let mut wals = self.wals.lock().expect("durability wal map poisoned");
+        let writer = wals
+            .entry(id)
+            .or_insert_with(|| open_wal(&self.root, id, "commit"));
+        writer
+            .append(&payload)
+            .expect("durability: WAL append failed");
+        let fsync_t = Instant::now();
+        writer.sync().expect("durability: WAL fsync failed");
+        stats.record_wal_append(payload.len() as u64 + 8, elapsed_ns(fsync_t));
+        if writer.bytes() >= self.checkpoint_bytes {
+            write_snapshot_atomic(&snap_path(&self.root, id), store)
+                .expect("durability: checkpoint snapshot failed");
+            *writer =
+                WalWriter::create(&wal_path(&self.root, id)).expect("durability: WAL reset failed");
+            stats.checkpoints.inc();
+        }
+    }
+
+    /// Persist a freshly created dataset: snapshot first, `Create`
+    /// record second — a crash in between leaves an orphan snapshot,
+    /// never a live dataset without bytes.
+    pub(crate) fn record_create<const D: usize, P>(
+        &self,
+        id: DatasetId,
+        name: &str,
+        store: &DatasetStore<D, P>,
+    ) where
+        P: Partitioner<D> + PersistPartitioner,
+    {
+        write_snapshot_atomic(&snap_path(&self.root, id), store)
+            .expect("durability: create snapshot failed");
+        let wal =
+            WalWriter::create(&wal_path(&self.root, id)).expect("durability: WAL create failed");
+        self.wals
+            .lock()
+            .expect("durability wal map poisoned")
+            .insert(id, wal);
+        let record = AdminRecord::Create {
+            id,
+            name: name.to_string(),
+        }
+        .encode();
+        let mut catalog_wal = self
+            .catalog_wal
+            .lock()
+            .expect("durability catalog.wal poisoned");
+        catalog_wal
+            .append(&record)
+            .expect("durability: catalog.wal append failed");
+        catalog_wal
+            .sync()
+            .expect("durability: catalog.wal fsync failed");
+    }
+
+    /// Persist a drop: `Drop` record first (making the id dead), file
+    /// removal second (recovery deletes leftovers as orphans).
+    pub(crate) fn record_drop(&self, id: DatasetId) {
+        let record = AdminRecord::Drop { id }.encode();
+        {
+            let mut catalog_wal = self
+                .catalog_wal
+                .lock()
+                .expect("durability catalog.wal poisoned");
+            catalog_wal
+                .append(&record)
+                .expect("durability: catalog.wal append failed");
+            catalog_wal
+                .sync()
+                .expect("durability: catalog.wal fsync failed");
+        }
+        self.wals
+            .lock()
+            .expect("durability wal map poisoned")
+            .remove(&id);
+        let _ = fs::remove_file(snap_path(&self.root, id));
+        let _ = fs::remove_file(wal_path(&self.root, id));
+    }
+
+    /// Persist a `SwapData`: fresh snapshot, then WAL reset. A crash
+    /// in between leaves pre-swap records the version check skips.
+    /// Called with the dataset's write lock held, so the snapshot is a
+    /// stable image of the swapped-in state.
+    pub(crate) fn record_swap<const D: usize, P>(&self, id: DatasetId, store: &DatasetStore<D, P>)
+    where
+        P: Partitioner<D> + PersistPartitioner,
+    {
+        write_snapshot_atomic(&snap_path(&self.root, id), store)
+            .expect("durability: swap snapshot failed");
+        let wal =
+            WalWriter::create(&wal_path(&self.root, id)).expect("durability: WAL reset failed");
+        self.wals
+            .lock()
+            .expect("durability wal map poisoned")
+            .insert(id, wal);
+    }
+}
+
+fn open_wal(root: &Path, id: DatasetId, context: &str) -> WalWriter {
+    WalWriter::append_to(&wal_path(root, id))
+        .unwrap_or_else(|err| panic!("durability: WAL open for {context} failed: {err}"))
+}
+
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// `ds_<id>.snap` / `ds_<id>.wal` / their temp files → the id.
+fn orphan_candidate(file: &str) -> Option<u32> {
+    let rest = file.strip_prefix("ds_")?;
+    let digits = rest
+        .strip_suffix(".snap")
+        .or_else(|| rest.strip_suffix(".wal"))
+        .or_else(|| rest.strip_suffix(".snap.tmp"))?;
+    digits.parse().ok()
+}
+
+// ── Cross-shard reconciliation ─────────────────────────────────────
+
+/// Version of the first 24 snapshot header bytes: magic, format, and
+/// the store version at offset 16 — enough to compare shard progress
+/// without decoding the snapshot (format v1 pins these offsets).
+fn peek_snapshot_version(path: &Path) -> Result<u64, PersistError> {
+    use std::io::Read;
+    let mut head = [0u8; 24];
+    let mut file = fs::File::open(path).map_err(|err| {
+        PersistError::Corrupt(format!("snapshot {} unreadable: {err}", path.display()))
+    })?;
+    file.read_exact(&mut head)?;
+    if head[..8] != cbb_engine::persist::SNAP_MAGIC {
+        return Err(PersistError::Corrupt(format!(
+            "snapshot {} has a damaged magic",
+            path.display()
+        )));
+    }
+    Ok(u64::from_le_bytes(head[16..24].try_into().unwrap()))
+}
+
+/// Version of one data-WAL record without decoding its ops (the
+/// version is the payload's first 8 bytes).
+fn peek_record_version(payload: &[u8]) -> Result<u64, PersistError> {
+    let bytes: [u8; 8] = payload
+        .get(..8)
+        .and_then(|b| b.try_into().ok())
+        .ok_or_else(|| PersistError::Corrupt("WAL record shorter than its version".into()))?;
+    Ok(u64::from_le_bytes(bytes))
+}
+
+/// Reconcile the per-shard durability directories of a sharded service
+/// before its shards recover, file-level (no `D`/`P` knowledge):
+///
+/// * A dataset whose `Create` persisted on only *some* shards was
+///   never acknowledged — the trailing create is **undone** by
+///   appending a `Drop` record on the shards that have it (their
+///   recovery then deletes the files as orphans). A trailing `Drop`
+///   is **completed** the same way on the shards that missed it.
+/// * Data WALs that diverged in length (each shard fsyncs its own
+///   log, so a kill can land between two shards' commits of the same
+///   batch) are **rolled forward**: missing tail records are copied
+///   byte-for-byte from the most advanced shard — replicated batches
+///   encode identically on every shard.
+/// * Divergence that crosses a checkpoint or `SwapData` boundary
+///   cannot be rolled forward from WAL records and is an error — see
+///   the [module docs](self) fine print.
+pub(crate) fn reconcile_shard_dirs(root: &Path, shards: usize) -> Result<(), PersistError> {
+    if shards <= 1 {
+        return Ok(());
+    }
+    let dirs: Vec<PathBuf> = (0..shards)
+        .map(|s| root.join(format!("shard_{s}")))
+        .collect();
+    let mut admin: Vec<BTreeMap<DatasetId, String>> = Vec::with_capacity(shards);
+    for dir in &dirs {
+        fs::create_dir_all(dir)?;
+        let recovered = recover_wal(&catalog_wal_path(dir))?;
+        admin.push(fold_admin(&recovered.records)?.0);
+    }
+
+    // Lifecycle reconcile: live everywhere, or not at all.
+    let consensus: BTreeMap<DatasetId, String> = admin[0]
+        .iter()
+        .filter(|(id, _)| admin.iter().all(|m| m.contains_key(id)))
+        .map(|(id, name)| (*id, name.clone()))
+        .collect();
+    for (dir, shard_admin) in dirs.iter().zip(&admin) {
+        let stragglers: Vec<DatasetId> = shard_admin
+            .keys()
+            .filter(|id| !consensus.contains_key(id))
+            .copied()
+            .collect();
+        if stragglers.is_empty() {
+            continue;
+        }
+        let mut wal = WalWriter::append_to(&catalog_wal_path(dir))?;
+        for id in stragglers {
+            wal.append(&AdminRecord::Drop { id }.encode())?;
+        }
+        wal.sync()?;
+    }
+
+    // Data roll-forward per consensus dataset.
+    for &id in consensus.keys() {
+        let mut snap_versions = Vec::with_capacity(shards);
+        let mut tails = Vec::with_capacity(shards);
+        for dir in &dirs {
+            snap_versions.push(peek_snapshot_version(&snap_path(dir, id))?);
+            tails.push(recover_wal(&wal_path(dir, id))?);
+        }
+        let end_of = |s: usize| -> Result<u64, PersistError> {
+            match tails[s].records.last() {
+                Some(payload) => peek_record_version(payload),
+                None => Ok(snap_versions[s]),
+            }
+        };
+        let mut ends = Vec::with_capacity(shards);
+        for s in 0..shards {
+            ends.push(end_of(s)?);
+        }
+        let max_end = *ends.iter().max().expect("at least one shard");
+        let donor = ends.iter().position(|&e| e == max_end).expect("max exists");
+        for s in 0..shards {
+            if ends[s] == max_end {
+                continue;
+            }
+            // The donor's WAL must still hold every record the laggard
+            // is missing; a checkpoint or swap on the donor discarded
+            // them (snapshot base past the laggard's end).
+            if snap_versions[donor] > ends[s] {
+                return Err(PersistError::Corrupt(format!(
+                    "dataset {} diverged across a checkpoint/swap boundary: shard {} ends at \
+                     version {} but shard {}'s WAL starts past it — SwapData is not crash-atomic \
+                     across shards (see cbb_serve::durability)",
+                    id.0, s, ends[s], donor
+                )));
+            }
+            let mut wal = WalWriter::append_to(&wal_path(&dirs[s], id))?;
+            for payload in &tails[donor].records {
+                if peek_record_version(payload)? > ends[s] {
+                    wal.append(payload)?;
+                }
+            }
+            wal.sync()?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cbb-durability-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn admin_records_round_trip() {
+        for record in [
+            AdminRecord::Create {
+                id: DatasetId(7),
+                name: "roads".into(),
+            },
+            AdminRecord::Drop { id: DatasetId(0) },
+        ] {
+            assert_eq!(AdminRecord::decode(&record.encode()).unwrap(), record);
+        }
+        assert!(AdminRecord::decode(&[9]).is_err(), "unknown tag refused");
+        assert!(
+            AdminRecord::decode(&AdminRecord::Drop { id: DatasetId(1) }.encode()[..3]).is_err(),
+            "truncated record refused"
+        );
+    }
+
+    #[test]
+    fn fold_admin_tracks_live_set_and_watermark() {
+        let records: Vec<Vec<u8>> = [
+            AdminRecord::Create {
+                id: DatasetId(0),
+                name: "a".into(),
+            },
+            AdminRecord::Create {
+                id: DatasetId(1),
+                name: "b".into(),
+            },
+            AdminRecord::Drop { id: DatasetId(1) },
+        ]
+        .iter()
+        .map(AdminRecord::encode)
+        .collect();
+        let (live, watermark) = fold_admin(&records).unwrap();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live.get(&DatasetId(0)), Some(&"a".to_string()));
+        assert_eq!(watermark, 2, "dropped ids stay retired");
+    }
+
+    #[test]
+    fn orphan_candidates_parse() {
+        assert_eq!(orphan_candidate("ds_3.snap"), Some(3));
+        assert_eq!(orphan_candidate("ds_12.wal"), Some(12));
+        assert_eq!(orphan_candidate("ds_0.snap.tmp"), Some(0));
+        assert_eq!(orphan_candidate("catalog.wal"), None);
+        assert_eq!(orphan_candidate("ds_x.snap"), None);
+    }
+
+    #[test]
+    fn reconcile_completes_trailing_drop_and_undoes_trailing_create() {
+        let root = tmp_dir("reconcile-admin");
+        // Shard 0 saw create(0), create(1); shard 1 saw create(0) only
+        // (killed before the second create persisted). Also give both
+        // shards dataset 0 bytes so the data pass has files to read.
+        for (s, records) in [
+            (
+                0usize,
+                vec![
+                    AdminRecord::Create {
+                        id: DatasetId(0),
+                        name: "a".into(),
+                    },
+                    AdminRecord::Create {
+                        id: DatasetId(1),
+                        name: "b".into(),
+                    },
+                ],
+            ),
+            (
+                1usize,
+                vec![AdminRecord::Create {
+                    id: DatasetId(0),
+                    name: "a".into(),
+                }],
+            ),
+        ] {
+            let dir = root.join(format!("shard_{s}"));
+            fs::create_dir_all(&dir).unwrap();
+            let mut wal = WalWriter::create(&catalog_wal_path(&dir)).unwrap();
+            for r in &records {
+                wal.append(&r.encode()).unwrap();
+            }
+            wal.sync().unwrap();
+            // Minimal fake snapshot header: magic + format + D + version.
+            let mut head = Vec::new();
+            head.extend_from_slice(&cbb_engine::persist::SNAP_MAGIC);
+            head.extend_from_slice(&1u32.to_le_bytes());
+            head.extend_from_slice(&2u32.to_le_bytes());
+            head.extend_from_slice(&0u64.to_le_bytes());
+            fs::write(snap_path(&dir, DatasetId(0)), head).unwrap();
+            WalWriter::create(&wal_path(&dir, DatasetId(0))).unwrap();
+        }
+        reconcile_shard_dirs(&root, 2).unwrap();
+        // Shard 0's un-acked create of dataset 1 is undone.
+        let recovered = recover_wal(&catalog_wal_path(&root.join("shard_0"))).unwrap();
+        let (live, _) = fold_admin(&recovered.records).unwrap();
+        assert_eq!(live.keys().copied().collect::<Vec<_>>(), vec![DatasetId(0)]);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn reconcile_rolls_lagging_shard_forward() {
+        let root = tmp_dir("reconcile-data");
+        let mk_payload = |version: u64| {
+            let mut p = version.to_le_bytes().to_vec();
+            p.extend_from_slice(&0u32.to_le_bytes()); // zero ops
+            p
+        };
+        for (s, last) in [(0usize, 3u64), (1usize, 1u64)] {
+            let dir = root.join(format!("shard_{s}"));
+            fs::create_dir_all(&dir).unwrap();
+            let mut cat = WalWriter::create(&catalog_wal_path(&dir)).unwrap();
+            cat.append(
+                &AdminRecord::Create {
+                    id: DatasetId(0),
+                    name: "a".into(),
+                }
+                .encode(),
+            )
+            .unwrap();
+            cat.sync().unwrap();
+            let mut head = Vec::new();
+            head.extend_from_slice(&cbb_engine::persist::SNAP_MAGIC);
+            head.extend_from_slice(&1u32.to_le_bytes());
+            head.extend_from_slice(&2u32.to_le_bytes());
+            head.extend_from_slice(&0u64.to_le_bytes());
+            fs::write(snap_path(&dir, DatasetId(0)), head).unwrap();
+            let mut wal = WalWriter::create(&wal_path(&dir, DatasetId(0))).unwrap();
+            for v in 1..=last {
+                wal.append(&mk_payload(v)).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        reconcile_shard_dirs(&root, 2).unwrap();
+        let lagger = recover_wal(&wal_path(&root.join("shard_1"), DatasetId(0))).unwrap();
+        let versions: Vec<u64> = lagger
+            .records
+            .iter()
+            .map(|p| peek_record_version(p).unwrap())
+            .collect();
+        assert_eq!(versions, vec![1, 2, 3], "missing records copied from donor");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn reconcile_refuses_swap_divergence() {
+        let root = tmp_dir("reconcile-swap");
+        // Shard 0 swapped (snapshot at version 5, empty WAL); shard 1
+        // still pre-swap (snapshot at 0, WAL through 4).
+        for (s, snap_version, wal_to) in [(0usize, 5u64, 0u64), (1usize, 0u64, 4u64)] {
+            let dir = root.join(format!("shard_{s}"));
+            fs::create_dir_all(&dir).unwrap();
+            let mut cat = WalWriter::create(&catalog_wal_path(&dir)).unwrap();
+            cat.append(
+                &AdminRecord::Create {
+                    id: DatasetId(0),
+                    name: "a".into(),
+                }
+                .encode(),
+            )
+            .unwrap();
+            cat.sync().unwrap();
+            let mut head = Vec::new();
+            head.extend_from_slice(&cbb_engine::persist::SNAP_MAGIC);
+            head.extend_from_slice(&1u32.to_le_bytes());
+            head.extend_from_slice(&2u32.to_le_bytes());
+            head.extend_from_slice(&snap_version.to_le_bytes());
+            fs::write(snap_path(&dir, DatasetId(0)), head).unwrap();
+            let mut wal = WalWriter::create(&wal_path(&dir, DatasetId(0))).unwrap();
+            for v in (snap_version + 1)..=wal_to {
+                let mut p = v.to_le_bytes().to_vec();
+                p.extend_from_slice(&0u32.to_le_bytes());
+                wal.append(&p).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let err = reconcile_shard_dirs(&root, 2).unwrap_err();
+        assert!(
+            err.to_string().contains("not crash-atomic"),
+            "swap divergence names the caveat: {err}"
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+}

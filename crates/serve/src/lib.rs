@@ -49,6 +49,12 @@
 //!   compaction with stable live ids); answers afterwards equal a
 //!   wholesale swap with the same surviving objects, and a request
 //!   admitted after a write completes observes that write.
+//! * **Durability (opt-in)** — with [`ServiceConfig::durability`] set,
+//!   every dataset persists as snapshot + write-ahead log under the
+//!   configured root; each write batch is fsynced before its waiters
+//!   are fulfilled, and a restarted service recovers the full catalog
+//!   and answers byte-equal to one that never stopped (see the
+//!   [`durability`] module docs, including what is *not* guaranteed).
 //!
 //! Everything is `std`: scoped threads, `Mutex`/`Condvar` queues and
 //! one-shots — no async runtime, in keeping with the workspace's
@@ -57,6 +63,7 @@
 pub mod batcher;
 pub mod builder;
 pub mod client;
+pub mod durability;
 pub mod handle;
 pub mod queue;
 pub mod request;
@@ -71,6 +78,7 @@ pub use cbb_engine::{
 };
 pub use cbb_telemetry::{HistogramSnapshot, SlowQuery, Span, TelemetryConfig, TelemetrySnapshot};
 pub use client::{ClientResult, DatasetClient, SubmitRequest};
+pub use durability::{DurabilityConfig, DEFAULT_CHECKPOINT_BYTES};
 pub use handle::{Canceled, CompletionHandle};
 pub use queue::{Closed, TryPushError};
 pub use request::{Completion, Request, RequestError, RequestKind, Response, UpdateSummary};

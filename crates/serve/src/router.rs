@@ -221,11 +221,26 @@ pub struct ShardedService<const D: usize, P> {
 
 impl<const D: usize, P> ShardedService<D, P>
 where
-    P: Partitioner<D> + Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static,
+    P: Partitioner<D>
+        + cbb_engine::PersistPartitioner
+        + Clone
+        + PartialEq
+        + std::fmt::Debug
+        + Send
+        + Sync
+        + 'static,
 {
     /// Start `shards` in-process shards (each a full [`QueryService`]
     /// with `config`'s queue/batching/telemetry knobs) with an empty
     /// catalog. Most callers want [`crate::ServiceBuilder`] instead.
+    ///
+    /// With [`ServiceConfig::durability`] set, each shard persists
+    /// under its own `shard_<i>` subdirectory of the configured root.
+    /// On start the subdirectories are **reconciled** before the
+    /// shards recover (each shard fsyncs independently, so a kill can
+    /// land between two shards' commits of the same replicated batch
+    /// — see the [`crate::durability`] module docs), and the route
+    /// table is rebuilt from the recovered per-shard tilings.
     pub fn start_catalog(
         config: ServiceConfig,
         shards: usize,
@@ -234,15 +249,55 @@ where
         clip: ClipConfig,
     ) -> Self {
         assert!(shards >= 1, "need at least one shard");
-        let shards: Vec<Box<dyn Shard<D, ShardTiling<P>>>> = (0..shards)
-            .map(|_| {
-                Box::new(InProcessShard::new(QueryService::start_catalog(
-                    config, tree, clip,
-                ))) as Box<dyn Shard<D, ShardTiling<P>>>
+        if let Some(durable) = &config.durability {
+            crate::durability::reconcile_shard_dirs(&durable.root, shards).unwrap_or_else(|err| {
+                panic!(
+                    "shard reconciliation failed under {}: {err}",
+                    durable.root.display()
+                )
+            });
+        }
+        let services: Vec<QueryService<D, ShardTiling<P>>> = (0..shards)
+            .map(|i| {
+                let mut shard_config = config.clone();
+                if let Some(durable) = &mut shard_config.durability {
+                    durable.root = durable.root.join(format!("shard_{i}"));
+                }
+                QueryService::start_catalog(shard_config, tree, clip)
+            })
+            .collect();
+        // Rebuild the route table from recovered state: shard 0's
+        // tiling carries the global partitioner, and the per-shard
+        // tile ranges are the shard map's cut points.
+        let mut initial_routes = HashMap::new();
+        if config.durability.is_some() {
+            let per_shard: Vec<Vec<(DatasetId, String, ShardTiling<P>)>> =
+                services.iter().map(|s| s.dataset_partitioners()).collect();
+            for (row, (id, name, tiling)) in per_shard[0].iter().enumerate() {
+                let mut bounds = vec![tiling.tiles().start, tiling.tiles().end];
+                for shard_rows in &per_shard[1..] {
+                    let (other_id, _, other) = &shard_rows[row];
+                    debug_assert_eq!(other_id, id, "reconciled shards list identical datasets");
+                    bounds.push(other.tiles().end);
+                }
+                initial_routes.insert(
+                    *id,
+                    DatasetRoute {
+                        name: name.clone(),
+                        partitioner: tiling.inner().clone(),
+                        map: ShardMap::from_bounds(bounds),
+                    },
+                );
+            }
+        }
+        let shards: Vec<Box<dyn Shard<D, ShardTiling<P>>>> = services
+            .into_iter()
+            .map(|service| {
+                Box::new(InProcessShard::new(service)) as Box<dyn Shard<D, ShardTiling<P>>>
             })
             .collect();
         let stats = Arc::new(RouterStats::new(&config.telemetry, shards.len()));
-        let routes = Arc::new(RwLock::new(HashMap::new()));
+        let routes = Arc::new(RwLock::new(initial_routes));
         let gather_queue = Arc::new(Bounded::new(config.queue_capacity));
         let gather_workers = (0..config.dispatchers.max(1))
             .map(|i| {
@@ -280,9 +335,15 @@ where
         clip: ClipConfig,
     ) -> Self {
         let mut service = Self::start_catalog(config, shards, fitting, tree, clip);
-        let id = service
-            .create_dataset(DEFAULT_DATASET, partitioner, objects)
-            .expect("fresh catalog cannot have a name clash");
+        // With durability enabled, a previous run's default dataset may
+        // have been recovered; its objects and partitioner win over the
+        // ones passed here (mirrors [`QueryService::start`]).
+        let id = match service.dataset_id(DEFAULT_DATASET) {
+            Some(recovered) => recovered,
+            None => service
+                .create_dataset(DEFAULT_DATASET, partitioner, objects)
+                .expect("fresh catalog cannot have a name clash"),
+        };
         service.default_dataset = Some(id);
         service
     }
@@ -766,6 +827,11 @@ fn merge_reports(reports: Vec<ServiceReport>) -> ServiceReport {
         write_batches: 0,
         updates_applied: 0,
         delta_nodes_allocated: 0,
+        wal_appends: 0,
+        checkpoints: 0,
+        recovered_datasets: 0,
+        recovered_records: 0,
+        recovered_pages: 0,
         datasets: Vec::new(),
     };
     let mut batched_total = 0.0;
@@ -784,6 +850,11 @@ fn merge_reports(reports: Vec<ServiceReport>) -> ServiceReport {
         merged.write_batches += report.write_batches;
         merged.updates_applied += report.updates_applied;
         merged.delta_nodes_allocated += report.delta_nodes_allocated;
+        merged.wal_appends += report.wal_appends;
+        merged.checkpoints += report.checkpoints;
+        merged.recovered_datasets += report.recovered_datasets;
+        merged.recovered_records += report.recovered_records;
+        merged.recovered_pages += report.recovered_pages;
         if i == 0 {
             merged.datasets = report.datasets;
         }

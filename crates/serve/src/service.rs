@@ -15,13 +15,16 @@ use cbb_rtree::TreeConfig;
 use cbb_telemetry::{Histogram, SlowQuery, TelemetryConfig, TelemetrySnapshot};
 
 use crate::batcher::{collect_batch, run_batch};
+use crate::durability::{Durability, DurabilityConfig};
 use crate::handle::{completion_pair, CompletionHandle, Promise};
 use crate::queue::{Bounded, Closed, TryPushError};
 use crate::request::{Completion, Request, RequestError};
 use crate::stats::{names, DatasetReport, ServiceReport, ServiceStats};
 
+use cbb_engine::PersistPartitioner;
+
 /// Service tuning knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Admission bound: `submit` blocks (and `try_submit` fails) once
     /// this many requests wait unserved.
@@ -51,6 +54,12 @@ pub struct ServiceConfig {
     /// versions than the default
     /// [`cbb_engine::DEFAULT_FOREST_CACHE_CAPACITY`] keeps.
     pub forest_cache_capacity: usize,
+    /// Snapshot + write-ahead-log persistence (default `None`: the
+    /// service is in-memory only). With a root configured, every
+    /// applied write micro-batch is fsynced before its waiters wake,
+    /// and a restarted service recovers the whole catalog — see
+    /// [`crate::durability`].
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -64,6 +73,7 @@ impl Default for ServiceConfig {
             compaction: CompactionPolicy::default(),
             telemetry: TelemetryConfig::default(),
             forest_cache_capacity: cbb_engine::DEFAULT_FOREST_CACHE_CAPACITY,
+            durability: None,
         }
     }
 }
@@ -104,11 +114,14 @@ pub(crate) struct SharedState<const D: usize, P> {
     pub(crate) stats: ServiceStats,
     pub(crate) tree: TreeConfig<D>,
     pub(crate) clip: ClipConfig,
+    /// The open WAL writers when the service is durable (`None`:
+    /// in-memory only).
+    pub(crate) durability: Option<Durability>,
 }
 
 impl<const D: usize, P> SharedState<D, P>
 where
-    P: Partitioner<D>,
+    P: Partitioner<D> + PersistPartitioner,
 {
     /// Build a dataset store (forest through the cache, so the build is
     /// counted) and register it — the synchronous creation path shared
@@ -142,11 +155,20 @@ where
                 // hands the already-built trees over, so the cache
                 // counts exactly one build per dataset creation.
                 let _ = self.cache.get_or_build((id, version), move || forest);
+                if let Some(durability) = &self.durability {
+                    let entry = self.catalog.get(id).expect("dataset was just created");
+                    let store = entry.store().read().expect("dataset store poisoned");
+                    durability.record_create(id, name, &store);
+                }
                 Ok(id)
             }
             Err(cbb_engine::CatalogError::NameTaken(name)) => Err(RequestError::NameTaken(name)),
             Err(cbb_engine::CatalogError::UnknownDataset(id)) => {
                 Err(RequestError::UnknownDataset(id))
+            }
+            // Only recovery's `restore_dataset` can collide on an id.
+            Err(cbb_engine::CatalogError::IdTaken(id)) => {
+                unreachable!("create assigned an occupied id {id:?}")
             }
         }
     }
@@ -156,6 +178,9 @@ where
         let existed = self.catalog.drop_dataset(id).is_some();
         if existed {
             self.cache.evict_dataset(id);
+            if let Some(durability) = &self.durability {
+                durability.record_drop(id);
+            }
         }
         existed
     }
@@ -218,6 +243,11 @@ where
             None => store.swap(objects, forest),
         }
         debug_assert_eq!(store.version(), next);
+        // Persist the swapped-in state while the write lock still
+        // pins it: fresh snapshot, reset WAL.
+        if let Some(durability) = &self.durability {
+            durability.record_swap(id, &store);
+        }
         Ok(next)
     }
 
@@ -365,12 +395,26 @@ pub struct QueryService<const D: usize, P> {
 
 impl<const D: usize, P> QueryService<D, P>
 where
-    P: Partitioner<D> + Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static,
+    P: Partitioner<D>
+        + PersistPartitioner
+        + Clone
+        + PartialEq
+        + std::fmt::Debug
+        + Send
+        + Sync
+        + 'static,
 {
     /// Start with an **empty catalog**: no dataset exists until
     /// [`Self::create_dataset`] (or a queued
     /// [`Request::CreateDataset`]) registers one. `tree`/`clip`
     /// configure every per-tile index the service will ever build.
+    ///
+    /// With [`ServiceConfig::durability`] set, any catalog persisted
+    /// by a previous incarnation under the same root is **recovered
+    /// before the first request is admitted**: snapshots loaded, WAL
+    /// tails replayed (torn tails truncated), dataset ids preserved.
+    /// Recovery failure panics — serving fresh over an undecipherable
+    /// durable state would silently shed acknowledged writes.
     ///
     /// **Deprecated shim** — prefer
     /// [`ServiceBuilder::build_catalog`](crate::ServiceBuilder), which
@@ -379,16 +423,37 @@ where
     pub fn start_catalog(config: ServiceConfig, tree: TreeConfig<D>, clip: ClipConfig) -> Self {
         assert!(config.dispatchers >= 1, "need at least one dispatcher");
         assert!(config.batch_max >= 1, "a batch holds at least one request");
+        let catalog = Catalog::new();
+        let cache = ForestCache::with_capacity(config.forest_cache_capacity);
+        let stats = ServiceStats::new(&config.telemetry);
+        let durability = config.durability.as_ref().map(|cfg| {
+            let (durability, recovery) =
+                Durability::recover(cfg, &catalog, &cache, tree, clip, config.exec_workers)
+                    .unwrap_or_else(|err| {
+                        panic!(
+                            "durability recovery failed under {}: {err}",
+                            cfg.root.display()
+                        )
+                    });
+            stats.record_recovery(
+                recovery.datasets.len() as u64,
+                recovery.records_replayed,
+                recovery.pages_read,
+            );
+            durability
+        });
+        let queue = Bounded::new(config.queue_capacity);
         let shared = Arc::new(SharedState {
             config,
-            queue: Bounded::new(config.queue_capacity),
-            catalog: Catalog::new(),
-            cache: ForestCache::with_capacity(config.forest_cache_capacity),
-            stats: ServiceStats::new(&config.telemetry),
+            queue,
+            catalog,
+            cache,
+            stats,
             tree,
             clip,
+            durability,
         });
-        let dispatchers = (0..config.dispatchers)
+        let dispatchers = (0..shared.config.dispatchers)
             .map(|i| {
                 let shared = shared.clone();
                 std::thread::Builder::new()
@@ -416,6 +481,11 @@ where
     /// built from `objects` — the pre-catalog single-store surface.
     /// Further datasets can be created alongside it at any time.
     ///
+    /// With durability configured and a previous incarnation's state
+    /// on disk, the **recovered** default dataset wins: `objects` and
+    /// `partitioner` are ignored in favour of the durable state (the
+    /// acknowledged writes it holds must not be shed by a restart).
+    ///
     /// **Deprecated shim** — prefer
     /// [`ServiceBuilder::build`](crate::ServiceBuilder).
     pub fn start(
@@ -426,10 +496,13 @@ where
         clip: ClipConfig,
     ) -> Self {
         let mut service = Self::start_catalog(config, tree, clip);
-        let id = service
-            .shared
-            .create_dataset_now(DEFAULT_DATASET, partitioner, objects)
-            .expect("fresh catalog cannot have a name clash");
+        let id = match service.shared.catalog.resolve(DEFAULT_DATASET) {
+            Some(recovered) => recovered,
+            None => service
+                .shared
+                .create_dataset_now(DEFAULT_DATASET, partitioner, objects)
+                .expect("fresh catalog cannot have a name clash"),
+        };
         service.default_dataset = Some(id);
         service
     }
@@ -599,6 +672,27 @@ where
             .filter_map(|id| {
                 let entry = self.shared.catalog.get(id)?;
                 Some((id, entry.name().to_string()))
+            })
+            .collect()
+    }
+
+    /// `(id, name, partitioner)` of every live dataset, ascending by
+    /// id (brief read lock per store). The sharded router uses this to
+    /// rebuild its route table from recovered shards.
+    pub fn dataset_partitioners(&self) -> Vec<(DatasetId, String, P)> {
+        self.shared
+            .catalog
+            .ids()
+            .into_iter()
+            .filter_map(|id| {
+                let entry = self.shared.catalog.get(id)?;
+                let partitioner = entry
+                    .store()
+                    .read()
+                    .expect("dataset store poisoned")
+                    .partitioner()
+                    .clone();
+                Some((id, entry.name().to_string(), partitioner))
             })
             .collect()
     }

@@ -74,7 +74,14 @@ pub struct InProcessShard<const D: usize, Q> {
 
 impl<const D: usize, Q> InProcessShard<D, Q>
 where
-    Q: cbb_engine::Partitioner<D> + Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static,
+    Q: cbb_engine::Partitioner<D>
+        + cbb_engine::PersistPartitioner
+        + Clone
+        + PartialEq
+        + std::fmt::Debug
+        + Send
+        + Sync
+        + 'static,
 {
     /// Wrap a running service as a shard.
     pub fn new(service: QueryService<D, Q>) -> Self {
@@ -89,7 +96,14 @@ where
 
 impl<const D: usize, Q> Shard<D, Q> for InProcessShard<D, Q>
 where
-    Q: cbb_engine::Partitioner<D> + Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static,
+    Q: cbb_engine::Partitioner<D>
+        + cbb_engine::PersistPartitioner
+        + Clone
+        + PartialEq
+        + std::fmt::Debug
+        + Send
+        + Sync
+        + 'static,
 {
     fn submit(
         &self,

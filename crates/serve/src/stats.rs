@@ -59,6 +59,20 @@ pub(crate) mod names {
     pub const DELTA_NODES: &str = "cbb_delta_nodes_allocated_total";
     /// Intersecting pairs produced by join requests.
     pub const JOIN_PAIRS: &str = "cbb_join_pairs_total";
+    /// WAL records appended (one per applied write micro-batch).
+    pub const WAL_APPENDS: &str = "cbb_wal_appends_total";
+    /// Bytes appended to data WALs (frame headers included).
+    pub const WAL_BYTES: &str = "cbb_wal_bytes_total";
+    /// Per-commit fsync latency.
+    pub const WAL_FSYNC_NS: &str = "cbb_wal_fsync_ns";
+    /// WALs rolled into fresh snapshots past the size threshold.
+    pub const CHECKPOINTS: &str = "cbb_checkpoints_total";
+    /// Datasets recovered from durable state at startup.
+    pub const RECOVERED_DATASETS: &str = "cbb_recovered_datasets_total";
+    /// WAL records replayed (applied, not version-skipped) at startup.
+    pub const RECOVERED_RECORDS: &str = "cbb_recovered_wal_records_total";
+    /// Snapshot pages read by startup recovery.
+    pub const RECOVERED_PAGES: &str = "cbb_recovered_pages_total";
     /// Per-dataset traversal counter prefix: the six `AccessStats`
     /// fields become `cbb_access_<field>_total{dataset=...}`.
     pub const ACCESS_PREFIX: &str = "cbb_access_";
@@ -105,6 +119,13 @@ pub struct ServiceStats {
     pub(crate) updates_applied: Counter,
     pub(crate) delta_nodes_allocated: Counter,
     pub(crate) join_pairs: Counter,
+    pub(crate) wal_appends: Counter,
+    pub(crate) wal_bytes: Counter,
+    pub(crate) wal_fsync_ns: Histogram,
+    pub(crate) checkpoints: Counter,
+    pub(crate) recovered_datasets: Counter,
+    pub(crate) recovered_records: Counter,
+    pub(crate) recovered_pages: Counter,
 }
 
 impl ServiceStats {
@@ -218,6 +239,41 @@ impl ServiceStats {
                 "Intersecting pairs produced by join requests.",
                 &[],
             ),
+            wal_appends: registry.counter(
+                names::WAL_APPENDS,
+                "WAL records appended (one per applied write micro-batch).",
+                &[],
+            ),
+            wal_bytes: registry.counter(
+                names::WAL_BYTES,
+                "Bytes appended to data WALs, frame headers included.",
+                &[],
+            ),
+            wal_fsync_ns: registry.histogram(
+                names::WAL_FSYNC_NS,
+                "Per-commit WAL fsync latency in nanoseconds.",
+                &[],
+            ),
+            checkpoints: registry.counter(
+                names::CHECKPOINTS,
+                "WALs rolled into fresh snapshots past the size threshold.",
+                &[],
+            ),
+            recovered_datasets: registry.counter(
+                names::RECOVERED_DATASETS,
+                "Datasets recovered from durable state at startup.",
+                &[],
+            ),
+            recovered_records: registry.counter(
+                names::RECOVERED_RECORDS,
+                "WAL records replayed (applied, not version-skipped) at startup.",
+                &[],
+            ),
+            recovered_pages: registry.counter(
+                names::RECOVERED_PAGES,
+                "Snapshot pages read by startup recovery.",
+                &[],
+            ),
             registry,
             slow,
         }
@@ -268,6 +324,21 @@ impl ServiceStats {
         self.write_batches.inc();
         self.updates_applied.add(updates);
         self.delta_nodes_allocated.add(nodes_allocated);
+    }
+
+    /// Record one durable commit: a WAL record of `bytes` framed
+    /// bytes, fsynced in `fsync_ns`.
+    pub(crate) fn record_wal_append(&self, bytes: u64, fsync_ns: u64) {
+        self.wal_appends.inc();
+        self.wal_bytes.add(bytes);
+        self.wal_fsync_ns.observe(fsync_ns);
+    }
+
+    /// Record what startup recovery restored.
+    pub(crate) fn record_recovery(&self, datasets: u64, records: u64, pages: u64) {
+        self.recovered_datasets.add(datasets);
+        self.recovered_records.add(records);
+        self.recovered_pages.add(pages);
     }
 
     /// Record one answered request: completion counters, latency
@@ -322,6 +393,11 @@ impl ServiceStats {
             write_batches: self.write_batches.get(),
             updates_applied: self.updates_applied.get(),
             delta_nodes_allocated: self.delta_nodes_allocated.get(),
+            wal_appends: self.wal_appends.get(),
+            checkpoints: self.checkpoints.get(),
+            recovered_datasets: self.recovered_datasets.get(),
+            recovered_records: self.recovered_records.get(),
+            recovered_pages: self.recovered_pages.get(),
             datasets,
         }
     }
@@ -419,6 +495,18 @@ pub struct ServiceReport {
     /// the node count of one wholesale rebuild to see what batching
     /// plus delta-apply saved.
     pub delta_nodes_allocated: u64,
+    /// WAL records appended (one per applied write micro-batch; zero
+    /// on a service without durability).
+    pub wal_appends: u64,
+    /// WALs rolled into fresh snapshots past the size threshold.
+    pub checkpoints: u64,
+    /// Datasets recovered from durable state at startup.
+    pub recovered_datasets: u64,
+    /// WAL records replayed (applied, not version-skipped) at startup.
+    pub recovered_records: u64,
+    /// Snapshot pages read by startup recovery — with
+    /// [`crate::ServiceConfig::durability`] unset this stays zero.
+    pub recovered_pages: u64,
     /// Per-dataset rows, ascending by id (dropped datasets disappear
     /// from here; their aggregate contributions above remain).
     pub datasets: Vec<DatasetReport>,

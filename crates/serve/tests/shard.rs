@@ -69,7 +69,14 @@ fn assert_same<P>(
     what: &str,
 ) -> (Response, Response)
 where
-    P: Partitioner<2> + Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static,
+    P: Partitioner<2>
+        + cbb_engine::PersistPartitioner
+        + Clone
+        + PartialEq
+        + std::fmt::Debug
+        + Send
+        + Sync
+        + 'static,
 {
     let a = single
         .submit(request.clone())
@@ -91,7 +98,14 @@ fn oracle_roundtrip<P>(
     shards: usize,
     fitting: ShardFitting,
 ) where
-    P: Partitioner<2> + Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static,
+    P: Partitioner<2>
+        + cbb_engine::PersistPartitioner
+        + Clone
+        + PartialEq
+        + std::fmt::Debug
+        + Send
+        + Sync
+        + 'static,
 {
     let single = QueryService::start(
         config(),

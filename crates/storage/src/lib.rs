@@ -14,15 +14,24 @@
 //! * [`buffer`] — an LRU buffer pool with hit/miss accounting;
 //! * [`disk_tree`] — a disk-resident (clipped) R-tree executing range
 //!   queries through the pool: the Figure 15 scalability substrate;
-//! * [`layout`] — the Figure 13 storage-breakdown accounting.
+//! * [`layout`] — the Figure 13 storage-breakdown accounting;
+//! * [`wal`] — a checksummed, length-prefixed write-ahead log with a
+//!   torn-tail-truncating recovery scanner (the serve layer logs one
+//!   record per coalesced update batch);
+//! * [`fault`] — crash/corruption test doubles ([`FaultyLog`],
+//!   [`FaultyPageStore`]) so recovery's failure paths stay exercised.
 
 pub mod buffer;
 pub mod codec;
 pub mod disk_tree;
+pub mod fault;
 pub mod layout;
 pub mod pagestore;
+pub mod wal;
 
 pub use buffer::BufferPool;
 pub use disk_tree::DiskRTree;
+pub use fault::{FaultyLog, FaultyPageStore};
 pub use layout::{storage_breakdown, StorageBreakdown};
 pub use pagestore::{FilePageStore, MemPageStore, PageStore};
+pub use wal::{crc32, read_wal, recover_wal, WalRecovery, WalWriter, MAX_WAL_RECORD, WAL_MAGIC};

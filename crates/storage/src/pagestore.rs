@@ -90,6 +90,24 @@ impl FilePageStore {
             counters: IoCounters::default(),
         })
     }
+
+    /// Open an existing page file at `path` (snapshot recovery). The
+    /// page count is derived from the file length, rounding down: a
+    /// trailing partial page from a torn write is not addressable.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let pages = (file.metadata()?.len() / PAGE_SIZE as u64) as u32;
+        Ok(FilePageStore {
+            file,
+            pages,
+            counters: IoCounters::default(),
+        })
+    }
+
+    /// Flush written pages to stable storage (fdatasync).
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()
+    }
 }
 
 impl PageStore for FilePageStore {

@@ -1,0 +1,365 @@
+//! Checksummed, length-prefixed write-ahead log.
+//!
+//! The serve layer appends one record per coalesced update micro-batch
+//! (an atomic one-`DataVersion` unit) and fsyncs before the batch's
+//! completion promises are fulfilled. On recovery the log is scanned
+//! front to back; the first record that fails its checksum — or whose
+//! length prefix runs past the end of the file — marks a torn tail from
+//! a mid-write crash, and everything from that point on is discarded by
+//! truncating the file back to the last valid record. Records before
+//! the tear are exactly the batches whose waiters could have observed
+//! an acknowledgement, so truncation never drops an acked write.
+//!
+//! On-disk layout:
+//!
+//! ```text
+//! [magic "CBBWAL01": 8 bytes]
+//! repeated records:
+//!   [payload len: u32 LE] [crc32(payload): u32 LE] [payload bytes]
+//! ```
+//!
+//! The checksum is the plain IEEE CRC-32 (the one used by zip/png),
+//! implemented here table-based so the crate stays dependency-free.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Identifies a WAL file (first 8 bytes).
+pub const WAL_MAGIC: [u8; 8] = *b"CBBWAL01";
+
+/// Per-record framing overhead: length prefix + checksum.
+pub const WAL_RECORD_HEADER: u64 = 8;
+
+/// Upper bound on a single record's payload. A length prefix above
+/// this is treated as tail corruption rather than attempted as an
+/// allocation.
+pub const MAX_WAL_RECORD: u32 = 1 << 28;
+
+/// IEEE CRC-32 of `data` (polynomial `0xEDB88320`, reflected).
+pub fn crc32(data: &[u8]) -> u32 {
+    // Byte-at-a-time table, built once on first use.
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Append handle over a WAL file. Writes buffer in the OS page cache
+/// until [`WalWriter::sync`]; commit = append + sync.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    bytes: u64,
+}
+
+impl WalWriter {
+    /// Create a fresh log at `path` (truncating any existing file),
+    /// write the magic, and sync it.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(&WAL_MAGIC)?;
+        file.sync_data()?;
+        Ok(WalWriter {
+            file,
+            bytes: WAL_MAGIC.len() as u64,
+        })
+    }
+
+    /// Open `path` for appending, creating it (with magic) if missing.
+    ///
+    /// The caller is expected to have run [`recover_wal`] first so any
+    /// torn tail has already been truncated away.
+    pub fn append_to(path: &Path) -> std::io::Result<Self> {
+        if !path.exists() {
+            return Self::create(path);
+        }
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let bytes = file.seek(SeekFrom::End(0))?;
+        if bytes < WAL_MAGIC.len() as u64 {
+            // Crash between create() and the magic landing: start over.
+            drop(file);
+            return Self::create(path);
+        }
+        Ok(WalWriter { file, bytes })
+    }
+
+    /// Append one record (length prefix + checksum + payload). Not
+    /// durable until [`WalWriter::sync`].
+    pub fn append(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        assert!(
+            payload.len() as u64 <= MAX_WAL_RECORD as u64,
+            "WAL record over size cap"
+        );
+        let mut frame = Vec::with_capacity(payload.len() + WAL_RECORD_HEADER as usize);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.bytes += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Flush appended records to stable storage (fdatasync).
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// Current log size in bytes (magic + all appended frames). Drives
+    /// the serve layer's checkpoint threshold.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// Result of scanning a WAL file front to back.
+#[derive(Debug)]
+pub struct WalRecovery {
+    /// Payloads of every record up to (not including) the first
+    /// invalid one, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Byte offset just past the last valid record — where appends
+    /// resume after recovery.
+    pub valid_bytes: u64,
+    /// True when the scan stopped early: a torn or corrupt tail was
+    /// found (and, via [`recover_wal`], truncated away).
+    pub torn: bool,
+}
+
+/// Scan the log at `path` without modifying it. A missing file reads
+/// as an empty, un-torn log.
+pub fn read_wal(path: &Path) -> std::io::Result<WalRecovery> {
+    if !path.exists() {
+        return Ok(WalRecovery {
+            records: Vec::new(),
+            valid_bytes: WAL_MAGIC.len() as u64,
+            torn: false,
+        });
+    }
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    Ok(scan(&buf))
+}
+
+/// Scan the log at `path` and truncate any torn tail in place, so a
+/// subsequent [`WalWriter::append_to`] resumes at the last valid
+/// record. A missing file is left missing. A file whose magic itself
+/// is damaged is reset to an empty log.
+pub fn recover_wal(path: &Path) -> std::io::Result<WalRecovery> {
+    let rec = read_wal(path)?;
+    if rec.torn && path.exists() {
+        if rec.valid_bytes < WAL_MAGIC.len() as u64 {
+            // Even the magic is gone; rewrite a clean header.
+            drop(WalWriter::create(path)?);
+        } else {
+            let file = OpenOptions::new().write(true).open(path)?;
+            file.set_len(rec.valid_bytes)?;
+            file.sync_data()?;
+        }
+    }
+    Ok(rec)
+}
+
+fn scan(buf: &[u8]) -> WalRecovery {
+    if buf.len() < WAL_MAGIC.len() || buf[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return WalRecovery {
+            records: Vec::new(),
+            valid_bytes: 0,
+            torn: true,
+        };
+    }
+    let mut records = Vec::new();
+    let mut pos = WAL_MAGIC.len();
+    loop {
+        if pos == buf.len() {
+            // Clean end exactly at a record boundary.
+            return WalRecovery {
+                records,
+                valid_bytes: pos as u64,
+                torn: false,
+            };
+        }
+        let rest = &buf[pos..];
+        if rest.len() < WAL_RECORD_HEADER as usize {
+            break; // torn mid-header
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+        if len > MAX_WAL_RECORD {
+            break; // absurd length: corrupt header
+        }
+        let end = WAL_RECORD_HEADER as usize + len as usize;
+        if rest.len() < end {
+            break; // torn mid-payload
+        }
+        let payload = &rest[WAL_RECORD_HEADER as usize..end];
+        if crc32(payload) != crc {
+            break; // bit rot or torn overwrite
+        }
+        records.push(payload.to_vec());
+        pos += end;
+    }
+    WalRecovery {
+        records,
+        valid_bytes: pos as u64,
+        torn: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultyLog;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("cbb_wal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn roundtrip_and_reopen() {
+        let path = tmp("roundtrip.wal");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append(b"alpha").unwrap();
+        w.append(b"").unwrap();
+        w.append(&[0xFFu8; 300]).unwrap();
+        w.sync().unwrap();
+        let logged = w.bytes();
+        drop(w);
+
+        let rec = recover_wal(&path).unwrap();
+        assert!(!rec.torn);
+        assert_eq!(rec.valid_bytes, logged);
+        assert_eq!(rec.records.len(), 3);
+        assert_eq!(rec.records[0], b"alpha");
+        assert_eq!(rec.records[1], b"");
+        assert_eq!(rec.records[2], vec![0xFFu8; 300]);
+
+        // Appends resume cleanly after reopen.
+        let mut w = WalWriter::append_to(&path).unwrap();
+        assert_eq!(w.bytes(), logged);
+        w.append(b"delta").unwrap();
+        w.sync().unwrap();
+        let rec = recover_wal(&path).unwrap();
+        assert_eq!(rec.records.len(), 4);
+        assert_eq!(rec.records[3], b"delta");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_truncated() {
+        let path = tmp("torn.wal");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append(b"keep-1").unwrap();
+        w.append(b"keep-2").unwrap();
+        w.sync().unwrap();
+        let good = w.bytes();
+        w.append(b"torn-record-payload").unwrap();
+        w.sync().unwrap();
+        drop(w);
+
+        // Chop the last record in half, as a crash mid-write would.
+        FaultyLog::new(&path).truncate_tail(10).unwrap();
+        let rec = recover_wal(&path).unwrap();
+        assert!(rec.torn);
+        assert_eq!(rec.valid_bytes, good);
+        assert_eq!(rec.records.len(), 2);
+        // The file itself was truncated back to the valid prefix.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), good);
+        // A re-scan is clean.
+        assert!(!read_wal(&path).unwrap().torn);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_flip_detected_and_dropped() {
+        let path = tmp("flip.wal");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append(b"stable").unwrap();
+        w.sync().unwrap();
+        let good = w.bytes();
+        w.append(b"flipped-soon").unwrap();
+        w.sync().unwrap();
+        drop(w);
+
+        FaultyLog::new(&path).flip_bit_from_end(3).unwrap();
+        let rec = recover_wal(&path).unwrap();
+        assert!(rec.torn);
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.records[0], b"stable");
+        assert_eq!(rec.valid_bytes, good);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn damaged_magic_resets_log() {
+        let path = tmp("magic.wal");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append(b"gone").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        FaultyLog::new(&path).flip_bit_at(0).unwrap();
+        let rec = recover_wal(&path).unwrap();
+        assert!(rec.torn);
+        assert!(rec.records.is_empty());
+        // The file is a clean empty log again.
+        let rec = read_wal(&path).unwrap();
+        assert!(!rec.torn);
+        assert!(rec.records.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_tail_corruption() {
+        let path = tmp("len.wal");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append(b"ok").unwrap();
+        w.sync().unwrap();
+        let good = w.bytes();
+        drop(w);
+        // Hand-append a frame claiming a 1 GiB payload.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&(1u32 << 30).to_le_bytes()).unwrap();
+        f.write_all(&[0u8; 8]).unwrap();
+        drop(f);
+        let rec = recover_wal(&path).unwrap();
+        assert!(rec.torn);
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.valid_bytes, good);
+        std::fs::remove_file(&path).ok();
+    }
+}

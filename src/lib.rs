@@ -77,9 +77,9 @@ pub mod prelude {
         AccessStats, ClippedRTree, DataId, Neighbor, NodeId, RTree, TreeConfig, Variant,
     };
     pub use cbb_serve::{
-        DatasetClient, DatasetReport, InProcessShard, QueryService, Request, RequestError,
-        RequestKind, Response, Scrape, ServiceBuilder, ServiceConfig, ServiceReport, Shard,
-        ShardFitting, ShardMap, ShardTiling, ShardedService, SubmitRequest, UpdateSummary,
+        DatasetClient, DatasetReport, DurabilityConfig, InProcessShard, QueryService, Request,
+        RequestError, RequestKind, Response, Scrape, ServiceBuilder, ServiceConfig, ServiceReport,
+        Shard, ShardFitting, ShardMap, ShardTiling, ShardedService, SubmitRequest, UpdateSummary,
         DEFAULT_DATASET,
     };
     pub use cbb_telemetry::{

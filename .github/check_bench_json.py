@@ -15,6 +15,12 @@ hard bound: the telemetry counter overhead ratio must stay below 1.05
 WAL records must actually replay, snapshot pages must actually be
 read, and the recovered service's answers must have compared identical
 to the never-restarted reference.
+
+`BENCH_engine.json` carries the join-algorithm head-to-head gates:
+every algorithm must report the same pair count as the sequential
+baseline, and the plane sweep must perform strictly fewer overlap
+tests than INLJ (the machine-independent claim the sweep exists to
+make — wall-clock is reported but never gated).
 """
 
 import json
@@ -81,6 +87,46 @@ def check_durability(path, doc):
     return bool(errors)
 
 
+def check_engine(path, doc):
+    """Validate the engine report's join-algorithm gates."""
+    errors = []
+    algos = doc.get("algos")
+    if not isinstance(algos, list) or not algos:
+        errors.append("missing or empty algos array")
+        algos = []
+    by_name = {row.get("algo"): row for row in algos}
+    missing = {"stt", "inlj", "sweep", "auto"} - set(by_name)
+    if missing:
+        errors.append(f"algos array lacks rows for {sorted(missing)}")
+    seq_pairs = doc.get("join", {}).get("sequential", {}).get("pairs")
+    for row in algos:
+        label = f"algo {row.get('algo')!r}"
+        if row.get("pairs") != seq_pairs:
+            errors.append(
+                f"{label}: pairs {row.get('pairs')!r} != sequential {seq_pairs!r}"
+            )
+        tiles = sum(
+            row.get(key, 0) for key in ("tiles_stt", "tiles_inlj", "tiles_sweep")
+        )
+        if not isinstance(tiles, int) or tiles <= 0:
+            errors.append(f"{label}: no tiles were joined ({tiles!r})")
+    if not missing:
+        sweep = by_name["sweep"].get("overlap_tests")
+        inlj = by_name["inlj"].get("overlap_tests")
+        if not isinstance(sweep, int) or not isinstance(inlj, int):
+            errors.append("overlap_tests missing on sweep or inlj row")
+        elif sweep >= inlj:
+            errors.append(f"sweep overlap_tests {sweep} >= inlj {inlj}")
+    for err in errors:
+        print(f"{path}: {err}", file=sys.stderr)
+    if not errors:
+        print(
+            f"{path}: OK ({len(algos)} algos agree on {seq_pairs} pairs, "
+            f"sweep {sweep} < inlj {inlj} overlap tests)"
+        )
+    return bool(errors)
+
+
 def row_arrays(node):
     """Yield every list-of-dicts found anywhere in the document."""
     if isinstance(node, list):
@@ -111,6 +157,9 @@ def main(paths):
             continue
         if os.path.basename(path) == "BENCH_durability.json":
             failed |= check_durability(path, doc)
+            continue
+        if os.path.basename(path) == "BENCH_engine.json":
+            failed |= check_engine(path, doc)
             continue
         arrays = list(row_arrays(doc))
         if not arrays:

@@ -16,7 +16,8 @@ use cbb_bench::{header, row, smoke_mode};
 use cbb_core::{ClipConfig, ClipMethod};
 use cbb_datasets::{dataset2, generate_queries, QueryProfile, Scale};
 use cbb_engine::{
-    parallel_range_queries, partitioned_join, sequential_join, JoinPlan, UniformGrid,
+    parallel_range_queries, partitioned_join, partitioned_join_with, sequential_join, JoinAlgo,
+    JoinPlan, TileForest, UniformGrid,
 };
 use cbb_rtree::{ClippedRTree, RTree, TreeConfig, Variant};
 
@@ -114,6 +115,71 @@ fn main() {
         ));
     }
 
+    // ---- join algorithm head-to-head (cached right forest) ---------
+    // The serving-layer shape: the indexed side's forest is cached,
+    // the probe side arrives per call. Work counters are machine-
+    // independent — the currency of the sweep-vs-INLJ comparison.
+    const ALGO_WORKERS: usize = 4;
+    let algo_plan = JoinPlan {
+        workers: ALGO_WORKERS,
+        ..base_plan
+    };
+    let forest = TileForest::build(
+        &algo_plan.partitioner,
+        &parcels.boxes,
+        algo_plan.tree,
+        algo_plan.clip,
+        ALGO_WORKERS,
+    );
+    header(
+        &format!("join algorithms, {ALGO_WORKERS} thr (right forest cached)"),
+        "algorithm",
+        &[
+            "pairs",
+            "overlap tests",
+            "leaf I/O",
+            "tiles s/i/w",
+            "wall ms",
+        ],
+    );
+    let mut algo_rows = Vec::new();
+    for (name, algo) in [
+        ("stt", JoinAlgo::Stt),
+        ("inlj", JoinAlgo::Inlj),
+        ("sweep", JoinAlgo::Sweep),
+        ("auto", JoinAlgo::Auto),
+    ] {
+        let plan = algo_plan.with_algo(algo);
+        let t = Instant::now();
+        let res = partitioned_join_with(&plan, &streets.boxes, &parcels.boxes, &forest);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(res.pairs, seq.pairs, "{name} changed the pair count");
+        println!(
+            "{}",
+            row(
+                name,
+                &[
+                    res.pairs.to_string(),
+                    res.overlap_tests.to_string(),
+                    res.leaf_accesses().to_string(),
+                    format!("{}/{}/{}", res.tiles_stt, res.tiles_inlj, res.tiles_sweep),
+                    format!("{ms:.1}"),
+                ],
+            )
+        );
+        algo_rows.push(format!(
+            "{{\"algo\": \"{name}\", \"wall_ms\": {ms:.3}, \"pairs\": {}, \"overlap_tests\": {}, \"leaf_accesses\": {}, \"internal_accesses\": {}, \"clip_prunes\": {}, \"tiles_stt\": {}, \"tiles_inlj\": {}, \"tiles_sweep\": {}}}",
+            res.pairs,
+            res.overlap_tests,
+            res.leaf_accesses(),
+            res.internal_accesses,
+            res.clip_prunes,
+            res.tiles_stt,
+            res.tiles_inlj,
+            res.tiles_sweep,
+        ));
+    }
+
     // ---- batched range queries over one shared tree ----------------
     let items = streets.items();
     let tree = ClippedRTree::from_tree(
@@ -174,10 +240,11 @@ fn main() {
 
     // ---- machine-readable report -----------------------------------
     let json = format!(
-        "{{\n  \"workload\": {{\"left\": \"rea02\", \"right\": \"par02\", \"objects_per_side\": {n}, \"grid\": [{GRID_PER_DIM}, {GRID_PER_DIM}], \"variant\": \"R*-tree\", \"clip\": \"CSTA\", \"queries\": {}}},\n  \"join\": {{\n    \"sequential\": {{\"wall_ms\": {seq_join_ms:.3}, \"pairs\": {}}},\n    \"parallel\": [\n      {}\n    ]\n  }},\n  \"batch\": {{\n    \"sequential\": {{\"wall_ms\": {seq_batch_ms:.3}, \"results\": {}, \"leaf_accesses\": {}}},\n    \"parallel\": [\n      {}\n    ]\n  }}\n}}\n",
+        "{{\n  \"workload\": {{\"left\": \"rea02\", \"right\": \"par02\", \"objects_per_side\": {n}, \"grid\": [{GRID_PER_DIM}, {GRID_PER_DIM}], \"variant\": \"R*-tree\", \"clip\": \"CSTA\", \"queries\": {}}},\n  \"join\": {{\n    \"sequential\": {{\"wall_ms\": {seq_join_ms:.3}, \"pairs\": {}}},\n    \"parallel\": [\n      {}\n    ]\n  }},\n  \"algos\": [\n    {}\n  ],\n  \"batch\": {{\n    \"sequential\": {{\"wall_ms\": {seq_batch_ms:.3}, \"results\": {}, \"leaf_accesses\": {}}},\n    \"parallel\": [\n      {}\n    ]\n  }}\n}}\n",
         queries.len(),
         seq.pairs,
         join_rows.join(",\n      "),
+        algo_rows.join(",\n    "),
         base.total_results(),
         base.stats.leaf_accesses,
         batch_rows.join(",\n      "),

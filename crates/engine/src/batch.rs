@@ -15,10 +15,11 @@
 //! ([`crate::join::partitioned_join_with`]), keyed by
 //! [`crate::partition::DataVersion`] in a [`crate::join::ForestCache`].
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use cbb_core::ClipConfig;
 use cbb_geom::{Point, Rect};
+use cbb_joins::TileColumns;
 use cbb_rtree::{AccessStats, ClippedRTree, DataId, Neighbor, RTree, TreeConfig};
 
 use crate::catalog::DatasetStore;
@@ -40,10 +41,20 @@ use crate::update::{Update, UpdateOutcome};
 /// only the tiles an update actually touches — the shared tiles of
 /// every older version stay intact, which is what makes epoch-based
 /// version bumps cheap.
+///
+/// Alongside each tree the forest lazily caches the tile's
+/// [`TileColumns`] — the x-sorted SoA layout the plane-sweep join kernel
+/// consumes. Columns are extracted from the tile tree on first use
+/// ([`Self::columns`]) and share the trees' version-exact lifetime:
+/// cloning a forest shares the already-extracted columns, and the
+/// maintenance path invalidates exactly the tiles it touches, so a
+/// cached forest never serves columns that disagree with its trees.
 #[derive(Clone)]
 pub struct TileForest<const D: usize> {
     /// One tree per tile; `None` for empty tiles.
     trees: Vec<Option<Arc<ClippedRTree<D>>>>,
+    /// Lazily extracted sweep columns per tile, parallel to `trees`.
+    columns: Vec<OnceLock<Arc<TileColumns<D>>>>,
 }
 
 impl<const D: usize> TileForest<D> {
@@ -94,9 +105,9 @@ impl<const D: usize> TileForest<D> {
                 })
                 .collect::<Vec<_>>()
         });
-        TileForest {
-            trees: built.into_iter().flatten().collect(),
-        }
+        let trees: Vec<Option<Arc<ClippedRTree<D>>>> = built.into_iter().flatten().collect();
+        let columns = trees.iter().map(|_| OnceLock::new()).collect();
+        TileForest { trees, columns }
     }
 
     /// Total number of tiles (matches the partitioner's `tile_count`).
@@ -107,6 +118,29 @@ impl<const D: usize> TileForest<D> {
     /// The tree of tile `t`, `None` when the tile is empty.
     pub fn tree(&self, t: usize) -> Option<&ClippedRTree<D>> {
         self.trees[t].as_deref()
+    }
+
+    /// The sweep columns of tile `t`, `None` when the tile is empty.
+    ///
+    /// Extracted from the tile tree's leaves on first call (one sort),
+    /// then cached for the forest's lifetime; concurrent first calls
+    /// race benignly (`OnceLock` keeps one winner). The returned `Arc`
+    /// is stable across calls — and across forest clones until a
+    /// maintenance write touches the tile — so repeated sweeps and
+    /// forest-native probe extraction pay the sort exactly once per
+    /// tile version.
+    pub fn columns(&self, t: usize) -> Option<Arc<TileColumns<D>>> {
+        let tree = self.trees[t].as_deref()?;
+        Some(
+            self.columns[t]
+                .get_or_init(|| Arc::new(TileColumns::from_items(&tree.tree.all_objects())))
+                .clone(),
+        )
+    }
+
+    /// Drop tile `t`'s cached columns (its tree changed).
+    fn invalidate_columns(&mut self, t: usize) {
+        self.columns[t] = OnceLock::new();
     }
 
     /// Number of non-empty tiles (built trees).
@@ -190,6 +224,7 @@ impl<const D: usize> TileForest<D> {
         let mut created = 0usize;
         for t in partitioner.covering_tiles(&rect) {
             touched[t] = true;
+            self.invalidate_columns(t);
             match self.tile_mut(t) {
                 Some(tile) => {
                     let before = tile.tree.nodes_allocated();
@@ -236,6 +271,9 @@ impl<const D: usize> TileForest<D> {
                 }
                 None => false,
             };
+            if removed {
+                self.invalidate_columns(t);
+            }
             // Multi-assignment is all-or-nothing: every covering tile
             // holds the object or none does.
             match found {
@@ -929,6 +967,65 @@ mod tests {
                 again.results,
                 vec![crate::update::UpdateResult::Deleted(false)]
             );
+        }
+
+        #[test]
+        fn columns_cache_is_lazy_shared_and_invalidated_per_tile() {
+            use crate::update::Update;
+            let (objects, _) = objects_and_queries();
+            let domain = r2(0.0, 0.0, 1000.0, 1000.0);
+            let grid = UniformGrid::new(domain, 4);
+            let tree = TreeConfig::tiny(Variant::RStar);
+            let clip = ClipConfig::paper_default::<2>(ClipMethod::Stairline);
+            let mut exec = BatchExecutor::build(grid, &objects, tree, clip, 2);
+            let before = exec.forest().clone();
+            let t = (0..before.tile_count())
+                .find(|&t| before.tree(t).is_some())
+                .unwrap();
+            // Lazy extraction, stable Arc across calls.
+            let c1 = before.columns(t).unwrap();
+            let c2 = before.columns(t).unwrap();
+            assert!(Arc::ptr_eq(&c1, &c2));
+            assert_eq!(c1.len(), before.tree(t).unwrap().tree.len());
+            // Columns agree with the tree's objects.
+            let mut from_tree = before.tree(t).unwrap().tree.all_objects();
+            from_tree.sort_by_key(|(_, id)| *id);
+            let mut from_cols: Vec<(Rect<2>, DataId)> =
+                (0..c1.len()).map(|i| (c1.rect(i), c1.id(i))).collect();
+            from_cols.sort_by_key(|(_, id)| *id);
+            assert_eq!(from_cols, from_tree);
+            // A forest clone shares the already-extracted columns.
+            assert!(Arc::ptr_eq(&before.clone().columns(t).unwrap(), &c1));
+            // A write confined to one tile invalidates only that tile.
+            let touched = before
+                .tree(t)
+                .unwrap()
+                .tree
+                .all_objects()
+                .first()
+                .map(|(r, _)| *r)
+                .unwrap();
+            exec.apply_updates(&[Update::Insert(touched)], tree, clip);
+            let after = exec.forest();
+            assert!(
+                !Arc::ptr_eq(&after.columns(t).unwrap(), &c1),
+                "touched tile must re-extract"
+            );
+            assert_eq!(
+                after.columns(t).unwrap().len(),
+                c1.len() + 1,
+                "re-extracted columns see the insert"
+            );
+            for u in 0..before.tile_count() {
+                if u != t && before.tree(u).is_some() && after.tree(u).is_some() {
+                    // Untouched tiles still share the original columns.
+                    let _ = before.columns(u).unwrap();
+                }
+            }
+            // Empty tiles have no columns.
+            if let Some(e) = (0..before.tile_count()).find(|&u| before.tree(u).is_none()) {
+                assert!(before.columns(e).is_none());
+            }
         }
 
         #[test]

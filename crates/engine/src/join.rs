@@ -37,10 +37,11 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use cbb_core::ClipConfig;
+use cbb_core::{ClipConfig, ClipPoint};
 use cbb_geom::Rect;
 use cbb_joins::{
-    inlj_filtered, reference_point, stt_filtered, stt_filtered_from, stt_tasks, JoinResult,
+    inlj_filtered, reference_point, stt_filtered, stt_filtered_from, stt_tasks, sweep_precheck,
+    sweep_scan, JoinResult, SweepSide, TileColumns,
 };
 use cbb_rtree::{ClippedRTree, DataId, NodeId, RTree, TreeConfig};
 
@@ -57,6 +58,76 @@ pub enum JoinAlgo {
     /// Index nested loops: the right tile side is indexed, the left tile
     /// side streamed as probes.
     Inlj,
+    /// Plane sweep over the columnar SoA layout ([`TileColumns`]):
+    /// neither side is indexed — both are sorted by x-min (extracted
+    /// from a cached forest, or sorted for this call) and swept with
+    /// forward scans. The fast path for dense index-less tiles, where
+    /// one sort beats bulk-loading two trees.
+    ///
+    /// The §IV clip filter composes at tile granularity: when a side is
+    /// forest-backed, its root CBB prunes the tile's sweep window
+    /// before any scan runs ([`sweep_precheck`]). An assignment-sourced
+    /// side has no tree and therefore no clip points — pair counts are
+    /// unaffected (clipping only removes dead space), but `clip_prunes`
+    /// and pruned-tile work can differ between the cached and the
+    /// build-per-call path, unlike the index algorithms.
+    Sweep,
+    /// Choose per tile from data already in hand — tile cardinalities
+    /// and whether each side's forest (trees + columns) is cached:
+    ///
+    /// * both sides cached → [`JoinAlgo::Stt`] (the trees exist; the
+    ///   lock-step descent does the least work),
+    /// * right side cached and the probe side at most 1/8 of it →
+    ///   [`JoinAlgo::Inlj`] (few probes against a prebuilt index),
+    /// * otherwise → [`JoinAlgo::Sweep`] (building indexes for one
+    ///   dense index-less join costs more than one sort).
+    ///
+    /// The choice is deterministic per tile and recorded in the
+    /// [`JoinResult`] `tiles_*` counters; pair counts are identical for
+    /// every choice (the oracle tests pin this).
+    Auto,
+}
+
+/// The concrete kernel a tile runs after [`JoinAlgo::Auto`] resolution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TileAlgo {
+    Stt,
+    Inlj,
+    Sweep,
+}
+
+/// [`JoinAlgo::Auto`]: a probe side at most `1/RATIO` of a cached
+/// indexed side is "small" enough that per-probe index descents beat
+/// sorting both sides.
+const AUTO_INLJ_PROBE_RATIO: usize = 8;
+
+/// Resolve the per-tile kernel from the plan and the data in hand: the
+/// sides' cachedness (forest-backed or assigned for this call) and the
+/// tile populations. Deterministic — the hot and cold paths of one run
+/// resolve identically.
+fn resolve_tile_algo(
+    algo: JoinAlgo,
+    left_cached: bool,
+    right_cached: bool,
+    left_count: usize,
+    right_count: usize,
+) -> TileAlgo {
+    match algo {
+        JoinAlgo::Stt => TileAlgo::Stt,
+        JoinAlgo::Inlj => TileAlgo::Inlj,
+        JoinAlgo::Sweep => TileAlgo::Sweep,
+        JoinAlgo::Auto => {
+            if left_cached && right_cached {
+                TileAlgo::Stt
+            } else if right_cached
+                && left_count.saturating_mul(AUTO_INLJ_PROBE_RATIO) <= right_count
+            {
+                TileAlgo::Inlj
+            } else {
+                TileAlgo::Sweep
+            }
+        }
+    }
 }
 
 /// When to decompose a tile into intra-tile subtasks (the second
@@ -208,6 +279,15 @@ enum HotWork<'f, const D: usize> {
         probes: Vec<Rect<D>>,
         chunk: usize,
     },
+    /// Sweep: both sides columnar, the element scans of each side cut
+    /// into x-range chunks ([`sweep_scan`] is counter-exact over any
+    /// partition of the element ranges). `chunks` is empty when the
+    /// tile pre-check pruned the whole sweep.
+    Sweep {
+        left: Arc<TileColumns<D>>,
+        right: Arc<TileColumns<D>>,
+        chunks: Vec<(SweepSide, usize, usize)>,
+    },
 }
 
 struct HotTile<'f, const D: usize> {
@@ -226,20 +306,46 @@ enum Task {
     SttSeed { hot: usize, seed: usize },
     /// One probe chunk of a hot INLJ tile.
     InljChunk { hot: usize, lo: usize, hi: usize },
+    /// One element-range chunk of a hot sweep tile.
+    SweepChunk { hot: usize, chunk: usize },
 }
 
-/// Build the decomposed form of one hot tile.
+/// Cut `0..len` into `chunk`-size ranges tagged with `side`.
+fn sweep_chunks(side: SweepSide, len: usize, chunk: usize) -> Vec<(SweepSide, usize, usize)> {
+    let mut out = Vec::new();
+    let mut lo = 0;
+    while lo < len {
+        let hi = (lo + chunk).min(len);
+        out.push((side, lo, hi));
+        lo = hi;
+    }
+    out
+}
+
+/// Build the decomposed form of one hot tile. The tile's kernel is
+/// resolved here with the same inputs as [`join_tile`], so hot and cold
+/// tiles of one run always agree.
 fn build_hot<'f, const D: usize, P: Partitioner<D>>(
     plan: &JoinPlan<D, P>,
     tile: usize,
     left: &[Rect<D>],
     lsource: &'f LeftSource<'f, D>,
-    rtree: RightTile<'f, D>,
+    right: &[Rect<D>],
+    rsource: &'f RightSource<'f, D>,
 ) -> HotTile<'f, D> {
-    match plan.algo {
-        JoinAlgo::Stt => {
+    let algo = resolve_tile_algo(
+        plan.algo,
+        lsource.is_forest(),
+        rsource.is_forest(),
+        lsource.count(tile),
+        rsource.count(tile),
+    );
+    match algo {
+        TileAlgo::Stt => {
             let ltree = lsource.tile(plan, left, tile);
-            let (base, seeds) = stt_tasks(ltree.get(), rtree.get(), plan.use_clips);
+            let rtree = rsource.tile(plan, right, tile);
+            let (mut base, seeds) = stt_tasks(ltree.get(), rtree.get(), plan.use_clips);
+            base.tiles_stt += 1;
             HotTile {
                 tile,
                 base,
@@ -250,17 +356,52 @@ fn build_hot<'f, const D: usize, P: Partitioner<D>>(
                 },
             }
         }
-        JoinAlgo::Inlj => {
+        TileAlgo::Inlj => {
             let probes = lsource.probes(left, tile);
+            let rtree = rsource.tile(plan, right, tile);
             // Aim for a few chunks per worker so the queue can rebalance.
             let chunk = probes.len().div_ceil((plan.workers * 4).max(1)).max(1);
             HotTile {
                 tile,
-                base: JoinResult::default(),
+                base: JoinResult {
+                    tiles_inlj: 1,
+                    ..JoinResult::default()
+                },
                 work: HotWork::Inlj {
                     right: rtree,
                     probes,
                     chunk,
+                },
+            }
+        }
+        TileAlgo::Sweep => {
+            let lcols = lsource.columns(left, tile);
+            let rcols = rsource.columns(right, tile);
+            let (lclips, rclips) = if plan.use_clips {
+                (lsource.root_clips(tile), rsource.root_clips(tile))
+            } else {
+                (&[][..], &[][..])
+            };
+            let (mut base, live) = sweep_precheck(&lcols, lclips, &rcols, rclips);
+            base.tiles_sweep += 1;
+            // Aim for a few chunks per worker across both sides' scans.
+            let chunk = (lcols.len() + rcols.len())
+                .div_ceil((plan.workers * 4).max(1))
+                .max(1);
+            let chunks = if live {
+                let mut chunks = sweep_chunks(SweepSide::Left, lcols.len(), chunk);
+                chunks.extend(sweep_chunks(SweepSide::Right, rcols.len(), chunk));
+                chunks
+            } else {
+                Vec::new()
+            };
+            HotTile {
+                tile,
+                base,
+                work: HotWork::Sweep {
+                    left: lcols,
+                    right: rcols,
+                    chunks,
                 },
             }
         }
@@ -304,23 +445,23 @@ pub fn partitioned_join_with<const D: usize, P: Partitioner<D>>(
     partitioned_join_impl(plan, left, right, None, Some(forest))
 }
 
-/// The cross-dataset STT fast path: **both** sides' per-tile trees come
-/// from prebuilt [`TileForest`]s — nothing is assigned, nothing is bulk
-/// loaded. This is what a catalog-serving layer runs for a cross-dataset
-/// join of two datasets that share a tiling: the probe dataset's cached
-/// forest *is* the per-tile left side a [`partitioned_join`] would have
-/// built, so every counter of the returned [`JoinResult`] equals the
+/// The cross-dataset fast path: **both** sides come from prebuilt
+/// [`TileForest`]s — nothing is assigned, nothing is bulk loaded. This
+/// is what a catalog-serving layer runs for a cross-dataset join of two
+/// datasets that share a tiling: the probe dataset's cached forest *is*
+/// the per-tile left side a [`partitioned_join`] would have built, so
+/// every counter of the returned [`JoinResult`] equals the
 /// build-per-call path exactly (rect-identical trees traverse
 /// identically; id values play no part in traversal or reference-point
 /// dedup).
 ///
-/// Both forests must be tiled by `plan.partitioner` (tile counts are
-/// checked; content correspondence is the caller's contract — a
-/// [`ForestCache`] keyed by `(DatasetId, DataVersion)` maintains it).
-/// STT only: INLJ streams raw probe rectangles, which a forest does not
-/// store — when the partitioners differ or the plan is INLJ, the serve
-/// layer re-partitions the probe side with [`partitioned_join_with`]
-/// instead.
+/// Every [`JoinAlgo`] is supported: STT borrows both trees, INLJ reads
+/// its probe list from the probe forest's cached columns, the sweep
+/// borrows both sides' cached [`TileColumns`], and [`JoinAlgo::Auto`]
+/// sees two cached sides and resolves to STT. Both forests must be
+/// tiled by `plan.partitioner` (tile counts are checked; content
+/// correspondence is the caller's contract — a [`ForestCache`] keyed by
+/// `(DatasetId, DataVersion)` maintains it).
 ///
 /// `right` is the indexed side's object arena (tombstoned slots
 /// included — only ids present in the forest's trees are ever looked
@@ -331,10 +472,6 @@ pub fn partitioned_join_forests<const D: usize, P: Partitioner<D>>(
     right: &[Rect<D>],
     right_forest: &TileForest<D>,
 ) -> JoinResult {
-    assert!(
-        matches!(plan.algo, JoinAlgo::Stt),
-        "INLJ probes are streamed, not forest-borrowed; use partitioned_join_with"
-    );
     for (side, forest) in [("left", left_forest), ("right", right_forest)] {
         assert_eq!(
             forest.tile_count(),
@@ -360,6 +497,12 @@ type LeftSource<'f, const D: usize> = TileSource<'f, D>;
 type RightSource<'f, const D: usize> = TileSource<'f, D>;
 
 impl<const D: usize> TileSource<'_, D> {
+    /// Whether this side is forest-backed (trees and columns cached) —
+    /// the cachedness input of [`JoinAlgo::Auto`] resolution.
+    fn is_forest(&self) -> bool {
+        matches!(self, TileSource::Forest(_))
+    }
+
     /// Population of tile `t` on this side (0 for empty tiles).
     fn count(&self, t: usize) -> usize {
         match self {
@@ -390,13 +533,47 @@ impl<const D: usize> TileSource<'_, D> {
         }
     }
 
-    /// The raw probe rectangles of tile `t` (INLJ left side). Forests
-    /// hold trees, not probe lists — the public entry points keep INLJ
-    /// on the assignment path.
+    /// The raw probe rectangles of tile `t` (INLJ left side). A
+    /// forest-backed side reads them from its cached columns (x-sorted
+    /// order — INLJ's counters are order-independent sums, so this is
+    /// indistinguishable from assignment order); an assigned side
+    /// gathers them from the arena.
     fn probes(&self, objects: &[Rect<D>], t: usize) -> Vec<Rect<D>> {
         match self {
-            TileSource::Forest(_) => unreachable!("INLJ probes are never forest-sourced"),
+            TileSource::Forest(f) => f.columns(t).map(|c| c.rects()).unwrap_or_default(),
             TileSource::Assign(assign) => assign[t].iter().map(|&i| objects[i as usize]).collect(),
+        }
+    }
+
+    /// The columnar SoA layout of tile `t` (sweep sides): shared from
+    /// the forest's version-exact cache, or sorted from the assignment
+    /// for this call. Both produce the identical canonical layout —
+    /// [`TileColumns::from_items`] sorts by `(x-min, id)` regardless of
+    /// input order.
+    fn columns(&self, objects: &[Rect<D>], t: usize) -> Arc<TileColumns<D>> {
+        match self {
+            TileSource::Forest(f) => f.columns(t).expect("populated tile has columns"),
+            TileSource::Assign(assign) => {
+                let items: Vec<(Rect<D>, DataId)> = assign[t]
+                    .iter()
+                    .map(|&i| (objects[i as usize], DataId(i)))
+                    .collect();
+                Arc::new(TileColumns::from_items(&items))
+            }
+        }
+    }
+
+    /// The root clip points of tile `t`'s tree, for the sweep's tile
+    /// pre-check. Only a forest-backed side has a tree to read them
+    /// from; an assigned sweep side is index-less by design and prunes
+    /// on the plain window only.
+    fn root_clips(&self, t: usize) -> &[ClipPoint<D>] {
+        match self {
+            TileSource::Forest(f) => f
+                .tree(t)
+                .map(|tree| tree.clips_of(tree.tree.root_id()))
+                .unwrap_or(&[]),
+            TileSource::Assign(_) => &[],
         }
     }
 }
@@ -435,13 +612,12 @@ fn partitioned_join_impl<const D: usize, P: Partitioner<D>>(
             None => (Vec::new(), tiles),
         };
 
-    let right_tile = |t: usize| source.tile(plan, right, t);
-
-    // Level 1: build hot tiles' trees in parallel and decompose them.
+    // Level 1: build hot tiles' trees/columns in parallel and decompose
+    // them.
     let hot: Vec<HotTile<D>> = map_chunked(plan.workers, &hot_tiles, |_, chunk| {
         chunk
             .iter()
-            .map(|&t| build_hot(plan, t, left, &lsource, right_tile(t)))
+            .map(|&t| build_hot(plan, t, left, &lsource, right, &source))
             .collect::<Vec<_>>()
     })
     .into_iter()
@@ -464,6 +640,9 @@ fn partitioned_join_impl<const D: usize, P: Partitioner<D>>(
                     lo = hi;
                 }
             }
+            HotWork::Sweep { chunks, .. } => {
+                tasks.extend((0..chunks.len()).map(|chunk| Task::SweepChunk { hot: h, chunk }));
+            }
         }
     }
     tasks.extend(cold_tiles.iter().map(|&t| Task::Tile(t)));
@@ -474,7 +653,7 @@ fn partitioned_join_impl<const D: usize, P: Partitioner<D>>(
         JoinResult::default,
         |task, acc: &mut JoinResult| match *task {
             Task::Tile(t) => {
-                *acc += join_tile(plan, t, left, &lsource, right, right_tile(t).get());
+                *acc += join_tile(plan, t, left, &lsource, right, &source);
             }
             Task::SttSeed { hot: h, seed } => {
                 let ht = &hot[h];
@@ -511,6 +690,21 @@ fn partitioned_join_impl<const D: usize, P: Partitioner<D>>(
                         .owns(ht.tile, &reference_point(probe, &right[id.0 as usize]))
                 });
             }
+            Task::SweepChunk { hot: h, chunk } => {
+                let ht = &hot[h];
+                let HotWork::Sweep {
+                    left: lcols,
+                    right: rcols,
+                    chunks,
+                } = &ht.work
+                else {
+                    unreachable!("sweep chunk on a non-sweep tile");
+                };
+                let (side, lo, hi) = chunks[chunk];
+                *acc += sweep_scan(lcols, rcols, side, lo, hi, |a, b| {
+                    plan.partitioner.owns(ht.tile, &reference_point(a, b))
+                });
+            }
         },
     );
     let mut result: JoinResult = parts.into_iter().sum();
@@ -520,31 +714,62 @@ fn partitioned_join_impl<const D: usize, P: Partitioner<D>>(
     result
 }
 
-/// Join one whole tile: source the probe-side tree/list as planned and
-/// run the strategy with the reference-point ownership filter. Both
-/// sides' trees come from the caller (built for this call or borrowed
-/// from cached forests).
+/// Join one whole tile: resolve the kernel ([`resolve_tile_algo`] —
+/// identical inputs to [`build_hot`], so hot and cold tiles of one run
+/// agree), source only what that kernel needs (trees, probe list, or
+/// columns), and run it with the reference-point ownership filter.
 fn join_tile<const D: usize, P: Partitioner<D>>(
     plan: &JoinPlan<D, P>,
     tile: usize,
     left: &[Rect<D>],
     lsource: &LeftSource<'_, D>,
     right: &[Rect<D>],
-    rtree: &ClippedRTree<D>,
+    rsource: &RightSource<'_, D>,
 ) -> JoinResult {
-    match plan.algo {
-        JoinAlgo::Stt => {
+    let algo = resolve_tile_algo(
+        plan.algo,
+        lsource.is_forest(),
+        rsource.is_forest(),
+        lsource.count(tile),
+        rsource.count(tile),
+    );
+    match algo {
+        TileAlgo::Stt => {
             let ltree = lsource.tile(plan, left, tile);
-            stt_filtered(ltree.get(), rtree, plan.use_clips, |a, b| {
+            let rtree = rsource.tile(plan, right, tile);
+            let mut result = stt_filtered(ltree.get(), rtree.get(), plan.use_clips, |a, b| {
                 plan.partitioner.owns(tile, &reference_point(a, b))
-            })
+            });
+            result.tiles_stt += 1;
+            result
         }
-        JoinAlgo::Inlj => {
+        TileAlgo::Inlj => {
             let probes = lsource.probes(left, tile);
-            inlj_filtered(&probes, rtree, plan.use_clips, |probe, id| {
+            let rtree = rsource.tile(plan, right, tile);
+            let mut result = inlj_filtered(&probes, rtree.get(), plan.use_clips, |probe, id| {
                 plan.partitioner
                     .owns(tile, &reference_point(probe, &right[id.0 as usize]))
-            })
+            });
+            result.tiles_inlj += 1;
+            result
+        }
+        TileAlgo::Sweep => {
+            let lcols = lsource.columns(left, tile);
+            let rcols = rsource.columns(right, tile);
+            let (lclips, rclips) = if plan.use_clips {
+                (lsource.root_clips(tile), rsource.root_clips(tile))
+            } else {
+                (&[][..], &[][..])
+            };
+            let (mut result, live) = sweep_precheck(&lcols, lclips, &rcols, rclips);
+            result.tiles_sweep += 1;
+            if live {
+                let keep =
+                    |a: &Rect<D>, b: &Rect<D>| plan.partitioner.owns(tile, &reference_point(a, b));
+                result += sweep_scan(&lcols, &rcols, SweepSide::Left, 0, lcols.len(), keep);
+                result += sweep_scan(&lcols, &rcols, SweepSide::Right, 0, rcols.len(), keep);
+            }
+            result
         }
     }
 }
@@ -629,6 +854,25 @@ impl<const D: usize> ForestCache<D> {
         self.len() == 0
     }
 
+    /// File `forest` as the most-recently-used entry for `key` (evicting
+    /// the LRU entry over capacity). The **one** shared insertion path:
+    /// `get_or_build` misses and externally supplied forests go through
+    /// the same bookkeeping, and neither touches the build/hit counters
+    /// here — each public door accounts for itself, exactly once. In
+    /// particular, lazily extracting a cached forest's [`TileColumns`]
+    /// never re-files or re-counts anything: columns live *inside* the
+    /// entry, version-exact with its trees.
+    fn file_mru(
+        &self,
+        slots: &mut Vec<(ForestKey, Arc<TileForest<D>>)>,
+        key: ForestKey,
+        forest: Arc<TileForest<D>>,
+    ) {
+        slots.retain(|(k, _)| *k != key);
+        slots.insert(0, (key, forest));
+        slots.truncate(self.capacity);
+    }
+
     /// The forest for `key`: the cached one when present (refreshed to
     /// most-recently-used), otherwise `build()` (stored, evicting the
     /// LRU key over capacity). The build runs under the cache lock —
@@ -647,8 +891,7 @@ impl<const D: usize> ForestCache<D> {
             return forest;
         }
         let forest = Arc::new(build());
-        slots.insert(0, (key, forest.clone()));
-        slots.truncate(self.capacity);
+        self.file_mru(&mut slots, key, forest.clone());
         self.builds.fetch_add(1, Ordering::Relaxed);
         forest
     }
@@ -658,9 +901,7 @@ impl<const D: usize> ForestCache<D> {
     /// Counts as neither a build nor a hit.
     pub fn insert(&self, key: ForestKey, forest: Arc<TileForest<D>>) {
         let mut slots = self.slots.lock().expect("forest cache poisoned");
-        slots.retain(|(k, _)| *k != key);
-        slots.insert(0, (key, forest));
-        slots.truncate(self.capacity);
+        self.file_mru(&mut slots, key, forest);
     }
 
     /// Drop every cached version of one dataset (the `DropDataset`
@@ -700,13 +941,40 @@ pub fn sequential_join<const D: usize, P>(
 ) -> JoinResult {
     let all_left: Vec<u32> = (0..left.len() as u32).collect();
     let all_right: Vec<u32> = (0..right.len() as u32).collect();
-    let rtree = build_tile_tree(right, &all_right, plan.tree, plan.clip, plan.use_clips);
+    // The whole input is one logical tile, so the run reports one
+    // `tiles_*` tick — a 1×1-grid partitioned join is byte-identical.
     match plan.algo {
         JoinAlgo::Stt => {
             let ltree = build_tile_tree(left, &all_left, plan.tree, plan.clip, plan.use_clips);
-            cbb_joins::stt(&ltree, &rtree, plan.use_clips)
+            let rtree = build_tile_tree(right, &all_right, plan.tree, plan.clip, plan.use_clips);
+            let mut result = cbb_joins::stt(&ltree, &rtree, plan.use_clips);
+            result.tiles_stt += 1;
+            result
         }
-        JoinAlgo::Inlj => cbb_joins::inlj(left, &rtree, plan.use_clips),
+        JoinAlgo::Inlj => {
+            let rtree = build_tile_tree(right, &all_right, plan.tree, plan.clip, plan.use_clips);
+            let mut result = cbb_joins::inlj(left, &rtree, plan.use_clips);
+            result.tiles_inlj += 1;
+            result
+        }
+        // Sequentially nothing is cached, which is precisely the state
+        // Auto resolves to a sweep for — so both run the one global
+        // sweep, index-less (no trees means no clip tables either).
+        JoinAlgo::Sweep | JoinAlgo::Auto => {
+            let to_items = |objects: &[Rect<D>], ids: &[u32]| -> Vec<(Rect<D>, DataId)> {
+                ids.iter()
+                    .map(|&i| (objects[i as usize], DataId(i)))
+                    .collect()
+            };
+            let lcols = TileColumns::from_items(&to_items(left, &all_left));
+            let rcols = TileColumns::from_items(&to_items(right, &all_right));
+            let (mut result, live) = sweep_precheck(&lcols, &[], &rcols, &[]);
+            result.tiles_sweep += 1;
+            if live {
+                result += cbb_joins::sweep(&lcols, &rcols);
+            }
+            result
+        }
     }
 }
 
@@ -768,12 +1036,19 @@ mod tests {
         )
     }
 
+    const ALL_ALGOS: [JoinAlgo; 4] = [
+        JoinAlgo::Stt,
+        JoinAlgo::Inlj,
+        JoinAlgo::Sweep,
+        JoinAlgo::Auto,
+    ];
+
     #[test]
-    fn matches_brute_force_for_both_algos() {
+    fn matches_brute_force_for_every_algo() {
         let a = boxes(250, 1, 20.0);
         let b = boxes(300, 2, 20.0);
         let expected = brute_force_pairs(&a, &b);
-        for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+        for algo in ALL_ALGOS {
             for workers in [1, 4] {
                 let plan = plan2(4, workers).with_algo(algo);
                 assert_eq!(
@@ -791,7 +1066,7 @@ mod tests {
         let a = boxes(120, 3, 150.0);
         let b = boxes(140, 4, 150.0);
         let expected = brute_force_pairs(&a, &b);
-        for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+        for algo in ALL_ALGOS {
             let plan = plan2(4, 3).with_algo(algo);
             assert_eq!(partitioned_join(&plan, &a, &b).pairs, expected, "{algo:?}");
         }
@@ -821,7 +1096,7 @@ mod tests {
     fn sequential_baseline_agrees() {
         let a = boxes(180, 8, 30.0);
         let b = boxes(220, 9, 30.0);
-        for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+        for algo in ALL_ALGOS {
             let plan = plan2(4, 4).with_algo(algo);
             assert_eq!(
                 sequential_join(&plan, &a, &b).pairs,
@@ -834,11 +1109,13 @@ mod tests {
     #[test]
     fn decomposition_is_counter_exact() {
         // The two-level scheduler must not change *any* counter relative
-        // to whole-tile execution — same trees, same traversals, only the
-        // work order differs.
+        // to whole-tile execution — same trees/columns, same traversals
+        // and scans, only the work order differs. Auto qualifies too:
+        // resolution reads only per-tile facts, so hot and cold paths
+        // pick the same kernel.
         let a = clustered_boxes(500, 10);
         let b = clustered_boxes(550, 11);
-        for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+        for algo in ALL_ALGOS {
             for workers in [2, 4] {
                 let never = plan2(4, workers)
                     .with_algo(algo)
@@ -859,7 +1136,7 @@ mod tests {
         let a = boxes(200, 12, 40.0);
         let b = boxes(200, 13, 40.0);
         let expected = brute_force_pairs(&a, &b);
-        for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+        for algo in ALL_ALGOS {
             let plan = plan2(3, 4)
                 .with_algo(algo)
                 .with_split(SplitPolicy::Above(0));
@@ -875,7 +1152,7 @@ mod tests {
         let domain = r2(0.0, 0.0, 500.0, 500.0);
         let adaptive = AdaptiveGrid::from_sample(domain, [4, 4], &a);
         let quadtree = QuadtreePartitioner::build(domain, &a, 120);
-        for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+        for algo in ALL_ALGOS {
             let plan = JoinPlan::new(
                 adaptive.clone(),
                 TreeConfig::tiny(Variant::RStar),
@@ -931,6 +1208,35 @@ mod tests {
                 }
             }
         }
+        // The sweep is byte-equal too when clips are off (cached columns
+        // and per-call columns share one canonical sort). With clips on,
+        // only the forest-backed side has a tree to read root clip
+        // points from, so pruned-tile work may differ — but never pairs.
+        for split in [SplitPolicy::Never, SplitPolicy::Auto, SplitPolicy::Above(0)] {
+            let plan = base_plan
+                .with_algo(JoinAlgo::Sweep)
+                .with_clips(false)
+                .with_split(split);
+            assert_eq!(
+                partitioned_join_with(&plan, &a, &b, &forest),
+                partitioned_join(&plan, &a, &b),
+                "sweep unclipped {split:?}"
+            );
+            let clipped = plan.with_clips(true);
+            assert_eq!(
+                partitioned_join_with(&clipped, &a, &b, &forest).pairs,
+                partitioned_join(&clipped, &a, &b).pairs,
+                "sweep clipped {split:?}"
+            );
+        }
+        // Auto may resolve differently depending on which sides are
+        // cached — the pair set must not notice.
+        let auto_plan = base_plan.with_algo(JoinAlgo::Auto);
+        assert_eq!(
+            partitioned_join_with(&auto_plan, &a, &b, &forest).pairs,
+            partitioned_join(&auto_plan, &a, &b).pairs,
+            "auto cached vs direct"
+        );
     }
 
     #[test]
@@ -991,17 +1297,169 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "INLJ probes are streamed")]
-    fn forests_join_rejects_inlj() {
-        let b = boxes(40, 32, 20.0);
-        let plan = plan2(3, 1).with_algo(JoinAlgo::Inlj);
-        let forest = TileForest::build(&plan.partitioner, &b, plan.tree, plan.clip, 1);
-        let _ = partitioned_join_forests(&plan, &forest, &b, &forest);
+    fn forests_join_supports_every_algo() {
+        // PR 5 left INLJ (and now the sweep) off the both-sides-cached
+        // path; every algorithm now runs forest-native. INLJ reads its
+        // probes from the probe forest's columns (x-sorted — its
+        // counters are order-independent sums, so still byte-equal to
+        // the build-per-call run); Auto sees two cached sides and
+        // resolves to STT.
+        let a = clustered_boxes(300, 32);
+        let b = clustered_boxes(340, 33);
+        let base_plan = plan2(4, 2);
+        let lf = TileForest::build(
+            &base_plan.partitioner,
+            &a,
+            base_plan.tree,
+            base_plan.clip,
+            2,
+        );
+        let rf = TileForest::build(
+            &base_plan.partitioner,
+            &b,
+            base_plan.tree,
+            base_plan.clip,
+            2,
+        );
+        let expected = brute_force_pairs(&a, &b);
+        for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+            let plan = base_plan.with_algo(algo);
+            let direct = partitioned_join(&plan, &a, &b);
+            let cached = partitioned_join_forests(&plan, &lf, &b, &rf);
+            assert_eq!(cached, direct, "{algo:?}");
+            assert_eq!(cached.pairs, expected, "{algo:?}");
+        }
+        let sweep_plan = base_plan.with_algo(JoinAlgo::Sweep).with_clips(false);
+        assert_eq!(
+            partitioned_join_forests(&sweep_plan, &lf, &b, &rf),
+            partitioned_join(&sweep_plan, &a, &b),
+            "sweep unclipped"
+        );
+        for algo in [JoinAlgo::Sweep, JoinAlgo::Auto] {
+            let plan = base_plan.with_algo(algo);
+            let cached = partitioned_join_forests(&plan, &lf, &b, &rf);
+            assert_eq!(cached.pairs, expected, "{algo:?}");
+        }
+        // Auto with both sides cached is STT on every populated tile.
+        let auto = partitioned_join_forests(&base_plan.with_algo(JoinAlgo::Auto), &lf, &b, &rf);
+        assert!(auto.tiles_stt > 0);
+        assert_eq!(auto.tiles_inlj + auto.tiles_sweep, 0);
+    }
+
+    #[test]
+    fn auto_resolution_follows_cachedness_and_cardinality() {
+        // Direct join: nothing cached → every tile sweeps.
+        let a = boxes(200, 34, 25.0);
+        let b = boxes(240, 35, 25.0);
+        let plan = plan2(4, 2).with_algo(JoinAlgo::Auto);
+        let direct = partitioned_join(&plan, &a, &b);
+        assert!(direct.tiles_sweep > 0);
+        assert_eq!(direct.tiles_stt + direct.tiles_inlj, 0);
+
+        // Tiny probe set against a cached forest → INLJ tiles (1/8
+        // ratio met wherever the probe tile is small enough).
+        let probe = boxes(8, 36, 25.0);
+        let forest = TileForest::build(&plan.partitioner, &b, plan.tree, plan.clip, 2);
+        let asym = partitioned_join_with(&plan, &probe, &b, &forest);
+        assert!(asym.tiles_inlj > 0, "small probes should index-probe");
+        assert_eq!(asym.tiles_stt, 0, "one cached side is never STT");
+
+        // Balanced sides with only the right cached → the ratio fails
+        // and the sweep takes over.
+        let balanced = partitioned_join_with(&plan, &a, &b, &forest);
+        assert!(balanced.tiles_sweep > 0);
+        assert_eq!(balanced.pairs, brute_force_pairs(&a, &b));
+    }
+
+    #[test]
+    fn tile_algo_counters_count_each_populated_tile_once() {
+        let a = clustered_boxes(300, 37);
+        let b = clustered_boxes(320, 38);
+        let base_plan = plan2(4, 3);
+        let la = base_plan.partitioner.assign(&a);
+        let lb = base_plan.partitioner.assign(&b);
+        let populated = (0..base_plan.partitioner.tile_count())
+            .filter(|&t| !la[t].is_empty() && !lb[t].is_empty())
+            .count() as u64;
+        for algo in ALL_ALGOS {
+            for split in [SplitPolicy::Never, SplitPolicy::Above(0)] {
+                let res = partitioned_join(&base_plan.with_algo(algo).with_split(split), &a, &b);
+                assert_eq!(
+                    res.tiles_stt + res.tiles_inlj + res.tiles_sweep,
+                    populated,
+                    "{algo:?} {split:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_join_exactly_for_every_algo() {
+        // Zero-extent rectangles, exact duplicates, x-min ties, and
+        // tile-spanning giants — the sweep's tie-breaks and the dedup
+        // filter must agree with brute force for every kernel.
+        let mut a = boxes(60, 39, 150.0);
+        a.push(r2(100.0, 100.0, 100.0, 100.0)); // zero extent
+        a.push(r2(100.0, 100.0, 100.0, 100.0)); // duplicate of it
+        a.push(r2(0.0, 0.0, 500.0, 500.0)); // spans every tile
+        let dup = a[0];
+        a.push(dup);
+        let mut b = boxes(70, 40, 150.0);
+        b.push(r2(100.0, 100.0, 100.0, 100.0));
+        b.push(r2(250.0, 0.0, 250.0, 500.0)); // zero-width full-height sliver
+        let expected = brute_force_pairs(&a, &b);
+        for algo in ALL_ALGOS {
+            for use_clips in [true, false] {
+                let plan = plan2(4, 2).with_algo(algo).with_clips(use_clips);
+                assert_eq!(
+                    partitioned_join(&plan, &a, &b).pairs,
+                    expected,
+                    "{algo:?} clips={use_clips}"
+                );
+            }
+        }
     }
 
     /// Key helper: dataset `d` at version `v`.
     fn key(d: u32, v: u64) -> ForestKey {
         (DatasetId(d), DataVersion(v))
+    }
+
+    #[test]
+    fn forest_cache_columns_access_is_stat_neutral() {
+        // Regression for the one-door bookkeeping: lazily extracting a
+        // cached forest's columns (as every sweep over a cached side
+        // does) must count as neither a build nor a hit — the columns
+        // live inside the entry, not beside it. Only get_or_build moves
+        // the counters; insert() never does.
+        let b = boxes(120, 50, 25.0);
+        let plan = plan2(3, 2);
+        let cache: ForestCache<2> = ForestCache::new();
+        let forest = cache.get_or_build(key(1, 1), || {
+            TileForest::build(&plan.partitioner, &b, plan.tree, plan.clip, 2)
+        });
+        assert_eq!((cache.builds(), cache.hits()), (1, 0));
+        let populated = (0..forest.tile_count())
+            .find(|&t| forest.tree(t).is_some())
+            .expect("some tile is populated");
+        let cols = forest
+            .columns(populated)
+            .expect("populated tile has columns");
+        assert!(!cols.is_empty());
+        assert_eq!(
+            (cache.builds(), cache.hits()),
+            (1, 0),
+            "columns extraction is not a cache event"
+        );
+        cache.insert(key(1, 2), forest.clone());
+        assert_eq!(
+            (cache.builds(), cache.hits()),
+            (1, 0),
+            "insert counts as neither build nor hit"
+        );
+        let again = cache.get_or_build(key(1, 2), || unreachable!("must hit"));
+        assert!(Arc::ptr_eq(&again, &forest));
+        assert_eq!((cache.builds(), cache.hits()), (1, 1));
     }
 
     #[test]

@@ -11,10 +11,13 @@
 //!   al., *Effective Spatial Data Partitioning for Scalable Query
 //!   Processing*).
 //! * [`join`] — the partitioned parallel join ([`partitioned_join`]):
-//!   per-tile clipped R-trees joined by STT or INLJ on a scoped worker
-//!   pool with dynamic tile scheduling, counters merged via `AddAssign`
-//!   (after Tsitsigkos et al., *Parallel In-Memory Evaluation of Spatial
-//!   Joins*). Pair counts are exactly those of a sequential join.
+//!   per-tile joins by STT over clipped R-trees, INLJ, or a plane sweep
+//!   over the columnar [`cbb_joins::TileColumns`] layout — chosen per
+//!   tile by [`JoinAlgo::Auto`] from tile cardinalities and forest-cache
+//!   presence — on a scoped worker pool with dynamic tile scheduling,
+//!   counters merged via `AddAssign` (after Tsitsigkos et al., *Parallel
+//!   In-Memory Evaluation of Spatial Joins*). Pair counts are exactly
+//!   those of a sequential join for every algorithm.
 //! * [`batch`] — the batched range-query executor
 //!   ([`parallel_range_queries`]): a query workload sharded across
 //!   workers against one shared [`cbb_rtree::ClippedRTree`], answers in

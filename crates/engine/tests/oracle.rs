@@ -15,6 +15,13 @@ use cbb_geom::{Point, Rect, SplitMix64};
 use cbb_joins::{brute_force_pairs, inlj, stt, JoinResult};
 use cbb_rtree::{AccessStats, ClippedRTree, DataId, RTree, TreeConfig, Variant};
 
+const ALL_ALGOS: [JoinAlgo; 4] = [
+    JoinAlgo::Stt,
+    JoinAlgo::Inlj,
+    JoinAlgo::Sweep,
+    JoinAlgo::Auto,
+];
+
 fn r2(lx: f64, ly: f64, hx: f64, hy: f64) -> Rect<2> {
     Rect::new(Point([lx, ly]), Point([hx, hy]))
 }
@@ -68,7 +75,7 @@ fn partitioned_join_matches_oracles_on_all_variants() {
         let right = global_clipped(&b, variant);
         assert_eq!(stt(&left, &right, true).pairs, expected, "{variant:?} stt");
         assert_eq!(inlj(&a, &right, true).pairs, expected, "{variant:?} inlj");
-        for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+        for algo in ALL_ALGOS {
             for workers in [1, 3] {
                 let p = plan(variant, 4, workers).with_algo(algo);
                 assert_eq!(
@@ -89,7 +96,7 @@ fn tile_spanning_objects_are_counted_exactly_once() {
     let b = boxes(120, 34, 180.0);
     let expected = brute_force_pairs(&a, &b);
     for variant in Variant::ALL {
-        for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+        for algo in ALL_ALGOS {
             let p = plan(variant, 4, 4).with_algo(algo);
             assert_eq!(
                 partitioned_join(&p, &a, &b).pairs,
@@ -105,7 +112,7 @@ fn degenerate_1x1_grid_equals_sequential_exactly() {
     let a = boxes(150, 35, 30.0);
     let b = boxes(170, 36, 30.0);
     for variant in [Variant::Quadratic, Variant::RRStar] {
-        for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+        for algo in ALL_ALGOS {
             let p = plan(variant, 1, 2).with_algo(algo);
             let par = partitioned_join(&p, &a, &b);
             let seq = sequential_join(&p, &a, &b);
@@ -170,7 +177,7 @@ fn adaptive_partitioner_matches_oracles_on_all_variants() {
     sample.extend_from_slice(&b);
     let adaptive = AdaptiveGrid::from_sample(domain, [4, 4], &sample);
     for variant in Variant::ALL {
-        for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+        for algo in ALL_ALGOS {
             let p = JoinPlan::new(
                 adaptive.clone(),
                 TreeConfig::tiny(variant),
@@ -200,7 +207,7 @@ fn quadtree_partitioner_matches_oracles_on_all_variants() {
     sample.extend_from_slice(&b);
     let quadtree = QuadtreePartitioner::build(domain, &sample, 80);
     for variant in Variant::ALL {
-        for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+        for algo in ALL_ALGOS {
             let p = JoinPlan::new(
                 quadtree.clone(),
                 TreeConfig::tiny(variant),
@@ -233,7 +240,7 @@ fn two_level_scheduling_stays_exact_under_skew() {
     let adaptive = AdaptiveGrid::from_sample(domain, [4, 4], &sample);
     let tree = TreeConfig::tiny(Variant::RStar);
     let clip = ClipConfig::paper_default::<2>(ClipMethod::Stairline);
-    for algo in [JoinAlgo::Stt, JoinAlgo::Inlj] {
+    for algo in ALL_ALGOS {
         let base = JoinPlan::new(uniform, tree, clip, 3)
             .with_algo(algo)
             .with_split(SplitPolicy::Never);

@@ -1,7 +1,7 @@
-//! # cbb-joins — spatial joins over (clipped) R-trees
+//! # cbb-joins — spatial joins over (clipped) R-trees and sorted columns
 //!
-//! The two classic strategies evaluated in §V (after Brinkhoff et al.
-//! \[8\]):
+//! The two classic index strategies evaluated in §V (after Brinkhoff et
+//! al. \[8\]), plus an index-free scan kernel:
 //!
 //! * **INLJ** (Index Nested Loop Join) — one input indexed, the other
 //!   streamed: one range query per outer object. Clipping accelerates
@@ -10,15 +10,22 @@
 //!   trees are descended in lock-step over intersecting node pairs.
 //!   Clipping restricts each recursion to the intersection of the pair's
 //!   CBBs via dominance tests, exactly as §V describes.
+//! * **Sweep** — neither input indexed: both sides live in a columnar
+//!   [`TileColumns`] layout sorted by x-min, and a forward-scan plane
+//!   sweep enumerates candidates whose x-intervals overlap, testing the
+//!   remaining axes with a branch-light loop over contiguous `f64`
+//!   slices. Clipping still composes: a tile-level CBB pre-check
+//!   ([`sweep_precheck`]) can discard the whole sweep before it starts.
 //!
-//! Both report per-side leaf accesses (raw, unbuffered — the paper's join
-//! I/O metric) and the number of result pairs, which is invariant under
-//! clipping (verified by tests).
+//! All kernels report per-side leaf accesses (raw, unbuffered — the
+//! paper's join I/O metric), the machine-independent `overlap_tests`
+//! work counter, and the number of result pairs, which is invariant
+//! under clipping and across kernels (verified by tests).
 
 use std::iter::Sum;
 use std::ops::AddAssign;
 
-use cbb_core::query_intersects_cbb;
+use cbb_core::{query_intersects_cbb, ClipPoint};
 use cbb_geom::{Point, Rect};
 use cbb_rtree::{AccessStats, Child, ClippedRTree, DataId, NodeId};
 
@@ -28,7 +35,7 @@ pub struct JoinResult {
     /// Number of intersecting object pairs found.
     pub pairs: u64,
     /// Leaf accesses on the left / outer side (0 for INLJ: the outer input
-    /// is a sequential scan, not index I/O).
+    /// is a sequential scan, not index I/O; 0 for Sweep: no index at all).
     pub leaf_accesses_left: u64,
     /// Leaf accesses on the right / indexed side.
     pub leaf_accesses_right: u64,
@@ -36,6 +43,20 @@ pub struct JoinResult {
     pub internal_accesses: u64,
     /// Recursions avoided by clip-point dominance tests.
     pub clip_prunes: u64,
+    /// Rectangle–rectangle intersection tests performed — the
+    /// machine-independent work unit that makes the three kernels
+    /// directly comparable: STT counts every candidate node/object pair
+    /// tested, INLJ counts every entry MBB tested during its probes, and
+    /// the sweep counts every candidate its scans advance over.
+    pub overlap_tests: u64,
+    /// Tiles resolved to STT by a partitioned executor (0 for the bare
+    /// kernels in this crate; filled in by the engine's per-tile
+    /// dispatch so `Auto` mixes are observable downstream).
+    pub tiles_stt: u64,
+    /// Tiles resolved to INLJ (see [`JoinResult::tiles_stt`]).
+    pub tiles_inlj: u64,
+    /// Tiles resolved to the plane sweep (see [`JoinResult::tiles_stt`]).
+    pub tiles_sweep: u64,
 }
 
 impl JoinResult {
@@ -57,6 +78,10 @@ impl AddAssign for JoinResult {
         self.leaf_accesses_right += other.leaf_accesses_right;
         self.internal_accesses += other.internal_accesses;
         self.clip_prunes += other.clip_prunes;
+        self.overlap_tests += other.overlap_tests;
+        self.tiles_stt += other.tiles_stt;
+        self.tiles_inlj += other.tiles_inlj;
+        self.tiles_sweep += other.tiles_sweep;
     }
 }
 
@@ -120,6 +145,7 @@ where
     result.leaf_accesses_right = stats.leaf_accesses;
     result.internal_accesses = stats.internal_accesses;
     result.clip_prunes = stats.clip_prunes;
+    result.overlap_tests = stats.overlap_tests;
     result
 }
 
@@ -153,6 +179,7 @@ where
     let rroot = right.tree.root_id();
     let lmbb = left.tree.node(lroot).mbb;
     let rmbb = right.tree.node(rroot).mbb;
+    result.overlap_tests += 1;
     let Some(w) = lmbb.intersection(&rmbb) else {
         return result;
     };
@@ -190,6 +217,7 @@ pub fn stt_tasks<const D: usize>(
     let rroot = right.tree.root_id();
     let lnode = left.tree.node(lroot);
     let rnode = right.tree.node(rroot);
+    base.overlap_tests += 1;
     let Some(w) = lnode.mbb.intersection(&rnode.mbb) else {
         return (base, tasks);
     };
@@ -204,6 +232,7 @@ pub fn stt_tasks<const D: usize>(
         (true, true) => tasks.push((lroot, rroot)),
         (false, true) => {
             base.internal_accesses += 1;
+            base.overlap_tests += lnode.entries.len() as u64;
             for e1 in &lnode.entries {
                 let Some(w) = e1.mbb.intersection(&rnode.mbb) else {
                     continue;
@@ -218,6 +247,7 @@ pub fn stt_tasks<const D: usize>(
         }
         (true, false) => {
             base.internal_accesses += 1;
+            base.overlap_tests += rnode.entries.len() as u64;
             for e2 in &rnode.entries {
                 let Some(w) = e2.mbb.intersection(&lnode.mbb) else {
                     continue;
@@ -232,6 +262,7 @@ pub fn stt_tasks<const D: usize>(
         }
         (false, false) => {
             base.internal_accesses += 2;
+            base.overlap_tests += (lnode.entries.len() * rnode.entries.len()) as u64;
             for e1 in &lnode.entries {
                 for e2 in &rnode.entries {
                     let Some(w) = e1.mbb.intersection(&e2.mbb) else {
@@ -314,6 +345,7 @@ fn stt_rec<const D: usize, F>(
         (true, true) => {
             result.leaf_accesses_left += 1;
             result.leaf_accesses_right += 1;
+            result.overlap_tests += (lnode.entries.len() * rnode.entries.len()) as u64;
             for e1 in &lnode.entries {
                 for e2 in &rnode.entries {
                     if e1.mbb.intersects(&e2.mbb) && keep(&e1.mbb, &e2.mbb) {
@@ -325,6 +357,7 @@ fn stt_rec<const D: usize, F>(
         (false, true) => {
             // Descend the left (deeper) side only.
             result.internal_accesses += 1;
+            result.overlap_tests += lnode.entries.len() as u64;
             for e1 in &lnode.entries {
                 let Some(w) = e1.mbb.intersection(&rnode.mbb) else {
                     continue;
@@ -346,6 +379,7 @@ fn stt_rec<const D: usize, F>(
         }
         (true, false) => {
             result.internal_accesses += 1;
+            result.overlap_tests += rnode.entries.len() as u64;
             for e2 in &rnode.entries {
                 let Some(w) = e2.mbb.intersection(&lnode.mbb) else {
                     continue;
@@ -363,6 +397,7 @@ fn stt_rec<const D: usize, F>(
         }
         (false, false) => {
             result.internal_accesses += 2;
+            result.overlap_tests += (lnode.entries.len() * rnode.entries.len()) as u64;
             for e1 in &lnode.entries {
                 for e2 in &rnode.entries {
                     let Some(w) = e1.mbb.intersection(&e2.mbb) else {
@@ -386,6 +421,233 @@ fn stt_rec<const D: usize, F>(
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Plane-sweep join over a columnar SoA tile layout
+// ---------------------------------------------------------------------
+
+/// A tile's objects in structure-of-arrays form, sorted by x-min.
+///
+/// Each axis stores its lower and upper coordinates in separate
+/// contiguous `f64` vectors (`min_x/max_x/min_y/max_y/…`), with object
+/// ids in a parallel vector. The sort key is `(lo[0], id)` with
+/// [`f64::total_cmp`], so the layout — and therefore every counter the
+/// sweep produces — is a pure function of the object set.
+///
+/// `TileColumns` is the input format of the [`sweep`] kernel: the
+/// x-sorted order turns candidate generation into two binary searches
+/// per object, and the columnar layout turns the remaining-axes overlap
+/// test into a branch-light loop over contiguous slices that the
+/// compiler can auto-vectorize. Extraction costs one sort; executors
+/// that join the same tile repeatedly should cache the result (the
+/// engine's `TileForest` keeps columns alongside each tile tree and
+/// reuses them version-exactly, rebuilding only when the tile mutates).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TileColumns<const D: usize> {
+    /// Lower coordinates per axis, each sorted order (axis 0 ascending).
+    lo: [Vec<f64>; D],
+    /// Upper coordinates per axis, parallel to `lo`.
+    hi: [Vec<f64>; D],
+    /// Object ids, parallel to the coordinate columns.
+    ids: Vec<DataId>,
+    /// MBB of all objects (`None` when empty), precomputed for the
+    /// tile-level pre-checks.
+    bounds: Option<Rect<D>>,
+}
+
+impl<const D: usize> TileColumns<D> {
+    /// Extract columns from `(rect, id)` items, sorting by `(x-min, id)`.
+    pub fn from_items(items: &[(Rect<D>, DataId)]) -> Self {
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        order.sort_by(|&a, &b| {
+            items[a].0.lo[0]
+                .total_cmp(&items[b].0.lo[0])
+                .then_with(|| items[a].1.cmp(&items[b].1))
+        });
+        let mut lo: [Vec<f64>; D] = std::array::from_fn(|_| Vec::with_capacity(items.len()));
+        let mut hi: [Vec<f64>; D] = std::array::from_fn(|_| Vec::with_capacity(items.len()));
+        let mut ids = Vec::with_capacity(items.len());
+        for &i in &order {
+            let (r, id) = items[i];
+            for d in 0..D {
+                lo[d].push(r.lo[d]);
+                hi[d].push(r.hi[d]);
+            }
+            ids.push(id);
+        }
+        let bounds = Rect::mbb_of(&items.iter().map(|(r, _)| *r).collect::<Vec<_>>());
+        TileColumns {
+            lo,
+            hi,
+            ids,
+            bounds,
+        }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the tile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The id of the `i`-th object in sweep order.
+    pub fn id(&self, i: usize) -> DataId {
+        self.ids[i]
+    }
+
+    /// The rectangle of the `i`-th object in sweep order.
+    pub fn rect(&self, i: usize) -> Rect<D> {
+        Rect::new(
+            Point(std::array::from_fn(|d| self.lo[d][i])),
+            Point(std::array::from_fn(|d| self.hi[d][i])),
+        )
+    }
+
+    /// MBB of all objects (`None` when empty).
+    pub fn bounds(&self) -> Option<Rect<D>> {
+        self.bounds
+    }
+
+    /// All rectangles in sweep order (the x-sorted probe list an INLJ
+    /// executor can stream without re-partitioning).
+    pub fn rects(&self) -> Vec<Rect<D>> {
+        (0..self.len()).map(|i| self.rect(i)).collect()
+    }
+}
+
+/// Which side's elements a [`sweep_scan`] chunk iterates over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepSide {
+    /// Scan left elements against the right columns.
+    Left,
+    /// Scan right elements against the left columns.
+    Right,
+}
+
+/// Plane-sweep join of two column sets: every intersecting `(left id,
+/// right id)` pair, counted once.
+pub fn sweep<const D: usize>(left: &TileColumns<D>, right: &TileColumns<D>) -> JoinResult {
+    sweep_filtered(left, right, |_, _| true)
+}
+
+/// Tile-local sweep entry point: as [`sweep`], but a found pair is
+/// counted only when `keep` accepts its two object rectangles (the
+/// reference-point duplicate-elimination hook, as in [`stt_filtered`]).
+pub fn sweep_filtered<const D: usize, F>(
+    left: &TileColumns<D>,
+    right: &TileColumns<D>,
+    keep: F,
+) -> JoinResult
+where
+    F: Fn(&Rect<D>, &Rect<D>) -> bool,
+{
+    let mut result = sweep_scan(left, right, SweepSide::Left, 0, left.len(), &keep);
+    result += sweep_scan(left, right, SweepSide::Right, 0, right.len(), &keep);
+    result
+}
+
+/// One chunk of the sweep: the forward scans of elements `lo..hi` on one
+/// side. Each element's scan is independent, so summing chunks over any
+/// partition of `0..len` on both sides reproduces [`sweep_filtered`]
+/// **exactly** (all counters, in any order) — the property parallel
+/// executors rely on to split a hot tile's sweep by x-range.
+///
+/// The tie-break makes every intersecting pair the responsibility of
+/// exactly one scan: a left element tests the right elements whose x-min
+/// is `>=` its own (ties included), a right element tests the left
+/// elements whose x-min is *strictly greater* than its own.
+pub fn sweep_scan<const D: usize, F>(
+    left: &TileColumns<D>,
+    right: &TileColumns<D>,
+    side: SweepSide,
+    lo: usize,
+    hi: usize,
+    keep: F,
+) -> JoinResult
+where
+    F: Fn(&Rect<D>, &Rect<D>) -> bool,
+{
+    match side {
+        SweepSide::Left => scan_forward(left, right, lo, hi, false, |o, i| keep(o, i)),
+        SweepSide::Right => scan_forward(right, left, lo, hi, true, |o, i| keep(i, o)),
+    }
+}
+
+/// Forward scans of `outer` elements `lo..hi` against `inner`. With
+/// `strict` the scan starts past x-min ties instead of at them. `keep`
+/// receives `(outer rect, inner rect)`.
+fn scan_forward<const D: usize, F>(
+    outer: &TileColumns<D>,
+    inner: &TileColumns<D>,
+    lo: usize,
+    hi: usize,
+    strict: bool,
+    keep: F,
+) -> JoinResult
+where
+    F: Fn(&Rect<D>, &Rect<D>) -> bool,
+{
+    let mut result = JoinResult::default();
+    let inner_lo0 = inner.lo[0].as_slice();
+    for i in lo..hi {
+        let o_lo0 = outer.lo[0][i];
+        let o_hi0 = outer.hi[0][i];
+        // Candidates: inner elements whose x-min lies in [o_lo0, o_hi0]
+        // (or (o_lo0, o_hi0] under the strict tie-break). Their x-hi is
+        // >= their x-min >= o_lo0, so x-overlap needs no further test.
+        let start = if strict {
+            inner_lo0.partition_point(|&x| x <= o_lo0)
+        } else {
+            inner_lo0.partition_point(|&x| x < o_lo0)
+        };
+        let end = start + inner_lo0[start..].partition_point(|&x| x <= o_hi0);
+        result.overlap_tests += (end - start) as u64;
+        let o_rect = outer.rect(i);
+        for j in start..end {
+            // Branch-light remaining-axes test over contiguous slices.
+            let mut ok = true;
+            for d in 1..D {
+                ok &= inner.lo[d][j] <= o_rect.hi[d] && o_rect.lo[d] <= inner.hi[d][j];
+            }
+            if ok && keep(&o_rect, &inner.rect(j)) {
+                result.pairs += 1;
+            }
+        }
+    }
+    result
+}
+
+/// The tile-level pre-check a partitioned executor runs once before
+/// sweeping (or before handing out [`sweep_scan`] chunks): compute the
+/// joint window `w = bounds(left) ∩ bounds(right)` and, when clip points
+/// are supplied, test `w` against both sides' CBBs exactly as the STT
+/// root check does. Returns the counters the check itself produced and
+/// whether the sweep should proceed. Pass empty clip slices for the
+/// unclipped baseline.
+pub fn sweep_precheck<const D: usize>(
+    left: &TileColumns<D>,
+    lclips: &[ClipPoint<D>],
+    right: &TileColumns<D>,
+    rclips: &[ClipPoint<D>],
+) -> (JoinResult, bool) {
+    let mut result = JoinResult::default();
+    let (Some(lmbb), Some(rmbb)) = (left.bounds(), right.bounds()) else {
+        return (result, false);
+    };
+    result.overlap_tests += 1;
+    let Some(w) = lmbb.intersection(&rmbb) else {
+        return (result, false);
+    };
+    if !query_intersects_cbb(&lmbb, lclips, &w) || !query_intersects_cbb(&rmbb, rclips, &w) {
+        result.clip_prunes += 1;
+        return (result, false);
+    }
+    (result, true)
 }
 
 /// Brute-force pair count (test oracle).
@@ -538,7 +800,14 @@ mod tests {
         let left = clipped(&a, Variant::RStar);
         assert!(left.tree.node(left.tree.root_id()).is_leaf());
         let (base, tasks) = stt_tasks(&left, &left, true);
-        assert_eq!(base, JoinResult::default());
+        // The root window check is the decomposition's only work here.
+        assert_eq!(
+            base,
+            JoinResult {
+                overlap_tests: 1,
+                ..JoinResult::default()
+            }
+        );
         assert_eq!(tasks, vec![(left.tree.root_id(), left.tree.root_id())]);
         let all = stt_filtered_from(&left, tasks[0].0, &left, tasks[0].1, true, |_, _| true);
         let none = stt_filtered_from(&left, tasks[0].0, &left, tasks[0].1, true, |_, _| false);
@@ -555,7 +824,14 @@ mod tests {
         let left = clipped(&a, Variant::RStar);
         let right = clipped(&b, Variant::RStar);
         let (base, tasks) = stt_tasks(&left, &right, true);
-        assert_eq!(base, JoinResult::default());
+        // Disjoint roots still cost the one window test that proves it.
+        assert_eq!(
+            base,
+            JoinResult {
+                overlap_tests: 1,
+                ..JoinResult::default()
+            }
+        );
         assert!(tasks.is_empty());
         let empty = ClippedRTree::from_tree(
             RTree::new(TreeConfig::tiny(Variant::RStar)),
@@ -573,5 +849,161 @@ mod tests {
         // Self-join includes (i, i) pairs and both (i, j), (j, i).
         assert_eq!(res.pairs, brute_force_pairs(&a, &a));
         assert!(res.pairs >= a.len() as u64);
+    }
+
+    fn columns(data: &[Rect<2>]) -> TileColumns<2> {
+        let items: Vec<(Rect<2>, DataId)> = data
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (*b, DataId(i as u32)))
+            .collect();
+        TileColumns::from_items(&items)
+    }
+
+    #[test]
+    fn sweep_counts_match_brute_force() {
+        let a = boxes(150, 12);
+        let b = boxes(200, 13);
+        let res = sweep(&columns(&a), &columns(&b));
+        assert_eq!(res.pairs, brute_force_pairs(&a, &b));
+        assert_eq!(res.leaf_accesses(), 0, "the sweep touches no index");
+        assert!(res.overlap_tests > 0);
+        assert!(
+            res.overlap_tests < (a.len() * b.len()) as u64,
+            "the sort must beat the nested loop"
+        );
+    }
+
+    #[test]
+    fn sweep_self_join_and_degenerate_inputs() {
+        // Self-join: (i, i) and both orders of (i, j), like STT.
+        let a = boxes(80, 14);
+        let c = columns(&a);
+        assert_eq!(sweep(&c, &c).pairs, brute_force_pairs(&a, &a));
+        // Zero-extent rects (points) and exact duplicates, including
+        // x-min ties across both sides.
+        let weird = vec![
+            r2(5.0, 5.0, 5.0, 5.0),
+            r2(5.0, 5.0, 5.0, 5.0),
+            r2(5.0, 1.0, 9.0, 9.0),
+            r2(5.0, 6.0, 6.0, 7.0),
+            r2(0.0, 0.0, 20.0, 20.0),
+        ];
+        let w = columns(&weird);
+        assert_eq!(sweep(&w, &w).pairs, brute_force_pairs(&weird, &weird));
+        assert_eq!(sweep(&w, &c).pairs, brute_force_pairs(&weird, &a));
+        // Empty sides.
+        let empty = columns(&[]);
+        assert_eq!(sweep(&empty, &c), JoinResult::default());
+        assert_eq!(sweep(&c, &empty), JoinResult::default());
+    }
+
+    #[test]
+    fn sweep_filter_drops_pairs_but_not_work() {
+        let a = boxes(60, 15);
+        let b = boxes(60, 16);
+        let (ca, cb) = (columns(&a), columns(&b));
+        let all = sweep_filtered(&ca, &cb, |_, _| true);
+        let none = sweep_filtered(&ca, &cb, |_, _| false);
+        assert_eq!(none.pairs, 0);
+        assert_eq!(all.overlap_tests, none.overlap_tests);
+    }
+
+    #[test]
+    fn sweep_scan_chunks_sum_to_whole_exactly() {
+        // The decomposition contract, as for stt_tasks: any chunking of
+        // both sides' scan ranges sums to the monolithic sweep, counter
+        // for counter.
+        let a = boxes(300, 17);
+        let b = boxes(250, 18);
+        let (ca, cb) = (columns(&a), columns(&b));
+        let keep = |x: &Rect<2>, y: &Rect<2>| (x.lo[0] + y.lo[0]) as u64 % 3 != 0;
+        let whole = sweep_filtered(&ca, &cb, keep);
+        for chunk in [1usize, 7, 64, 1000] {
+            let mut sum = JoinResult::default();
+            for side in [SweepSide::Left, SweepSide::Right] {
+                let n = match side {
+                    SweepSide::Left => ca.len(),
+                    SweepSide::Right => cb.len(),
+                };
+                let mut lo = 0;
+                while lo < n {
+                    let hi = (lo + chunk).min(n);
+                    sum += sweep_scan(&ca, &cb, side, lo, hi, keep);
+                    lo = hi;
+                }
+            }
+            assert_eq!(sum, whole, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn sweep_precheck_window_and_clips() {
+        // Disjoint bounds: pruned by the window alone, one test counted.
+        let far = columns(&[r2(400.0, 400.0, 410.0, 410.0)]);
+        let near = columns(&[r2(0.0, 0.0, 10.0, 10.0)]);
+        let (base, go) = sweep_precheck(&near, &[], &far, &[]);
+        assert!(!go);
+        assert_eq!(base.overlap_tests, 1);
+        assert_eq!(base.clip_prunes, 0);
+        // Empty side: nothing to do, nothing counted.
+        let (base, go) = sweep_precheck(&near, &[], &columns(&[]), &[]);
+        assert!(!go);
+        assert_eq!(base, JoinResult::default());
+        // Clip pre-check: diagonal data leaves the off-diagonal corners
+        // as dead space; a probe set living only there must be pruned by
+        // the CBB test even though the plain windows intersect.
+        let diag = vec![r2(0.0, 0.0, 10.0, 10.0), r2(90.0, 90.0, 100.0, 100.0)];
+        let corner = vec![r2(15.0, 70.0, 25.0, 80.0)];
+        let (cd, cc) = (columns(&diag), columns(&corner));
+        let tree = clipped(&diag, Variant::RStar);
+        let root_clips = tree.clips_of(tree.tree.root_id());
+        assert!(!root_clips.is_empty(), "diagonal layout must clip");
+        let (_, go) = sweep_precheck(&cd, &[], &cc, &[]);
+        assert!(go, "plain windows intersect");
+        let (base, go) = sweep_precheck(&cd, root_clips, &cc, &[]);
+        assert!(!go, "the corner window must die on the CBB");
+        assert_eq!(base.clip_prunes, 1);
+        // Clips never change the answer when the sweep does run.
+        let a = boxes(120, 19);
+        let b = boxes(120, 20);
+        let (ca, cb) = (columns(&a), columns(&b));
+        let ta = clipped(&a, Variant::RStar);
+        let (_, go) = sweep_precheck(&ca, ta.clips_of(ta.tree.root_id()), &cb, &[]);
+        assert!(go);
+        assert_eq!(sweep(&ca, &cb).pairs, brute_force_pairs(&a, &b));
+    }
+
+    #[test]
+    fn columns_are_sorted_and_roundtrip() {
+        let a = boxes(50, 21);
+        let c = columns(&a);
+        assert_eq!(c.len(), a.len());
+        for i in 1..c.len() {
+            assert!(c.rect(i - 1).lo[0] <= c.rect(i).lo[0]);
+        }
+        let mut got: Vec<(u32, Rect<2>)> = (0..c.len()).map(|i| (c.id(i).0, c.rect(i))).collect();
+        got.sort_by_key(|(id, _)| *id);
+        for (i, (id, r)) in got.iter().enumerate() {
+            assert_eq!(*id as usize, i);
+            assert_eq!(*r, a[i]);
+        }
+        assert_eq!(c.rects().len(), a.len());
+        assert_eq!(c.bounds(), Rect::mbb_of(&a));
+    }
+
+    #[test]
+    fn sweep_pairs_equal_stt_pairs() {
+        for (na, nb, sa, sb) in [(150, 180, 22, 23), (40, 400, 24, 25)] {
+            let a = boxes(na, sa);
+            let b = boxes(nb, sb);
+            let by_sweep = sweep(&columns(&a), &columns(&b));
+            let by_stt = stt(
+                &clipped(&a, Variant::RStar),
+                &clipped(&b, Variant::RStar),
+                true,
+            );
+            assert_eq!(by_sweep.pairs, by_stt.pairs);
+        }
     }
 }

@@ -213,6 +213,7 @@ impl<const D: usize> ClippedRTree<D> {
 
     fn query_rec(&self, id: NodeId, q: &Rect<D>, stats: &mut AccessStats, out: &mut Vec<DataId>) {
         let node = self.tree.node(id);
+        stats.overlap_tests += node.entries.len() as u64;
         if node.is_leaf() {
             stats.leaf_accesses += 1;
             let before = out.len();

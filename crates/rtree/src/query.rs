@@ -125,6 +125,7 @@ impl<const D: usize> RTree<D> {
 
     fn query_node(&self, id: NodeId, q: &Rect<D>, stats: &mut AccessStats, out: &mut Vec<DataId>) {
         let node = self.node(id);
+        stats.overlap_tests += node.entries.len() as u64;
         if node.is_leaf() {
             stats.leaf_accesses += 1;
             let before = out.len();

@@ -23,6 +23,11 @@ pub struct AccessStats {
     pub clip_tests: u64,
     /// Subtree visits avoided because a clip point pruned the recursion.
     pub clip_prunes: u64,
+    /// Rectangle–rectangle intersection tests performed against entry
+    /// MBBs (leaf and directory levels alike) — the machine-independent
+    /// work unit that makes index traversals comparable to scan-based
+    /// join kernels.
+    pub overlap_tests: u64,
 }
 
 impl AccessStats {
@@ -39,6 +44,7 @@ impl AccessStats {
         self.results += other.results;
         self.clip_tests += other.clip_tests;
         self.clip_prunes += other.clip_prunes;
+        self.overlap_tests += other.overlap_tests;
     }
 
     /// Fraction of leaf accesses that contributed results (Figure 1c),
@@ -58,7 +64,7 @@ impl AccessStats {
 
     /// Every counter as a `(stable name, value)` pair — the bridge into
     /// telemetry layers without this crate depending on them.
-    pub fn fields(&self) -> [(&'static str, u64); 6] {
+    pub fn fields(&self) -> [(&'static str, u64); 7] {
         [
             ("leaf_accesses", self.leaf_accesses),
             (
@@ -69,6 +75,7 @@ impl AccessStats {
             ("results", self.results),
             ("clip_tests", self.clip_tests),
             ("clip_prunes", self.clip_prunes),
+            ("overlap_tests", self.overlap_tests),
         ]
     }
 }
@@ -108,12 +115,14 @@ mod tests {
             results: 5,
             clip_tests: 7,
             clip_prunes: 1,
+            overlap_tests: 4,
         };
         a.absorb(&b);
         a.absorb(&b);
         assert_eq!(a.leaf_accesses, 6);
         assert_eq!(a.results, 10);
         assert_eq!(a.clip_prunes, 2);
+        assert_eq!(a.overlap_tests, 8);
     }
 
     #[test]

@@ -474,6 +474,7 @@ pub(crate) fn run_batch<const D: usize, P>(
             let d = t.elapsed();
             shared.stats.forest_hits.inc();
             shared.stats.join_pairs.add(result.pairs);
+            shared.stats.record_join_algos(&result);
             trace.spans[slot].record_duration(Phase::Execute, d);
             trace.spans[slot].record_duration(Phase::Probe, d);
             trace.counters[slot].extend(join_counters(&result));
@@ -490,6 +491,7 @@ pub(crate) fn run_batch<const D: usize, P>(
         trace.spans[slot].record_duration(Phase::Probe, d);
         if let Response::Join(result) = &response {
             shared.stats.join_pairs.add(result.pairs);
+            shared.stats.record_join_algos(result);
             trace.counters[slot].extend(join_counters(result));
         }
         responses[slot] = Some(response);
@@ -525,23 +527,27 @@ pub(crate) fn run_batch<const D: usize, P>(
 }
 
 /// The work counters a join request contributes to its slow-ring entry.
-fn join_counters(result: &JoinResult) -> [(&'static str, u64); 5] {
+fn join_counters(result: &JoinResult) -> [(&'static str, u64); 6] {
     [
         ("pairs", result.pairs),
         ("leaf_accesses_left", result.leaf_accesses_left),
         ("leaf_accesses_right", result.leaf_accesses_right),
         ("internal_accesses", result.internal_accesses),
         ("clip_prunes", result.clip_prunes),
+        ("overlap_tests", result.overlap_tests),
     ]
 }
 
 /// Join the live objects of two served datasets: `left ⋈ right`, tiled
 /// by the **right** (indexed) side's partitioner. The right forest is
-/// always served from its store; when the tilings are equal and the
-/// strategy is STT the left forest is borrowed too
-/// ([`partitioned_join_forests`] — nothing is assigned or bulk-loaded
-/// at all), otherwise the left side's live rectangles are
-/// re-partitioned onto the right tiling by [`partitioned_join_with`].
+/// always served from its store; when the tilings are equal the left
+/// forest is borrowed too, for **every** strategy
+/// ([`partitioned_join_forests`] — STT borrows both trees, INLJ reads
+/// its probes from the probe forest's cached columns, the sweep borrows
+/// both sides' columns; nothing is assigned or bulk-loaded at all).
+/// Only a partitioner mismatch re-partitions the probe side's live
+/// rectangles onto the right tiling ([`partitioned_join_with`]) — the
+/// `cbb_probe_repartitions_total` counter tracks exactly those.
 fn run_cross_join<const D: usize, P>(
     shared: &SharedState<D, P>,
     left: DatasetId,
@@ -578,15 +584,15 @@ where
         split: SplitPolicy::Auto,
     };
 
-    // Self-join: one read lock, the live set joined against itself.
+    // Self-join: one read lock, the cached forest joined against
+    // itself — no live-rect extraction, no probe re-partitioning.
     if left == right {
         let store = rentry.store().read().expect("dataset store poisoned");
         let plan = plan_for(store.partitioner().clone());
-        let probes = store.live_rects();
         shared.stats.forest_hits.inc();
-        return Response::Join(partitioned_join_with(
+        return Response::Join(partitioned_join_forests(
             &plan,
-            &probes,
+            store.forest(),
             store.objects(),
             store.forest(),
         ));
@@ -608,15 +614,17 @@ where
     };
 
     let plan = plan_for(rstore.partitioner().clone());
-    let result = if matches!(algo, JoinAlgo::Stt) && lstore.partitioner() == rstore.partitioner() {
+    let result = if lstore.partitioner() == rstore.partitioner() {
         // Shared tiling: the probe side's cached forest IS the per-tile
-        // left side a fresh partitioned join would build — borrow both.
+        // left side a fresh partitioned join would build — borrow both,
+        // whatever the strategy.
         shared.stats.forest_hits.add(2);
         partitioned_join_forests(&plan, lstore.forest(), rstore.objects(), rstore.forest())
     } else {
-        // Different tilings (or INLJ probes): re-partition the probe
-        // side's live objects onto the indexed side's tiles.
+        // Different tilings: re-partition the probe side's live objects
+        // onto the indexed side's tiles.
         shared.stats.forest_hits.inc();
+        shared.stats.probe_repartitions.inc();
         let probes = lstore.live_rects();
         partitioned_join_with(&plan, &probes, rstore.objects(), rstore.forest())
     };

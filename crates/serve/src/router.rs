@@ -824,6 +824,7 @@ fn merge_reports(reports: Vec<ServiceReport>) -> ServiceReport {
         forest_builds: 0,
         forest_hits: 0,
         cross_joins: 0,
+        probe_repartitions: 0,
         write_batches: 0,
         updates_applied: 0,
         delta_nodes_allocated: 0,
@@ -847,6 +848,7 @@ fn merge_reports(reports: Vec<ServiceReport>) -> ServiceReport {
         merged.forest_builds += report.forest_builds;
         merged.forest_hits += report.forest_hits;
         merged.cross_joins += report.cross_joins;
+        merged.probe_repartitions += report.probe_repartitions;
         merged.write_batches += report.write_batches;
         merged.updates_applied += report.updates_applied;
         merged.delta_nodes_allocated += report.delta_nodes_allocated;

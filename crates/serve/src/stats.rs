@@ -51,6 +51,11 @@ pub(crate) mod names {
     pub const FOREST_HITS: &str = "cbb_forest_hits_total";
     /// Cross-dataset join requests served.
     pub const CROSS_JOINS: &str = "cbb_cross_joins_total";
+    /// Tiles executed per join kernel (`algo` label: stt/inlj/sweep).
+    pub const JOIN_ALGO: &str = "cbb_join_algo_total";
+    /// Cross-join probe sides re-partitioned instead of served from a
+    /// cached forest (the fallback the forest-native path avoids).
+    pub const PROBE_REPARTITIONS: &str = "cbb_probe_repartitions_total";
     /// (dataset, micro-batch) pairs that applied ≥ 1 write.
     pub const WRITE_BATCHES: &str = "cbb_write_batches_total";
     /// Individual updates applied.
@@ -115,6 +120,11 @@ pub struct ServiceStats {
     pub(crate) forest_cache_hits: Counter,
     pub(crate) forest_hits: Counter,
     pub(crate) cross_joins: Counter,
+    /// Tiles executed per kernel, indexed stt/inlj/sweep — how often
+    /// [`cbb_engine::JoinAlgo::Auto`] (or an explicit plan) lands on
+    /// each algorithm.
+    pub(crate) join_algo: [Counter; 3],
+    pub(crate) probe_repartitions: Counter,
     pub(crate) write_batches: Counter,
     pub(crate) updates_applied: Counter,
     pub(crate) delta_nodes_allocated: Counter,
@@ -219,6 +229,18 @@ impl ServiceStats {
                 "Cross-dataset join requests served.",
                 &[],
             ),
+            join_algo: ["stt", "inlj", "sweep"].map(|algo| {
+                registry.counter(
+                    names::JOIN_ALGO,
+                    "Tiles executed per join kernel.",
+                    &[("algo", algo)],
+                )
+            }),
+            probe_repartitions: registry.counter(
+                names::PROBE_REPARTITIONS,
+                "Cross-join probe sides re-partitioned instead of served from a cached forest.",
+                &[],
+            ),
             write_batches: registry.counter(
                 names::WRITE_BATCHES,
                 "(dataset, micro-batch) pairs that applied at least one write.",
@@ -289,10 +311,17 @@ impl ServiceStats {
         &self.slow
     }
 
-    /// Per-dataset traversal-counter handles (the six `AccessStats`
+    /// Record the per-tile kernel mix of one executed join.
+    pub(crate) fn record_join_algos(&self, result: &cbb_joins::JoinResult) {
+        self.join_algo[0].add(result.tiles_stt);
+        self.join_algo[1].add(result.tiles_inlj);
+        self.join_algo[2].add(result.tiles_sweep);
+    }
+
+    /// Per-dataset traversal-counter handles (the seven `AccessStats`
     /// fields), resolved once per (dataset, batch group) — the per-query
     /// record path then touches only these.
-    pub(crate) fn access_counters(&self, dataset: &str) -> [Counter; 6] {
+    pub(crate) fn access_counters(&self, dataset: &str) -> [Counter; 7] {
         let field = |name: &str, help: &str| {
             self.registry.counter(
                 &format!("{}{}_total", names::ACCESS_PREFIX, name),
@@ -310,6 +339,10 @@ impl ServiceStats {
             field("results", "Result objects produced."),
             field("clip_tests", "Clip-point dominance comparisons performed."),
             field("clip_prunes", "Subtree visits avoided by clip points."),
+            field(
+                "overlap_tests",
+                "Rectangle-rectangle intersection tests performed.",
+            ),
         ]
     }
 
@@ -390,6 +423,7 @@ impl ServiceStats {
             forest_builds: self.forest_builds.get(),
             forest_hits: self.forest_hits.get(),
             cross_joins: self.cross_joins.get(),
+            probe_repartitions: self.probe_repartitions.get(),
             write_batches: self.write_batches.get(),
             updates_applied: self.updates_applied.get(),
             delta_nodes_allocated: self.delta_nodes_allocated.get(),
@@ -483,6 +517,11 @@ pub struct ServiceReport {
     pub forest_hits: u64,
     /// Cross-dataset join requests served.
     pub cross_joins: u64,
+    /// Cross-join probe sides re-partitioned instead of served from a
+    /// cached forest. Zero on a steady-state service whose cross-joined
+    /// datasets share a tiling — every probe side is forest-native; the
+    /// counter moving means a partitioner mismatch forced the fallback.
+    pub probe_repartitions: u64,
     /// (dataset, micro-batch) pairs that applied at least one write
     /// (= version bumps from the write path; each coalesces every
     /// write sharing the batch against that dataset, and all-no-op

@@ -129,6 +129,38 @@ fn cross_join_equals_direct_partitioned_join_for_all_partitioners() {
                 assert_eq!(again, direct, "{name} {algo:?} repeat");
             }
         }
+        // The sweep is byte-equal when clips are off (no trees, no
+        // clip tables, one canonical column sort on both paths); with
+        // clips on only the forest-backed sides have root CBBs to
+        // prune with, so work counters may differ — pairs never do.
+        // Auto resolves per tile from cache presence, which the direct
+        // join lacks — pair sets are pinned, kernel mix is not.
+        {
+            let plan = JoinPlan {
+                partitioner: partitioner.clone(),
+                tree: tree(),
+                clip: clip(),
+                use_clips: false,
+                algo: JoinAlgo::Sweep,
+                workers: EXEC_WORKERS,
+                split: SplitPolicy::Auto,
+            };
+            let direct = partitioned_join(&plan, &left_data.boxes, &right_data.boxes);
+            assert_eq!(
+                cross_join(&svc, left, right, JoinAlgo::Sweep, false).into_join(),
+                direct,
+                "{name} sweep unclipped byte-equal"
+            );
+        }
+        for algo in [JoinAlgo::Sweep, JoinAlgo::Auto] {
+            for use_clips in [true, false] {
+                let served = cross_join(&svc, left, right, algo, use_clips).into_join();
+                assert_eq!(
+                    served.pairs, expected_pairs,
+                    "{name} {algo:?} clips={use_clips} pair oracle"
+                );
+            }
+        }
         assert_eq!(
             svc.report().forest_builds,
             created,
@@ -161,6 +193,68 @@ fn cross_join_equals_direct_partitioned_join_for_all_partitioners() {
     );
     assert!(report.cross_joins > 0);
     assert!(report.forest_hits >= report.cross_joins);
+    assert!(
+        report.probe_repartitions > 0,
+        "the mismatched-tiling legs above re-partition"
+    );
+}
+
+/// The PR 5 follow-up, closed: on a shared tiling the probe side is
+/// served forest-native for EVERY algorithm — repeated cross-joins
+/// (self-joins included) extract no live rectangles and re-partition
+/// nothing. Only a genuine partitioner mismatch moves the counter.
+#[test]
+fn same_tiling_cross_joins_never_repartition_probes() {
+    let svc = catalog_service();
+    let data_a = clustered_with_layout::<2>(900, 5, 25_000.0, 0.12, 9, 9);
+    let data_b = clustered_with_layout::<2>(1_000, 5, 25_000.0, 0.12, 9, 10);
+    let domain = data_a.domain.union(&data_b.domain);
+    let shared_part = AnyPartitioner::from(UniformGrid::new(domain, 4));
+    let a = svc
+        .create_dataset("a", shared_part.clone(), data_a.boxes.clone())
+        .unwrap();
+    let b = svc
+        .create_dataset("b", shared_part.clone(), data_b.boxes.clone())
+        .unwrap();
+    let cross_pairs = brute_force_pairs(&data_a.boxes, &data_b.boxes);
+    let self_pairs = brute_force_pairs(&data_a.boxes, &data_a.boxes);
+    for round in 0..3 {
+        for algo in [
+            JoinAlgo::Stt,
+            JoinAlgo::Inlj,
+            JoinAlgo::Sweep,
+            JoinAlgo::Auto,
+        ] {
+            assert_eq!(
+                cross_join(&svc, a, b, algo, true).into_join().pairs,
+                cross_pairs,
+                "{algo:?} round {round}"
+            );
+            assert_eq!(
+                cross_join(&svc, a, a, algo, true).into_join().pairs,
+                self_pairs,
+                "{algo:?} self round {round}"
+            );
+        }
+    }
+    let report = svc.report();
+    assert_eq!(
+        report.probe_repartitions, 0,
+        "shared tiling must never re-partition the probe side"
+    );
+    assert_eq!(
+        report.forest_builds, 2,
+        "one build per dataset creation, zero per join"
+    );
+    // A mismatched tiling is exactly what moves the counter.
+    let other = AnyPartitioner::from(UniformGrid::new(domain, 5));
+    let c = svc
+        .create_dataset("c", other, data_b.boxes.clone())
+        .unwrap();
+    let mismatched = cross_join(&svc, a, c, JoinAlgo::Auto, true).into_join();
+    assert_eq!(mismatched.pairs, cross_pairs);
+    let report = svc.shutdown();
+    assert_eq!(report.probe_repartitions, 1);
 }
 
 /// The isolation acceptance test: hammering dataset A with write

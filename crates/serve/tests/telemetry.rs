@@ -388,6 +388,8 @@ fn golden_scrape_format() {
         ("cbb_forest_cache_hits_total", "counter"),
         ("cbb_forest_hits_total", "counter"),
         ("cbb_cross_joins_total", "counter"),
+        ("cbb_join_algo_total", "counter"),
+        ("cbb_probe_repartitions_total", "counter"),
         ("cbb_write_batches_total", "counter"),
         ("cbb_updates_applied_total", "counter"),
         ("cbb_delta_nodes_allocated_total", "counter"),
@@ -398,6 +400,7 @@ fn golden_scrape_format() {
         ("cbb_access_results_total", "counter"),
         ("cbb_access_clip_tests_total", "counter"),
         ("cbb_access_clip_prunes_total", "counter"),
+        ("cbb_access_overlap_tests_total", "counter"),
         ("cbb_dataset_live_objects", "gauge"),
         ("cbb_dataset_arena_slots", "gauge"),
         ("cbb_dataset_version", "gauge"),
@@ -426,6 +429,8 @@ fn golden_scrape_format() {
     )));
     assert!(text.contains("request_kind=\"range\""));
     assert!(text.contains("phase=\"execute\""));
+    // The STT joins above ran tiles through the STT kernel.
+    assert!(text.contains("cbb_join_algo_total{algo=\"stt\"}"));
 
     // ── Histogram expansion invariants: every series' +Inf bucket
     // equals its _count, and _sum exists alongside.

@@ -28,7 +28,9 @@ use std::time::Instant;
 use cbb_bench::{header, row, smoke_mode};
 use cbb_core::{ClipConfig, ClipMethod};
 use cbb_datasets::multi::{layers, LayerSpec};
-use cbb_engine::{partitioned_join, AdaptiveGrid, AnyPartitioner, JoinAlgo, JoinPlan, SplitPolicy};
+use cbb_engine::{
+    partitioned_join, AdaptiveGrid, AnyPartitioner, AutoPolicy, JoinAlgo, JoinPlan, SplitPolicy,
+};
 use cbb_rtree::{TreeConfig, Variant};
 use cbb_serve::{QueryService, Request, ServiceConfig};
 
@@ -82,6 +84,7 @@ fn main() {
         algo: JoinAlgo::Stt,
         workers,
         split: SplitPolicy::Auto,
+        auto: AutoPolicy::default(),
     };
 
     // ── rebuild_per_call: both sides assigned + bulk-loaded per join.

@@ -1,0 +1,196 @@
+//! Shared-scan fusion experiment: what batching buys the columnar hot
+//! path. The same range-query batch is answered twice per batch size —
+//! per-query (`QueryAlgo::Descend`: one `ClippedRTree` descent per
+//! (query, tile) pair) and fused (`QueryAlgo::SharedSweep`: the batch's
+//! rects sorted into their own `TileColumns`, the whole tile answered
+//! by ONE plane sweep) — plus the `Auto` resolution the service ships
+//! by default. Answers are asserted byte-equal everywhere; the claim
+//! this bin exists to make is **machine-independent**: at batch ≥ 32
+//! the fused path does zero tree node accesses and strictly less total
+//! counted work (node accesses + overlap tests) than per-query
+//! descents. Wall-clock is reported but never gated. Emits
+//! `BENCH_fusion.json`. `CBB_BENCH_SMOKE=1` shrinks the workload to CI
+//! scale (explicit flags still override).
+//!
+//! ```text
+//! cargo run --release -p cbb-bench --bin query_fusion \
+//!     [--exact N] [--reps N] [--seed N]
+//! ```
+
+use std::time::Instant;
+
+use cbb_bench::{header, row, smoke_mode};
+use cbb_core::{ClipConfig, ClipMethod};
+use cbb_datasets::skew::clustered_with_layout;
+use cbb_engine::{AdaptiveGrid, AutoPolicy, BatchOutcome, DatasetStore, QueryAlgo, SplitPolicy};
+use cbb_geom::{Point, Rect, SplitMix64};
+use cbb_rtree::{AccessStats, TreeConfig, Variant};
+
+/// Tree node accesses (leaves + internals) — zero on fused tiles.
+fn nodes(s: &AccessStats) -> u64 {
+    s.leaf_accesses + s.internal_accesses
+}
+
+/// Total counted work: node accesses plus per-entry overlap tests.
+/// Both execution paths charge every rectangle comparison they make to
+/// `overlap_tests`, so this sum is comparable across them.
+fn work(s: &AccessStats) -> u64 {
+    nodes(s) + s.overlap_tests
+}
+
+fn main() {
+    let (mut n, mut reps) = if smoke_mode() {
+        (6_000usize, 3usize)
+    } else {
+        (40_000usize, 10usize)
+    };
+    let mut seed = 0xCBBu64;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next_usize = |flag: &str| -> usize {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{flag} needs a numeric argument"))
+        };
+        match a.as_str() {
+            "--exact" => n = next_usize("--exact"),
+            "--reps" => reps = next_usize("--reps"),
+            "--seed" => seed = next_usize("--seed") as u64,
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    let workers = 4usize;
+    let batches: &[usize] = &[1, 4, 8, 32, 128];
+
+    let data = clustered_with_layout::<2>(n, 8, 20_000.0, 0.1, seed, seed);
+    // Fit the tiling to the data volume (a few hundred objects per
+    // tile) the way a deployed partitioner would be: that tile
+    // granularity is where one shared scan per tile beats repeated
+    // descents, and where the paper's per-tile trees live anyway.
+    let g = ((n as f64 / 180.0).sqrt().ceil() as usize).max(4);
+    let partitioner = AdaptiveGrid::from_sample(data.domain, [g, g], &data.boxes);
+    let store = DatasetStore::build(
+        partitioner,
+        &data.boxes,
+        TreeConfig::paper_default(Variant::RStar),
+        ClipConfig::paper_default::<2>(ClipMethod::Stairline),
+        workers,
+    );
+    // Warm every tile's column cache up front: the experiment measures
+    // steady-state serving, where the one-time extraction has long been
+    // amortised (and `Auto`'s cachedness input is stable).
+    for t in 0..store.forest().tile_count() {
+        store.forest().columns(t);
+    }
+    println!(
+        "workload: clu02 ({n} boxes), adaptive {g}×{g} grid, R*-tree + CSTA, \
+         batch sizes {batches:?}, {reps} reps each",
+    );
+
+    // Small selective rects around a handful of hot anchors — the
+    // shape a coalescing micro-batcher actually hands the engine:
+    // concurrent lookups concentrated on the same few hot spots.
+    let mut rng = SplitMix64::new(seed ^ 0xF05E);
+    let (lo, hi) = (data.domain.lo.0, data.domain.hi.0);
+    let extent = hi[0] - lo[0];
+    let mut make_query = |anchor: &Rect<2>| -> Rect<2> {
+        let s = rng.gen_range(extent * 0.0005, extent * 0.005);
+        let x = (anchor.lo.0[0] + rng.gen_range(-s, s)).clamp(lo[0], hi[0] - s);
+        let y = (anchor.lo.0[1] + rng.gen_range(-s, s)).clamp(lo[1], hi[1] - s);
+        Rect::new(Point([x, y]), Point([x + s, y + s]))
+    };
+
+    header(
+        "shared-scan fusion",
+        "batch",
+        &["nodes/q", "tests/q", "fused t/q", "descend ms", "fused ms"],
+    );
+    let policy = AutoPolicy::default();
+    let mut json_rows = Vec::new();
+    for &batch in batches {
+        let queries: Vec<Rect<2>> = (0..batch)
+            .map(|i| make_query(&data.boxes[((i % 4) * 9973) % n]))
+            .collect();
+        let timed = |algo: QueryAlgo| -> (BatchOutcome, f64) {
+            let started = Instant::now();
+            let mut out = store.run_with(&queries, workers, true, algo, &policy, SplitPolicy::Auto);
+            for _ in 1..reps {
+                let again =
+                    store.run_with(&queries, workers, true, algo, &policy, SplitPolicy::Auto);
+                assert_eq!(again, out, "repeat batches must be stable");
+                out = again;
+            }
+            (out, started.elapsed().as_secs_f64() * 1e3 / reps as f64)
+        };
+        let (descend, descend_ms) = timed(QueryAlgo::Descend);
+        let (fused, fused_ms) = timed(QueryAlgo::SharedSweep);
+        let (auto, _) = timed(QueryAlgo::Auto);
+
+        // The transparency gate: fusion moves counters, never answers.
+        assert_eq!(fused.results, descend.results, "fused answers changed");
+        assert_eq!(auto.results, descend.results, "auto answers changed");
+        assert_eq!(fused.tiles_descend, 0, "SharedSweep must fuse every tile");
+        assert_eq!(nodes(&fused.stats), 0, "fused tiles do zero node accesses");
+        // The headline gate: once a batch is wide enough to share scans,
+        // one sweep per tile beats per-query descents on counted work.
+        if batch >= 32 {
+            assert!(descend.tiles_descend > 0);
+            assert!(
+                work(&fused.stats) < work(&descend.stats),
+                "batch {batch}: fused work {} !< descend work {}",
+                work(&fused.stats),
+                work(&descend.stats)
+            );
+            assert!(
+                auto.tiles_fused > 0,
+                "warm columns + wide batch must make Auto fuse"
+            );
+        }
+
+        let q = batch as f64;
+        println!(
+            "{}",
+            row(
+                &batch.to_string(),
+                &[
+                    format!(
+                        "{:.1}/{:.1}",
+                        nodes(&descend.stats) as f64 / q,
+                        nodes(&fused.stats) as f64 / q
+                    ),
+                    format!(
+                        "{:.1}/{:.1}",
+                        descend.stats.overlap_tests as f64 / q,
+                        fused.stats.overlap_tests as f64 / q
+                    ),
+                    format!("{}/{}", fused.tiles_fused, auto.tiles_fused),
+                    format!("{descend_ms:.3}"),
+                    format!("{fused_ms:.3}"),
+                ],
+            )
+        );
+        json_rows.push(format!(
+            "{{\"batch\": {batch}, \
+             \"descend_node_accesses\": {}, \"descend_overlap_tests\": {}, \
+             \"fused_node_accesses\": {}, \"fused_overlap_tests\": {}, \
+             \"tiles_fused\": {}, \"auto_tiles_fused\": {}, \
+             \"answers_identical\": 1, \
+             \"descend_ms\": {descend_ms:.3}, \"fused_ms\": {fused_ms:.3}}}",
+            nodes(&descend.stats),
+            descend.stats.overlap_tests,
+            nodes(&fused.stats),
+            fused.stats.overlap_tests,
+            fused.tiles_fused,
+            auto.tiles_fused,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"workload\": {{\"dataset\": \"clu02\", \"objects\": {n}, \
+         \"reps\": {reps}, \"grid\": [{g}, {g}], \"variant\": \"R*-tree\", \
+         \"clip\": \"CSTA\", \"batches\": {batches:?}}},\n  \"rows\": [\n    {}\n  ]\n}}\n",
+        json_rows.join(",\n    "),
+    );
+    std::fs::write("BENCH_fusion.json", &json).expect("write BENCH_fusion.json");
+    println!("wrote BENCH_fusion.json ({} batch sizes)", json_rows.len());
+}

@@ -138,6 +138,14 @@ impl<const D: usize> TileForest<D> {
         )
     }
 
+    /// Whether tile `t`'s columns are already extracted — a non-forcing
+    /// probe of the [`Self::columns`] cache. [`crate::QueryAlgo::Auto`]
+    /// reads this: a tile whose columns are in hand fuses a smaller
+    /// batch than one that would pay the extraction sort first.
+    pub fn columns_cached(&self, t: usize) -> bool {
+        self.columns[t].get().is_some()
+    }
+
     /// Drop tile `t`'s cached columns (its tree changed).
     fn invalidate_columns(&mut self, t: usize) {
         self.columns[t] = OnceLock::new();
@@ -287,11 +295,42 @@ impl<const D: usize> TileForest<D> {
     }
 }
 
+/// Which execution path a batched range run uses per tile.
+///
+/// A micro-batch of range queries against one tile **is** a spatial
+/// join between the query-rect set and the tile's objects, so the
+/// [`cbb_joins::sweep_queries`] kernel can answer the whole batch with
+/// ONE shared scan over the tile's cached columnar layout instead of
+/// `batch_size` independent tree descents. Answers are **byte-equal**
+/// across all three variants for every workload — per-query result
+/// lists are canonically sorted ascending by [`DataId`] on every path
+/// (the oracle tests pin this across partitioners, clip settings and
+/// split policies); only the work counters differ (the fused path does
+/// zero node accesses and counts sweep `overlap_tests` instead).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryAlgo {
+    /// One clipped-tree descent per (query, covered tile) — the
+    /// classic per-query path, and the baseline the fused path is
+    /// measured against.
+    Descend,
+    /// Sort the batch's query rects into their own
+    /// [`TileColumns`] and answer each populated tile with one plane
+    /// sweep against the tile's cached columns.
+    SharedSweep,
+    /// Choose per tile, deterministically, from the batch size landing
+    /// on the tile, the tile's cardinality, and whether the tile's
+    /// columns are already extracted — the thresholds live in
+    /// [`crate::AutoPolicy`] (see [`crate::AutoPolicy::fuse_tile`]).
+    Auto,
+}
+
 /// Merged outcome of a batched query run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BatchOutcome {
     /// Result ids per query, in workload order (same order the queries
-    /// were given; each list in tree traversal order).
+    /// were given). Each list is sorted ascending by id — the canonical
+    /// order every execution path produces, regardless of tile visit
+    /// order and of per-query vs fused execution.
     pub results: Vec<Vec<DataId>>,
     /// Access counters summed over all workers.
     pub stats: AccessStats,
@@ -299,6 +338,13 @@ pub struct BatchOutcome {
     /// [`Self::stats`]) — what telemetry layers attribute to individual
     /// requests.
     pub per_query: Vec<AccessStats>,
+    /// Populated tiles answered by per-query descents.
+    pub tiles_descend: u64,
+    /// Populated tiles answered by one fused shared sweep.
+    pub tiles_fused: u64,
+    /// Per fused tile, how many of the batch's queries rode its shared
+    /// sweep (the fused-width distribution telemetry exposes).
+    pub fused_widths: Vec<u64>,
 }
 
 impl BatchOutcome {
@@ -375,9 +421,10 @@ pub struct KnnOutcome {
 /// A range query is probed against every tile it covers; an object found
 /// in several tiles is reported once, by the tile owning the query/object
 /// reference point (the same duplicate-elimination rule the join uses).
-/// Results come back in workload order; the id order *within* one query's
-/// result list follows per-tile traversal order and is deterministic for
-/// a fixed partitioner, independent of the worker count.
+/// Results come back in workload order; each query's result list is
+/// sorted ascending by id (the canonical order of [`BatchOutcome`]),
+/// independent of the worker count, the partitioner's tile visit order,
+/// and the [`QueryAlgo`] execution path.
 pub struct BatchExecutor<const D: usize, P> {
     store: DatasetStore<D, P>,
 }
@@ -493,9 +540,27 @@ impl<const D: usize, P: Partitioner<D>> BatchExecutor<D, P> {
 
     /// Execute `queries` on `workers` threads. With `use_clips = false`
     /// the probes run on the base trees (the unclipped baseline on the
-    /// same indexes).
+    /// same indexes). Shorthand for [`Self::run_with`] on the classic
+    /// per-query path ([`QueryAlgo::Descend`]).
     pub fn run(&self, queries: &[Rect<D>], workers: usize, use_clips: bool) -> BatchOutcome {
         self.store.run(queries, workers, use_clips)
+    }
+
+    /// Execute `queries` under an explicit [`QueryAlgo`],
+    /// [`crate::AutoPolicy`] and [`crate::SplitPolicy`] — see
+    /// [`DatasetStore::run_with`] for the fused shared-sweep execution
+    /// model and its byte-equality guarantee.
+    pub fn run_with(
+        &self,
+        queries: &[Rect<D>],
+        workers: usize,
+        use_clips: bool,
+        algo: QueryAlgo,
+        policy: &crate::AutoPolicy,
+        split: crate::SplitPolicy,
+    ) -> BatchOutcome {
+        self.store
+            .run_with(queries, workers, use_clips, algo, policy, split)
     }
 
     /// Execute the kNN probes `(center, k)` on `workers` threads.
@@ -506,6 +571,17 @@ impl<const D: usize, P: Partitioner<D>> BatchExecutor<D, P> {
     /// base-tree search.
     pub fn run_knn(&self, probes: &[(Point<D>, usize)], workers: usize) -> KnnOutcome {
         self.store.run_knn(probes, workers)
+    }
+
+    /// [`Self::run_knn`] with an explicit choice of tile-ordering bound
+    /// — see [`DatasetStore::run_knn_with`].
+    pub fn run_knn_with(
+        &self,
+        probes: &[(Point<D>, usize)],
+        workers: usize,
+        clipped_prefilter: bool,
+    ) -> KnnOutcome {
+        self.store.run_knn_with(probes, workers, clipped_prefilter)
     }
 }
 

@@ -27,15 +27,16 @@
 //! its data; cross-dataset joins re-partition the probe side onto the
 //! indexed side's tiling (see [`crate::join::partitioned_join_forests`]).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, RwLock};
 
-use cbb_core::ClipConfig;
+use cbb_core::{clipped_min_dist_sq, ClipConfig};
 use cbb_geom::{Point, Rect};
-use cbb_joins::reference_point;
+use cbb_joins::{reference_point, sweep_queries_scan, SweepSide, TileColumns};
 use cbb_rtree::{push_neighbor, AccessStats, DataId, Neighbor, TreeConfig};
 
-use crate::batch::{BatchOutcome, KnnOutcome, TileForest};
+use crate::batch::{BatchOutcome, KnnOutcome, QueryAlgo, TileForest};
+use crate::join::{AutoPolicy, SplitPolicy};
 use crate::partition::{DataVersion, Partitioner};
 use crate::pool::map_chunked;
 use crate::update::{Update, UpdateOutcome, UpdateResult};
@@ -520,27 +521,30 @@ impl<const D: usize, P: Partitioner<D>> DatasetStore<D, P> {
         outcome
     }
 
-    /// Answer one query: probe every covered tile, keep each object only
-    /// in the tile owning the query/object reference point.
-    fn query_one(&self, q: &Rect<D>, use_clips: bool, stats: &mut AccessStats) -> Vec<DataId> {
-        let mut tiles = self.partitioner.covering_tiles(q);
-        tiles.sort_unstable();
-        let mut out = Vec::new();
-        for t in tiles {
-            let Some(tree) = self.forest.tree(t) else {
-                continue;
-            };
-            let found = if use_clips {
-                tree.range_query_stats(q, stats)
-            } else {
-                tree.tree.range_query_stats(q, stats)
-            };
-            out.extend(found.into_iter().filter(|id| {
+    /// Answer one query against one tile by tree descent: probe the
+    /// tile's tree, keep each object only if this tile owns the
+    /// query/object reference point (the duplicate-elimination rule —
+    /// a multi-assigned object is reported by exactly one covered tile).
+    fn descend_tile(
+        &self,
+        t: usize,
+        q: &Rect<D>,
+        use_clips: bool,
+        stats: &mut AccessStats,
+    ) -> Vec<DataId> {
+        let tree = self.forest.tree(t).expect("planned tiles are built");
+        let found = if use_clips {
+            tree.range_query_stats(q, stats)
+        } else {
+            tree.tree.range_query_stats(q, stats)
+        };
+        found
+            .into_iter()
+            .filter(|id| {
                 self.partitioner
                     .owns(t, &reference_point(q, &self.objects[id.0 as usize]))
-            }));
-        }
-        out
+            })
+            .collect()
     }
 
     /// Answer one kNN probe: visit tile trees in ascending MINDIST of
@@ -553,7 +557,21 @@ impl<const D: usize, P: Partitioner<D>> DatasetStore<D, P> {
     /// Exact: an object of the global k-nearest set is, in every tile
     /// containing it, also in that tile's k-nearest set, and the root
     /// MBB lower-bounds the distance of every object in the tile.
-    fn knn_one(&self, center: &Point<D>, k: usize, stats: &mut AccessStats) -> Vec<Neighbor> {
+    ///
+    /// With `clipped_prefilter` the tile ordering bound is
+    /// [`cbb_core::clipped_min_dist_sq`] over the root's clip points — a
+    /// *tighter* true lower bound on the distance of any object in the
+    /// tile, so the early break fires sooner and whole tile trees are
+    /// skipped. Answers are identical (the clipped bound is still a
+    /// lower bound); only node accesses drop. The prefilter reads the
+    /// cached root clip table and ticks no counters itself.
+    fn knn_one(
+        &self,
+        center: &Point<D>,
+        k: usize,
+        stats: &mut AccessStats,
+        clipped_prefilter: bool,
+    ) -> Vec<Neighbor> {
         let mut best: Vec<Neighbor> = Vec::new();
         if k == 0 {
             return best;
@@ -562,7 +580,12 @@ impl<const D: usize, P: Partitioner<D>> DatasetStore<D, P> {
             .filter_map(|t| {
                 let tree = self.forest.tree(t)?;
                 let mbb = tree.tree.bounds().expect("forest trees are non-empty");
-                Some((mbb.min_dist_sq(center), t))
+                let bound = if clipped_prefilter {
+                    clipped_min_dist_sq(&mbb, tree.clips_of(tree.tree.root_id()), center)
+                } else {
+                    mbb.min_dist_sq(center)
+                };
+                Some((bound, t))
             })
             .collect();
         tiles.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
@@ -583,26 +606,234 @@ impl<const D: usize, P: Partitioner<D>> DatasetStore<D, P> {
 
     /// Execute `queries` on `workers` threads. With `use_clips = false`
     /// the probes run on the base trees (the unclipped baseline on the
-    /// same indexes).
+    /// same indexes). Shorthand for [`Self::run_with`] on the classic
+    /// per-query path ([`QueryAlgo::Descend`]).
     pub fn run(&self, queries: &[Rect<D>], workers: usize, use_clips: bool) -> BatchOutcome {
-        let shards = map_chunked(workers, queries, |_offset, chunk| {
-            let mut per_query = Vec::with_capacity(chunk.len());
-            let results: Vec<Vec<DataId>> = chunk
-                .iter()
-                .map(|q| {
-                    let mut stats = AccessStats::new();
-                    let ids = self.query_one(q, use_clips, &mut stats);
-                    per_query.push(stats);
-                    ids
-                })
-                .collect();
-            (results, per_query)
+        self.run_with(
+            queries,
+            workers,
+            use_clips,
+            QueryAlgo::Descend,
+            &AutoPolicy::default(),
+            SplitPolicy::Auto,
+        )
+    }
+
+    /// Execute `queries` on `workers` threads under an explicit
+    /// execution algorithm, [`AutoPolicy`] and intra-tile decomposition
+    /// policy.
+    ///
+    /// The batch is first grouped per covered, populated tile. Each
+    /// tile then answers its slice of the batch either by per-query
+    /// tree descents ([`QueryAlgo::Descend`]) or by ONE shared plane
+    /// sweep of the batch's query rects against the tile's cached
+    /// columnar layout ([`QueryAlgo::SharedSweep`], the
+    /// [`cbb_joins::sweep_queries`] kernel). [`QueryAlgo::Auto`]
+    /// resolves per tile — **before** any decomposition, from the
+    /// number of batch queries covering the tile, the tile's
+    /// cardinality, and whether the tile's columns are already
+    /// extracted — so the resolution (and with it every counter) is
+    /// identical across worker counts and [`SplitPolicy`] choices.
+    ///
+    /// All variants return byte-equal `results` (each per-query list
+    /// sorted ascending by id, the canonical order); only the work
+    /// counters differ. Fused tiles do zero node accesses and charge
+    /// sweep `overlap_tests` (plus raw sweep hits as `results`) to the
+    /// exact query that incurred them, so `per_query` attribution stays
+    /// counter-exact against the aggregate [`cbb_joins::sweep`]. Note
+    /// the fused path never consults clip tables — `use_clips` only
+    /// affects descents (clips prune traversals, never answers).
+    pub fn run_with(
+        &self,
+        queries: &[Rect<D>],
+        workers: usize,
+        use_clips: bool,
+        algo: QueryAlgo,
+        policy: &AutoPolicy,
+        split: SplitPolicy,
+    ) -> BatchOutcome {
+        let n = queries.len();
+        let mut outcome = BatchOutcome {
+            results: vec![Vec::new(); n],
+            per_query: vec![AccessStats::new(); n],
+            ..BatchOutcome::default()
+        };
+        // Group the batch per covered, populated tile. BTreeMap iteration
+        // gives ascending tile order; queries land in workload order.
+        let mut by_tile: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
+        for (qi, q) in queries.iter().enumerate() {
+            for t in self.partitioner.covering_tiles(q) {
+                if self.forest.tree(t).is_some() {
+                    by_tile.entry(t).or_default().push(qi as u32);
+                }
+            }
+        }
+        // Resolve the algorithm per tile and extract fused columns up
+        // front, on the coordinating thread: the cold path and the hot
+        // decomposition path see the very same per-tile decision, and
+        // `Auto` reads the cache state exactly once per tile.
+        struct TilePlan<const D: usize> {
+            t: usize,
+            qs: Vec<u32>,
+            tile_len: usize,
+            fused: Option<(TileColumns<D>, Arc<TileColumns<D>>)>,
+        }
+        let mut plans: Vec<TilePlan<D>> = Vec::with_capacity(by_tile.len());
+        let mut total_work = 0u64;
+        for (t, qs) in by_tile {
+            let tree = self.forest.tree(t).expect("grouped tiles are built");
+            let tile_len = tree.tree.len();
+            let fuse = match algo {
+                QueryAlgo::Descend => false,
+                QueryAlgo::SharedSweep => true,
+                QueryAlgo::Auto => {
+                    policy.fuse_tile(qs.len(), tile_len, self.forest.columns_cached(t))
+                }
+            };
+            total_work += qs.len() as u64 * tile_len.max(1) as u64;
+            let fused = if fuse {
+                outcome.tiles_fused += 1;
+                outcome.fused_widths.push(qs.len() as u64);
+                // Query ids are *local slots* into `qs`, so the sweep
+                // positions map back to workload indices.
+                let items: Vec<(Rect<D>, DataId)> = qs
+                    .iter()
+                    .enumerate()
+                    .map(|(local, &qi)| (queries[qi as usize], DataId(local as u32)))
+                    .collect();
+                let ocols = self.forest.columns(t).expect("grouped tiles are built");
+                Some((TileColumns::from_items(&items), ocols))
+            } else {
+                outcome.tiles_descend += 1;
+                None
+            };
+            plans.push(TilePlan {
+                t,
+                qs,
+                tile_len,
+                fused,
+            });
+        }
+        // Cut each tile's work into tasks: hot tiles decompose into
+        // outer-index ranges (queries for descents and the Left scan,
+        // objects for the Right scan). Chunk sums reproduce the whole
+        // tile's pairs and counters exactly, so the decomposition is
+        // invisible in every output.
+        enum Task {
+            Descend {
+                plan: usize,
+                lo: usize,
+                hi: usize,
+            },
+            Sweep {
+                plan: usize,
+                side: SweepSide,
+                lo: usize,
+                hi: usize,
+            },
+        }
+        let threshold = split.threshold(total_work, workers);
+        let ranges = |outer: usize, inner: usize| -> Vec<(usize, usize)> {
+            let step = match threshold {
+                Some(thr) => (thr / inner.max(1) as u64).max(1) as usize,
+                None => outer.max(1),
+            };
+            (0..outer)
+                .step_by(step)
+                .map(|lo| (lo, (lo + step).min(outer)))
+                .collect()
+        };
+        let mut tasks: Vec<Task> = Vec::new();
+        for (pi, plan) in plans.iter().enumerate() {
+            match &plan.fused {
+                Some((qcols, ocols)) => {
+                    for (lo, hi) in ranges(qcols.len(), ocols.len()) {
+                        tasks.push(Task::Sweep {
+                            plan: pi,
+                            side: SweepSide::Left,
+                            lo,
+                            hi,
+                        });
+                    }
+                    for (lo, hi) in ranges(ocols.len(), qcols.len()) {
+                        tasks.push(Task::Sweep {
+                            plan: pi,
+                            side: SweepSide::Right,
+                            lo,
+                            hi,
+                        });
+                    }
+                }
+                None => {
+                    for (lo, hi) in ranges(plan.qs.len(), plan.tile_len) {
+                        tasks.push(Task::Descend { plan: pi, lo, hi });
+                    }
+                }
+            }
+        }
+        let shards = map_chunked(workers, &tasks, |_offset, chunk| {
+            let mut out: Vec<(u32, Vec<DataId>, AccessStats)> = Vec::new();
+            for task in chunk {
+                match *task {
+                    Task::Descend { plan, lo, hi } => {
+                        let plan = &plans[plan];
+                        for &qi in &plan.qs[lo..hi] {
+                            let q = &queries[qi as usize];
+                            let mut stats = AccessStats::new();
+                            let kept = self.descend_tile(plan.t, q, use_clips, &mut stats);
+                            out.push((qi, kept, stats));
+                        }
+                    }
+                    Task::Sweep { plan, side, lo, hi } => {
+                        let plan = &plans[plan];
+                        let (qcols, ocols) =
+                            plan.fused.as_ref().expect("sweep tasks target fused tiles");
+                        let mut tests = vec![0u64; qcols.len()];
+                        let mut hits: Vec<Vec<DataId>> = vec![Vec::new(); qcols.len()];
+                        sweep_queries_scan(qcols, ocols, side, lo, hi, &mut tests, &mut |p, id| {
+                            hits[p].push(id)
+                        });
+                        for (pos, ids) in hits.into_iter().enumerate() {
+                            if tests[pos] == 0 && ids.is_empty() {
+                                continue;
+                            }
+                            let qi = plan.qs[qcols.id(pos).0 as usize];
+                            let q = &queries[qi as usize];
+                            let mut stats = AccessStats::new();
+                            stats.overlap_tests = tests[pos];
+                            // Raw sweep hits mirror the tree-query
+                            // `results` semantics: counted before the
+                            // ownership filter.
+                            stats.results = ids.len() as u64;
+                            let kept: Vec<DataId> = ids
+                                .into_iter()
+                                .filter(|id| {
+                                    self.partitioner.owns(
+                                        plan.t,
+                                        &reference_point(q, &self.objects[id.0 as usize]),
+                                    )
+                                })
+                                .collect();
+                            out.push((qi, kept, stats));
+                        }
+                    }
+                }
+            }
+            out
         });
-        let mut outcome = BatchOutcome::default();
-        for (results, per_query) in shards {
-            outcome.results.extend(results);
-            outcome.stats += AccessStats::sum(&per_query);
-            outcome.per_query.extend(per_query);
+        for shard in shards {
+            for (qi, kept, stats) in shard {
+                outcome.per_query[qi as usize].absorb(&stats);
+                outcome.stats += stats;
+                outcome.results[qi as usize].extend(kept);
+            }
+        }
+        // Canonical result order: ascending by id, independent of tile
+        // visit order and of per-query vs fused execution. An object is
+        // kept by exactly one covered tile (the reference-point owner),
+        // so the lists are duplicate-free by construction.
+        for r in &mut outcome.results {
+            r.sort_unstable();
         }
         outcome
     }
@@ -613,14 +844,33 @@ impl<const D: usize, P: Partitioner<D>> DatasetStore<D, P> {
     /// ([`cbb_rtree::ClippedRTree::knn_stats`]): clip points tighten
     /// node MINDISTs for probes near clipped corners, with answers
     /// identical to the base-tree search.
+    ///
+    /// Tiles are ordered (and early-broken) by the **clipped** root
+    /// MINDIST — the [`cbb_core::clipped_min_dist_sq`] prefilter — so
+    /// dead corner space in a tile's root MBB no longer forces a
+    /// descent into its tree. Answers are identical to the plain-bound
+    /// search ([`Self::run_knn_with`] with `clipped_prefilter = false`,
+    /// the oracle the tests pin against); node accesses only drop.
     pub fn run_knn(&self, probes: &[(Point<D>, usize)], workers: usize) -> KnnOutcome {
+        self.run_knn_with(probes, workers, true)
+    }
+
+    /// [`Self::run_knn`] with an explicit choice of tile-ordering bound:
+    /// `clipped_prefilter = false` reproduces the plain root-MBB
+    /// MINDIST ordering (the baseline), `true` the clipped prefilter.
+    pub fn run_knn_with(
+        &self,
+        probes: &[(Point<D>, usize)],
+        workers: usize,
+        clipped_prefilter: bool,
+    ) -> KnnOutcome {
         let shards = map_chunked(workers, probes, |_offset, chunk| {
             let mut per_query = Vec::with_capacity(chunk.len());
             let results: Vec<Vec<Neighbor>> = chunk
                 .iter()
                 .map(|(center, k)| {
                     let mut stats = AccessStats::new();
-                    let best = self.knn_one(center, *k, &mut stats);
+                    let best = self.knn_one(center, *k, &mut stats, clipped_prefilter);
                     per_query.push(stats);
                     best
                 })

@@ -96,10 +96,55 @@ enum TileAlgo {
     Sweep,
 }
 
-/// [`JoinAlgo::Auto`]: a probe side at most `1/RATIO` of a cached
-/// indexed side is "small" enough that per-probe index descents beat
-/// sorting both sides.
-const AUTO_INLJ_PROBE_RATIO: usize = 8;
+/// The thresholds every per-tile `Auto` resolution reads — for joins
+/// ([`JoinAlgo::Auto`]) and for fused batched range execution
+/// ([`crate::QueryAlgo::Auto`]).
+///
+/// The defaults reproduce the previous hard-coded constants exactly (a
+/// regression test pins this), so a plan or service that never touches
+/// the policy behaves byte-identically. Tuning is exposed because the
+/// right cut-overs are workload- and hardware-dependent: the defaults
+/// were chosen on a 1-core container from machine-independent counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AutoPolicy {
+    /// [`JoinAlgo::Auto`]: a probe side at most `1/ratio` of a cached
+    /// indexed side is "small" enough that per-probe index descents
+    /// beat sorting both sides (INLJ over Sweep). Default 8.
+    pub inlj_probe_ratio: usize,
+    /// [`crate::QueryAlgo::Auto`]: a tile is fused only when at least
+    /// this many of the batch's queries cover it — below that, the
+    /// shared scan cannot amortise anything over per-query descents.
+    /// Default 4.
+    pub fuse_min_queries: usize,
+    /// [`crate::QueryAlgo::Auto`], cold tile (columns not yet
+    /// extracted): fuse only when the tile holds at most
+    /// `queries × ratio` objects, so the one-off `O(n log n)`
+    /// column extraction is amortised by the batch that forces it.
+    /// A cached tile fuses on `fuse_min_queries` alone. Default 8.
+    pub fuse_cold_ratio: usize,
+}
+
+impl Default for AutoPolicy {
+    fn default() -> Self {
+        AutoPolicy {
+            inlj_probe_ratio: 8,
+            fuse_min_queries: 4,
+            fuse_cold_ratio: 8,
+        }
+    }
+}
+
+impl AutoPolicy {
+    /// [`crate::QueryAlgo::Auto`]'s per-tile resolution: fuse the
+    /// `queries` range queries covering a tile of `tile_len` objects
+    /// into one shared sweep, or descend per query? Deterministic in
+    /// its three inputs — batch size, tile cardinality, and whether the
+    /// tile's columns are already cached on the forest.
+    pub fn fuse_tile(&self, queries: usize, tile_len: usize, columns_cached: bool) -> bool {
+        queries >= self.fuse_min_queries
+            && (columns_cached || tile_len <= queries.saturating_mul(self.fuse_cold_ratio))
+    }
+}
 
 /// Resolve the per-tile kernel from the plan and the data in hand: the
 /// sides' cachedness (forest-backed or assigned for this call) and the
@@ -107,6 +152,7 @@ const AUTO_INLJ_PROBE_RATIO: usize = 8;
 /// resolve identically.
 fn resolve_tile_algo(
     algo: JoinAlgo,
+    policy: &AutoPolicy,
     left_cached: bool,
     right_cached: bool,
     left_count: usize,
@@ -120,7 +166,7 @@ fn resolve_tile_algo(
             if left_cached && right_cached {
                 TileAlgo::Stt
             } else if right_cached
-                && left_count.saturating_mul(AUTO_INLJ_PROBE_RATIO) <= right_count
+                && left_count.saturating_mul(policy.inlj_probe_ratio) <= right_count
             {
                 TileAlgo::Inlj
             } else {
@@ -151,7 +197,7 @@ pub enum SplitPolicy {
 impl SplitPolicy {
     /// The decomposition threshold for a workload of `total` estimated
     /// work on `workers` threads; `None` disables decomposition.
-    fn threshold(self, total: u64, workers: usize) -> Option<u64> {
+    pub(crate) fn threshold(self, total: u64, workers: usize) -> Option<u64> {
         match self {
             SplitPolicy::Never => None,
             SplitPolicy::Above(thr) => Some(thr),
@@ -181,6 +227,9 @@ pub struct JoinPlan<const D: usize, P = UniformGrid<D>> {
     pub workers: usize,
     /// When to decompose hot tiles into subtasks.
     pub split: SplitPolicy,
+    /// Thresholds [`JoinAlgo::Auto`] resolves against (defaults
+    /// reproduce the previous hard-coded constants).
+    pub auto: AutoPolicy,
 }
 
 impl<const D: usize, P> JoinPlan<D, P> {
@@ -196,6 +245,7 @@ impl<const D: usize, P> JoinPlan<D, P> {
             algo: JoinAlgo::Stt,
             workers,
             split: SplitPolicy::Auto,
+            auto: AutoPolicy::default(),
         }
     }
 
@@ -216,6 +266,12 @@ impl<const D: usize, P> JoinPlan<D, P> {
     /// Set the hot-tile decomposition policy.
     pub fn with_split(mut self, split: SplitPolicy) -> Self {
         self.split = split;
+        self
+    }
+
+    /// Replace the [`JoinAlgo::Auto`] resolution thresholds.
+    pub fn with_auto(mut self, auto: AutoPolicy) -> Self {
+        self.auto = auto;
         self
     }
 }
@@ -335,6 +391,7 @@ fn build_hot<'f, const D: usize, P: Partitioner<D>>(
 ) -> HotTile<'f, D> {
     let algo = resolve_tile_algo(
         plan.algo,
+        &plan.auto,
         lsource.is_forest(),
         rsource.is_forest(),
         lsource.count(tile),
@@ -728,6 +785,7 @@ fn join_tile<const D: usize, P: Partitioner<D>>(
 ) -> JoinResult {
     let algo = resolve_tile_algo(
         plan.algo,
+        &plan.auto,
         lsource.is_forest(),
         rsource.is_forest(),
         lsource.count(tile),
@@ -1369,6 +1427,63 @@ mod tests {
         let balanced = partitioned_join_with(&plan, &a, &b, &forest);
         assert!(balanced.tiles_sweep > 0);
         assert_eq!(balanced.pairs, brute_force_pairs(&a, &b));
+    }
+
+    /// The named [`AutoPolicy`] replaced hard-coded `Auto` thresholds;
+    /// the default must reproduce them byte-for-byte, and a plan built
+    /// without [`JoinPlan::with_auto`] must behave identically to one
+    /// carrying an explicit default policy.
+    #[test]
+    fn default_auto_policy_reproduces_legacy_thresholds() {
+        assert_eq!(
+            AutoPolicy::default(),
+            AutoPolicy {
+                inlj_probe_ratio: 8,
+                fuse_min_queries: 4,
+                fuse_cold_ratio: 8,
+            }
+        );
+        // The INLJ resolution table of the previous hard-coded 8×
+        // ratio, spelled out: probes × 8 ≤ tile cardinality.
+        let p = AutoPolicy::default();
+        for (probes, tile, expect_inlj) in
+            [(1, 8, true), (1, 7, false), (10, 80, true), (10, 79, false)]
+        {
+            assert_eq!(
+                probes * p.inlj_probe_ratio <= tile,
+                expect_inlj,
+                "probes={probes} tile={tile}"
+            );
+        }
+        // Fusion gate: width below the minimum never fuses; at the
+        // minimum, cold tiles need the 8× cardinality bound and warm
+        // tiles always fuse.
+        assert!(!p.fuse_tile(3, 0, true));
+        assert!(p.fuse_tile(4, 1_000_000, true));
+        assert!(p.fuse_tile(4, 32, false));
+        assert!(!p.fuse_tile(4, 33, false));
+
+        let a = boxes(200, 34, 25.0);
+        let b = boxes(240, 35, 25.0);
+        let plan = plan2(4, 2).with_algo(JoinAlgo::Auto);
+        let explicit = plan.with_auto(AutoPolicy::default());
+        let forest = TileForest::build(&plan.partitioner, &b, plan.tree, plan.clip, 2);
+        let default_run = partitioned_join_with(&plan, &a, &b, &forest);
+        let explicit_run = partitioned_join_with(&explicit, &a, &b, &forest);
+        assert_eq!(default_run, explicit_run);
+        // A policy with a stricter ratio moves tiles off INLJ — the
+        // knob is live, not decorative.
+        let strict = plan.with_auto(AutoPolicy {
+            inlj_probe_ratio: usize::MAX,
+            ..AutoPolicy::default()
+        });
+        let probe = boxes(8, 36, 25.0);
+        let strict_run = partitioned_join_with(&strict, &probe, &b, &forest);
+        assert_eq!(strict_run.tiles_inlj, 0, "MAX ratio must disable INLJ");
+        assert_eq!(
+            strict_run.pairs,
+            partitioned_join_with(&plan, &probe, &b, &forest).pairs
+        );
     }
 
     #[test]

@@ -74,13 +74,15 @@ pub mod shard;
 pub mod update;
 
 pub use adaptive::AdaptiveGrid;
-pub use batch::{parallel_range_queries, BatchExecutor, BatchOutcome, KnnOutcome, TileForest};
+pub use batch::{
+    parallel_range_queries, BatchExecutor, BatchOutcome, KnnOutcome, QueryAlgo, TileForest,
+};
 pub use catalog::{
     Catalog, CatalogError, CompactionPolicy, Dataset, DatasetId, DatasetStore,
     DEFAULT_COMPACT_DEAD_FRACTION,
 };
 pub use join::{
-    partitioned_join, partitioned_join_forests, partitioned_join_with, sequential_join,
+    partitioned_join, partitioned_join_forests, partitioned_join_with, sequential_join, AutoPolicy,
     ForestCache, ForestKey, JoinAlgo, JoinPlan, SplitPolicy, DEFAULT_FOREST_CACHE_CAPACITY,
 };
 pub use partition::{load_imbalance, AnyPartitioner, DataVersion, Partitioner, UniformGrid};

@@ -421,8 +421,20 @@ pub(crate) fn run_batch<const D: usize, P>(
             }
             let queries: Vec<Rect<D>> = group.iter().map(|(_, q)| *q).collect();
             let t = Instant::now();
-            let outcome = store.run(&queries, workers, use_clips);
+            // The whole coalesced read group goes down as ONE fused
+            // call: the engine groups it per tile and answers hot tiles
+            // with a single shared sweep (per the configured
+            // [`cbb_engine::QueryAlgo`]) instead of per-query descents.
+            let outcome = store.run_with(
+                &queries,
+                workers,
+                use_clips,
+                shared.config.query_algo,
+                &shared.config.auto_policy,
+                cbb_engine::SplitPolicy::Auto,
+            );
             let d = t.elapsed();
+            shared.stats.record_query_algos(&outcome);
             for (counter, (_, n)) in access.iter().zip(outcome.stats.fields()) {
                 counter.add(n);
             }
@@ -468,6 +480,7 @@ pub(crate) fn run_batch<const D: usize, P>(
                 algo,
                 workers,
                 split: SplitPolicy::Auto,
+                auto: shared.config.auto_policy,
             };
             let t = Instant::now();
             let result = partitioned_join_with(&plan, &probes, store.objects(), store.forest());
@@ -582,6 +595,7 @@ where
         algo,
         workers: shared.config.exec_workers,
         split: SplitPolicy::Auto,
+        auto: shared.config.auto_policy,
     };
 
     // Self-join: one read lock, the cached forest joined against

@@ -74,7 +74,8 @@ pub mod stats;
 
 pub use builder::ServiceBuilder;
 pub use cbb_engine::{
-    AnyPartitioner, CompactionPolicy, DatasetId, ShardMap, ShardTiling, Update, UpdateResult,
+    AnyPartitioner, AutoPolicy, CompactionPolicy, DatasetId, QueryAlgo, ShardMap, ShardTiling,
+    Update, UpdateResult,
 };
 pub use cbb_telemetry::{HistogramSnapshot, SlowQuery, Span, TelemetryConfig, TelemetrySnapshot};
 pub use client::{ClientResult, DatasetClient, SubmitRequest};

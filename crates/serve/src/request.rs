@@ -291,7 +291,9 @@ pub struct UpdateSummary {
 /// The answer to one [`Request`].
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
-    /// Ids of matching objects, in the executor's deterministic order.
+    /// Ids of matching objects, **sorted ascending by id** — the
+    /// canonical order, independent of the tile visit order, the shard
+    /// layout, and the [`cbb_engine::QueryAlgo`] execution path.
     Range(Vec<DataId>),
     /// Neighbours sorted by `(squared distance, id)`.
     Knn(Vec<Neighbor>),

@@ -13,9 +13,9 @@
 //! approximate:
 //!
 //! * **Range** — scattered to the shards whose ranges intersect the
-//!   query's covering tiles; fragments concatenate in shard order
-//!   (ranges are ascending and contiguous, so this *is* the global
-//!   tile-ascending order a single store emits).
+//!   query's covering tiles; the disjoint fragments merge by sorting
+//!   ascending by id (the canonical batched-range order a single
+//!   store emits).
 //! * **kNN** — scattered to every shard; per-shard exact top-k lists
 //!   fold through [`cbb_engine::merge_knn`] (id-dedup +
 //!   `(distance, id)` insertion — the root-MBB-bounded per-shard
@@ -106,7 +106,7 @@ struct DatasetRoute<P> {
 
 /// How the gather worker folds per-shard responses into one.
 enum MergeKind {
-    /// Concatenate range fragments in shard order.
+    /// Merge disjoint range fragments into one id-sorted list.
     Concat,
     /// [`merge_knn`] with this `k`.
     Knn(usize),
@@ -942,7 +942,14 @@ fn merge_responses(merge: &MergeKind, mut parts: Vec<Response>) -> Response {
             parts.swap_remove(0)
         }
         MergeKind::Concat => {
-            Response::Range(parts.into_iter().flat_map(Response::into_range).collect())
+            let mut ids: Vec<_> = parts.into_iter().flat_map(Response::into_range).collect();
+            // Each fragment is sorted ascending by id (the canonical
+            // batched-range order) but fragments interleave in id
+            // space; re-sorting restores exactly what a single store
+            // emits. Fragments are disjoint (one owning shard per
+            // result), so no dedup is needed.
+            ids.sort_unstable();
+            Response::Range(ids)
         }
         MergeKind::Knn(k) => {
             Response::Knn(merge_knn(parts.into_iter().map(Response::into_knn), *k))

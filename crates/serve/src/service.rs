@@ -7,8 +7,8 @@ use std::time::{Duration, Instant};
 
 use cbb_core::ClipConfig;
 use cbb_engine::{
-    Catalog, CompactionPolicy, DataVersion, DatasetId, DatasetStore, ForestCache, Partitioner,
-    TileForest,
+    AutoPolicy, Catalog, CompactionPolicy, DataVersion, DatasetId, DatasetStore, ForestCache,
+    Partitioner, QueryAlgo, TileForest,
 };
 use cbb_geom::Rect;
 use cbb_rtree::TreeConfig;
@@ -60,6 +60,17 @@ pub struct ServiceConfig {
     /// and a restarted service recovers the whole catalog — see
     /// [`crate::durability`].
     pub durability: Option<DurabilityConfig>,
+    /// How coalesced range micro-batches execute against each covered
+    /// tile: per-query tree descents, one fused shared sweep, or a
+    /// per-tile choice (the default, [`QueryAlgo::Auto`]). Answers are
+    /// byte-equal across all three — this knob only moves work counters
+    /// and wall-clock.
+    pub query_algo: QueryAlgo,
+    /// Thresholds behind every `Auto` resolution — join algorithm
+    /// selection per tile ([`cbb_engine::JoinAlgo::Auto`]) and range
+    /// fusion ([`QueryAlgo::Auto`]). The default reproduces the
+    /// previously hard-coded constants byte-for-byte.
+    pub auto_policy: AutoPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -74,6 +85,8 @@ impl Default for ServiceConfig {
             telemetry: TelemetryConfig::default(),
             forest_cache_capacity: cbb_engine::DEFAULT_FOREST_CACHE_CAPACITY,
             durability: None,
+            query_algo: QueryAlgo::Auto,
+            auto_policy: AutoPolicy::default(),
         }
     }
 }

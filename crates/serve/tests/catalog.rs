@@ -15,8 +15,8 @@
 use cbb_core::{ClipConfig, ClipMethod};
 use cbb_datasets::skew::{clustered_with_layout, zipfian};
 use cbb_engine::{
-    partitioned_join, AdaptiveGrid, AnyPartitioner, DataVersion, DatasetId, JoinAlgo, JoinPlan,
-    QuadtreePartitioner, SplitPolicy, UniformGrid,
+    partitioned_join, AdaptiveGrid, AnyPartitioner, AutoPolicy, DataVersion, DatasetId, JoinAlgo,
+    JoinPlan, QuadtreePartitioner, SplitPolicy, UniformGrid,
 };
 use cbb_geom::{Point, Rect};
 use cbb_joins::brute_force_pairs;
@@ -113,6 +113,7 @@ fn cross_join_equals_direct_partitioned_join_for_all_partitioners() {
                     algo,
                     workers: EXEC_WORKERS,
                     split: SplitPolicy::Auto,
+                    auto: AutoPolicy::default(),
                 };
                 let direct = partitioned_join(&plan, &left_data.boxes, &right_data.boxes);
                 assert_eq!(
@@ -144,6 +145,7 @@ fn cross_join_equals_direct_partitioned_join_for_all_partitioners() {
                 algo: JoinAlgo::Sweep,
                 workers: EXEC_WORKERS,
                 split: SplitPolicy::Auto,
+                auto: AutoPolicy::default(),
             };
             let direct = partitioned_join(&plan, &left_data.boxes, &right_data.boxes);
             assert_eq!(
@@ -178,6 +180,7 @@ fn cross_join_equals_direct_partitioned_join_for_all_partitioners() {
             algo: JoinAlgo::Stt,
             workers: EXEC_WORKERS,
             split: SplitPolicy::Auto,
+            auto: AutoPolicy::default(),
         };
         partitioned_join(&plan, &left_data.boxes, &left_data.boxes)
     };

@@ -6,10 +6,12 @@ use std::time::Duration;
 
 use cbb_core::{ClipConfig, ClipMethod};
 use cbb_datasets::skew::clustered_with_layout;
-use cbb_engine::{partitioned_join, AdaptiveGrid, BatchExecutor, JoinAlgo, JoinPlan, SplitPolicy};
+use cbb_engine::{
+    partitioned_join, AdaptiveGrid, AutoPolicy, BatchExecutor, JoinAlgo, JoinPlan, SplitPolicy,
+};
 use cbb_geom::{Point, Rect, SplitMix64};
 use cbb_rtree::{TreeConfig, Variant};
-use cbb_serve::{QueryService, Request, ServiceConfig};
+use cbb_serve::{QueryAlgo, QueryService, Request, ServiceBuilder, ServiceConfig};
 
 const EXEC_WORKERS: usize = 3;
 
@@ -120,6 +122,7 @@ fn batched_answers_equal_direct_executor_answers() {
                     algo,
                     workers: EXEC_WORKERS,
                     split: SplitPolicy::Auto,
+                    auto: AutoPolicy::default(),
                 };
                 expected.push(cbb_serve::Response::Join(partitioned_join(
                     &plan,
@@ -248,4 +251,65 @@ fn degenerate_requests_are_served() {
     assert_eq!(join.wait().unwrap().response.into_join().pairs, 0);
     assert!(miss.wait().unwrap().response.into_range().is_empty());
     service.shutdown();
+}
+
+/// The `query_algo` knob moves work counters, never answers: the same
+/// range workload through `Descend`, `SharedSweep` and `Auto` services
+/// — in both service shapes (coalescing micro-batches and the
+/// unbatched per-request path), single-store and sharded — returns
+/// byte-identical responses, all in the canonical ascending-id order.
+#[test]
+fn query_algo_never_changes_answers_in_any_service_shape() {
+    let f = fixture();
+    let range_qs = queries(48, 97);
+    let algos = [QueryAlgo::Descend, QueryAlgo::SharedSweep, QueryAlgo::Auto];
+
+    let mut baseline: Option<Vec<Vec<cbb_rtree::DataId>>> = None;
+    for shards in [1, 3] {
+        for unbatched in [false, true] {
+            for algo in algos {
+                let mut builder = ServiceBuilder::new()
+                    .shards(shards)
+                    .batch_max(16)
+                    .batch_deadline(Duration::from_millis(3))
+                    .exec_workers(EXEC_WORKERS)
+                    .query_algo(algo);
+                if unbatched {
+                    builder = builder.unbatched();
+                }
+                let service =
+                    builder.build(f.partitioner.clone(), f.objects.clone(), f.tree, f.clip);
+                let dataset = service.default_dataset();
+                let handles: Vec<_> = range_qs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, q)| {
+                        service
+                            .submit(Request::Range {
+                                dataset,
+                                query: *q,
+                                use_clips: i % 3 != 0,
+                            })
+                            .unwrap()
+                    })
+                    .collect();
+                let answers: Vec<Vec<cbb_rtree::DataId>> = handles
+                    .into_iter()
+                    .map(|h| h.wait().unwrap().response.into_range())
+                    .collect();
+                service.shutdown();
+                for ids in &answers {
+                    assert!(ids.is_sorted(), "canonical order is ascending by id");
+                }
+                match &baseline {
+                    None => baseline = Some(answers),
+                    Some(expected) => assert_eq!(
+                        &answers, expected,
+                        "shards={shards} unbatched={unbatched} {algo:?} \
+                         must answer byte-equal to the baseline"
+                    ),
+                }
+            }
+        }
+    }
 }
